@@ -1,0 +1,272 @@
+// sadp_route — command-line front end for the full flow.
+//
+// Route a netlist (file or generated benchmark), run post-routing TPL-aware
+// DVI, optionally validate, save the solution, and render an SVG:
+//
+//   sadp_route --netlist design.nl --style SIM --dvi --tpl
+//              --dvi-method heuristic --save-solution out.sol --svg out.svg
+//   sadp_route --benchmark ecc_s --dvi --tpl --validate
+//
+// Or run DVI standalone on a previously saved solution:
+//
+//   sadp_route --dvi-only out.sol --dvi-method exact --ilp-limit 60
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/dvi_ilp.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "core/solution_io.hpp"
+#include "core/validate.hpp"
+#include "netlist/bench_gen.hpp"
+#include "netlist/io.hpp"
+#include "viz/layout_writer.hpp"
+
+namespace {
+
+using namespace sadp;
+
+struct CliOptions {
+  std::string netlist_path;
+  std::string benchmark;
+  std::string dvi_only_path;
+  std::string save_solution_path;
+  std::string svg_path;
+  std::string json_report_path;
+  bool print_stats = false;
+  grid::SadpStyle style = grid::SadpStyle::kSim;
+  bool consider_dvi = true;
+  bool consider_tpl = true;
+  bool validate = false;
+  bool full_scale = false;
+  core::DviMethod method = core::DviMethod::kHeuristic;
+  double ilp_limit = 60.0;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--netlist FILE | --benchmark NAME | --dvi-only FILE)\n"
+      "          [--style SIM|SID|SAQP-SIM|SIM-TRIM] [--no-dvi] [--no-tpl]\n"
+      "          [--dvi-method heuristic|exact|ilp] [--ilp-limit SECONDS]\n"
+      "          [--save-solution FILE] [--svg FILE] [--json-report FILE]\n"
+      "          [--stats] [--validate] [--full]\n",
+      argv0);
+}
+
+std::optional<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--netlist") {
+      if (const char* v = next()) options.netlist_path = v; else return std::nullopt;
+    } else if (arg == "--benchmark") {
+      if (const char* v = next()) options.benchmark = v; else return std::nullopt;
+    } else if (arg == "--dvi-only") {
+      if (const char* v = next()) options.dvi_only_path = v; else return std::nullopt;
+    } else if (arg == "--save-solution") {
+      if (const char* v = next()) options.save_solution_path = v; else return std::nullopt;
+    } else if (arg == "--svg") {
+      if (const char* v = next()) options.svg_path = v; else return std::nullopt;
+    } else if (arg == "--json-report") {
+      if (const char* v = next()) options.json_report_path = v; else return std::nullopt;
+    } else if (arg == "--stats") {
+      options.print_stats = true;
+    } else if (arg == "--style") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "SIM") == 0) options.style = grid::SadpStyle::kSim;
+      else if (std::strcmp(v, "SID") == 0) options.style = grid::SadpStyle::kSid;
+      else if (std::strcmp(v, "SAQP-SIM") == 0) options.style = grid::SadpStyle::kSaqpSim;
+      else if (std::strcmp(v, "SIM-TRIM") == 0) options.style = grid::SadpStyle::kSimTrim;
+      else return std::nullopt;
+    } else if (arg == "--dvi-method") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "heuristic") == 0) options.method = core::DviMethod::kHeuristic;
+      else if (std::strcmp(v, "exact") == 0) options.method = core::DviMethod::kExact;
+      else if (std::strcmp(v, "ilp") == 0) options.method = core::DviMethod::kIlp;
+      else return std::nullopt;
+    } else if (arg == "--ilp-limit") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      options.ilp_limit = std::atof(v);
+    } else if (arg == "--no-dvi") {
+      options.consider_dvi = false;
+    } else if (arg == "--no-tpl") {
+      options.consider_tpl = false;
+    } else if (arg == "--validate") {
+      options.validate = true;
+    } else if (arg == "--full") {
+      options.full_scale = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  const int sources = (!options.netlist_path.empty()) +
+                      (!options.benchmark.empty()) +
+                      (!options.dvi_only_path.empty());
+  if (sources != 1) return std::nullopt;
+  return options;
+}
+
+int run_dvi_only(const CliOptions& options) {
+  std::ifstream in(options.dvi_only_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", options.dvi_only_path.c_str());
+    return 1;
+  }
+  std::string error;
+  const auto solution = core::read_solution(in, &error);
+  if (!solution) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  grid::RoutingGrid routing(solution->width, solution->height,
+                            solution->num_metal_layers);
+  via::ViaDb vias(solution->width, solution->height,
+                  solution->num_metal_layers - 1);
+  core::apply_solution(*solution, routing, vias);
+  const grid::TurnRules rules = grid::TurnRules::for_style(solution->style);
+  const core::DviProblem problem =
+      core::build_dvi_problem(solution->nets, routing, rules);
+  std::printf("loaded %s: %zu nets, %d single vias, %zu candidates\n",
+              solution->name.c_str(), solution->nets.size(), problem.num_vias(),
+              problem.total_candidates());
+
+  core::DviResult result;
+  switch (options.method) {
+    case core::DviMethod::kHeuristic:
+      result = core::run_dvi_heuristic(problem, vias, core::DviParams{}).result;
+      break;
+    case core::DviMethod::kExact: {
+      core::DviExactParams params;
+      params.time_limit_seconds = options.ilp_limit;
+      result = core::solve_dvi_exact(problem, vias, params).result;
+      break;
+    }
+    case core::DviMethod::kIlp: {
+      core::DviIlpParams params;
+      params.bnb.time_limit_seconds = options.ilp_limit;
+      result = core::solve_dvi_ilp(problem, vias, params).result;
+      break;
+    }
+  }
+  std::printf("DVI (%s): dead vias %d / %d, uncolorable %d, %.2fs\n",
+              core::dvi_method_name(options.method), result.dead_vias,
+              problem.num_vias(), result.uncolorable, result.seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_cli(argc, argv);
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!options->dvi_only_path.empty()) return run_dvi_only(*options);
+
+  // Load or generate the placed netlist.
+  netlist::PlacedNetlist instance;
+  if (!options->benchmark.empty()) {
+    const auto spec = netlist::spec_for(options->benchmark, !options->full_scale);
+    if (!spec) {
+      std::fprintf(stderr, "unknown benchmark %s\n", options->benchmark.c_str());
+      return 1;
+    }
+    instance = netlist::generate(*spec);
+  } else {
+    std::ifstream in(options->netlist_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options->netlist_path.c_str());
+      return 1;
+    }
+    std::string error;
+    const auto parsed = netlist::read_netlist(in, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", error.c_str());
+      return 1;
+    }
+    instance = *parsed;
+  }
+
+  core::FlowConfig config;
+  config.options.style = options->style;
+  config.options.consider_dvi = options->consider_dvi;
+  config.options.consider_tpl = options->consider_tpl;
+  config.dvi_method = options->method;
+  config.ilp_time_limit_seconds = options->ilp_limit;
+
+  std::printf("routing %s (%d nets, %dx%d, %s, dvi=%d tpl=%d)...\n",
+              instance.name.c_str(), instance.num_nets(), instance.width,
+              instance.height, grid::style_name(options->style),
+              options->consider_dvi, options->consider_tpl);
+  std::unique_ptr<core::SadpRouter> router;
+  const core::ExperimentResult result = core::run_flow(instance, config, &router);
+
+  std::printf("routing: %s, WL %lld, vias %d, %.2fs, R&R iterations %zu\n",
+              result.routing.routed_all ? "100%" : "INCOMPLETE",
+              result.routing.wirelength, result.routing.via_count,
+              result.routing.route_seconds, result.routing.rr_iterations);
+  std::printf("via TPL: FVPs %zu, uncolorable %d\n", result.routing.remaining_fvps,
+              result.routing.uncolorable_vias);
+  std::printf("DVI (%s): dead vias %d / %d, uncolorable %d, %.2fs\n",
+              core::dvi_method_name(options->method), result.dvi.dead_vias,
+              result.single_vias, result.dvi.uncolorable, result.dvi.seconds);
+
+  if (options->print_stats || !options->json_report_path.empty()) {
+    const core::DesignStats stats = core::collect_design_stats(*router);
+    if (options->print_stats) {
+      std::fputs(core::render_text_report(result, stats).c_str(), stdout);
+    }
+    if (!options->json_report_path.empty()) {
+      std::ofstream out(options->json_report_path);
+      out << core::render_json_report(result, stats) << '\n';
+      std::printf("wrote %s\n", options->json_report_path.c_str());
+    }
+  }
+
+  int exit_code = result.routing.routed_all ? 0 : 1;
+  if (options->validate) {
+    const auto issues = core::validate_routing(*router, instance,
+                                               options->consider_tpl);
+    if (issues.empty()) {
+      std::printf("validation: all checks passed\n");
+    } else {
+      for (const auto& issue : issues) {
+        std::printf("validation issue: %s\n", issue.what.c_str());
+      }
+      exit_code = 1;
+    }
+  }
+
+  if (!options->save_solution_path.empty()) {
+    std::ofstream out(options->save_solution_path);
+    core::write_solution(out, core::capture_solution(instance.name,
+                                                     router->routing_grid(),
+                                                     options->style,
+                                                     router->nets()));
+    std::printf("wrote %s\n", options->save_solution_path.c_str());
+  }
+  if (!options->svg_path.empty()) {
+    viz::LayoutWriterOptions render;
+    render.clip_hi_x = std::min(95, router->routing_grid().width() - 1);
+    render.clip_hi_y = std::min(95, router->routing_grid().height() - 1);
+    if (viz::render_layout(*router, render).save(options->svg_path)) {
+      std::printf("wrote %s\n", options->svg_path.c_str());
+    }
+  }
+  return exit_code;
+}

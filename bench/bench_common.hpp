@@ -1,0 +1,55 @@
+// Shared helpers for the table-reproducing benchmark binaries.
+//
+// Every binary accepts:
+//   --full        run the paper-scale benchmarks (default: scaled "_s" set)
+//   --ckt NAME    restrict to one circuit (e.g. --ckt ecc)
+//   --ilp-limit S per-instance ILP time limit in seconds
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netlist/bench_gen.hpp"
+
+namespace sadp::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::string only_ckt;
+  double ilp_limit = 15.0;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--ckt") == 0 && i + 1 < argc) {
+      args.only_ckt = argv[++i];
+    } else if (std::strcmp(argv[i], "--ilp-limit") == 0 && i + 1 < argc) {
+      args.ilp_limit = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--full] [--ckt NAME] [--ilp-limit S]\n",
+                   argv[0]);
+    }
+  }
+  return args;
+}
+
+inline std::vector<netlist::BenchStats> selected_benchmarks(const BenchArgs& args) {
+  auto rows = args.full ? netlist::paper_benchmarks() : netlist::scaled_benchmarks();
+  if (!args.only_ckt.empty()) {
+    std::vector<netlist::BenchStats> filtered;
+    for (const auto& row : rows) {
+      if (row.name == args.only_ckt || row.name == args.only_ckt + "_s") {
+        filtered.push_back(row);
+      }
+    }
+    rows = filtered;
+  }
+  return rows;
+}
+
+}  // namespace sadp::bench

@@ -1,0 +1,200 @@
+// Microbenchmarks of the performance-critical kernels (google-benchmark).
+// Not a paper table; used to track the costs the paper's complexity claims
+// rest on: O(1) FVP classification, O(n) FVP scanning, O(n log n) DVI.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dvi_heuristic.hpp"
+#include "core/flow.hpp"
+#include "ilp/bnb.hpp"
+#include "ilp/simplex.hpp"
+#include "netlist/bench_gen.hpp"
+#include "util/rng.hpp"
+#include "via/coloring.hpp"
+#include "via/decomp_graph.hpp"
+#include "via/fvp.hpp"
+#include "via/via_db.hpp"
+
+namespace {
+
+using namespace sadp;
+
+void BM_FvpClassify(benchmark::State& state) {
+  int mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(via::is_fvp(static_cast<via::WindowMask>(mask)));
+    mask = (mask + 1) & 511;
+  }
+}
+BENCHMARK(BM_FvpClassify);
+
+void BM_WouldCreateFvp(benchmark::State& state) {
+  const int side = 64;
+  via::ViaDb db(side, side, 1);
+  util::Xoshiro256StarStar rng(42);
+  for (int i = 0; i < side * side / 16; ++i) {
+    const grid::Point p{static_cast<int>(rng.below(side)),
+                        static_cast<int>(rng.below(side))};
+    if (!db.would_create_fvp(1, p) && !db.has(1, p)) db.add(1, p);
+  }
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    const grid::Point p{static_cast<int>(q % side),
+                        static_cast<int>((q / side) % side)};
+    benchmark::DoNotOptimize(db.would_create_fvp(1, p));
+    q += 37;
+  }
+}
+BENCHMARK(BM_WouldCreateFvp);
+
+void BM_FvpScan(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  via::ViaDb db(side, side, 1);
+  util::Xoshiro256StarStar rng(7);
+  for (int i = 0; i < side * side / 16; ++i) {
+    const grid::Point p{static_cast<int>(rng.below(side)),
+                        static_cast<int>(rng.below(side))};
+    if (!db.has(1, p)) db.add(1, p);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(db.scan_fvps(1));
+  state.SetComplexityN(side * side);
+}
+BENCHMARK(BM_FvpScan)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+std::vector<grid::Point> random_spread_vias(int side, int count, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  via::ViaDb db(side, side, 1);
+  std::vector<grid::Point> out;
+  while (static_cast<int>(out.size()) < count) {
+    const grid::Point p{static_cast<int>(rng.below(side)),
+                        static_cast<int>(rng.below(side))};
+    if (!db.has(1, p) && !db.would_create_fvp(1, p)) {
+      db.add(1, p);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void BM_WelshPowell(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto points = random_spread_vias(128, n, 11);
+  const via::DecompGraph graph = via::DecompGraph::from_points(points);
+  for (auto _ : state) benchmark::DoNotOptimize(via::welsh_powell(graph));
+}
+BENCHMARK(BM_WelshPowell)->Arg(256)->Arg(1024);
+
+void BM_ExactColoring(benchmark::State& state) {
+  const auto points = random_spread_vias(128, 512, 13);
+  const via::DecompGraph graph = via::DecompGraph::from_points(points);
+  for (auto _ : state) benchmark::DoNotOptimize(via::exact_three_coloring(graph));
+}
+BENCHMARK(BM_ExactColoring);
+
+/// Shared routed fixture for the flow-level kernels.
+struct RoutedFixture {
+  netlist::PlacedNetlist instance;
+  std::unique_ptr<core::SadpRouter> router;
+  core::DviProblem problem;
+
+  RoutedFixture() {
+    netlist::BenchSpec spec;
+    spec.name = "micro";
+    spec.width = 96;
+    spec.height = 96;
+    spec.num_nets = 90;
+    instance = netlist::generate(spec);
+    core::FlowOptions options;
+    options.consider_dvi = true;
+    options.consider_tpl = true;
+    router = std::make_unique<core::SadpRouter>(instance, options);
+    (void)router->run();
+    problem = core::build_dvi_problem(router->nets(), router->routing_grid(),
+                                      router->turn_rules());
+  }
+};
+
+RoutedFixture& fixture() {
+  static RoutedFixture f;
+  return f;
+}
+
+void BM_RoutingFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    core::FlowOptions options;
+    options.consider_dvi = true;
+    options.consider_tpl = true;
+    core::SadpRouter router(fixture().instance, options);
+    benchmark::DoNotOptimize(router.run());
+  }
+}
+BENCHMARK(BM_RoutingFlow)->Unit(benchmark::kMillisecond);
+
+void BM_DviHeuristic(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_dvi_heuristic(f.problem, f.router->via_db(), core::DviParams{}));
+  }
+}
+BENCHMARK(BM_DviHeuristic)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDviProblem(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_dvi_problem(
+        f.router->nets(), f.router->routing_grid(), f.router->turn_rules()));
+  }
+}
+BENCHMARK(BM_BuildDviProblem)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Xoshiro256StarStar rng(3);
+  ilp::Model m;
+  for (int v = 0; v < n; ++v) m.add_var();
+  std::vector<ilp::LinTerm> obj;
+  for (int v = 0; v < n; ++v) obj.push_back({v, rng.uniform()});
+  m.set_objective(std::move(obj), true);
+  for (int c = 0; c < n; ++c) {
+    std::vector<ilp::LinTerm> terms;
+    for (int v = 0; v < n; ++v) {
+      if (rng.chance(0.3)) terms.push_back({v, 1.0 + rng.uniform()});
+    }
+    if (!terms.empty()) {
+      m.add_constraint(std::move(terms), ilp::Sense::kLe,
+                       1.0 + static_cast<double>(n) / 8.0);
+    }
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ilp::solve_lp_relaxation(m));
+}
+BENCHMARK(BM_SimplexRandom)->Arg(16)->Arg(64);
+
+void BM_BnbCliques(benchmark::State& state) {
+  // Chain of cliques: the structure of the C1/C2 rows.
+  const int n = static_cast<int>(state.range(0));
+  ilp::Model m;
+  for (int v = 0; v < n; ++v) m.add_var();
+  std::vector<ilp::LinTerm> obj;
+  for (int v = 0; v < n; ++v) obj.push_back({v, 1.0});
+  m.set_objective(std::move(obj), true);
+  for (int v = 0; v + 3 < n; v += 2) {
+    m.add_constraint(
+        {{v, 1.0}, {v + 1, 1.0}, {v + 2, 1.0}, {v + 3, 1.0}},
+        ilp::Sense::kLe, 1.0);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ilp::solve(m));
+}
+BENCHMARK(BM_BnbCliques)->Arg(32)->Arg(128);
+
+void BM_BenchGen(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::generate_named("ecc_s", true));
+  }
+}
+BENCHMARK(BM_BenchGen)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

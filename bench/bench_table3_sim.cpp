@@ -1,0 +1,10 @@
+// Table III: considering DVI and via-layer TPL decomposability in SIM type
+// SADP-aware detailed routing.
+#include "bench_tables34.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = sadp::bench::parse_args(argc, argv);
+  std::printf("== Table III: SIM type SADP-aware detailed routing, four arms ==\n");
+  sadp::bench::run_tables34(sadp::grid::SadpStyle::kSim, args);
+  return 0;
+}

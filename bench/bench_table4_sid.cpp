@@ -1,0 +1,10 @@
+// Table IV: considering DVI and via-layer TPL decomposability in SID type
+// SADP-aware detailed routing.
+#include "bench_tables34.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = sadp::bench::parse_args(argc, argv);
+  std::printf("== Table IV: SID type SADP-aware detailed routing, four arms ==\n");
+  sadp::bench::run_tables34(sadp::grid::SadpStyle::kSid, args);
+  return 0;
+}

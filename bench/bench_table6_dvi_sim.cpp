@@ -1,0 +1,10 @@
+// Table VI: TPL-aware DVI for SIM type SADP-aware detailed routing — ILP
+// vs the fast heuristic (Algorithm 3).
+#include "bench_tables67.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = sadp::bench::parse_args(argc, argv);
+  std::printf("== Table VI: TPL-aware DVI, SIM type (ILP vs heuristic) ==\n");
+  sadp::bench::run_tables67(sadp::grid::SadpStyle::kSim, args);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared driver for Tables III (SIM) and IV (SID): the four experiment arms
+//
+//   1. SADP-aware detailed routing                        (baseline)
+//   2. + consider DVI                                     (BDC/AMC/CDC)
+//   3. + consider via-layer TPL                           (TPLC + Alg. 2)
+//   4. + consider both
+//
+// For each circuit and arm we report WL, #Vias, CPU(s), #DV, #UV — the
+// latter two from the post-routing TPL-aware DVI solved to optimality (the
+// paper solves its ILP with Gurobi; here the domain-specific exact branch &
+// bound plays that role), with the per-instance time limit of --ilp-limit.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/flow.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sadp::bench {
+
+struct ArmSpec {
+  const char* name;
+  bool consider_dvi;
+  bool consider_tpl;
+};
+
+inline constexpr ArmSpec kArms[4] = {
+    {"SADP-aware routing", false, false},
+    {"Consider DVI", true, false},
+    {"Consider via layer TPL", false, true},
+    {"Consider DVI & via layer TPL", true, true},
+};
+
+struct ArmRow {
+  long long wl = 0;
+  int vias = 0;
+  double cpu = 0.0;
+  int dv = 0;
+  int uv = 0;
+  bool routed = false;
+};
+
+inline ArmRow run_arm(const netlist::PlacedNetlist& instance, grid::SadpStyle style,
+                      const ArmSpec& arm, double ilp_limit) {
+  core::FlowConfig config;
+  config.options.style = style;
+  config.options.consider_dvi = arm.consider_dvi;
+  config.options.consider_tpl = arm.consider_tpl;
+  config.dvi_method = core::DviMethod::kExact;
+  config.ilp_time_limit_seconds = ilp_limit;
+
+  const core::ExperimentResult result = core::run_flow(instance, config);
+  ArmRow row;
+  row.wl = result.routing.wirelength;
+  row.vias = result.routing.via_count;
+  row.cpu = result.routing.route_seconds;
+  row.dv = result.dvi.dead_vias;
+  row.uv = result.dvi.uncolorable;
+  row.routed = result.routing.routed_all;
+  return row;
+}
+
+inline void run_tables34(grid::SadpStyle style, const BenchArgs& args) {
+  const auto benchmarks = selected_benchmarks(args);
+  std::vector<std::vector<ArmRow>> rows(4);
+
+  for (int arm = 0; arm < 4; ++arm) {
+    std::printf("\n== %s type: %s ==\n", grid::style_name(style), kArms[arm].name);
+    util::TextTable table({"CKT", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
+    for (const auto& bench : benchmarks) {
+      const auto spec = netlist::spec_for(bench.name, !args.full);
+      const netlist::PlacedNetlist instance = netlist::generate(*spec);
+      const ArmRow row = run_arm(instance, style, kArms[arm], args.ilp_limit);
+      rows[static_cast<std::size_t>(arm)].push_back(row);
+      table.begin_row();
+      table.cell(bench.name);
+      table.cell(row.wl);
+      table.cell(row.vias);
+      table.cell(row.cpu, 1);
+      table.cell(row.dv);
+      table.cell(row.uv);
+      table.cell(row.routed ? "100%" : "NO");
+      std::fflush(stdout);
+    }
+    table.print();
+  }
+
+  // Summary: averages and normalization against the baseline arm.
+  std::printf("\n== %s type: summary (Ave. over circuits, Nor. vs baseline) ==\n",
+              grid::style_name(style));
+  util::TextTable summary(
+      {"arm", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "WLn", "Viasn", "CPUn", "DVn"});
+  std::vector<double> base(5, 0.0);
+  for (int arm = 0; arm < 4; ++arm) {
+    util::Accumulator wl, vias, cpu, dv, uv;
+    for (const auto& row : rows[static_cast<std::size_t>(arm)]) {
+      wl.add(static_cast<double>(row.wl));
+      vias.add(row.vias);
+      cpu.add(row.cpu);
+      dv.add(row.dv);
+      uv.add(row.uv);
+    }
+    if (arm == 0) base = {wl.mean(), vias.mean(), cpu.mean(), dv.mean(), uv.mean()};
+    summary.begin_row();
+    summary.cell(kArms[arm].name);
+    summary.cell(wl.mean(), 1);
+    summary.cell(vias.mean(), 1);
+    summary.cell(cpu.mean(), 2);
+    summary.cell(dv.mean(), 1);
+    summary.cell(uv.mean(), 1);
+    summary.cell(base[0] > 0 ? wl.mean() / base[0] : 0.0, 3);
+    summary.cell(base[1] > 0 ? vias.mean() / base[1] : 0.0, 3);
+    summary.cell(base[2] > 0 ? cpu.mean() / base[2] : 0.0, 3);
+    summary.cell(base[3] > 0 ? dv.mean() / base[3] : 0.0, 3);
+  }
+  summary.print();
+}
+
+}  // namespace sadp::bench

@@ -1,0 +1,111 @@
+// Shared driver for Tables VI (SIM) and VII (SID): solvers for the
+// post-routing TPL-aware DVI problem, on routing solutions produced with
+// both DVI and via-layer TPL consideration enabled.
+//
+// Three solvers are compared:
+//   * "ILP": the literal C1-C8 formulation through the in-house 0-1 branch
+//     & bound (the role Gurobi 6.5 plays in the paper) — warm-started and
+//     time-limited; like the paper's Gurobi runs, this is the expensive
+//     reference;
+//   * "exact": the domain-specific exact branch & bound (dvi_exact.hpp),
+//     which provably solves the same optimization (cross-checked in
+//     tests/test_dvi.cpp) orders of magnitude faster;
+//   * "heuristic": the paper's Algorithm 3.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/dvi_ilp.hpp"
+#include "core/flow.hpp"
+#include "core/validate.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sadp::bench {
+
+inline void run_tables67(grid::SadpStyle style, const BenchArgs& args) {
+  util::TextTable table({"CKT", "ILP #DV", "ILP CPU(s)", "Exact #DV",
+                         "Exact CPU(s)", "Exact status", "Heu #DV", "Heu CPU(s)",
+                         "#UV", "valid"});
+  util::Accumulator ilp_dv, ilp_cpu, exact_dv, exact_cpu, heu_dv, heu_cpu;
+
+  for (const auto& bench : selected_benchmarks(args)) {
+    const auto spec = netlist::spec_for(bench.name, !args.full);
+    const netlist::PlacedNetlist instance = netlist::generate(*spec);
+
+    core::FlowOptions options;
+    options.style = style;
+    options.consider_dvi = true;
+    options.consider_tpl = true;
+
+    auto router = std::make_unique<core::SadpRouter>(instance, options);
+    (void)router->run();
+
+    const core::DviProblem problem = core::build_dvi_problem(
+        router->nets(), router->routing_grid(), router->turn_rules());
+
+    core::DviIlpParams ilp_params;
+    ilp_params.bnb.time_limit_seconds = args.ilp_limit;
+    const core::DviIlpOutput ilp =
+        core::solve_dvi_ilp(problem, router->via_db(), ilp_params);
+
+    core::DviExactParams exact_params;
+    exact_params.time_limit_seconds = args.ilp_limit;
+    const core::DviExactOutput exact =
+        core::solve_dvi_exact(problem, router->via_db(), exact_params);
+
+    const core::DviHeuristicOutput heuristic =
+        core::run_dvi_heuristic(problem, router->via_db(), options.dvi);
+
+    const bool all_valid =
+        core::check_dvi_solution(*router, problem, ilp.result.inserted,
+                                 ilp.inserted_at)
+            .empty() &&
+        core::check_dvi_solution(*router, problem, exact.result.inserted,
+                                 exact.inserted_at)
+            .empty() &&
+        core::check_dvi_solution(*router, problem, heuristic.result.inserted,
+                                 heuristic.inserted_at)
+            .empty();
+
+    ilp_dv.add(ilp.result.dead_vias);
+    ilp_cpu.add(ilp.result.seconds);
+    exact_dv.add(exact.result.dead_vias);
+    exact_cpu.add(exact.result.seconds);
+    heu_dv.add(heuristic.result.dead_vias);
+    heu_cpu.add(heuristic.result.seconds);
+
+    const int uv = ilp.result.uncolorable + exact.result.uncolorable +
+                   heuristic.result.uncolorable;
+    table.begin_row();
+    table.cell(bench.name);
+    table.cell(ilp.result.dead_vias);
+    table.cell(ilp.result.seconds, 1);
+    table.cell(exact.result.dead_vias);
+    table.cell(exact.result.seconds, 2);
+    table.cell(exact.proven_optimal ? "optimal" : "time-limit");
+    table.cell(heuristic.result.dead_vias);
+    table.cell(heuristic.result.seconds, 3);
+    table.cell(uv);
+    table.cell(all_valid ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  table.print();
+
+  std::printf("\nAve.: ILP #DV %.1f (%.1fs) | exact #DV %.1f (%.2fs) | "
+              "heuristic #DV %.1f (%.3fs)\n",
+              ilp_dv.mean(), ilp_cpu.mean(), exact_dv.mean(), exact_cpu.mean(),
+              heu_dv.mean(), heu_cpu.mean());
+  if (heu_dv.mean() > 0 && heu_cpu.mean() > 0) {
+    std::printf("Nor.: exact/heuristic #DV = %.2f; heuristic speedup vs "
+                "literal ILP = %.0fx, vs exact = %.1fx\n",
+                exact_dv.mean() / heu_dv.mean(), ilp_cpu.mean() / heu_cpu.mean(),
+                exact_cpu.mean() / heu_cpu.mean());
+  }
+}
+
+}  // namespace sadp::bench

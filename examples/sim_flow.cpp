@@ -1,0 +1,57 @@
+// SIM-flavour flow walkthrough on a generated benchmark: runs the four
+// experiment arms of the paper's Table III on one circuit and prints how
+// each consideration changes the routing solution and the post-routing DVI
+// outcome.  This is the "evaluation in miniature" example.
+//
+//   ./build/examples/sim_flow [benchmark_name]   (default ecc_s)
+#include <cstdio>
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/bench_gen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sadp;
+  const std::string name = argc > 1 ? argv[1] : "ecc_s";
+  const netlist::PlacedNetlist instance = netlist::generate_named(name, true);
+
+  std::printf("benchmark %s: %d nets, %dx%d grid, %d pins\n",
+              instance.name.c_str(), instance.num_nets(), instance.width,
+              instance.height, instance.total_pins());
+
+  struct Arm {
+    const char* label;
+    bool dvi;
+    bool tpl;
+  };
+  const Arm arms[4] = {{"baseline", false, false},
+                       {"+DVI", true, false},
+                       {"+TPL", false, true},
+                       {"+DVI+TPL", true, true}};
+
+  util::TextTable table({"arm", "WL", "#Vias", "CPU(s)", "#DV (heuristic)",
+                         "#UV", "FVPs left"});
+  for (const Arm& arm : arms) {
+    core::FlowConfig config;
+    config.options.style = grid::SadpStyle::kSim;
+    config.options.consider_dvi = arm.dvi;
+    config.options.consider_tpl = arm.tpl;
+    config.dvi_method = core::DviMethod::kHeuristic;
+
+    const core::ExperimentResult result = core::run_flow(instance, config);
+    table.begin_row();
+    table.cell(arm.label);
+    table.cell(result.routing.wirelength);
+    table.cell(result.routing.via_count);
+    table.cell(result.routing.route_seconds, 2);
+    table.cell(result.dvi.dead_vias);
+    table.cell(result.dvi.uncolorable);
+    table.cell(static_cast<long long>(result.routing.remaining_fvps));
+  }
+  table.print();
+  std::printf("\nExpected shape (paper Table III): +DVI cuts dead vias by about "
+              "a third;\n+TPL drives FVPs and uncolorable vias to zero; both "
+              "together cut dead vias\nby ~60%% at ~3%% wirelength/via cost.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "core/cost_maps.hpp"
+
+#include <cassert>
+
+namespace sadp::core {
+
+CostMaps::CostMaps(const grid::RoutingGrid& grid, const grid::TurnRules& rules,
+                   FlowOptions options)
+    : grid_(grid),
+      rules_(rules),
+      options_(options),
+      width_(grid.width()),
+      height_(grid.height()),
+      num_points_(static_cast<std::size_t>(grid.num_points())),
+      num_via_layers_(grid.num_via_layers()) {
+  const std::size_t via_cells = static_cast<std::size_t>(num_via_layers_) * num_points_;
+  const std::size_t metal_cells =
+      static_cast<std::size_t>(grid.num_metal_layers()) * num_points_;
+  bdc_via_.assign(via_cells, 0.0);
+  amc_via_.assign(via_cells, 0.0);
+  cdc_via_.assign(via_cells, 0.0);
+  tplc_via_.assign(via_cells, 0.0);
+  hist_via_.assign(via_cells, 0.0);
+  bdc_metal_.assign(metal_cells, 0.0);
+  hist_metal_.assign(metal_cells, 0.0);
+}
+
+std::vector<double>& CostMaps::array_for(Map map) {
+  switch (map) {
+    case Map::kBdcVia: return bdc_via_;
+    case Map::kBdcMetal: return bdc_metal_;
+    case Map::kAmcVia: return amc_via_;
+    case Map::kCdcVia: return cdc_via_;
+    case Map::kTplcVia: return tplc_via_;
+  }
+  return bdc_via_;
+}
+
+void CostMaps::deposit(Map map, std::size_t index, double amount,
+                       std::vector<Entry>& record) {
+  array_for(map)[index] += amount;
+  record.push_back(Entry{map, static_cast<std::uint32_t>(index), amount});
+}
+
+void CostMaps::add_net_costs(const RoutedNet& net) {
+  assert(!records_.contains(net.id()));
+  std::vector<Entry> record;
+
+  if (options_.consider_dvi) {
+    // BDC and CDC around each via of the net (Fig. 9(b)(d)).
+    for (const auto& via : net.vias()) {
+      const auto dvics =
+          feasible_dvics(grid_, rules_, net, via.via_layer, via.at);
+      if (dvics.empty()) continue;
+      const double bdc = options_.cost.alpha / static_cast<double>(dvics.size());
+      const double cdc = options_.cost.beta / static_cast<double>(dvics.size());
+      for (const auto& d : dvics) {
+        deposit(Map::kBdcVia, via_slot(via.via_layer, d), bdc, record);
+        deposit(Map::kBdcMetal, metal_slot(via.via_layer, d), bdc, record);
+        deposit(Map::kBdcMetal, metal_slot(via.via_layer + 1, d), bdc, record);
+        // Conflict-DVIC via locations: vias adjacent to d (other than via_u
+        // itself) would contend for the same DVIC location.
+        for (grid::Dir dir : grid::kPlanarDirs) {
+          const grid::Point q = d + grid::step(dir);
+          if (!grid_.in_bounds(q) || q == via.at) continue;
+          deposit(Map::kCdcVia, via_slot(via.via_layer, q), cdc, record);
+        }
+      }
+    }
+
+    // AMC along the net's metal (Fig. 9(c)): a via next to this metal has a
+    // DVIC blocked by it.
+    for (const auto& [key, arms] : net.metal()) {
+      const int layer = key_layer(key);
+      const grid::Point p = key_point(key);
+      for (grid::Dir dir : grid::kPlanarDirs) {
+        const grid::Point q = p + grid::step(dir);
+        if (!grid_.in_bounds(q)) continue;
+        for (int v : {layer - 1, layer}) {
+          if (v < 1 || v > num_via_layers_) continue;
+          deposit(Map::kAmcVia, via_slot(v, q), options_.cost.amc, record);
+        }
+      }
+    }
+  }
+
+  if (options_.consider_tpl) {
+    // TPLC on every different-color via location around each via: gamma per
+    // existing conflicting via, accumulated incrementally.
+    for (const auto& via : net.vias()) {
+      for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+          const grid::Point q{via.at.x + dx, via.at.y + dy};
+          if (!grid_.in_bounds(q) || !via::vias_conflict(via.at, q)) continue;
+          deposit(Map::kTplcVia, via_slot(via.via_layer, q), options_.cost.gamma,
+                  record);
+        }
+      }
+    }
+  }
+
+  records_.emplace(net.id(), std::move(record));
+}
+
+void CostMaps::remove_net_costs(grid::NetId net) {
+  const auto it = records_.find(net);
+  if (it == records_.end()) return;
+  for (const Entry& entry : it->second) {
+    array_for(entry.map)[entry.index] -= entry.amount;
+  }
+  records_.erase(it);
+}
+
+}  // namespace sadp::core

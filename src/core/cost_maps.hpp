@@ -1,0 +1,127 @@
+// Cost assignment scheme (paper Section III-B, Algorithm 1, Fig. 9) plus
+// the negotiated-congestion history costs.
+//
+// After a net is routed, penalty costs are written into per-vertex cost
+// maps so that subsequently routed nets see them:
+//
+//  * BDC (block-DVIC cost) = alpha / #feasibleDVICs(via_u) on every feasible
+//    DVIC location of each via of the net — both on the via layer (a via
+//    there blocks the DVIC) and on the two adjacent metal layers (a wire
+//    through it blocks the DVIC too);
+//  * AMC (along-metal cost), a constant, on via locations next to the
+//    net's metal: a via placed there would have a DVIC blocked by this
+//    metal;
+//  * CDC (conflict-DVIC cost) = beta / #feasibleDVICs(via_u) on via
+//    locations whose own DVIC would coincide with a feasible DVIC of via_u;
+//  * TPLC (TPL cost) = gamma per existing via within same-color pitch, on
+//    every different-color via location around each via of the net.
+//
+// Because BDC/CDC depend on DVI feasibility *at assignment time* (which
+// drifts as other nets route), every contribution is recorded per net so
+// rip-up subtracts exactly what routing added.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/dvic.hpp"
+#include "core/params.hpp"
+#include "core/routed_net.hpp"
+#include "grid/routing_grid.hpp"
+#include "grid/turns.hpp"
+
+namespace sadp::core {
+
+class CostMaps {
+ public:
+  CostMaps(const grid::RoutingGrid& grid, const grid::TurnRules& rules,
+           FlowOptions options);
+
+  /// Algorithm 1: add this net's BDC/AMC/CDC/TPLC contributions (subject to
+  /// the flow options).  The net must currently be applied to the grid.
+  void add_net_costs(const RoutedNet& net);
+
+  /// Exact inverse of add_net_costs for the same net.
+  void remove_net_costs(grid::NetId net);
+
+  [[nodiscard]] bool has_costs_for(grid::NetId net) const {
+    return records_.contains(net);
+  }
+
+  // --- Queries (hot path of the maze router) -------------------------------
+
+  /// DVI/TPL penalty of placing a via at (via_layer, p).
+  [[nodiscard]] double via_penalty(int via_layer, grid::Point p) const {
+    const std::size_t i = via_slot(via_layer, p);
+    return bdc_via_[i] + amc_via_[i] + cdc_via_[i] + tplc_via_[i];
+  }
+
+  /// DVI penalty of routing metal through (layer, p).
+  [[nodiscard]] double metal_penalty(int layer, grid::Point p) const {
+    return bdc_metal_[metal_slot(layer, p)];
+  }
+
+  // --- Negotiation history costs -------------------------------------------
+
+  [[nodiscard]] double metal_history(int layer, grid::Point p) const {
+    return hist_metal_[metal_slot(layer, p)];
+  }
+  [[nodiscard]] double via_history(int via_layer, grid::Point p) const {
+    return hist_via_[via_slot(via_layer, p)];
+  }
+  void bump_metal_history(int layer, grid::Point p, double amount) {
+    hist_metal_[metal_slot(layer, p)] += amount;
+  }
+  void bump_via_history(int via_layer, grid::Point p, double amount) {
+    hist_via_[via_slot(via_layer, p)] += amount;
+  }
+
+  [[nodiscard]] const FlowOptions& options() const noexcept { return options_; }
+
+ private:
+  enum class Map : std::uint8_t {
+    kBdcVia,
+    kBdcMetal,
+    kAmcVia,
+    kCdcVia,
+    kTplcVia,
+  };
+  struct Entry {
+    Map map;
+    std::uint32_t index;
+    double amount;
+  };
+
+  void deposit(Map map, std::size_t index, double amount,
+               std::vector<Entry>& record);
+  [[nodiscard]] std::vector<double>& array_for(Map map);
+
+  [[nodiscard]] std::size_t metal_slot(int layer, grid::Point p) const {
+    return static_cast<std::size_t>(layer - 1) * num_points_ +
+           static_cast<std::size_t>(p.y) * width_ + p.x;
+  }
+  [[nodiscard]] std::size_t via_slot(int via_layer, grid::Point p) const {
+    return static_cast<std::size_t>(via_layer - 1) * num_points_ +
+           static_cast<std::size_t>(p.y) * width_ + p.x;
+  }
+
+  const grid::RoutingGrid& grid_;
+  const grid::TurnRules& rules_;
+  FlowOptions options_;
+  int width_;
+  int height_;
+  std::size_t num_points_;
+  int num_via_layers_;
+
+  std::vector<double> bdc_via_;
+  std::vector<double> bdc_metal_;
+  std::vector<double> amc_via_;
+  std::vector<double> cdc_via_;
+  std::vector<double> tplc_via_;
+  std::vector<double> hist_metal_;
+  std::vector<double> hist_via_;
+
+  std::unordered_map<grid::NetId, std::vector<Entry>> records_;
+};
+
+}  // namespace sadp::core

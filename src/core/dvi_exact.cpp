@@ -1,0 +1,268 @@
+#include "core/dvi_exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/dvi_heuristic.hpp"
+#include "util/timer.hpp"
+#include "via/coloring.hpp"
+#include "via/decomp_graph.hpp"
+
+namespace sadp::core {
+
+namespace {
+
+/// Union-find over via indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+class ExactSolver {
+ public:
+  ExactSolver(const DviProblem& problem, via::ViaDb db, const DviExactParams& params)
+      : problem_(problem), db_(std::move(db)), params_(params) {}
+
+  DviExactOutput run() {
+    DviExactOutput out;
+    const int n = problem_.num_vias();
+    out.result.inserted.assign(static_cast<std::size_t>(n), -1);
+    out.inserted_at.assign(static_cast<std::size_t>(n), {});
+    out.proven_optimal = true;
+
+    // Warm start every component from the heuristic.
+    const DviHeuristicOutput warm = run_dvi_heuristic(problem_, db_, DviParams{});
+
+    // Spatial components: vias interact only within Chebyshev distance 4 of
+    // their centers (on the same layer).  Bucketed by 4x4 cells so the
+    // pairing stays near-linear.
+    UnionFind uf(n);
+    {
+      std::unordered_map<std::int64_t, std::vector<int>> buckets;
+      auto bucket_key = [](int layer, int cx, int cy) {
+        return (static_cast<std::int64_t>(layer) << 48) ^
+               (static_cast<std::int64_t>(static_cast<std::uint32_t>(cx)) << 24) ^
+               static_cast<std::int64_t>(static_cast<std::uint32_t>(cy));
+      };
+      for (int i = 0; i < n; ++i) {
+        const auto& via = problem_.vias[static_cast<std::size_t>(i)];
+        buckets[bucket_key(via.via_layer, via.at.x / 4, via.at.y / 4)].push_back(i);
+      }
+      // Two vias interact iff some pair of their features (the via itself
+      // or any feasible candidate) coincides or lies within same-color
+      // pitch — exactly the variable sharing of the C2/C5/C6/C7 rows.
+      auto features = [&](int i) {
+        std::vector<grid::Point> f;
+        f.push_back(problem_.vias[static_cast<std::size_t>(i)].at);
+        for (const auto& c : problem_.feasible[static_cast<std::size_t>(i)]) {
+          f.push_back(c);
+        }
+        return f;
+      };
+      auto interact = [&](int i, int j) {
+        for (const auto& a : features(i)) {
+          for (const auto& b : features(j)) {
+            if (a == b || via::vias_conflict(a, b)) return true;
+          }
+        }
+        return false;
+      };
+      for (int i = 0; i < n; ++i) {
+        const auto& via = problem_.vias[static_cast<std::size_t>(i)];
+        for (int dcx = -1; dcx <= 1; ++dcx) {
+          for (int dcy = -1; dcy <= 1; ++dcy) {
+            const auto it = buckets.find(bucket_key(
+                via.via_layer, via.at.x / 4 + dcx, via.at.y / 4 + dcy));
+            if (it == buckets.end()) continue;
+            for (const int j : it->second) {
+              if (j > i &&
+                  grid::chebyshev(
+                      via.at, problem_.vias[static_cast<std::size_t>(j)].at) <= 6 &&
+                  interact(i, j)) {
+                uf.unite(i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+    std::vector<std::vector<int>> comps;
+    {
+      std::vector<int> comp_of(static_cast<std::size_t>(n), -1);
+      for (int i = 0; i < n; ++i) {
+        const int root = uf.find(i);
+        if (comp_of[static_cast<std::size_t>(root)] < 0) {
+          comp_of[static_cast<std::size_t>(root)] = static_cast<int>(comps.size());
+          comps.emplace_back();
+        }
+        comps[static_cast<std::size_t>(comp_of[static_cast<std::size_t>(root)])]
+            .push_back(i);
+      }
+    }
+
+    // Residual uncolorable count is inherited from the heuristic's greedy
+    // pre-coloring (only ever nonzero for no-TPL routing inputs).
+    out.result.uncolorable = warm.result.uncolorable;
+
+    for (const auto& comp : comps) {
+      solve_component(comp, warm, out);
+      if (clock_.seconds() > params_.time_limit_seconds) out.proven_optimal = false;
+    }
+
+    for (int i = 0; i < n; ++i) {
+      if (out.result.inserted[static_cast<std::size_t>(i)] < 0) {
+        ++out.result.dead_vias;
+      }
+    }
+    out.result.seconds = clock_.seconds();
+    out.nodes = nodes_;
+    return out;
+  }
+
+ private:
+  /// Exact 3-colorability of the component's originals plus the currently
+  /// committed insertions.
+  [[nodiscard]] bool component_colorable(const std::vector<int>& comp,
+                                         const std::vector<int>& choice) {
+    std::vector<std::pair<grid::Point, int>> located;
+    located.reserve(comp.size() * 2);
+    for (const int i : comp) {
+      located.push_back({problem_.vias[static_cast<std::size_t>(i)].at,
+                         problem_.vias[static_cast<std::size_t>(i)].via_layer});
+    }
+    for (const int i : comp) {
+      const int k = choice[static_cast<std::size_t>(i)];
+      if (k < 0) continue;
+      located.push_back(
+          {problem_.feasible[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+           problem_.vias[static_cast<std::size_t>(i)].via_layer});
+    }
+    return via::three_colorable(via::DecompGraph::from_located(located),
+                                /*budget=*/2'000'000);
+  }
+
+  void solve_component(const std::vector<int>& comp, const DviHeuristicOutput& warm,
+                       DviExactOutput& out) {
+    // Order: fewest candidates first (most constrained).
+    std::vector<int> order = comp;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return problem_.feasible[static_cast<std::size_t>(a)].size() <
+             problem_.feasible[static_cast<std::size_t>(b)].size();
+    });
+
+    std::vector<int> choice(out.result.inserted);  // global-sized scratch
+    std::vector<int> best_choice;
+    int best = -1;
+
+    // Seed with the heuristic's (valid) component solution.
+    {
+      int warm_count = 0;
+      for (const int i : comp) {
+        choice[static_cast<std::size_t>(i)] =
+            warm.result.inserted[static_cast<std::size_t>(i)];
+        if (choice[static_cast<std::size_t>(i)] >= 0) ++warm_count;
+      }
+      best = warm_count;
+      best_choice = choice;
+      for (const int i : comp) choice[static_cast<std::size_t>(i)] = -1;
+    }
+
+    // If the originals alone are uncolorable (no-TPL arms), exactness over
+    // colorability is off the table; keep the heuristic answer.
+    if (!component_colorable(comp, choice)) {
+      out.proven_optimal = false;
+      commit(comp, best_choice, out);
+      return;
+    }
+
+    const int total = static_cast<int>(comp.size());
+    bool aborted = false;
+    std::size_t component_nodes = 0;
+
+    // DFS over the insertion choices with the FVP cut; colors at leaves.
+    auto dfs = [&](auto&& self, int depth, int inserted) -> void {
+      if (aborted) return;
+      if (++nodes_ > params_.node_limit ||
+          ++component_nodes > params_.component_node_limit ||
+          clock_.seconds() > params_.time_limit_seconds) {
+        aborted = true;
+        return;
+      }
+      if (inserted + (total - depth) <= best) return;  // bound
+      if (depth == total) {
+        if (inserted > best && component_colorable(comp, choice)) {
+          best = inserted;
+          best_choice = choice;
+        }
+        return;
+      }
+      const int i = order[static_cast<std::size_t>(depth)];
+      const auto& cands = problem_.feasible[static_cast<std::size_t>(i)];
+      const int layer = problem_.vias[static_cast<std::size_t>(i)].via_layer;
+      // Try inserting first (maximization), then skipping.
+      for (int k = 0; k < static_cast<int>(cands.size()); ++k) {
+        const grid::Point p = cands[static_cast<std::size_t>(k)];
+        if (db_.has(layer, p)) continue;             // used location / via
+        if (db_.would_create_fvp(layer, p)) continue;  // valid cut
+        db_.add(layer, p);
+        choice[static_cast<std::size_t>(i)] = k;
+        self(self, depth + 1, inserted + 1);
+        choice[static_cast<std::size_t>(i)] = -1;
+        db_.remove(layer, p);
+        if (aborted) return;
+      }
+      self(self, depth + 1, inserted);
+    };
+    dfs(dfs, 0, 0);
+    if (aborted) out.proven_optimal = false;
+
+    commit(comp, best_choice, out);
+  }
+
+  void commit(const std::vector<int>& comp, const std::vector<int>& choice,
+              DviExactOutput& out) {
+    for (const int i : comp) {
+      const int k = choice[static_cast<std::size_t>(i)];
+      out.result.inserted[static_cast<std::size_t>(i)] = k;
+      if (k >= 0) {
+        const grid::Point p =
+            problem_.feasible[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+        out.inserted_at[static_cast<std::size_t>(i)] = p;
+        // Keep committed insertions visible to later components' FVP checks
+        // (they cannot interact, but the shared db must stay consistent).
+        db_.add(problem_.vias[static_cast<std::size_t>(i)].via_layer, p);
+      }
+    }
+  }
+
+  const DviProblem& problem_;
+  via::ViaDb db_;
+  DviExactParams params_;
+  util::Timer clock_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+DviExactOutput solve_dvi_exact(const DviProblem& problem, const via::ViaDb& vias,
+                               const DviExactParams& params) {
+  ExactSolver solver(problem, vias, params);
+  return solver.run();
+}
+
+}  // namespace sadp::core

@@ -1,0 +1,60 @@
+#include "core/flow.hpp"
+
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+
+namespace sadp::core {
+
+DviResult run_post_routing_dvi(const SadpRouter& router, const FlowConfig& config,
+                               ilp::SolveStatus* status) {
+  const DviProblem problem =
+      build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  switch (config.dvi_method) {
+    case DviMethod::kHeuristic: {
+      const DviHeuristicOutput heuristic =
+          run_dvi_heuristic(problem, router.via_db(), config.options.dvi);
+      if (status != nullptr) *status = ilp::SolveStatus::kOptimal;
+      return heuristic.result;
+    }
+    case DviMethod::kExact: {
+      DviExactParams params;
+      params.time_limit_seconds = config.ilp_time_limit_seconds;
+      const DviExactOutput exact = solve_dvi_exact(problem, router.via_db(), params);
+      if (status != nullptr) {
+        *status = exact.proven_optimal ? ilp::SolveStatus::kOptimal
+                                       : ilp::SolveStatus::kFeasible;
+      }
+      return exact.result;
+    }
+    case DviMethod::kIlp: {
+      DviIlpParams params;
+      params.bnb.time_limit_seconds = config.ilp_time_limit_seconds;
+      const DviIlpOutput ilp = solve_dvi_ilp(problem, router.via_db(), params);
+      if (status != nullptr) *status = ilp.status;
+      return ilp.result;
+    }
+  }
+  return {};
+}
+
+ExperimentResult run_flow(const netlist::PlacedNetlist& netlist,
+                          const FlowConfig& config,
+                          std::unique_ptr<SadpRouter>* router_out) {
+  ExperimentResult result;
+  result.benchmark = netlist.name;
+
+  auto router = std::make_unique<SadpRouter>(netlist, config.options);
+  result.routing = router->run();
+
+  const DviProblem problem = build_dvi_problem(
+      router->nets(), router->routing_grid(), router->turn_rules());
+  result.single_vias = problem.num_vias();
+  result.dvi_candidates = problem.total_candidates();
+
+  result.dvi = run_post_routing_dvi(*router, config, &result.ilp_status);
+
+  if (router_out != nullptr) *router_out = std::move(router);
+  return result;
+}
+
+}  // namespace sadp::core

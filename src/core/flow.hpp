@@ -1,0 +1,55 @@
+// End-to-end experiment flow: SADP-aware detailed routing followed by
+// post-routing TPL-aware DVI, producing one row of the paper's tables.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dvi_ilp.hpp"
+#include "core/params.hpp"
+#include "core/router.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sadp::core {
+
+enum class DviMethod { kIlp, kHeuristic, kExact };
+
+[[nodiscard]] constexpr const char* dvi_method_name(DviMethod m) noexcept {
+  switch (m) {
+    case DviMethod::kIlp: return "ILP";
+    case DviMethod::kHeuristic: return "heuristic";
+    case DviMethod::kExact: return "exact";
+  }
+  return "?";
+}
+
+/// One table row: routing metrics plus post-routing DVI metrics.
+struct ExperimentResult {
+  std::string benchmark;
+  RoutingReport routing;
+  DviResult dvi;               ///< #DV = dvi.dead_vias, #UV = dvi.uncolorable
+  int single_vias = 0;         ///< DVI problem size
+  std::size_t dvi_candidates = 0;
+  ilp::SolveStatus ilp_status = ilp::SolveStatus::kUnknown;  ///< ILP runs only
+};
+
+struct FlowConfig {
+  FlowOptions options;
+  DviMethod dvi_method = DviMethod::kIlp;
+  double ilp_time_limit_seconds = 120.0;
+};
+
+/// Route the netlist and run post-routing DVI.  The router object is
+/// returned through `router_out` when the caller wants to inspect or
+/// validate the solution (pass nullptr otherwise).
+[[nodiscard]] ExperimentResult run_flow(const netlist::PlacedNetlist& netlist,
+                                        const FlowConfig& config,
+                                        std::unique_ptr<SadpRouter>* router_out =
+                                            nullptr);
+
+/// Run only the post-routing DVI stage on an already-routed design.
+[[nodiscard]] DviResult run_post_routing_dvi(const SadpRouter& router,
+                                             const FlowConfig& config,
+                                             ilp::SolveStatus* status = nullptr);
+
+}  // namespace sadp::core

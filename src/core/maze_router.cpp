@@ -1,0 +1,270 @@
+#include "core/maze_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sadp::core {
+
+namespace {
+
+constexpr int kDirNone = 4;
+
+struct QueueEntry {
+  double f;  ///< g + admissible heuristic
+  double g;
+  std::int64_t state;
+
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
+    return a.f > b.f;  // min-heap
+  }
+};
+
+}  // namespace
+
+MazeRouter::MazeRouter(const grid::RoutingGrid& grid, const grid::TurnRules& rules,
+                       const CostMaps& costs, const via::ViaDb& vias,
+                       const FlowOptions& options)
+    : grid_(grid),
+      rules_(rules),
+      costs_(costs),
+      vias_(vias),
+      options_(options),
+      num_points_(grid.num_points()),
+      num_routable_layers_(grid.num_metal_layers() - 1) {
+  const std::size_t states =
+      static_cast<std::size_t>(num_routable_layers_) * num_points_ * 5;
+  dist_.assign(states, 0.0);
+  parent_.assign(states, -1);
+  epoch_.assign(states, 0);
+}
+
+double MazeRouter::metal_vertex_cost(int layer, grid::Point p,
+                                     grid::NetId net) const {
+  const auto occupants = grid_.metal_occupants(layer, p);
+  int others = static_cast<int>(occupants.size());
+  for (const auto& occ : occupants) {
+    if (occ.net == net) {
+      --others;
+      break;
+    }
+  }
+  return costs_.metal_history(layer, p) + present_factor_ * others +
+         costs_.metal_penalty(layer, p);
+}
+
+double MazeRouter::via_vertex_cost(int via_layer, grid::Point p,
+                                   grid::NetId net) const {
+  const auto occupants = grid_.via_occupants(via_layer, p);
+  int others = static_cast<int>(occupants.size());
+  for (const auto occ : occupants) {
+    if (occ == net) {
+      --others;
+      break;
+    }
+  }
+  return costs_.via_history(via_layer, p) + present_factor_ * others +
+         costs_.via_penalty(via_layer, p);
+}
+
+bool MazeRouter::route_connection(RoutedNet& net,
+                                  const std::vector<MetalKey>& sources,
+                                  grid::Point target_pin,
+                                  std::vector<MetalKey>* new_points) {
+  // Windowed first; full-grid fallback keeps completeness.
+  int lo_x = target_pin.x, hi_x = target_pin.x;
+  int lo_y = target_pin.y, hi_y = target_pin.y;
+  for (const MetalKey key : sources) {
+    const grid::Point p = key_point(key);
+    lo_x = std::min(lo_x, p.x);
+    hi_x = std::max(hi_x, p.x);
+    lo_y = std::min(lo_y, p.y);
+    hi_y = std::max(hi_y, p.y);
+  }
+  constexpr int kMargin = 24;
+  const Window window{std::max(0, lo_x - kMargin), std::max(0, lo_y - kMargin),
+                      std::min(grid_.width() - 1, hi_x + kMargin),
+                      std::min(grid_.height() - 1, hi_y + kMargin)};
+  if (search(net, sources, target_pin, window, new_points)) return true;
+  const Window full{0, 0, grid_.width() - 1, grid_.height() - 1};
+  if (window.lo_x == full.lo_x && window.lo_y == full.lo_y &&
+      window.hi_x == full.hi_x && window.hi_y == full.hi_y) {
+    return false;
+  }
+  return search(net, sources, target_pin, full, new_points);
+}
+
+bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
+                        grid::Point target_pin, const Window& window,
+                        std::vector<MetalKey>* new_points) {
+  ++current_epoch_;
+  last_pops_ = 0;
+  const grid::NetId net_id = net.id();
+  const double via_cost = options_.routing.via;
+
+  auto heuristic = [&](int layer, grid::Point p) {
+    return static_cast<double>(grid::manhattan(p, target_pin)) *
+               options_.routing.segment +
+           static_cast<double>(layer - 2) * via_cost;
+  };
+
+  std::priority_queue<QueueEntry> pq;
+
+  auto relax = [&](std::int64_t state, double g, std::int64_t from, int layer,
+                   grid::Point p) {
+    const std::size_t s = static_cast<std::size_t>(state);
+    if (epoch_[s] == current_epoch_ && dist_[s] <= g) return;
+    epoch_[s] = current_epoch_;
+    dist_[s] = g;
+    parent_[s] = from;
+    pq.push(QueueEntry{g + heuristic(layer, p), g, state});
+  };
+
+  // Sources: the metal points of the net's connected tree.
+  for (const MetalKey key : sources) {
+    const int layer = key_layer(key);
+    if (!grid_.routable(layer)) continue;
+    const grid::Point p = key_point(key);
+    if (!window.contains(p)) continue;
+    relax(state_id(layer, p, kDirNone), 0.0, -1, layer, p);
+  }
+  if (pq.empty()) return false;
+
+  std::int64_t goal_state = -1;
+  while (!pq.empty()) {
+    const QueueEntry top = pq.top();
+    pq.pop();
+    const std::size_t s = static_cast<std::size_t>(top.state);
+    if (epoch_[s] != current_epoch_ || top.g > dist_[s]) continue;
+    ++last_pops_;
+
+    // Decode.
+    const int dir_in = static_cast<int>(top.state % 5);
+    const std::int64_t cell = top.state / 5;
+    const grid::Point p = grid_.point_of(static_cast<std::int32_t>(cell % num_points_));
+    const int layer = static_cast<int>(cell / num_points_) + 2;
+
+    if (layer == 2 && p == target_pin) {
+      goal_state = top.state;
+      break;
+    }
+
+    const grid::ArmMask own_arms = net.arms_at(layer, p);
+
+    // Planar moves.
+    for (grid::Dir o : grid::kPlanarDirs) {
+      if (dir_in != kDirNone && o == grid::opposite(static_cast<grid::Dir>(dir_in))) {
+        continue;  // no immediate backtracking
+      }
+      const grid::Point q = p + grid::step(o);
+      if (!grid_.in_bounds(q) || !window.contains(q)) continue;
+
+      double cost = options_.routing.segment;
+      const bool preferred =
+          grid::RoutingGrid::prefers_horizontal(layer) == grid::is_horizontal(o);
+      if (!preferred) cost *= options_.routing.non_preferred;
+
+      // Turn legality at the departure corner p: the new arm `o` against the
+      // incoming travel arm and every existing arm of this net.
+      grid::ArmMask arms = own_arms;
+      if (dir_in != kDirNone) {
+        arms |= grid::arm_bit(grid::opposite(static_cast<grid::Dir>(dir_in)));
+      }
+      bool blocked = false;
+      bool non_preferred_turn = false;
+      for (grid::Dir a : grid::kPlanarDirs) {
+        if (!grid::has_arm(arms, a) || !grid::is_perpendicular(a, o)) continue;
+        switch (rules_.classify(p, grid::turn_kind(a, o))) {
+          case grid::TurnClass::kForbidden: blocked = true; break;
+          case grid::TurnClass::kNonPreferred: non_preferred_turn = true; break;
+          case grid::TurnClass::kPreferred: break;
+        }
+        if (blocked) break;
+      }
+      if (blocked) continue;
+
+      // Turn legality at the arrival corner q: the new arm (pointing back to
+      // p) against existing arms of this net at q.
+      const grid::Dir back = grid::opposite(o);
+      const grid::ArmMask arms_q = net.arms_at(layer, q);
+      for (grid::Dir b : grid::kPlanarDirs) {
+        if (!grid::has_arm(arms_q, b) || !grid::is_perpendicular(b, back)) continue;
+        switch (rules_.classify(q, grid::turn_kind(b, back))) {
+          case grid::TurnClass::kForbidden: blocked = true; break;
+          case grid::TurnClass::kNonPreferred: non_preferred_turn = true; break;
+          case grid::TurnClass::kPreferred: break;
+        }
+        if (blocked) break;
+      }
+      if (blocked) continue;
+
+      if (non_preferred_turn) cost += options_.routing.non_preferred_turn;
+      cost += metal_vertex_cost(layer, q, net_id);
+
+      relax(state_id(layer, q, static_cast<int>(o)), top.g + cost, top.state,
+            layer, q);
+    }
+
+    // Via moves.  The landing pad occupies (to_layer, p), so the metal
+    // vertex cost of the destination layer is charged as well — otherwise a
+    // via could land on a congested/penalized point for free.
+    for (int to_layer : {layer - 1, layer + 1}) {
+      if (!grid_.routable(to_layer)) continue;
+      const int v = std::min(layer, to_layer);
+      if (fvp_blocking_ && !vias_.has(v, p) && vias_.would_create_fvp(v, p)) {
+        continue;  // blocked via location (Algorithm 2, Fig. 10)
+      }
+      const double cost = via_cost + via_vertex_cost(v, p, net_id) +
+                          metal_vertex_cost(to_layer, p, net_id);
+      relax(state_id(to_layer, p, kDirNone), top.g + cost, top.state, to_layer, p);
+    }
+  }
+
+  if (goal_state < 0) return false;
+
+  // Materialize the path back to the tree.
+  std::int64_t state = goal_state;
+  while (true) {
+    const std::int64_t prev = parent_[static_cast<std::size_t>(state)];
+    if (prev < 0) break;
+
+    const std::int64_t cell = state / 5;
+    const grid::Point p = grid_.point_of(static_cast<std::int32_t>(cell % num_points_));
+    const int layer = static_cast<int>(cell / num_points_) + 2;
+    const std::int64_t pcell = prev / 5;
+    const grid::Point pp =
+        grid_.point_of(static_cast<std::int32_t>(pcell % num_points_));
+    const int player = static_cast<int>(pcell / num_points_) + 2;
+
+    if (layer == player) {
+      // Planar segment pp -> p.
+      grid::Dir o = grid::Dir::kNone;
+      for (grid::Dir d : grid::kPlanarDirs) {
+        if (pp + grid::step(d) == p) {
+          o = d;
+          break;
+        }
+      }
+      assert(o != grid::Dir::kNone);
+      net.add_segment(layer, pp, o);
+      if (new_points != nullptr) {
+        new_points->push_back(metal_key(layer, p));
+        new_points->push_back(metal_key(layer, pp));
+      }
+    } else {
+      assert(pp == p);
+      const int v = std::min(layer, player);
+      net.add_via(v, p);
+      net.add_metal(layer, p, 0);
+      net.add_metal(player, p, 0);
+      if (new_points != nullptr) {
+        new_points->push_back(metal_key(layer, p));
+        new_points->push_back(metal_key(player, p));
+      }
+    }
+    state = prev;
+  }
+  return true;
+}
+
+}  // namespace sadp::core

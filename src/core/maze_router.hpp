@@ -1,0 +1,105 @@
+// Modified Dijkstra maze routing over the colored grid (paper Section III-B,
+// inherited from the framework of [20]).
+//
+// Search states are (metal layer, grid point, incoming travel direction);
+// carrying the direction lets the expansion
+//
+//  * hard-exclude forbidden turns (including turns against the net's own
+//    existing arms when branching off the routed tree),
+//  * charge non-preferred turns,
+//  * strongly discourage non-preferred-direction segments ("restricted
+//    detailed routing": the perpendicular direction is expensive, never
+//    impossible).
+//
+// Via moves reset the direction state (a via landing pad starts a fresh
+// wire).  During the TPL-violation-removal phase, via locations whose
+// occupation would create an FVP are hard-blocked (Algorithm 2, Fig. 10).
+//
+// The search is A* (admissible Manhattan-distance heuristic) restricted to
+// an inflated bounding box of sources and target; on failure it retries
+// unwindowed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_maps.hpp"
+#include "core/routed_net.hpp"
+#include "grid/routing_grid.hpp"
+#include "grid/turns.hpp"
+#include "via/via_db.hpp"
+
+namespace sadp::core {
+
+class MazeRouter {
+ public:
+  MazeRouter(const grid::RoutingGrid& grid, const grid::TurnRules& rules,
+             const CostMaps& costs, const via::ViaDb& vias,
+             const FlowOptions& options);
+
+  /// Penalty multiplier for presently-occupied vertices; the negotiation
+  /// engine escalates this between rounds.
+  void set_present_factor(double factor) noexcept { present_factor_ = factor; }
+
+  /// Enable the hard FVP block on via placements (Algorithm 2 phase).
+  void set_fvp_blocking(bool enabled) noexcept { fvp_blocking_ = enabled; }
+
+  /// Route one connection: from `sources` (the metal points of the net's
+  /// connected tree on routable layers) to the metal-2 point above
+  /// `target_pin`.  On success the path is appended to `net` (grid databases
+  /// NOT updated — the caller applies the net afterwards) and the touched
+  /// routable-layer points are appended to `*new_points`.  Returns false
+  /// when no path exists.
+  [[nodiscard]] bool route_connection(RoutedNet& net,
+                                      const std::vector<MetalKey>& sources,
+                                      grid::Point target_pin,
+                                      std::vector<MetalKey>* new_points);
+
+  /// Search-effort statistics (nodes popped in the last call).
+  [[nodiscard]] std::size_t last_pops() const noexcept { return last_pops_; }
+
+ private:
+  struct Window {
+    int lo_x, lo_y, hi_x, hi_y;
+    [[nodiscard]] bool contains(grid::Point p) const noexcept {
+      return p.x >= lo_x && p.x <= hi_x && p.y >= lo_y && p.y <= hi_y;
+    }
+  };
+
+  [[nodiscard]] bool search(RoutedNet& net, const std::vector<MetalKey>& sources,
+                            grid::Point target_pin, const Window& window,
+                            std::vector<MetalKey>* new_points);
+
+  // State encoding: ((layer - 2) * num_points + point_index) * 5 + dir.
+  [[nodiscard]] std::int64_t state_id(int layer, grid::Point p, int dir) const {
+    return (static_cast<std::int64_t>(layer - 2) * num_points_ + grid_.index(p)) *
+               5 +
+           dir;
+  }
+
+  [[nodiscard]] double metal_vertex_cost(int layer, grid::Point p,
+                                         grid::NetId net) const;
+  [[nodiscard]] double via_vertex_cost(int via_layer, grid::Point p,
+                                       grid::NetId net) const;
+
+  const grid::RoutingGrid& grid_;
+  const grid::TurnRules& rules_;
+  const CostMaps& costs_;
+  const via::ViaDb& vias_;
+  const FlowOptions& options_;
+
+  std::int64_t num_points_;
+  int num_routable_layers_;
+
+  double present_factor_ = 1.0;
+  bool fvp_blocking_ = false;
+  std::size_t last_pops_ = 0;
+
+  // Per-state scratch, epoch-stamped to avoid clearing between calls.
+  std::vector<double> dist_;
+  std::vector<std::int64_t> parent_;
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t current_epoch_ = 0;
+};
+
+}  // namespace sadp::core

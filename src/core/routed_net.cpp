@@ -1,0 +1,76 @@
+#include "core/routed_net.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace sadp::core {
+
+void RoutedNet::add_metal(int layer, grid::Point p, grid::ArmMask arms) {
+  metal_[metal_key(layer, p)] |= arms;
+}
+
+void RoutedNet::add_segment(int layer, grid::Point from, grid::Dir dir) {
+  const grid::Point to = from + grid::step(dir);
+  add_metal(layer, from, grid::arm_bit(dir));
+  add_metal(layer, to, grid::arm_bit(grid::opposite(dir)));
+}
+
+void RoutedNet::add_via(int via_layer, grid::Point p, bool is_pin_via) {
+  const NetVia via{via_layer, p, is_pin_via};
+  if (std::find(vias_.begin(), vias_.end(), via) == vias_.end()) {
+    vias_.push_back(via);
+  }
+}
+
+void RoutedNet::clear_routing() {
+  // Keep pin vias and the pads they imply; drop everything else.
+  std::vector<NetVia> kept;
+  for (const auto& via : vias_) {
+    if (via.is_pin_via) kept.push_back(via);
+  }
+  vias_ = std::move(kept);
+
+  metal_.clear();
+  for (const auto& via : vias_) {
+    add_metal(via.via_layer, via.at, 0);
+    add_metal(via.via_layer + 1, via.at, 0);
+  }
+  routed_ = false;
+}
+
+grid::ArmMask RoutedNet::arms_at(int layer, grid::Point p) const {
+  const auto it = metal_.find(metal_key(layer, p));
+  return it == metal_.end() ? grid::ArmMask{0} : it->second;
+}
+
+bool RoutedNet::has_metal_at(int layer, grid::Point p) const {
+  return metal_.contains(metal_key(layer, p));
+}
+
+long long RoutedNet::wirelength() const {
+  long long arm_bits = 0;
+  for (const auto& [key, arms] : metal_) arm_bits += std::popcount(arms);
+  return arm_bits / 2;
+}
+
+void RoutedNet::apply_to(grid::RoutingGrid& grid, via::ViaDb& vias) const {
+  for (const auto& [key, arms] : metal_) {
+    grid.add_metal(key_layer(key), key_point(key), id_, arms);
+  }
+  for (const auto& via : vias_) {
+    grid.add_via(via.via_layer, via.at, id_);
+    vias.add(via.via_layer, via.at);
+  }
+}
+
+void RoutedNet::remove_from(grid::RoutingGrid& grid, via::ViaDb& vias) const {
+  for (const auto& [key, arms] : metal_) {
+    grid.remove_metal(key_layer(key), key_point(key), id_);
+  }
+  for (const auto& via : vias_) {
+    grid.remove_via(via.via_layer, via.at, id_);
+    vias.remove(via.via_layer, via.at);
+  }
+}
+
+}  // namespace sadp::core

@@ -1,0 +1,438 @@
+#include "core/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+#include "via/coloring.hpp"
+#include "via/decomp_graph.hpp"
+
+namespace sadp::core {
+
+SadpRouter::SadpRouter(const netlist::PlacedNetlist& netlist, FlowOptions options)
+    : netlist_(netlist),
+      options_(options),
+      rules_(grid::TurnRules::for_style(options.style)) {
+  assert(netlist_.valid());
+  grid_ = std::make_unique<grid::RoutingGrid>(netlist_.width, netlist_.height,
+                                              netlist_.num_metal_layers);
+  vias_ = std::make_unique<via::ViaDb>(netlist_.width, netlist_.height,
+                                       grid_->num_via_layers());
+  costs_ = std::make_unique<CostMaps>(*grid_, rules_, options_);
+  maze_ = std::make_unique<MazeRouter>(*grid_, rules_, *costs_, *vias_, options_);
+
+  nets_.reserve(netlist_.nets.size());
+  for (const auto& net : netlist_.nets) nets_.emplace_back(net.id);
+  build_pin_stubs();
+}
+
+void SadpRouter::build_pin_stubs() {
+  // Every pin is a metal-1 terminal: pad on metal 1, mandatory via up to
+  // metal 2, landing pad on metal 2.  Stubs are immovable.
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    RoutedNet& routed = nets_[i];
+    for (const auto& pin : netlist_.nets[i].pins) {
+      routed.add_metal(1, pin.at, 0);
+      routed.add_metal(2, pin.at, 0);
+      routed.add_via(1, pin.at, /*is_pin_via=*/true);
+    }
+    routed.apply_to(*grid_, *vias_);
+  }
+}
+
+void SadpRouter::rip_net(grid::NetId id) {
+  RoutedNet& net = nets_[static_cast<std::size_t>(id)];
+  costs_->remove_net_costs(id);
+  net.remove_from(*grid_, *vias_);
+  net.clear_routing();
+}
+
+bool SadpRouter::route_net(grid::NetId id) {
+  RoutedNet& net = nets_[static_cast<std::size_t>(id)];
+  const auto& pins = netlist_.nets[static_cast<std::size_t>(id)].pins;
+
+  // The maze search hard-excludes forbidden turns against the incoming
+  // travel direction and the net's already-materialized arms, but a path
+  // that crosses ITSELF merges two leg directions at one point only at
+  // materialization time — rarely producing a forbidden L the search never
+  // saw.  Detect that after materialization, penalize the corner, and
+  // reroute; a couple of attempts always clears it in practice.
+  bool ok = true;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    // Grow a connected tree from pin 0, always connecting the pin nearest
+    // to the current tree next.
+    std::vector<MetalKey> tree;
+    tree.push_back(metal_key(2, pins.front().at));
+    std::vector<grid::Point> pending;
+    for (std::size_t k = 1; k < pins.size(); ++k) pending.push_back(pins[k].at);
+
+    ok = true;
+    while (!pending.empty() && ok) {
+      // Nearest pending pin to the tree (Manhattan in the plane).
+      std::size_t best = 0;
+      int best_dist = INT32_MAX;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        for (const MetalKey key : tree) {
+          const int d = grid::manhattan(key_point(key), pending[k]);
+          if (d < best_dist) {
+            best_dist = d;
+            best = k;
+          }
+        }
+      }
+      const grid::Point target = pending[best];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+
+      std::vector<MetalKey> new_points;
+      if (!maze_->route_connection(net, tree, target, &new_points)) {
+        ok = false;
+        break;
+      }
+      tree.insert(tree.end(), new_points.begin(), new_points.end());
+      tree.push_back(metal_key(2, target));
+    }
+    if (!ok) break;
+
+    const auto bad_corners = forbidden_turn_corners(net);
+    if (bad_corners.empty()) break;
+    for (const auto& [layer, p] : bad_corners) {
+      costs_->bump_metal_history(layer, p,
+                                 options_.negotiation.history_increment * 8.0);
+    }
+    net.clear_routing();
+  }
+
+  net.set_routed(ok);
+  net.apply_to(*grid_, *vias_);
+  costs_->add_net_costs(net);
+  if (ok) {
+    unrouted_.erase(std::remove(unrouted_.begin(), unrouted_.end(), id),
+                    unrouted_.end());
+  } else if (std::find(unrouted_.begin(), unrouted_.end(), id) == unrouted_.end()) {
+    unrouted_.push_back(id);
+  }
+  return ok;
+}
+
+std::vector<std::pair<int, grid::Point>> SadpRouter::forbidden_turn_corners(
+    const RoutedNet& net) const {
+  std::vector<std::pair<int, grid::Point>> corners;
+  for (const auto& [key, arms] : net.metal()) {
+    const int layer = key_layer(key);
+    if (layer < 2) continue;
+    const grid::Point p = key_point(key);
+    for (grid::Dir h : {grid::Dir::kEast, grid::Dir::kWest}) {
+      if (!grid::has_arm(arms, h)) continue;
+      for (grid::Dir v : {grid::Dir::kNorth, grid::Dir::kSouth}) {
+        if (!grid::has_arm(arms, v)) continue;
+        if (rules_.classify(p, grid::turn_kind(h, v)) ==
+            grid::TurnClass::kForbidden) {
+          corners.push_back({layer, p});
+        }
+      }
+    }
+  }
+  return corners;
+}
+
+void SadpRouter::initial_routing() {
+  // Short nets first: they have the least flexibility and lock in the least
+  // routing resource.
+  std::vector<grid::NetId> order;
+  order.reserve(nets_.size());
+  for (const auto& net : netlist_.nets) order.push_back(net.id);
+  auto net_span = [&](grid::NetId id) {
+    const auto& pins = netlist_.nets[static_cast<std::size_t>(id)].pins;
+    int lo_x = pins[0].at.x, hi_x = lo_x, lo_y = pins[0].at.y, hi_y = lo_y;
+    for (const auto& pin : pins) {
+      lo_x = std::min(lo_x, pin.at.x);
+      hi_x = std::max(hi_x, pin.at.x);
+      lo_y = std::min(lo_y, pin.at.y);
+      hi_y = std::max(hi_y, pin.at.y);
+    }
+    return (hi_x - lo_x) + (hi_y - lo_y);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](grid::NetId a, grid::NetId b) {
+    return net_span(a) < net_span(b);
+  });
+
+  maze_->set_present_factor(options_.negotiation.present_factor_initial);
+  for (grid::NetId id : order) {
+    rip_net(id);
+    route_net(id);
+  }
+}
+
+// --- Violation queue ---------------------------------------------------------
+//
+// Duplicates are tolerated in the heap: validity is re-checked at pop time,
+// so a stale duplicate is simply discarded.
+
+void SadpRouter::push_violation(Violation v) {
+  v.seq = next_seq_++;
+  heap_.push_back(v);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Violation& a, const Violation& b) {
+                   return b.higher_priority_than(a);
+                 });
+}
+
+bool SadpRouter::violation_still_valid(const Violation& v) const {
+  switch (v.kind) {
+    case Violation::Kind::kCongestionMetal:
+      return grid_->metal_congested(v.layer, v.at);
+    case Violation::Kind::kCongestionVia:
+      return grid_->via_congested(v.layer, v.at);
+    case Violation::Kind::kFvp:
+      return vias_->window_is_fvp(v.layer, v.at);
+  }
+  return false;
+}
+
+grid::NetId SadpRouter::choose_ripup_net(const Violation& v) const {
+  // Fairness: the candidate ripped the fewest times so far, ties by id.
+  grid::NetId best = grid::kNoNet;
+  auto consider = [&](grid::NetId id) {
+    if (id == grid::kNoNet) return;
+    if (best == grid::kNoNet ||
+        nets_[static_cast<std::size_t>(id)].rip_count() <
+            nets_[static_cast<std::size_t>(best)].rip_count() ||
+        (nets_[static_cast<std::size_t>(id)].rip_count() ==
+             nets_[static_cast<std::size_t>(best)].rip_count() &&
+         id < best)) {
+      best = id;
+    }
+  };
+
+  switch (v.kind) {
+    case Violation::Kind::kCongestionMetal:
+      for (const auto& occ : grid_->metal_occupants(v.layer, v.at)) consider(occ.net);
+      break;
+    case Violation::Kind::kCongestionVia:
+      for (const grid::NetId id : grid_->via_occupants(v.layer, v.at)) consider(id);
+      break;
+    case Violation::Kind::kFvp:
+      // Candidates: nets with a movable (non-pin) via inside the window.
+      for (int dy = 0; dy < via::kWindowSize; ++dy) {
+        for (int dx = 0; dx < via::kWindowSize; ++dx) {
+          const grid::Point cell{v.at.x + dx, v.at.y + dy};
+          if (!grid_->in_bounds(cell)) continue;
+          for (const grid::NetId id : grid_->via_occupants(v.layer, cell)) {
+            const auto& vias = nets_[static_cast<std::size_t>(id)].vias();
+            for (const auto& via : vias) {
+              if (via.via_layer == v.layer && via.at == cell && !via.is_pin_via) {
+                consider(id);
+                break;
+              }
+            }
+          }
+        }
+      }
+      break;
+  }
+  return best;
+}
+
+void SadpRouter::push_net_violations(grid::NetId id, bool consider_fvps) {
+  const RoutedNet& net = nets_[static_cast<std::size_t>(id)];
+  for (const auto& [key, arms] : net.metal()) {
+    const int layer = key_layer(key);
+    if (!grid_->routable(layer)) continue;
+    const grid::Point p = key_point(key);
+    if (grid_->metal_congested(layer, p)) {
+      push_violation(Violation{Violation::Kind::kCongestionMetal, layer, p, 0});
+    }
+  }
+  for (const auto& via : net.vias()) {
+    if (grid_->via_congested(via.via_layer, via.at)) {
+      push_violation(
+          Violation{Violation::Kind::kCongestionVia, via.via_layer, via.at, 0});
+    }
+    if (!consider_fvps) continue;
+    for (int oy = via.at.y - via::kWindowSize + 1; oy <= via.at.y; ++oy) {
+      for (int ox = via.at.x - via::kWindowSize + 1; ox <= via.at.x; ++ox) {
+        const grid::Point origin{ox, oy};
+        if (!vias_->window_is_fvp(via.via_layer, origin)) continue;
+        push_violation(Violation{Violation::Kind::kFvp, via.via_layer, origin, 0});
+        // Reroute created an FVP: make its vias more expensive (Alg. 2).
+        for (int dy = 0; dy < via::kWindowSize; ++dy) {
+          for (int dx = 0; dx < via::kWindowSize; ++dx) {
+            const grid::Point cell{ox + dx, oy + dy};
+            if (grid_->in_bounds(cell) && vias_->has(via.via_layer, cell)) {
+              costs_->bump_via_history(via.via_layer, cell,
+                                       options_.negotiation.history_increment);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
+  heap_.clear();
+  next_seq_ = 0;
+
+  maze_->set_fvp_blocking(consider_fvps);
+  present_factor_ = options_.negotiation.present_factor_initial;
+  maze_->set_present_factor(present_factor_);
+
+  // Seed with all current violations.
+  for (const auto& c : grid_->collect_congestion()) {
+    push_violation(Violation{c.is_via ? Violation::Kind::kCongestionVia
+                                      : Violation::Kind::kCongestionMetal,
+                             c.layer, c.p, 0});
+  }
+  if (consider_fvps) {
+    for (const auto& fvp : vias_->scan_all_fvps()) {
+      push_violation(Violation{Violation::Kind::kFvp, fvp.via_layer, fvp.origin, 0});
+    }
+  }
+
+  const std::size_t cap = static_cast<std::size_t>(
+      options_.negotiation.max_iterations_per_net *
+      static_cast<double>(std::max<std::size_t>(nets_.size(), 1)));
+  const std::size_t escalate_every = std::max<std::size_t>(32, nets_.size() / 4);
+
+  std::size_t iterations = 0;
+  auto heap_less = [](const Violation& a, const Violation& b) {
+    return b.higher_priority_than(a);
+  };
+
+  while (!heap_.empty() && iterations < cap) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+    const Violation v = heap_.back();
+    heap_.pop_back();
+
+    if (!violation_still_valid(v)) continue;
+
+    ++iterations;
+    if (iterations % escalate_every == 0 &&
+        present_factor_ < options_.negotiation.present_factor_max) {
+      present_factor_ *= options_.negotiation.present_factor_growth;
+      maze_->set_present_factor(present_factor_);
+    }
+
+    // History escalation at the violating vertex (negotiation).
+    const double bump = options_.negotiation.history_increment;
+    switch (v.kind) {
+      case Violation::Kind::kCongestionMetal:
+        costs_->bump_metal_history(v.layer, v.at, bump);
+        break;
+      case Violation::Kind::kCongestionVia:
+        costs_->bump_via_history(v.layer, v.at, bump);
+        break;
+      case Violation::Kind::kFvp:
+        break;  // FVP history is bumped on creation (push_net_violations)
+    }
+
+    const grid::NetId rip = choose_ripup_net(v);
+    if (rip == grid::kNoNet) continue;  // unresolvable (should not happen)
+
+    nets_[static_cast<std::size_t>(rip)].note_ripped();
+    rip_net(rip);
+    route_net(rip);
+    push_net_violations(rip, consider_fvps);
+
+    // The ripped net may still leave the violation in place (another pair of
+    // nets congests the vertex, or other vias keep the FVP): re-check.
+    if (violation_still_valid(v)) push_violation(v);
+  }
+  return iterations;
+}
+
+void SadpRouter::coloring_fix_loop(RoutingReport& report) {
+  for (int round = 0; round < 6; ++round) {
+    const via::DecompGraph graph = via::DecompGraph::build_all_layers(*vias_);
+    const via::ColoringResult result = via::welsh_powell(graph);
+    if (result.complete()) {
+      report.uncolorable_vias = 0;
+      return;
+    }
+    // The greedy check failed; an exact check may still succeed (Welsh-
+    // Powell is only an upper-bound heuristic).
+    if (via::three_colorable(graph)) {
+      report.uncolorable_vias = 0;
+      return;
+    }
+    report.uncolorable_vias = static_cast<int>(result.uncolored.size());
+
+    // Rip the owners of uncolorable vias and bump history so reroutes spread
+    // the vias out.
+    std::set<grid::NetId> owners;
+    for (int v : result.uncolored) {
+      const grid::Point p = graph.vertex_point(v);
+      const int layer = graph.vertex_layer(v);
+      costs_->bump_via_history(layer, p, options_.negotiation.history_increment * 4);
+      for (const grid::NetId id : grid_->via_occupants(layer, p)) {
+        const auto& vias = nets_[static_cast<std::size_t>(id)].vias();
+        for (const auto& via : vias) {
+          if (via.via_layer == layer && via.at == p && !via.is_pin_via) {
+            owners.insert(id);
+          }
+        }
+      }
+    }
+    if (owners.empty()) return;
+    for (const grid::NetId id : owners) {
+      nets_[static_cast<std::size_t>(id)].note_ripped();
+      rip_net(id);
+      route_net(id);
+    }
+    report.rr_iterations += owners.size();
+    // A reroute can create congestion or FVPs; clean them up.
+    ripup_reroute_loop(options_.consider_tpl);
+  }
+}
+
+RoutingReport SadpRouter::run() {
+  util::Timer timer;
+  util::Timer phase;
+  RoutingReport report;
+
+  initial_routing();
+  report.initial_routing_seconds = phase.seconds();
+
+  phase.reset();
+  report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/false);
+  report.congestion_rr_seconds = phase.seconds();
+
+  if (options_.consider_tpl) {
+    phase.reset();
+    report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/true);
+    report.tpl_rr_seconds = phase.seconds();
+  }
+
+  // Retry any nets that failed during the noisy phases.
+  std::vector<grid::NetId> retry;
+  std::swap(retry, unrouted_);
+  for (const grid::NetId id : retry) {
+    rip_net(id);
+    route_net(id);
+  }
+  if (!unrouted_.empty()) {
+    report.rr_iterations += ripup_reroute_loop(options_.consider_tpl);
+  }
+
+  if (options_.consider_tpl) {
+    util::Timer coloring_phase;
+    coloring_fix_loop(report);
+    report.coloring_seconds = coloring_phase.seconds();
+  }
+
+  report.remaining_congestion = grid_->congestion_count();
+  report.remaining_fvps = vias_->scan_all_fvps().size();
+  report.unrouted_nets = static_cast<int>(unrouted_.size());
+  report.routed_all = unrouted_.empty() && report.remaining_congestion == 0;
+
+  for (const auto& net : nets_) {
+    report.wirelength += net.wirelength();
+    report.via_count += net.via_count();
+  }
+  report.route_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace sadp::core

@@ -1,0 +1,131 @@
+// The SADP-aware detailed router (paper Section III, Fig. 8).
+//
+// Flow:
+//   1. routing-graph modeling over the colored grid (pin stubs applied),
+//   2. independent routing iterations with the cost-assignment scheme
+//      (Algorithm 1) applied after each net,
+//   3. negotiated-congestion rip-up and reroute,
+//   4. (when TPL is considered) via-layer TPL-violation-removal R&R
+//      (Algorithm 2): a priority queue holds congestions (higher priority)
+//      and FVPs; via locations that would create an FVP are hard-blocked
+//      during rerouting; history costs escalate on recreated violations,
+//   5. decomposition-graph construction and the greedy Welsh-Powell
+//      3-colorability check, with R&R fixes for any residual conflicts.
+//
+// The router owns the shared databases (grid, via DB, cost maps) and the
+// per-net routed geometry; the post-routing DVI stages read them through
+// the accessors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_maps.hpp"
+#include "core/maze_router.hpp"
+#include "core/params.hpp"
+#include "core/routed_net.hpp"
+#include "grid/routing_grid.hpp"
+#include "grid/turns.hpp"
+#include "netlist/netlist.hpp"
+#include "via/via_db.hpp"
+
+namespace sadp::core {
+
+/// Outcome of the routing flow (one row of the paper's Tables III/IV,
+/// before the DVI columns).
+struct RoutingReport {
+  bool routed_all = false;          ///< 100% routability achieved
+  int unrouted_nets = 0;
+  long long wirelength = 0;         ///< "WL"
+  int via_count = 0;                ///< "#Vias"
+  double route_seconds = 0.0;       ///< "CPU(s)"
+  std::size_t rr_iterations = 0;    ///< total rip-up/reroute iterations
+  std::size_t remaining_congestion = 0;
+  std::size_t remaining_fvps = 0;   ///< FVP windows left after Algorithm 2
+  int uncolorable_vias = 0;         ///< Welsh-Powell residual (expected 0)
+
+  /// Per-phase wall-clock breakdown (Fig. 8 phases).
+  double initial_routing_seconds = 0.0;
+  double congestion_rr_seconds = 0.0;
+  double tpl_rr_seconds = 0.0;
+  double coloring_seconds = 0.0;
+};
+
+class SadpRouter {
+ public:
+  SadpRouter(const netlist::PlacedNetlist& netlist, FlowOptions options);
+
+  /// Run the complete flow of Fig. 8 (through the 3-colorability check;
+  /// post-routing DVI is a separate stage, see dvi_heuristic/dvi_ilp).
+  RoutingReport run();
+
+  // --- Accessors for the DVI stages and for validation ---------------------
+  [[nodiscard]] const grid::RoutingGrid& routing_grid() const noexcept {
+    return *grid_;
+  }
+  [[nodiscard]] const via::ViaDb& via_db() const noexcept { return *vias_; }
+  [[nodiscard]] const grid::TurnRules& turn_rules() const noexcept { return rules_; }
+  [[nodiscard]] const std::vector<RoutedNet>& nets() const noexcept { return nets_; }
+  [[nodiscard]] const FlowOptions& options() const noexcept { return options_; }
+
+ private:
+  // One violation unit for the R&R queues.
+  struct Violation {
+    enum class Kind { kCongestionMetal, kCongestionVia, kFvp } kind;
+    int layer;          ///< metal layer, via layer, or FVP via layer
+    grid::Point at;     ///< vertex or FVP window origin
+    std::uint64_t seq;  ///< FIFO tiebreak
+
+    /// Congestion outranks FVP (paper Section III-C).
+    [[nodiscard]] bool higher_priority_than(const Violation& other) const noexcept {
+      const bool a_cong = kind != Kind::kFvp;
+      const bool b_cong = other.kind != Kind::kFvp;
+      if (a_cong != b_cong) return a_cong;
+      return seq < other.seq;
+    }
+  };
+
+  void build_pin_stubs();
+  void initial_routing();
+
+  /// The unified R&R loop: congestion-only (phase 3) or congestion + FVP
+  /// (phase 4 / Algorithm 2).  Returns iterations executed.
+  std::size_t ripup_reroute_loop(bool consider_fvps);
+
+  void coloring_fix_loop(RoutingReport& report);
+
+  void rip_net(grid::NetId id);
+  /// Route all pin connections of the net and re-apply it; returns false
+  /// when some connection could not be routed (net left unrouted).
+  bool route_net(grid::NetId id);
+
+  /// Corners where the net's materialized geometry contains a forbidden
+  /// turn (possible only through path self-crossing; see route_net).
+  [[nodiscard]] std::vector<std::pair<int, grid::Point>> forbidden_turn_corners(
+      const RoutedNet& net) const;
+
+  [[nodiscard]] bool violation_still_valid(const Violation& v) const;
+  [[nodiscard]] grid::NetId choose_ripup_net(const Violation& v) const;
+
+  /// Push new violations created by net `id`'s current geometry.
+  void push_net_violations(grid::NetId id, bool consider_fvps);
+  void push_violation(Violation v);
+
+  netlist::PlacedNetlist netlist_;
+  FlowOptions options_;
+  grid::TurnRules rules_;
+  std::unique_ptr<grid::RoutingGrid> grid_;
+  std::unique_ptr<via::ViaDb> vias_;
+  std::unique_ptr<CostMaps> costs_;
+  std::unique_ptr<MazeRouter> maze_;
+  std::vector<RoutedNet> nets_;
+
+  // Violation queue state (rebuilt per phase).
+  std::vector<Violation> heap_;
+  std::uint64_t next_seq_ = 0;
+
+  double present_factor_ = 1.0;
+  std::vector<grid::NetId> unrouted_;
+};
+
+}  // namespace sadp::core

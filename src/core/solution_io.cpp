@@ -1,0 +1,145 @@
+#include "core/solution_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sadp::core {
+
+namespace {
+
+const char* style_token(grid::SadpStyle style) {
+  return grid::style_name(style);
+}
+
+std::optional<grid::SadpStyle> parse_style(const std::string& token) {
+  if (token == "SIM") return grid::SadpStyle::kSim;
+  if (token == "SID") return grid::SadpStyle::kSid;
+  if (token == "SAQP-SIM") return grid::SadpStyle::kSaqpSim;
+  if (token == "SIM-TRIM") return grid::SadpStyle::kSimTrim;
+  return std::nullopt;
+}
+
+}  // namespace
+
+RoutedSolution capture_solution(const std::string& name,
+                                const grid::RoutingGrid& grid,
+                                grid::SadpStyle style,
+                                const std::vector<RoutedNet>& nets) {
+  RoutedSolution solution;
+  solution.name = name;
+  solution.width = grid.width();
+  solution.height = grid.height();
+  solution.num_metal_layers = grid.num_metal_layers();
+  solution.style = style;
+  solution.nets = nets;
+  return solution;
+}
+
+void write_solution(std::ostream& out, const RoutedSolution& solution) {
+  out << "solution " << solution.name << ' ' << solution.width << ' '
+      << solution.height << ' ' << solution.num_metal_layers << ' '
+      << style_token(solution.style) << '\n';
+  for (const auto& net : solution.nets) {
+    out << "net " << net.id() << '\n';
+    // Deterministic order for reproducible files.
+    std::vector<std::pair<MetalKey, grid::ArmMask>> metal(net.metal().begin(),
+                                                          net.metal().end());
+    std::sort(metal.begin(), metal.end(),
+              [](const auto& a, const auto& b) { return a.first.v < b.first.v; });
+    for (const auto& [key, arms] : metal) {
+      const grid::Point p = key_point(key);
+      out << "m " << key_layer(key) << ' ' << p.x << ' ' << p.y << ' '
+          << static_cast<int>(arms) << '\n';
+    }
+    std::vector<NetVia> vias = net.vias();
+    std::sort(vias.begin(), vias.end());
+    for (const auto& via : vias) {
+      out << "v " << via.via_layer << ' ' << via.at.x << ' ' << via.at.y << ' '
+          << (via.is_pin_via ? 1 : 0) << '\n';
+    }
+  }
+}
+
+std::string solution_to_text(const RoutedSolution& solution) {
+  std::ostringstream out;
+  write_solution(out, solution);
+  return out.str();
+}
+
+std::optional<RoutedSolution> read_solution(std::istream& in, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<RoutedSolution> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  RoutedSolution solution;
+  bool have_header = false;
+  RoutedNet* current = nullptr;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+
+    if (keyword == "solution") {
+      std::string style_text;
+      if (!(tokens >> solution.name >> solution.width >> solution.height >>
+            solution.num_metal_layers >> style_text)) {
+        return fail("malformed solution header at line " + std::to_string(line_no));
+      }
+      const auto style = parse_style(style_text);
+      if (!style) return fail("unknown style '" + style_text + "'");
+      solution.style = *style;
+      have_header = true;
+    } else if (keyword == "net") {
+      if (!have_header) return fail("net before solution header");
+      grid::NetId id = grid::kNoNet;
+      if (!(tokens >> id) || id != static_cast<grid::NetId>(solution.nets.size())) {
+        return fail("net ids must be dense and ordered at line " +
+                    std::to_string(line_no));
+      }
+      solution.nets.emplace_back(id);
+      current = &solution.nets.back();
+      current->set_routed(true);
+    } else if (keyword == "m") {
+      if (current == nullptr) return fail("metal before net");
+      int layer = 0, x = 0, y = 0, arms = 0;
+      if (!(tokens >> layer >> x >> y >> arms) || layer < 1 ||
+          layer > solution.num_metal_layers || arms < 0 || arms > 15) {
+        return fail("malformed metal at line " + std::to_string(line_no));
+      }
+      current->add_metal(layer, {x, y}, static_cast<grid::ArmMask>(arms));
+    } else if (keyword == "v") {
+      if (current == nullptr) return fail("via before net");
+      int layer = 0, x = 0, y = 0, pin = 0;
+      if (!(tokens >> layer >> x >> y >> pin) || layer < 1 ||
+          layer >= solution.num_metal_layers) {
+        return fail("malformed via at line " + std::to_string(line_no));
+      }
+      current->add_via(layer, {x, y}, pin != 0);
+    } else {
+      return fail("unknown keyword '" + keyword + "' at line " +
+                  std::to_string(line_no));
+    }
+  }
+  if (!have_header) return fail("missing solution header");
+  return solution;
+}
+
+std::optional<RoutedSolution> parse_solution(const std::string& text,
+                                             std::string* error) {
+  std::istringstream in(text);
+  return read_solution(in, error);
+}
+
+void apply_solution(const RoutedSolution& solution, grid::RoutingGrid& grid,
+                    via::ViaDb& vias) {
+  for (const auto& net : solution.nets) net.apply_to(grid, vias);
+}
+
+}  // namespace sadp::core

@@ -1,0 +1,55 @@
+// Text serialization of a routed solution, so post-routing stages (DVI,
+// visualization, validation) can run standalone on saved routing results.
+//
+// Format ('#' comments, whitespace separated):
+//
+//   solution <name> <width> <height> <num_metal_layers> <style>
+//   net <id>
+//   m <layer> <x> <y> <armmask>     # one per metal point
+//   v <via_layer> <x> <y> <pin>     # one per via (pin = 0/1)
+//   ...
+//
+// Styles: SIM, SID, SAQP-SIM.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/routed_net.hpp"
+#include "grid/colored_grid.hpp"
+
+namespace sadp::core {
+
+/// A standalone routed design: the geometry plus the grid configuration
+/// needed to rebuild the databases.
+struct RoutedSolution {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int num_metal_layers = 3;
+  grid::SadpStyle style = grid::SadpStyle::kSim;
+  std::vector<RoutedNet> nets;
+};
+
+/// Capture the nets of a router run into a standalone solution.
+[[nodiscard]] RoutedSolution capture_solution(const std::string& name,
+                                              const grid::RoutingGrid& grid,
+                                              grid::SadpStyle style,
+                                              const std::vector<RoutedNet>& nets);
+
+void write_solution(std::ostream& out, const RoutedSolution& solution);
+[[nodiscard]] std::string solution_to_text(const RoutedSolution& solution);
+
+[[nodiscard]] std::optional<RoutedSolution> read_solution(
+    std::istream& in, std::string* error = nullptr);
+[[nodiscard]] std::optional<RoutedSolution> parse_solution(
+    const std::string& text, std::string* error = nullptr);
+
+/// Rebuild the shared databases from a solution (grid and via DB must match
+/// the solution's dimensions).
+void apply_solution(const RoutedSolution& solution, grid::RoutingGrid& grid,
+                    via::ViaDb& vias);
+
+}  // namespace sadp::core

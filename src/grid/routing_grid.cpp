@@ -1,0 +1,102 @@
+#include "grid/routing_grid.hpp"
+
+#include <algorithm>
+
+namespace sadp::grid {
+
+RoutingGrid::RoutingGrid(int width, int height, int num_metal_layers)
+    : width_(width), height_(height), num_metal_(num_metal_layers) {
+  assert(width > 0 && height > 0 && num_metal_layers >= 2);
+  metal_.resize(static_cast<std::size_t>(num_metal_) * num_points());
+  vias_.resize(static_cast<std::size_t>(num_via_layers()) * num_points());
+}
+
+void RoutingGrid::add_metal(int layer, Point p, NetId net, ArmMask arms) {
+  auto& occ = metal_[metal_slot(layer, p)];
+  for (auto& entry : occ) {
+    if (entry.net == net) {
+      entry.arms |= arms;
+      return;
+    }
+  }
+  occ.push_back(MetalOcc{net, arms});
+}
+
+void RoutingGrid::remove_metal(int layer, Point p, NetId net) {
+  auto& occ = metal_[metal_slot(layer, p)];
+  occ.erase(std::remove_if(occ.begin(), occ.end(),
+                           [net](const MetalOcc& e) { return e.net == net; }),
+            occ.end());
+}
+
+std::span<const MetalOcc> RoutingGrid::metal_occupants(int layer, Point p) const {
+  const auto& occ = metal_[metal_slot(layer, p)];
+  return {occ.data(), occ.size()};
+}
+
+const MetalOcc* RoutingGrid::metal_occupant(int layer, Point p, NetId net) const {
+  for (const auto& entry : metal_[metal_slot(layer, p)]) {
+    if (entry.net == net) return &entry;
+  }
+  return nullptr;
+}
+
+MetalOcc* RoutingGrid::metal_occupant_mut(int layer, Point p, NetId net) {
+  for (auto& entry : metal_[metal_slot(layer, p)]) {
+    if (entry.net == net) return &entry;
+  }
+  return nullptr;
+}
+
+int RoutingGrid::metal_net_count(int layer, Point p) const {
+  return static_cast<int>(metal_[metal_slot(layer, p)].size());
+}
+
+NetId RoutingGrid::metal_single_owner(int layer, Point p) const {
+  const auto& occ = metal_[metal_slot(layer, p)];
+  return occ.size() == 1 ? occ.front().net : kNoNet;
+}
+
+bool RoutingGrid::metal_free_for(int layer, Point p, NetId net) const {
+  const auto& occ = metal_[metal_slot(layer, p)];
+  if (occ.empty()) return true;
+  return occ.size() == 1 && occ.front().net == net;
+}
+
+void RoutingGrid::add_via(int via_layer, Point p, NetId net) {
+  auto& occ = vias_[via_slot(via_layer, p)];
+  if (std::find(occ.begin(), occ.end(), net) == occ.end()) occ.push_back(net);
+}
+
+void RoutingGrid::remove_via(int via_layer, Point p, NetId net) {
+  auto& occ = vias_[via_slot(via_layer, p)];
+  occ.erase(std::remove(occ.begin(), occ.end(), net), occ.end());
+}
+
+std::span<const NetId> RoutingGrid::via_occupants(int via_layer, Point p) const {
+  const auto& occ = vias_[via_slot(via_layer, p)];
+  return {occ.data(), occ.size()};
+}
+
+std::vector<RoutingGrid::CongestedVertex> RoutingGrid::collect_congestion() const {
+  std::vector<CongestedVertex> out;
+  for (int layer = 2; layer <= num_metal_; ++layer) {
+    for (std::int32_t i = 0; i < num_points(); ++i) {
+      const Point p = point_of(i);
+      if (metal_congested(layer, p)) out.push_back({false, layer, p});
+    }
+  }
+  for (int v = 1; v <= num_via_layers(); ++v) {
+    for (std::int32_t i = 0; i < num_points(); ++i) {
+      const Point p = point_of(i);
+      if (via_congested(v, p)) out.push_back({true, v, p});
+    }
+  }
+  return out;
+}
+
+std::size_t RoutingGrid::congestion_count() const {
+  return collect_congestion().size();
+}
+
+}  // namespace sadp::grid

@@ -1,0 +1,146 @@
+// The multi-layer routing grid: dimensions, per-layer preferred directions,
+// and (multi-)occupancy bookkeeping for metal points and vias.
+//
+// Following the paper's benchmarks, metal layer 1 carries pins and is not
+// routable; metal 2 prefers horizontal and metal 3 vertical (alternating for
+// any additional layers).  Every grid point has unit capacity; during
+// negotiated-congestion rip-up-and-reroute several nets may temporarily
+// occupy the same point, which is what the congestion machinery resolves.
+//
+// Occupancy is tracked per (layer, point) as a small list of
+// {net, arm-mask} entries.  The arm mask records in which directions the
+// net's metal leaves the point; it feeds the turn legality checks (branching
+// off an existing wire must not create a forbidden turn) and the DVI
+// feasibility analysis.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/geometry.hpp"
+
+namespace sadp::grid {
+
+/// Net identifier; -1 means "none".
+using NetId = std::int32_t;
+inline constexpr NetId kNoNet = -1;
+
+/// One occupant of a metal grid point.
+struct MetalOcc {
+  NetId net = kNoNet;
+  ArmMask arms = 0;
+};
+
+class RoutingGrid {
+ public:
+  /// Construct a grid of `width` x `height` points with metal layers
+  /// 1..`num_metal_layers` (layer 1 is pin-only).
+  RoutingGrid(int width, int height, int num_metal_layers = 3);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int num_metal_layers() const noexcept { return num_metal_; }
+  /// Via layer v connects metal v and metal v+1; valid v: 1..num_via_layers().
+  [[nodiscard]] int num_via_layers() const noexcept { return num_metal_ - 1; }
+  [[nodiscard]] int num_points() const noexcept { return width_ * height_; }
+
+  [[nodiscard]] bool in_bounds(Point p) const noexcept {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+  [[nodiscard]] std::int32_t index(Point p) const noexcept {
+    return p.y * width_ + p.x;
+  }
+  [[nodiscard]] Point point_of(std::int32_t idx) const noexcept {
+    return {idx % width_, idx / width_};
+  }
+
+  /// True when metal `layer` prefers horizontal wires (metal 2, 4, ...).
+  [[nodiscard]] static bool prefers_horizontal(int layer) noexcept {
+    return (layer % 2) == 0;
+  }
+  /// True when routing is allowed on this metal layer (all but metal 1).
+  [[nodiscard]] bool routable(int layer) const noexcept {
+    return layer >= 2 && layer <= num_metal_;
+  }
+
+  // --- Metal occupancy -----------------------------------------------------
+
+  /// Add (or extend) net `net` at metal point (layer, p) with additional
+  /// arm directions `arms` (may be 0 for a bare landing pad / pin).
+  void add_metal(int layer, Point p, NetId net, ArmMask arms);
+
+  /// Remove arm bits for `net` at the point; when `erase_point` the
+  /// occupant entry is dropped entirely (used by rip-up).
+  void remove_metal(int layer, Point p, NetId net);
+
+  /// All occupants of a metal point.
+  [[nodiscard]] std::span<const MetalOcc> metal_occupants(int layer, Point p) const;
+
+  /// Occupant entry for a specific net, or nullptr.
+  [[nodiscard]] const MetalOcc* metal_occupant(int layer, Point p, NetId net) const;
+  [[nodiscard]] MetalOcc* metal_occupant_mut(int layer, Point p, NetId net);
+
+  /// Number of *distinct* nets at the point.
+  [[nodiscard]] int metal_net_count(int layer, Point p) const;
+
+  /// True when two or more nets overlap at the point (a congestion in the
+  /// paper's sense).
+  [[nodiscard]] bool metal_congested(int layer, Point p) const {
+    return metal_net_count(layer, p) > 1;
+  }
+
+  /// The unique occupying net, or kNoNet when empty or congested.
+  [[nodiscard]] NetId metal_single_owner(int layer, Point p) const;
+
+  /// True when the point is free or occupied only by `net`.
+  [[nodiscard]] bool metal_free_for(int layer, Point p, NetId net) const;
+
+  // --- Via occupancy -------------------------------------------------------
+
+  void add_via(int via_layer, Point p, NetId net);
+  void remove_via(int via_layer, Point p, NetId net);
+  [[nodiscard]] std::span<const NetId> via_occupants(int via_layer, Point p) const;
+  [[nodiscard]] bool has_via(int via_layer, Point p) const {
+    return !via_occupants(via_layer, p).empty();
+  }
+  [[nodiscard]] bool via_congested(int via_layer, Point p) const {
+    return via_occupants(via_layer, p).size() > 1;
+  }
+
+  // --- Global queries ------------------------------------------------------
+
+  /// Collect all currently congested vertices; used to seed the R&R queues.
+  struct CongestedVertex {
+    bool is_via = false;
+    int layer = 0;  ///< metal layer or via layer
+    Point p{};
+  };
+  [[nodiscard]] std::vector<CongestedVertex> collect_congestion() const;
+
+  /// Total number of congested vertices.
+  [[nodiscard]] std::size_t congestion_count() const;
+
+ private:
+  [[nodiscard]] std::size_t metal_slot(int layer, Point p) const {
+    assert(layer >= 1 && layer <= num_metal_);
+    assert(in_bounds(p));
+    return static_cast<std::size_t>(layer - 1) * num_points() + index(p);
+  }
+  [[nodiscard]] std::size_t via_slot(int via_layer, Point p) const {
+    assert(via_layer >= 1 && via_layer <= num_via_layers());
+    assert(in_bounds(p));
+    return static_cast<std::size_t>(via_layer - 1) * num_points() + index(p);
+  }
+
+  int width_;
+  int height_;
+  int num_metal_;
+  // Indexed by metal_slot(); most points are empty, so the inner vectors
+  // start with no allocation.
+  std::vector<std::vector<MetalOcc>> metal_;
+  std::vector<std::vector<NetId>> vias_;
+};
+
+}  // namespace sadp::grid

@@ -1,0 +1,132 @@
+#include "grid/turns.hpp"
+
+namespace sadp::grid {
+
+namespace {
+
+constexpr TurnClass P = TurnClass::kPreferred;
+constexpr TurnClass N = TurnClass::kNonPreferred;
+constexpr TurnClass F = TurnClass::kForbidden;
+
+// Turn-kind order inside each row: NE, NW, SE, SW (matches TurnKind values).
+// Class order (period 2): (x%2,y%2) = (0,0), (0,1), (1,0), (1,1).
+
+// SIM type with cut approach.  A turn decomposes cleanly when both arms sit
+// on mandrel-compatible tracks of the panel checkerboard; the diagonal turn
+// pairs of each class share that property, giving the mixture of Fig. 4(b):
+// class (0,0) admits NE/SW, class (1,0) admits the opposite diagonal, and
+// odd-row classes only admit turns with spacer-rounding degradation.
+constexpr TurnClass kSimTable[16] = {
+    // class (0,0):  NE NW SE SW
+    P, F, F, P,
+    // class (0,1):
+    N, F, F, N,
+    // class (1,0):
+    F, P, P, F,
+    // class (1,1):
+    F, N, N, F};
+
+// SID type with trim approach.  Mandrels form along black (even) tracks;
+// turns whose vertical arm leaves toward the mandrel side of the trim mask
+// decompose, so each class admits the two turns on one vertical side.
+constexpr TurnClass kSidTable[16] = {
+    // class (0,0):  NE NW SE SW
+    P, P, F, F,
+    // class (0,1):
+    F, F, P, P,
+    // class (1,0):
+    N, N, F, F,
+    // class (1,1):
+    F, F, N, N};
+
+// One-unit-extension exception (Fig. 6(a)): in SIM, a forbidden turn whose
+// short arm is the *vertical* one-unit extension lands entirely inside the
+// cut-mask slot of its panel and remains decomposable; horizontal one-unit
+// extensions do not.  SID has no such slack: the trim mask must clear the
+// full spacer width regardless of arm length.
+std::vector<bool> make_unit_table(int num_classes, bool vertical_ok) {
+  std::vector<bool> t(static_cast<std::size_t>(num_classes) * 4 * 2, false);
+  if (vertical_ok) {
+    for (int c = 0; c < num_classes; ++c) {
+      for (int k = 0; k < 4; ++k) {
+        t[(static_cast<std::size_t>(c) * 4 + static_cast<std::size_t>(k)) * 2 +
+          static_cast<std::size_t>(ShortArm::kVertical)] = true;
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<TurnClass> table_from(const TurnClass (&rows)[16]) {
+  return std::vector<TurnClass>(rows, rows + 16);
+}
+
+// SAQP (SIM type, [17]): mandrels repeat every four tracks; the first and
+// second spacer depositions define wires at quarter-pitch offsets.  Turns
+// decompose only where first-spacer wires meet (classes congruent to the
+// mandrel track), degrade where second-spacer wires meet, and are forbidden
+// where wires of different spacer generations meet.
+std::vector<TurnClass> make_saqp_table() {
+  std::vector<TurnClass> table(static_cast<std::size_t>(16) * 4, F);
+  auto set = [&table](int cx, int cy, TurnKind kind, TurnClass tc) {
+    table[(static_cast<std::size_t>(cx) * 4 + static_cast<std::size_t>(cy)) * 4 +
+          static_cast<std::size_t>(kind)] = tc;
+  };
+  // Spacer generation of a track index under a 4-track period: tracks 0,2
+  // carry first-spacer wires (mandrel-adjacent), tracks 1,3 second-spacer.
+  auto generation = [](int t) { return t % 2; };
+  for (int cx = 0; cx < 4; ++cx) {
+    for (int cy = 0; cy < 4; ++cy) {
+      const int gx = generation(cx);
+      const int gy = generation(cy);
+      if (gx != gy) continue;  // mixed generations stay forbidden
+      const TurnClass tc = gx == 0 ? P : N;
+      // The admissible quadrant alternates with the mandrel side, mirroring
+      // the SIM diagonal structure at double period.
+      if (((cx / 2) + (cy / 2)) % 2 == 0) {
+        set(cx, cy, TurnKind::kNE, tc);
+        set(cx, cy, TurnKind::kSW, tc);
+      } else {
+        set(cx, cy, TurnKind::kNW, tc);
+        set(cx, cy, TurnKind::kSE, tc);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+TurnRules TurnRules::sim_cut() {
+  return TurnRules(SadpStyle::kSim, 2, table_from(kSimTable),
+                   make_unit_table(4, /*vertical_ok=*/true));
+}
+
+TurnRules TurnRules::sid_trim() {
+  return TurnRules(SadpStyle::kSid, 2, table_from(kSidTable),
+                   make_unit_table(4, /*vertical_ok=*/false));
+}
+
+TurnRules TurnRules::sim_trim() {
+  // Same mandrel structure as SIM-cut, but the trim mask cannot clear a
+  // one-unit notch: no unit exception (like SID).
+  return TurnRules(SadpStyle::kSimTrim, 2, table_from(kSimTable),
+                   make_unit_table(4, /*vertical_ok=*/false));
+}
+
+TurnRules TurnRules::saqp_sim() {
+  return TurnRules(SadpStyle::kSaqpSim, 4, make_saqp_table(),
+                   make_unit_table(16, /*vertical_ok=*/true));
+}
+
+TurnRules TurnRules::for_style(SadpStyle style) {
+  switch (style) {
+    case SadpStyle::kSim: return sim_cut();
+    case SadpStyle::kSid: return sid_trim();
+    case SadpStyle::kSaqpSim: return saqp_sim();
+    case SadpStyle::kSimTrim: return sim_trim();
+  }
+  return sim_cut();
+}
+
+}  // namespace sadp::grid

@@ -1,0 +1,28 @@
+// Connected-component decomposition of a 0-1 model.
+//
+// Two variables are connected when they appear in a common constraint.  A
+// component can be optimized independently; the DVI ILP of the paper
+// naturally splits into thousands of small components (one per spatial via
+// cluster), which is what makes exact solving tractable.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace sadp::ilp {
+
+struct ModelComponent {
+  /// Per local variable: the original model variable id.
+  std::vector<VarId> global_var;
+  /// A self-contained sub-model over the local variables.
+  Model model;
+};
+
+/// Split `model` into independent components.  Constraints are assigned to
+/// the component of their variables; the objective is restricted per
+/// component.  Variables not appearing in any constraint form singleton
+/// components.
+[[nodiscard]] std::vector<ModelComponent> split_components(const Model& model);
+
+}  // namespace sadp::ilp

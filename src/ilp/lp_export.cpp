@@ -1,0 +1,74 @@
+#include "ilp/lp_export.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace sadp::ilp {
+
+namespace {
+
+/// "+ 3 x" / "- 2.5 y" style term rendering.
+void write_term(std::ostream& out, double coef, const std::string& var,
+                bool first) {
+  if (coef >= 0) {
+    out << (first ? "" : " + ");
+  } else {
+    out << (first ? "- " : " - ");
+  }
+  const double magnitude = std::abs(coef);
+  if (magnitude != 1.0) out << magnitude << ' ';
+  out << var;
+}
+
+}  // namespace
+
+void write_lp(std::ostream& out, const Model& model, const std::string& name) {
+  out << "\\ " << name << ": " << model.num_vars() << " binaries, "
+      << model.num_constraints() << " constraints\n";
+  out << (model.maximize() ? "Maximize\n" : "Minimize\n") << " obj:";
+  bool first = true;
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const double coef = model.objective()[static_cast<std::size_t>(v)];
+    if (coef == 0.0) continue;
+    out << ' ';
+    write_term(out, coef, model.var_name(v), first);
+    first = false;
+  }
+  if (first) out << " 0 " << (model.num_vars() > 0 ? model.var_name(0) : "x0");
+  out << "\nSubject To\n";
+
+  int index = 0;
+  for (const auto& c : model.constraints()) {
+    out << " c" << index++ << ':';
+    bool first_term = true;
+    for (const auto& term : c.terms) {
+      if (term.coef == 0.0) continue;
+      out << ' ';
+      write_term(out, term.coef, model.var_name(term.var), first_term);
+      first_term = false;
+    }
+    if (first_term) out << " 0 " << (model.num_vars() > 0 ? model.var_name(0) : "x0");
+    switch (c.sense) {
+      case Sense::kLe: out << " <= "; break;
+      case Sense::kGe: out << " >= "; break;
+      case Sense::kEq: out << " = "; break;
+    }
+    out << c.rhs << '\n';
+  }
+
+  out << "Binaries\n";
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    out << ' ' << model.var_name(v);
+    if ((v + 1) % 8 == 0) out << '\n';
+  }
+  out << "\nEnd\n";
+}
+
+std::string to_lp_string(const Model& model, const std::string& name) {
+  std::ostringstream out;
+  write_lp(out, model, name);
+  return out.str();
+}
+
+}  // namespace sadp::ilp

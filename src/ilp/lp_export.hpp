@@ -1,0 +1,23 @@
+// Export a 0-1 model in CPLEX LP text format.
+//
+// Lets users hand the exact DVI formulation (C1-C8) to an external solver
+// (Gurobi, CPLEX, CBC, HiGHS all read this format) to cross-check the
+// in-house branch & bound — the paper used Gurobi 6.5.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ilp/model.hpp"
+
+namespace sadp::ilp {
+
+/// Write `model` to `out` in LP format (objective, constraints, binaries).
+void write_lp(std::ostream& out, const Model& model,
+              const std::string& name = "model");
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string to_lp_string(const Model& model,
+                                       const std::string& name = "model");
+
+}  // namespace sadp::ilp

@@ -1,0 +1,68 @@
+#include "ilp/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sadp::ilp {
+
+VarId Model::add_var(std::string name) {
+  const VarId id = num_vars();
+  if (name.empty()) name = "x" + std::to_string(id);
+  names_.push_back(std::move(name));
+  objective_.push_back(0.0);
+  return id;
+}
+
+void Model::set_objective(std::vector<LinTerm> terms, bool maximize) {
+  maximize_ = maximize;
+  objective_.assign(names_.size(), 0.0);
+  for (const auto& term : terms) {
+    assert(term.var >= 0 && term.var < num_vars());
+    objective_[static_cast<std::size_t>(term.var)] += term.coef;
+  }
+}
+
+void Model::add_constraint(Constraint constraint) {
+#ifndef NDEBUG
+  for (const auto& term : constraint.terms) {
+    assert(term.var >= 0 && term.var < num_vars());
+  }
+#endif
+  constraints_.push_back(std::move(constraint));
+}
+
+void Model::add_constraint(std::vector<LinTerm> terms, Sense sense, double rhs) {
+  add_constraint(Constraint{std::move(terms), sense, rhs});
+}
+
+double Model::objective_value(const std::vector<int>& x) const {
+  double total = 0.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (x[static_cast<std::size_t>(v)]) total += objective_[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+bool Model::feasible(const std::vector<int>& x, double eps) const {
+  if (static_cast<int>(x.size()) != num_vars()) return false;
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& term : c.terms) {
+      lhs += term.coef * x[static_cast<std::size_t>(term.var)];
+    }
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + eps) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - eps) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace sadp::ilp

@@ -1,0 +1,87 @@
+// 0-1 integer linear programming model.
+//
+// The paper solves its TPL-aware DVI formulation (constraints C1-C8) with
+// Gurobi; this module is the in-house substitute (see DESIGN.md).  A Model
+// holds binary variables, a linear objective and linear constraints; the
+// solvers live in bnb.hpp (exact branch & bound) and simplex.hpp (LP
+// relaxation bounds).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sadp::ilp {
+
+using VarId = int;
+
+/// One term of a linear expression.
+struct LinTerm {
+  VarId var = 0;
+  double coef = 0.0;
+};
+
+enum class Sense { kLe, kGe, kEq };
+
+struct Constraint {
+  std::vector<LinTerm> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// A 0-1 ILP: all variables are binary.
+class Model {
+ public:
+  /// Add a binary variable; returns its id.
+  VarId add_var(std::string name = {});
+
+  [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::string& var_name(VarId v) const { return names_[v]; }
+
+  /// Set the objective; `maximize` selects the direction.
+  void set_objective(std::vector<LinTerm> terms, bool maximize);
+  [[nodiscard]] bool maximize() const noexcept { return maximize_; }
+  [[nodiscard]] const std::vector<double>& objective() const noexcept {
+    return objective_;
+  }
+
+  void add_constraint(Constraint constraint);
+  /// Convenience: sum(terms) <sense> rhs.
+  void add_constraint(std::vector<LinTerm> terms, Sense sense, double rhs);
+
+  [[nodiscard]] int num_constraints() const noexcept {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Objective value of an assignment.
+  [[nodiscard]] double objective_value(const std::vector<int>& x) const;
+
+  /// True when the assignment satisfies every constraint (within eps).
+  [[nodiscard]] bool feasible(const std::vector<int>& x, double eps = 1e-6) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> objective_;  ///< dense objective coefficient per var
+  bool maximize_ = true;
+  std::vector<Constraint> constraints_;
+};
+
+enum class SolveStatus {
+  kOptimal,     ///< proven optimal
+  kFeasible,    ///< feasible incumbent, optimality not proven (limits hit)
+  kInfeasible,  ///< proven infeasible
+  kUnknown,     ///< limits hit with no incumbent
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<int> value;  ///< 0/1 per var (valid for kOptimal/kFeasible)
+  double objective = -std::numeric_limits<double>::infinity();
+  /// Search statistics.
+  std::size_t nodes_explored = 0;
+};
+
+}  // namespace sadp::ilp

@@ -1,0 +1,82 @@
+#include "netlist/io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sadp::netlist {
+
+void write_netlist(std::ostream& out, const PlacedNetlist& netlist) {
+  out << "netlist " << netlist.name << ' ' << netlist.width << ' '
+      << netlist.height << ' ' << netlist.num_metal_layers << '\n';
+  for (const auto& net : netlist.nets) {
+    out << "net " << net.name << ' ' << net.num_pins();
+    for (const auto& pin : net.pins) out << ' ' << pin.at.x << ' ' << pin.at.y;
+    out << '\n';
+  }
+}
+
+std::string to_text(const PlacedNetlist& netlist) {
+  std::ostringstream out;
+  write_netlist(out, netlist);
+  return out.str();
+}
+
+std::optional<PlacedNetlist> read_netlist(std::istream& in, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<PlacedNetlist> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  PlacedNetlist netlist;
+  bool have_header = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    if (keyword == "netlist") {
+      if (have_header) return fail("duplicate netlist header");
+      if (!(tokens >> netlist.name >> netlist.width >> netlist.height >>
+            netlist.num_metal_layers)) {
+        return fail("malformed netlist header at line " + std::to_string(line_no));
+      }
+      have_header = true;
+    } else if (keyword == "net") {
+      if (!have_header) return fail("net before netlist header");
+      Net net;
+      net.id = static_cast<grid::NetId>(netlist.nets.size());
+      int pin_count = 0;
+      if (!(tokens >> net.name >> pin_count) || pin_count < 2) {
+        return fail("malformed net at line " + std::to_string(line_no));
+      }
+      for (int i = 0; i < pin_count; ++i) {
+        Pin pin;
+        if (!(tokens >> pin.at.x >> pin.at.y)) {
+          return fail("missing pin coordinates at line " + std::to_string(line_no));
+        }
+        net.pins.push_back(pin);
+      }
+      netlist.nets.push_back(std::move(net));
+    } else {
+      return fail("unknown keyword '" + keyword + "' at line " +
+                  std::to_string(line_no));
+    }
+  }
+  if (!have_header) return fail("missing netlist header");
+  std::string validation;
+  if (!netlist.valid(&validation)) return fail(validation);
+  return netlist;
+}
+
+std::optional<PlacedNetlist> parse_netlist(const std::string& text,
+                                           std::string* error) {
+  std::istringstream in(text);
+  return read_netlist(in, error);
+}
+
+}  // namespace sadp::netlist

@@ -1,0 +1,33 @@
+// Plain-text netlist I/O.
+//
+// Format (whitespace separated, '#' comments):
+//
+//   netlist <name> <width> <height> <num_metal_layers>
+//   net <name> <num_pins> <x0> <y0> <x1> <y1> ...
+//   ...
+//
+// Net ids are assigned in file order.  The format exists so users can feed
+// their own placed netlists to the router and so the examples can ship tiny
+// hand-written cases.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace sadp::netlist {
+
+/// Serialize to the text format.
+void write_netlist(std::ostream& out, const PlacedNetlist& netlist);
+[[nodiscard]] std::string to_text(const PlacedNetlist& netlist);
+
+/// Parse from the text format; returns std::nullopt and fills `error` on
+/// malformed input.
+[[nodiscard]] std::optional<PlacedNetlist> read_netlist(std::istream& in,
+                                                        std::string* error = nullptr);
+[[nodiscard]] std::optional<PlacedNetlist> parse_netlist(const std::string& text,
+                                                         std::string* error = nullptr);
+
+}  // namespace sadp::netlist

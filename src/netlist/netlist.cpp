@@ -1,0 +1,52 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace sadp::netlist {
+
+int PlacedNetlist::total_pins() const noexcept {
+  int n = 0;
+  for (const auto& net : nets) n += net.num_pins();
+  return n;
+}
+
+long long PlacedNetlist::hpwl() const noexcept {
+  long long total = 0;
+  for (const auto& net : nets) {
+    if (net.pins.empty()) continue;
+    int min_x = net.pins.front().at.x, max_x = min_x;
+    int min_y = net.pins.front().at.y, max_y = min_y;
+    for (const auto& pin : net.pins) {
+      min_x = std::min(min_x, pin.at.x);
+      max_x = std::max(max_x, pin.at.x);
+      min_y = std::min(min_y, pin.at.y);
+      max_y = std::max(max_y, pin.at.y);
+    }
+    total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+bool PlacedNetlist::valid(std::string* error) const {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (width <= 0 || height <= 0) return fail("non-positive grid dimensions");
+  if (num_metal_layers < 2) return fail("need at least two metal layers");
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const Net& net = nets[i];
+    if (net.id != static_cast<grid::NetId>(i)) {
+      return fail("net id not equal to its index: " + net.name);
+    }
+    if (net.num_pins() < 2) return fail("net with fewer than 2 pins: " + net.name);
+    for (const auto& pin : net.pins) {
+      if (pin.at.x < 0 || pin.at.x >= width || pin.at.y < 0 || pin.at.y >= height) {
+        return fail("pin out of bounds in net " + net.name);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sadp::netlist

@@ -1,0 +1,51 @@
+// Placed netlist representation.
+//
+// A benchmark instance is a set of nets, each with two or more pins placed
+// on metal 1 grid points (metal 1 is not routable; every pin therefore
+// implies a via on via layer 1 connecting up to metal 2).  This mirrors the
+// structure of the PARR benchmarks used in the paper's evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/geometry.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace sadp::netlist {
+
+/// A pin: a fixed terminal on metal layer 1.
+struct Pin {
+  grid::Point at{};
+};
+
+/// A net to be routed: two or more pins that must become electrically
+/// connected.
+struct Net {
+  grid::NetId id = grid::kNoNet;
+  std::string name;
+  std::vector<Pin> pins;
+
+  [[nodiscard]] int num_pins() const noexcept { return static_cast<int>(pins.size()); }
+};
+
+/// A placed netlist on a routing grid of the given dimensions.
+struct PlacedNetlist {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int num_metal_layers = 3;
+  std::vector<Net> nets;
+
+  [[nodiscard]] int num_nets() const noexcept { return static_cast<int>(nets.size()); }
+  [[nodiscard]] int total_pins() const noexcept;
+
+  /// Half-perimeter wirelength lower bound, a sanity metric for reports.
+  [[nodiscard]] long long hpwl() const noexcept;
+
+  /// Basic structural validation: pins in bounds, >= 2 pins per net,
+  /// net ids dense and matching their index.
+  [[nodiscard]] bool valid(std::string* error = nullptr) const;
+};
+
+}  // namespace sadp::netlist

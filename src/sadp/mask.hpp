@@ -1,0 +1,58 @@
+// Rectilinear mask geometry: rectangles, merging, and pairwise design-rule
+// checks.  Shapes live in mask units (see rules.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sadp::litho {
+
+/// Closed-open axis-aligned rectangle [lo_x, hi_x) x [lo_y, hi_y).
+struct MaskRect {
+  int lo_x = 0;
+  int lo_y = 0;
+  int hi_x = 0;
+  int hi_y = 0;
+
+  [[nodiscard]] int width() const noexcept { return hi_x - lo_x; }
+  [[nodiscard]] int height() const noexcept { return hi_y - lo_y; }
+  [[nodiscard]] bool empty() const noexcept { return width() <= 0 || height() <= 0; }
+
+  friend constexpr auto operator<=>(const MaskRect&, const MaskRect&) = default;
+};
+
+/// Gap between two rectangles along one axis (negative when overlapping).
+[[nodiscard]] int axis_gap(int a_lo, int a_hi, int b_lo, int b_hi) noexcept;
+
+/// Euclidean-style spacing between rectangles: 0 when they touch/overlap.
+/// For rectilinear DRC we use the max of per-axis gaps when the projections
+/// are disjoint in both axes (corner-to-corner), otherwise the gap of the
+/// disjoint axis.
+[[nodiscard]] int rect_spacing(const MaskRect& a, const MaskRect& b) noexcept;
+
+[[nodiscard]] bool rects_overlap(const MaskRect& a, const MaskRect& b) noexcept;
+
+/// One mask layer: a bag of rectangles (possibly overlapping; overlapping
+/// same-mask shapes merge optically and are legal).
+struct Mask {
+  std::string name;
+  std::vector<MaskRect> rects;
+};
+
+/// A design-rule violation found by check_mask().
+struct DrcViolation {
+  enum class Kind { kMinWidth, kMinSpacing } kind = Kind::kMinWidth;
+  MaskRect a{};
+  MaskRect b{};  ///< second shape for spacing violations
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check min-width of every rect and min-spacing between every pair of
+/// non-touching rects of the mask.  Touching/overlapping rects are treated
+/// as one pattern (no spacing requirement between them).
+[[nodiscard]] std::vector<DrcViolation> check_mask(const Mask& mask, int min_width,
+                                                   int min_spacing);
+
+}  // namespace sadp::litho

@@ -1,0 +1,25 @@
+// SADP design rules (paper Section I / II).
+//
+// Mask geometry is expressed in *mask units*: one routing track pitch equals
+// 4 mask units, so the wire width and the spacer width (both half a pitch)
+// are 2 units and all synthesized shapes have integer coordinates.
+#pragma once
+
+namespace sadp::litho {
+
+inline constexpr int kMaskUnitsPerTrack = 4;
+
+/// Rule set for one SADP process.
+struct DesignRules {
+  /// Drawn wire width (= spacer width in SIM), in mask units.
+  int wire_width = 2;
+  /// Minimum width of any core-mask (mandrel) pattern.
+  int min_mask_width = 2;
+  /// Minimum spacing between two patterns of the same mask (core-core or
+  /// cut-cut / trim-trim), in mask units.
+  int min_mask_spacing = 2;
+
+  [[nodiscard]] static DesignRules default_rules() { return DesignRules{}; }
+};
+
+}  // namespace sadp::litho

@@ -1,0 +1,110 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace sadp::util {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (stack_.empty()) return;
+  char& top = stack_.back();
+  if (top == 'O' || top == 'A') {
+    out_ += ',';
+  } else if (top == 'o') {
+    top = 'O';
+  } else if (top == 'a') {
+    top = 'A';
+  } else if (top == 'k') {
+    stack_.pop_back();  // the value consumes the pending key
+    return;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  stack_ += 'o';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!stack_.empty()) stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  stack_ += 'a';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!stack_.empty()) stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separator();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  stack_ += 'k';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  separator();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(long long number) {
+  separator();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separator();
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separator();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+}  // namespace sadp::util

@@ -1,0 +1,52 @@
+// Minimal JSON writer (no parsing) for machine-readable flow reports.
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("wirelength").value(1234);
+//   json.key("layers").begin_array();
+//   json.value(2).value(3);
+//   json.end_array();
+//   json.end_object();
+//   std::string text = json.str();
+#pragma once
+
+#include <string>
+
+namespace sadp::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key (must be inside an object).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(long long number);
+  JsonWriter& value(int number) { return value(static_cast<long long>(number)); }
+  JsonWriter& value(std::size_t number) {
+    return value(static_cast<long long>(number));
+  }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// Escape a string per JSON rules (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  void separator();
+
+  std::string out_;
+  /// Stack of container states: 'o' fresh object, 'O' object with entries,
+  /// 'a' fresh array, 'A' array with entries, 'k' after a key.
+  std::string stack_;
+};
+
+}  // namespace sadp::util

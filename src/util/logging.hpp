@@ -1,0 +1,30 @@
+// Minimal leveled logging.  The router is a batch tool, so logging goes to
+// stderr and is filtered by a process-wide level; no timestamps, no locking
+// beyond what stdio provides (the flow is single-threaded).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sadp::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+}  // namespace detail
+
+#define SADP_LOG_DEBUG(...) ::sadp::util::detail::vlog(::sadp::util::LogLevel::kDebug, "debug", __VA_ARGS__)
+#define SADP_LOG_INFO(...) ::sadp::util::detail::vlog(::sadp::util::LogLevel::kInfo, "info", __VA_ARGS__)
+#define SADP_LOG_WARN(...) ::sadp::util::detail::vlog(::sadp::util::LogLevel::kWarn, "warn", __VA_ARGS__)
+#define SADP_LOG_ERROR(...) ::sadp::util::detail::vlog(::sadp::util::LogLevel::kError, "error", __VA_ARGS__)
+
+}  // namespace sadp::util

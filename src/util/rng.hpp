@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for reproducible benchmark
+// synthesis and tests.
+//
+// We deliberately avoid std::mt19937 seeded from std::random_device so that
+// every run of the benchmark generator produces bit-identical netlists on
+// every platform.  The generator is xoshiro256** seeded through splitmix64,
+// which is the standard recommendation of the xoshiro authors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sadp::util {
+
+/// splitmix64 step; used both as a standalone mixer and as the seeding
+/// routine for Xoshiro256StarStar.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a hash of a string, used to derive benchmark seeds from names.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+
+/// xoshiro256** — a small, fast, high-quality 64-bit PRNG.
+///
+/// Satisfies (most of) the UniformRandomBitGenerator requirements so it can
+/// also be handed to <random> distributions when convenient, but the member
+/// helpers below are what the code base actually uses.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sadp::util

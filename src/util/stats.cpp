@@ -1,0 +1,17 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+namespace sadp::util {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+}  // namespace sadp::util

@@ -1,0 +1,37 @@
+// Small descriptive-statistics accumulator used by the benchmark harness to
+// build the "Ave." and "Nor." rows of the paper-style tables.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace sadp::util {
+
+/// Streaming accumulator for count/sum/min/max/mean/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sadp::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sadp::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::begin_row() { rows_.emplace_back(); }
+
+void TextTable::cell(const std::string& value) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(value);
+}
+
+void TextTable::cell(const char* value) { cell(std::string(value)); }
+
+void TextTable::cell(long long value) { cell(std::to_string(value)); }
+
+void TextTable::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  cell(std::string(buffer));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      line += "| ";
+      line += text;
+      line.append(width[c] - text.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::string sep;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    sep += "|";
+    sep.append(width[c] + 2, '-');
+  }
+  sep += "|\n";
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::print() const {
+  const std::string rendered = to_string();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+}  // namespace sadp::util

@@ -1,0 +1,37 @@
+// Plain-text table printer producing the aligned tables the benchmark
+// binaries emit (mirroring the layout of the paper's Tables I-VII).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sadp::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric convenience overloads format with a fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  void begin_row();
+  void cell(const std::string& value);
+  void cell(const char* value);
+  void cell(long long value);
+  void cell(int value) { cell(static_cast<long long>(value)); }
+  void cell(std::size_t value) { cell(static_cast<long long>(value)); }
+  /// Fixed-point double cell, e.g. cell(1.2345, 2) -> "1.23".
+  void cell(double value, int precision = 2);
+
+  /// Render the whole table (header, separator, rows) as a string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sadp::util

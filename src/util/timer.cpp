@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only; this translation unit exists so the library has a home for
+// the symbol when debug builds disable inlining.

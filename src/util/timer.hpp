@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for the benchmark harness and flow reports.
+#pragma once
+
+#include <chrono>
+
+namespace sadp::util {
+
+/// A simple wall-clock stopwatch.  Started on construction; elapsed time is
+/// queried without stopping, matching how the paper reports per-phase CPU.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sadp::util

@@ -1,0 +1,59 @@
+// Graph coloring for via-layer TPL decomposition.
+//
+//  * welsh_powell(): the greedy 3-colorability check of the paper (Section
+//    III-D, [35]) — vertices in non-increasing degree order, each takes the
+//    smallest mask color not used by an already-colored conflicting via.
+//  * exact 3-coloring by backtracking, used by the tests, the wheel-pattern
+//    demo (Fig. 11), and the DVI exact solver's feasibility oracle.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "via/decomp_graph.hpp"
+
+namespace sadp::via {
+
+inline constexpr int kNumTplColors = 3;
+inline constexpr int kUncolored = -1;
+
+/// Result of a (possibly partial) coloring attempt.
+struct ColoringResult {
+  /// Per-vertex color 0..2, or kUncolored.
+  std::vector<int> color;
+  /// Indices of vertices left uncolored.
+  std::vector<int> uncolored;
+
+  [[nodiscard]] bool complete() const noexcept { return uncolored.empty(); }
+};
+
+/// Greedy Welsh-Powell coloring with kNumTplColors colors.  Vertices that
+/// cannot take any of the three colors are left uncolored (they become the
+/// "#UV" uncolorable via count of the paper's tables when this is used as
+/// the final check).
+[[nodiscard]] ColoringResult welsh_powell(const DecompGraph& graph);
+
+/// As above, but only vertices with color[v] == kUncolored on entry are
+/// (re)colored; pre-colored vertices are fixed.  Used by the DVI heuristic,
+/// which pre-colors existing vias and later colors inserted redundant vias.
+[[nodiscard]] ColoringResult welsh_powell_extend(const DecompGraph& graph,
+                                                 std::vector<int> color);
+
+/// Exact 3-coloring by backtracking over each connected component with a
+/// highest-degree-first order.  Returns std::nullopt when the graph is not
+/// 3-colorable.  `budget` bounds the number of backtracking steps (guards
+/// against pathological inputs; practical via graphs are nearly planar and
+/// color in linear time).
+[[nodiscard]] std::optional<std::vector<int>> exact_three_coloring(
+    const DecompGraph& graph, std::size_t budget = 10'000'000);
+
+/// True when `graph` is 3-colorable (exact, within budget; falls back to
+/// "false" on budget exhaustion, which is conservative for the router).
+[[nodiscard]] bool three_colorable(const DecompGraph& graph,
+                                   std::size_t budget = 10'000'000);
+
+/// Validate that `color` is a proper coloring (ignoring uncolored vertices).
+[[nodiscard]] bool is_proper_coloring(const DecompGraph& graph,
+                                      const std::vector<int>& color);
+
+}  // namespace sadp::via

@@ -1,0 +1,102 @@
+#include "via/fvp.hpp"
+
+#include <bit>
+
+namespace sadp::via {
+
+namespace {
+
+/// Offsets of the cells set in a mask.
+std::vector<grid::Point> mask_cells(WindowMask mask) {
+  std::vector<grid::Point> cells;
+  for (int dy = 0; dy < kWindowSize; ++dy) {
+    for (int dx = 0; dx < kWindowSize; ++dx) {
+      if (mask & (WindowMask{1} << window_bit(dx, dy))) cells.push_back({dx, dy});
+    }
+  }
+  return cells;
+}
+
+/// Backtracking k-colorability of the conflict graph of the cells.
+bool k_colorable(const std::vector<grid::Point>& cells, int k) {
+  const int n = static_cast<int>(cells.size());
+  if (n == 0) return true;
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+
+  // Depth-first assignment; cells are few (<= 9), so no ordering heuristics
+  // are needed.
+  auto assign = [&](auto&& self, int i) -> bool {
+    if (i == n) return true;
+    for (int c = 0; c < k; ++c) {
+      bool ok = true;
+      for (int j = 0; j < i; ++j) {
+        if (color[j] == c && vias_conflict(cells[i], cells[j])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        color[i] = c;
+        if (self(self, i + 1)) return true;
+        color[i] = -1;
+      }
+    }
+    return false;
+  };
+  return assign(assign, 0);
+}
+
+struct FvpTable {
+  std::array<bool, kNumWindowMasks> fvp{};
+  FvpTable() {
+    for (int mask = 0; mask < kNumWindowMasks; ++mask) {
+      fvp[static_cast<std::size_t>(mask)] =
+          !window_three_colorable_bruteforce(static_cast<WindowMask>(mask));
+    }
+  }
+};
+
+const FvpTable& fvp_table() {
+  static const FvpTable table;
+  return table;
+}
+
+}  // namespace
+
+bool window_three_colorable_bruteforce(WindowMask mask) noexcept {
+  return k_colorable(mask_cells(mask), 3);
+}
+
+bool is_fvp(WindowMask mask) noexcept { return fvp_table().fvp[mask]; }
+
+bool is_fvp_by_paper_rules(WindowMask mask) noexcept {
+  const int count = std::popcount(mask);
+  if (count >= 6) return true;   // rule 1
+  if (count <= 3) return false;  // rule 4
+
+  constexpr WindowMask kCornerNE = WindowMask{1} << window_bit(2, 2);
+  constexpr WindowMask kCornerNW = WindowMask{1} << window_bit(0, 2);
+  constexpr WindowMask kCornerSE = WindowMask{1} << window_bit(2, 0);
+  constexpr WindowMask kCornerSW = WindowMask{1} << window_bit(0, 0);
+  constexpr WindowMask kAllCorners = kCornerNE | kCornerNW | kCornerSE | kCornerSW;
+
+  if (count == 5) {
+    // Rule 2: not an FVP only when 4 of the 5 vias are on the four corners.
+    return (mask & kAllCorners) != kAllCorners;
+  }
+  // Rule 3 (count == 4): not an FVP only when 2 vias are on diagonally
+  // opposite corners.
+  const bool diag_a = (mask & (kCornerSW | kCornerNE)) == (kCornerSW | kCornerNE);
+  const bool diag_b = (mask & (kCornerNW | kCornerSE)) == (kCornerNW | kCornerSE);
+  return !(diag_a || diag_b);
+}
+
+int window_chromatic_number(WindowMask mask) noexcept {
+  const auto cells = mask_cells(mask);
+  for (int k = 0; k <= kWindowCells; ++k) {
+    if (k_colorable(cells, k)) return k;
+  }
+  return kWindowCells;
+}
+
+}  // namespace sadp::via

@@ -1,0 +1,127 @@
+#include "via/via_db.hpp"
+
+#include <cassert>
+
+namespace sadp::via {
+
+ViaDb::ViaDb(int width, int height, int num_via_layers)
+    : width_(width), height_(height), layers_(num_via_layers) {
+  assert(width > 0 && height > 0 && num_via_layers >= 1);
+  count_.assign(static_cast<std::size_t>(layers_) * width_ * height_, 0);
+}
+
+void ViaDb::add(int via_layer, grid::Point p) {
+  assert(in_bounds(p));
+  auto& c = count_[slot(via_layer, p)];
+  assert(c < 255);
+  ++c;
+}
+
+void ViaDb::remove(int via_layer, grid::Point p) {
+  assert(in_bounds(p));
+  auto& c = count_[slot(via_layer, p)];
+  assert(c > 0);
+  --c;
+}
+
+int ViaDb::occupied_count(int via_layer) const {
+  int n = 0;
+  const std::size_t base = static_cast<std::size_t>(via_layer - 1) * width_ * height_;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(width_) * height_; ++i) {
+    if (count_[base + i] > 0) ++n;
+  }
+  return n;
+}
+
+std::vector<grid::Point> ViaDb::locations(int via_layer) const {
+  std::vector<grid::Point> out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (has(via_layer, {x, y})) out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+WindowMask ViaDb::window_mask(int via_layer, grid::Point origin) const {
+  WindowMask mask = 0;
+  for (int dy = 0; dy < kWindowSize; ++dy) {
+    for (int dx = 0; dx < kWindowSize; ++dx) {
+      const grid::Point q{origin.x + dx, origin.y + dy};
+      if (in_bounds(q) && has(via_layer, q)) {
+        mask |= WindowMask{1} << window_bit(dx, dy);
+      }
+    }
+  }
+  return mask;
+}
+
+bool ViaDb::would_create_fvp(int via_layer, grid::Point p) const {
+  if (has(via_layer, p)) return in_fvp(via_layer, p);
+  for (int oy = p.y - kWindowSize + 1; oy <= p.y; ++oy) {
+    for (int ox = p.x - kWindowSize + 1; ox <= p.x; ++ox) {
+      WindowMask mask = window_mask(via_layer, {ox, oy});
+      mask |= WindowMask{1} << window_bit(p.x - ox, p.y - oy);
+      if (is_fvp(mask)) return true;
+    }
+  }
+  return false;
+}
+
+bool ViaDb::in_fvp(int via_layer, grid::Point p) const {
+  for (int oy = p.y - kWindowSize + 1; oy <= p.y; ++oy) {
+    for (int ox = p.x - kWindowSize + 1; ox <= p.x; ++ox) {
+      if (window_is_fvp(via_layer, {ox, oy})) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FvpWindow> ViaDb::scan_fvps(int via_layer) const {
+  std::vector<FvpWindow> out;
+  // Slide the window over every origin whose window intersects the grid;
+  // origins may start slightly negative so border vias are covered.
+  for (int oy = -kWindowSize + 1; oy < height_; ++oy) {
+    for (int ox = -kWindowSize + 1; ox < width_; ++ox) {
+      if (window_is_fvp(via_layer, {ox, oy})) {
+        out.push_back(FvpWindow{via_layer, {ox, oy}});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FvpWindow> ViaDb::scan_all_fvps() const {
+  std::vector<FvpWindow> out;
+  for (int v = 1; v <= layers_; ++v) {
+    auto layer_fvps = scan_fvps(v);
+    out.insert(out.end(), layer_fvps.begin(), layer_fvps.end());
+  }
+  return out;
+}
+
+int ViaDb::conflict_count(int via_layer, grid::Point p) const {
+  int n = 0;
+  for (int dy = -2; dy <= 2; ++dy) {
+    for (int dx = -2; dx <= 2; ++dx) {
+      const grid::Point q{p.x + dx, p.y + dy};
+      if (!in_bounds(q) || !vias_conflict(p, q)) continue;
+      if (has(via_layer, q)) ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<grid::Point> ViaDb::conflicting_vias(int via_layer, grid::Point p) const {
+  std::vector<grid::Point> out;
+  for (int dy = -2; dy <= 2; ++dy) {
+    for (int dx = -2; dx <= 2; ++dx) {
+      const grid::Point q{p.x + dx, p.y + dy};
+      if (!in_bounds(q) || !vias_conflict(p, q)) continue;
+      if (has(via_layer, q)) out.push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace sadp::via

@@ -1,0 +1,95 @@
+// Per-via-layer occupancy database used by the TPL machinery.
+//
+// The routing grid (grid/routing_grid.hpp) tracks which *nets* own each via;
+// this database tracks only *where* vias exist per layer, which is all the
+// TPL analysis needs, and provides the O(1) FVP queries of the paper:
+//
+//  * would placing a via at p create an FVP? (the "blocked via location"
+//    test of Algorithm 2 / Fig. 10)
+//  * which 3x3 windows are FVPs right now? (O(n) full scan; O(1) updates)
+//  * the different-color via location conflict counts feeding the TPLC cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/geometry.hpp"
+#include "via/fvp.hpp"
+
+namespace sadp::via {
+
+class ViaDb {
+ public:
+  ViaDb(int width, int height, int num_via_layers);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int num_via_layers() const noexcept { return layers_; }
+
+  [[nodiscard]] bool in_bounds(grid::Point p) const noexcept {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  /// Add one via occurrence at (via_layer, p).  Multiple occurrences (e.g.
+  /// two congested nets with coincident vias) are reference-counted; the
+  /// location reads as occupied while any remain.
+  void add(int via_layer, grid::Point p);
+  void remove(int via_layer, grid::Point p);
+
+  [[nodiscard]] bool has(int via_layer, grid::Point p) const {
+    return count_[slot(via_layer, p)] > 0;
+  }
+
+  /// Total number of distinct occupied via locations on a layer.
+  [[nodiscard]] int occupied_count(int via_layer) const;
+
+  /// All occupied via locations of a layer.
+  [[nodiscard]] std::vector<grid::Point> locations(int via_layer) const;
+
+  /// 9-bit via-occupancy mask of the window with lower-left `origin`.
+  /// Cells outside the grid read as empty.
+  [[nodiscard]] WindowMask window_mask(int via_layer, grid::Point origin) const;
+
+  /// True when the window at `origin` currently holds an FVP.
+  [[nodiscard]] bool window_is_fvp(int via_layer, grid::Point origin) const {
+    return is_fvp(window_mask(via_layer, origin));
+  }
+
+  /// True when hypothetically adding a via at (via_layer, p) would make any
+  /// 3x3 window containing p an FVP.  This is the "blocked via location"
+  /// predicate: during TPL-violation-removal R&R such locations are excluded
+  /// from rerouting, and the DVI heuristic refuses insertions that trip it.
+  [[nodiscard]] bool would_create_fvp(int via_layer, grid::Point p) const;
+
+  /// True when the vias currently in some window containing p form an FVP.
+  [[nodiscard]] bool in_fvp(int via_layer, grid::Point p) const;
+
+  /// Full scan for FVP windows on one layer (O(grid size)).
+  [[nodiscard]] std::vector<FvpWindow> scan_fvps(int via_layer) const;
+
+  /// Full scan over all layers.
+  [[nodiscard]] std::vector<FvpWindow> scan_all_fvps() const;
+
+  /// Number of existing vias within same-color pitch of location p
+  /// (excluding a via at p itself).  This is the multiplier of the TPLC
+  /// penalty gamma * (#coloring conflicts).
+  [[nodiscard]] int conflict_count(int via_layer, grid::Point p) const;
+
+  /// Occupied via locations within same-color pitch of p (the "coloring
+  /// conflicts" of the paper), excluding p itself.
+  [[nodiscard]] std::vector<grid::Point> conflicting_vias(int via_layer,
+                                                          grid::Point p) const;
+
+ private:
+  [[nodiscard]] std::size_t slot(int via_layer, grid::Point p) const noexcept {
+    return static_cast<std::size_t>(via_layer - 1) * width_ * height_ +
+           static_cast<std::size_t>(p.y) * width_ + p.x;
+  }
+
+  int width_;
+  int height_;
+  int layers_;
+  std::vector<std::uint8_t> count_;
+};
+
+}  // namespace sadp::via

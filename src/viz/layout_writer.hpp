@@ -1,0 +1,45 @@
+// Render a routed design (and optionally its DVI result or synthesized SADP
+// masks) to SVG for visual inspection.
+//
+// Layers render as translucent groups: metal 2 in blue, metal 3 in red,
+// higher layers in green hues; pins are black squares, vias are filled
+// circles, redundant vias are ring markers, FVP windows (if any survive)
+// are highlighted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dvic.hpp"
+#include "core/router.hpp"
+#include "sadp/decomposition.hpp"
+#include "viz/svg.hpp"
+
+namespace sadp::viz {
+
+struct LayoutWriterOptions {
+  double scale = 12.0;
+  bool draw_grid = true;
+  bool draw_pins = true;
+  bool draw_vias = true;
+  bool highlight_fvps = true;
+  /// Clip to a window of the grid; empty = whole grid.
+  int clip_lo_x = 0, clip_lo_y = 0, clip_hi_x = -1, clip_hi_y = -1;
+};
+
+/// Render the routed design of `router` to an SVG document.
+[[nodiscard]] SvgDocument render_layout(const core::SadpRouter& router,
+                                        const LayoutWriterOptions& options = {});
+
+/// Render with redundant vias from a DVI result overlaid.
+[[nodiscard]] SvgDocument render_layout_with_dvi(
+    const core::SadpRouter& router, const core::DviProblem& problem,
+    const std::vector<int>& inserted, const std::vector<grid::Point>& inserted_at,
+    const LayoutWriterOptions& options = {});
+
+/// Render the synthesized core + cut/trim masks of one layer decomposition
+/// (mask units; Fig. 1/4 style).
+[[nodiscard]] SvgDocument render_masks(const litho::LayerDecomposition& decomposition,
+                                       double scale = 6.0);
+
+}  // namespace sadp::viz

@@ -1,0 +1,80 @@
+#include "viz/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace sadp::viz {
+
+namespace {
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f", v);
+  return buffer;
+}
+
+std::string style_attrs(const Style& style) {
+  std::string out = "fill=\"" + style.fill + "\" stroke=\"" + style.stroke +
+                    "\" stroke-width=\"" + fmt(style.stroke_width) + "\"";
+  if (style.opacity != 1.0) out += " opacity=\"" + fmt(style.opacity) + "\"";
+  return out;
+}
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height, double scale)
+    : width_(width), height_(height), scale_(scale) {}
+
+void SvgDocument::rect(double x, double y, double w, double h, const Style& style) {
+  // The y-flip moves the anchor to the top-left corner of the flipped rect.
+  body_.push_back("<rect x=\"" + fmt(sx(x)) + "\" y=\"" + fmt(sy(y + h)) +
+                  "\" width=\"" + fmt(w * scale_) + "\" height=\"" +
+                  fmt(h * scale_) + "\" " + style_attrs(style) + "/>");
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       const Style& style) {
+  body_.push_back("<line x1=\"" + fmt(sx(x1)) + "\" y1=\"" + fmt(sy(y1)) +
+                  "\" x2=\"" + fmt(sx(x2)) + "\" y2=\"" + fmt(sy(y2)) + "\" " +
+                  style_attrs(style) + "/>");
+}
+
+void SvgDocument::circle(double cx, double cy, double r, const Style& style) {
+  body_.push_back("<circle cx=\"" + fmt(sx(cx)) + "\" cy=\"" + fmt(sy(cy)) +
+                  "\" r=\"" + fmt(r * scale_) + "\" " + style_attrs(style) + "/>");
+}
+
+void SvgDocument::text(double x, double y, const std::string& content, double size,
+                       const std::string& color) {
+  body_.push_back("<text x=\"" + fmt(sx(x)) + "\" y=\"" + fmt(sy(y)) +
+                  "\" font-size=\"" + fmt(size * scale_) + "\" fill=\"" + color +
+                  "\">" + content + "</text>");
+}
+
+void SvgDocument::begin_group(const std::string& id, double opacity) {
+  std::string tag = "<g id=\"" + id + "\"";
+  if (opacity != 1.0) tag += " opacity=\"" + fmt(opacity) + "\"";
+  tag += ">";
+  body_.push_back(tag);
+}
+
+void SvgDocument::end_group() { body_.push_back("</g>"); }
+
+std::string SvgDocument::to_string() const {
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    fmt(width_ * scale_) + "\" height=\"" + fmt(height_ * scale_) +
+                    "\" viewBox=\"0 0 " + fmt(width_ * scale_) + " " +
+                    fmt(height_ * scale_) + "\">\n";
+  for (const auto& element : body_) {
+    out += "  " + element + "\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool SvgDocument::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sadp::viz

@@ -1,0 +1,52 @@
+// Minimal SVG document builder used by the layout and mask writers.
+//
+// Only the handful of primitives the visualizers need: rectangles, lines,
+// circles, and text, with a y-flip so layouts render with the origin at the
+// bottom-left like every EDA tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sadp::viz {
+
+/// Style of a drawn shape (SVG presentation attributes).
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "black";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+};
+
+class SvgDocument {
+ public:
+  /// World-coordinate viewport [0,width] x [0,height]; `scale` maps world
+  /// units to SVG pixels.
+  SvgDocument(double width, double height, double scale = 10.0);
+
+  void rect(double x, double y, double w, double h, const Style& style);
+  void line(double x1, double y1, double x2, double y2, const Style& style);
+  void circle(double cx, double cy, double r, const Style& style);
+  void text(double x, double y, const std::string& content, double size = 1.0,
+            const std::string& color = "black");
+
+  /// Begin/end a named group (renders as an SVG <g> with an id).
+  void begin_group(const std::string& id, double opacity = 1.0);
+  void end_group();
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to a file; returns false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double sx(double x) const noexcept { return x * scale_; }
+  [[nodiscard]] double sy(double y) const noexcept { return (height_ - y) * scale_; }
+
+  double width_;
+  double height_;
+  double scale_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace sadp::viz

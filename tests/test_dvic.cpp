@@ -1,0 +1,252 @@
+// Tests of DVI candidate feasibility (paper Section II-C, Figs. 5/6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dvic.hpp"
+#include "grid/routing_grid.hpp"
+#include "grid/turns.hpp"
+#include "via/via_db.hpp"
+
+namespace sadp::core {
+namespace {
+
+struct Fixture {
+  grid::RoutingGrid routing{20, 20, 3};
+  via::ViaDb vias{20, 20, 2};
+  grid::TurnRules rules = grid::TurnRules::sim_cut();
+};
+
+/// A net with a via at `at` joining a metal-2 wire running `m2_dir` and a
+/// metal-3 wire running `m3_dir` away from the via.
+RoutedNet via_net(Fixture& f, grid::NetId id, grid::Point at, grid::Dir m2_dir,
+                  grid::Dir m3_dir) {
+  RoutedNet net(id);
+  net.add_segment(2, at, m2_dir);
+  net.add_segment(2, at + grid::step(m2_dir), m2_dir);
+  net.add_segment(3, at, m3_dir);
+  net.add_segment(3, at + grid::step(m3_dir), m3_dir);
+  net.add_via(2, at);
+  net.apply_to(f.routing, f.vias);
+  return net;
+}
+
+bool contains(const std::vector<grid::Point>& v, grid::Point p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+TEST(Dvic, CollinearExtensionAlwaysShapeLegal) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+  // Extending east is collinear on metal 2; on metal 3 the extension is
+  // perpendicular to the northbound wire, so it depends on the turn rule —
+  // but extending north is collinear on metal 3 and perpendicular on m2.
+  const auto dvics = feasible_dvics(f.routing, f.rules, net, 2, at);
+  EXPECT_FALSE(dvics.empty());
+}
+
+TEST(Dvic, OutOfBoundsIsInfeasible) {
+  Fixture f;
+  const grid::Point at{0, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kEast, grid::Dir::kNorth);
+  EXPECT_FALSE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kWest));
+}
+
+TEST(Dvic, OccupiedByOtherNetIsInfeasible) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+
+  // Another net's wire through the east neighbor on metal 2.
+  RoutedNet other(1);
+  other.add_segment(2, {11, 9}, grid::Dir::kNorth);
+  other.add_segment(2, {11, 10}, grid::Dir::kNorth);
+  other.apply_to(f.routing, f.vias);
+
+  EXPECT_FALSE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+}
+
+TEST(Dvic, OwnMetalAtCandidateIsFine) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+  // The net's own metal-3 wire covers the north neighbor; that must not
+  // block the DVIC (the extension re-uses own metal).
+  EXPECT_TRUE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kNorth));
+}
+
+TEST(Dvic, ExistingViaAtCandidateIsInfeasible) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+
+  RoutedNet other(1);
+  other.add_metal(2, {10, 11}, 0);
+  other.add_metal(3, {10, 11}, 0);
+  other.add_via(2, {10, 11});
+  other.apply_to(f.routing, f.vias);
+
+  // North neighbor now holds another via (and its pads): infeasible both by
+  // the via check and the occupancy check.
+  EXPECT_FALSE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kNorth));
+}
+
+TEST(Dvic, FeasibilityDependsOnParityClass) {
+  // The Fig. 6 observation: identical wire orientations, different grid
+  // positions, different feasible sets.
+  std::vector<std::vector<grid::Point>> results;
+  for (int cls = 0; cls < 4; ++cls) {
+    Fixture f;  // fresh databases per class so the cases cannot interact
+    const grid::Point at{10 + cls / 2, 10 + cls % 2};
+    RoutedNet net = via_net(f, cls, at, grid::Dir::kWest, grid::Dir::kNorth);
+    auto dvics = feasible_dvics(f.routing, f.rules, net, 2, at);
+    for (auto& d : dvics) d = d - at;  // normalize
+    results.push_back(dvics);
+  }
+  bool any_difference = false;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    any_difference |= results[i] != results[0];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Dvic, PinViasExemptMetal1FromTurnRules) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net(0);
+  net.add_metal(1, at, 0);
+  net.add_metal(2, at, 0);
+  net.add_via(1, at, /*is_pin_via=*/true);
+  net.add_segment(2, at, grid::Dir::kEast);
+  net.apply_to(f.routing, f.vias);
+
+  // Metal 1 has no wires, so only metal-2 shape rules and occupancy matter;
+  // at least the collinear extensions must be feasible.
+  const auto dvics = feasible_dvics(f.routing, f.rules, net, 1, at);
+  EXPECT_TRUE(contains(dvics, at + grid::step(grid::Dir::kWest)));
+}
+
+TEST(Dvic, StackedViaChecksBothLayers) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net(0);
+  net.add_segment(2, at, grid::Dir::kWest);
+  net.add_metal(3, at, 0);
+  net.add_via(2, at);
+  net.apply_to(f.routing, f.vias);
+
+  // Block metal-3 east neighbor with another net: the east DVIC dies even
+  // though metal 2 east is free.
+  RoutedNet other(1);
+  other.add_metal(3, {11, 10}, 0);
+  other.apply_to(f.routing, f.vias);
+  EXPECT_FALSE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+}
+
+TEST(DviProblem, BuildCollectsAllVias) {
+  Fixture f;
+  std::vector<RoutedNet> nets;
+  nets.push_back(via_net(f, 0, {5, 5}, grid::Dir::kWest, grid::Dir::kNorth));
+  nets.push_back(via_net(f, 1, {12, 12}, grid::Dir::kEast, grid::Dir::kSouth));
+  const DviProblem problem = build_dvi_problem(nets, f.routing, f.rules);
+  EXPECT_EQ(problem.num_vias(), 2);
+  EXPECT_EQ(problem.feasible.size(), 2u);
+  EXPECT_GT(problem.total_candidates(), 0u);
+}
+
+TEST(Dvic, Distance2ExtensionNeedsBothPointsFree) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+
+  EXPECT_TRUE(
+      dvic_feasible_distance2(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+
+  // Block the intermediate point on metal 3 with another net.
+  RoutedNet other(1);
+  other.add_metal(3, {11, 10}, 0);
+  other.apply_to(f.routing, f.vias);
+  EXPECT_FALSE(
+      dvic_feasible_distance2(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+}
+
+TEST(Dvic, Distance2OnlyOffersWhenAdjacentFails) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  std::vector<RoutedNet> nets;
+  nets.push_back(via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth));
+
+  DviProblemOptions options;
+  options.allow_distance2 = true;
+  const DviProblem extended =
+      build_dvi_problem(nets, f.routing, f.rules, options);
+  const DviProblem plain = build_dvi_problem(nets, f.routing, f.rules);
+  // This via has adjacent candidates, so the extension must not add any.
+  ASSERT_FALSE(plain.feasible[0].empty());
+  EXPECT_EQ(extended.feasible[0], plain.feasible[0]);
+}
+
+TEST(Dvic, Distance2RescuesViaBlockedByOwnNeighborVia) {
+  // The rescue case: the adjacent candidate holds another via of the SAME
+  // net (a via chain), so the adjacent DVIC is infeasible while the
+  // distance-2 extension may pass through the net's own metal.
+  Fixture f;
+  const grid::Point at{10, 10};
+  RoutedNet net(0);
+  // Metal-2 wire from (8,10) to (12,10) with vias at (10,10) and (11,10).
+  for (int x = 8; x < 12; ++x) net.add_segment(2, {x, 10}, grid::Dir::kEast);
+  net.add_metal(3, at, 0);
+  net.add_metal(3, {11, 10}, 0);
+  net.add_segment(3, {11, 10}, grid::Dir::kNorth);
+  net.add_via(2, at);
+  net.add_via(2, {11, 10});
+  net.apply_to(f.routing, f.vias);
+
+  // Adjacent east candidate: blocked by the own via at (11,10).
+  EXPECT_FALSE(dvic_feasible(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+  // Distance-2 east lands at (12,10): the metal-2 wire is the net's own, the
+  // metal-3 landing is free, and no via occupies the path.
+  EXPECT_TRUE(
+      dvic_feasible_distance2(f.routing, f.rules, net, 2, at, grid::Dir::kEast));
+}
+
+TEST(Dvic, Distance2DoesNotCrossOtherNetsMetal) {
+  Fixture f;
+  const grid::Point at{10, 10};
+  std::vector<RoutedNet> nets;
+  nets.push_back(via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth));
+
+  // Blocking the adjacent point with other-net metal necessarily blocks the
+  // distance-2 path through it as well (the intermediate is occupied).
+  RoutedNet blocker(1);
+  blocker.add_metal(2, {11, 10}, 0);
+  blocker.apply_to(f.routing, f.vias);
+  EXPECT_FALSE(
+      dvic_feasible(f.routing, f.rules, nets[0], 2, at, grid::Dir::kEast));
+  EXPECT_FALSE(dvic_feasible_distance2(f.routing, f.rules, nets[0], 2, at,
+                                       grid::Dir::kEast));
+}
+
+TEST(Dvic, UnitExtensionExceptionMatters) {
+  // SIM allows one-unit vertical extensions through forbidden turns; SID
+  // does not.  With wires chosen so the northward extension forms a
+  // forbidden turn on metal 2, SIM must report strictly more feasible
+  // candidates than SID at some parity.
+  int sim_total = 0, sid_total = 0;
+  for (int cls = 0; cls < 4; ++cls) {
+    for (auto style : {grid::SadpStyle::kSim, grid::SadpStyle::kSid}) {
+      Fixture f;
+      f.rules = grid::TurnRules::for_style(style);
+      const grid::Point at{10 + cls / 2, 10 + cls % 2};
+      RoutedNet net = via_net(f, 0, at, grid::Dir::kWest, grid::Dir::kNorth);
+      const auto n = feasible_dvics(f.routing, f.rules, net, 2, at).size();
+      (style == grid::SadpStyle::kSim ? sim_total : sid_total) +=
+          static_cast<int>(n);
+    }
+  }
+  EXPECT_NE(sim_total, sid_total);
+}
+
+}  // namespace
+}  // namespace sadp::core

@@ -1,0 +1,66 @@
+// Generality tests: the routing stack is not hard-wired to the paper's
+// three-metal-layer benchmarks — exercise a four-metal-layer configuration
+// (two routable layer pairs, three via layers).
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/validate.hpp"
+#include "netlist/bench_gen.hpp"
+
+namespace sadp::core {
+namespace {
+
+netlist::PlacedNetlist four_layer_instance() {
+  netlist::BenchSpec spec;
+  spec.name = "ml4";
+  spec.width = 48;
+  spec.height = 48;
+  spec.num_nets = 40;
+  spec.num_metal_layers = 4;
+  spec.seed = 21;
+  return netlist::generate(spec);
+}
+
+TEST(MultiLayer, FourMetalLayersRouteAndValidate) {
+  const netlist::PlacedNetlist instance = four_layer_instance();
+  ASSERT_EQ(instance.num_metal_layers, 4);
+
+  FlowOptions options;
+  options.consider_dvi = true;
+  options.consider_tpl = true;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_EQ(report.remaining_fvps, 0u);
+  const auto issues = validate_routing(router, instance, /*expect_tpl_clean=*/true);
+  EXPECT_TRUE(issues.empty()) << issues.front().what;
+
+  // Metal 4 prefers horizontal like metal 2.
+  EXPECT_TRUE(grid::RoutingGrid::prefers_horizontal(4));
+  EXPECT_EQ(router.routing_grid().num_via_layers(), 3);
+}
+
+TEST(MultiLayer, DviWorksAcrossThreeViaLayers) {
+  const netlist::PlacedNetlist instance = four_layer_instance();
+  FlowConfig config;
+  config.options.consider_dvi = true;
+  config.options.consider_tpl = true;
+  config.dvi_method = DviMethod::kHeuristic;
+
+  std::unique_ptr<SadpRouter> router;
+  const ExperimentResult result = run_flow(instance, config, &router);
+  EXPECT_TRUE(result.routing.routed_all);
+  EXPECT_EQ(result.dvi.uncolorable, 0);
+  EXPECT_LT(result.dvi.dead_vias, result.single_vias);
+
+  // Vias exist on at least two distinct via layers (pins on 1, hops above).
+  std::set<int> layers;
+  for (const auto& net : router->nets()) {
+    for (const auto& via : net.vias()) layers.insert(via.via_layer);
+  }
+  EXPECT_GE(layers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sadp::core

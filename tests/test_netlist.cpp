@@ -1,0 +1,204 @@
+// Tests of the netlist substrate: representation, synthetic benchmark
+// generation (determinism, spacing invariants), and text I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_gen.hpp"
+#include "netlist/io.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sadp::netlist {
+namespace {
+
+TEST(Netlist, HpwlAndPins) {
+  PlacedNetlist n;
+  n.name = "t";
+  n.width = 10;
+  n.height = 10;
+  Net net;
+  net.id = 0;
+  net.name = "n0";
+  net.pins = {{{1, 1}}, {{4, 3}}, {{2, 5}}};
+  n.nets.push_back(net);
+  EXPECT_EQ(n.total_pins(), 3);
+  EXPECT_EQ(n.hpwl(), (4 - 1) + (5 - 1));
+}
+
+TEST(Netlist, ValidationCatchesBadNets) {
+  PlacedNetlist n;
+  n.name = "t";
+  n.width = 4;
+  n.height = 4;
+  Net net;
+  net.id = 0;
+  net.name = "n0";
+  net.pins = {{{0, 0}}, {{9, 9}}};  // out of bounds
+  n.nets.push_back(net);
+  std::string error;
+  EXPECT_FALSE(n.valid(&error));
+  EXPECT_NE(error.find("out of bounds"), std::string::npos);
+
+  n.nets[0].pins = {{{0, 0}}};  // too few pins
+  EXPECT_FALSE(n.valid(&error));
+
+  n.nets[0].pins = {{{0, 0}}, {{1, 1}}};
+  n.nets[0].id = 5;  // wrong id
+  EXPECT_FALSE(n.valid(&error));
+}
+
+TEST(BenchGen, PaperTableOneStatistics) {
+  const auto rows = paper_benchmarks();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].name, "ecc");
+  EXPECT_EQ(rows[0].num_nets, 1671);
+  EXPECT_EQ(rows[0].width, 436);
+  EXPECT_EQ(rows[0].height, 446);
+  EXPECT_EQ(rows[5].name, "top");
+  EXPECT_EQ(rows[5].num_nets, 22201);
+}
+
+TEST(BenchGen, ScaledKeepsDensity) {
+  const auto full = paper_benchmarks();
+  const auto scaled = scaled_benchmarks();
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    const double full_density = static_cast<double>(full[i].num_nets) /
+                                (static_cast<double>(full[i].width) * full[i].height);
+    const double scaled_density =
+        static_cast<double>(scaled[i].num_nets) /
+        (static_cast<double>(scaled[i].width) * scaled[i].height);
+    EXPECT_NEAR(scaled_density / full_density, 1.0, 0.05) << full[i].name;
+  }
+}
+
+TEST(BenchGen, DeterministicAcrossCalls) {
+  const PlacedNetlist a = generate_named("ecc_s", true);
+  const PlacedNetlist b = generate_named("ecc_s", true);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (int i = 0; i < a.num_nets(); ++i) {
+    ASSERT_EQ(a.nets[i].pins.size(), b.nets[i].pins.size());
+    for (std::size_t k = 0; k < a.nets[i].pins.size(); ++k) {
+      EXPECT_EQ(a.nets[i].pins[k].at, b.nets[i].pins[k].at);
+    }
+  }
+}
+
+TEST(BenchGen, DifferentBenchmarksDiffer) {
+  const PlacedNetlist a = generate_named("ecc_s", true);
+  const PlacedNetlist b = generate_named("efc_s", true);
+  EXPECT_NE(a.num_nets(), b.num_nets());
+}
+
+class BenchGenEveryScaled : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchGenEveryScaled, RespectsSpecInvariants) {
+  const auto rows = scaled_benchmarks();
+  const auto& row = rows[static_cast<std::size_t>(GetParam())];
+  if (row.name == "top_s") GTEST_SKIP() << "covered by the benchmark harness";
+  const auto spec = spec_for(row.name, true);
+  ASSERT_TRUE(spec.has_value());
+  const PlacedNetlist instance = generate(*spec);
+
+  EXPECT_TRUE(instance.valid());
+  EXPECT_EQ(instance.num_nets(), row.num_nets);
+  EXPECT_EQ(instance.width, row.width);
+  EXPECT_EQ(instance.height, row.height);
+
+  // Global pin spacing invariant (Chebyshev >= min_pin_spacing).
+  std::vector<grid::Point> pins;
+  for (const auto& net : instance.nets) {
+    EXPECT_GE(net.num_pins(), 2);
+    EXPECT_LE(net.num_pins(), 4);
+    for (const auto& pin : net.pins) pins.push_back(pin.at);
+  }
+  // Bucket by coarse cells to keep the check near-linear.
+  std::map<std::pair<int, int>, std::vector<grid::Point>> buckets;
+  for (const auto& p : pins) buckets[{p.x / 8, p.y / 8}].push_back(p);
+  for (const auto& p : pins) {
+    for (int bx = p.x / 8 - 1; bx <= p.x / 8 + 1; ++bx) {
+      for (int by = p.y / 8 - 1; by <= p.y / 8 + 1; ++by) {
+        const auto it = buckets.find({bx, by});
+        if (it == buckets.end()) continue;
+        for (const auto& q : it->second) {
+          if (p == q) continue;
+          EXPECT_GE(grid::chebyshev(p, q), spec->min_pin_spacing);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScaled, BenchGenEveryScaled, ::testing::Range(0, 6));
+
+TEST(BenchGen, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(spec_for("nonexistent", true).has_value());
+  EXPECT_FALSE(spec_for("nonexistent", false).has_value());
+}
+
+TEST(NetlistIo, RoundTrip) {
+  const PlacedNetlist original = generate_named("ecc_s", true);
+  const std::string text = to_text(original);
+  std::string error;
+  const auto parsed = parse_netlist(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, original.name);
+  EXPECT_EQ(parsed->num_nets(), original.num_nets());
+  EXPECT_EQ(parsed->width, original.width);
+  ASSERT_EQ(parsed->nets.size(), original.nets.size());
+  for (std::size_t i = 0; i < original.nets.size(); ++i) {
+    ASSERT_EQ(parsed->nets[i].pins.size(), original.nets[i].pins.size());
+    for (std::size_t k = 0; k < original.nets[i].pins.size(); ++k) {
+      EXPECT_EQ(parsed->nets[i].pins[k].at, original.nets[i].pins[k].at);
+    }
+  }
+}
+
+TEST(NetlistIo, CommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "netlist demo 8 8 3\n"
+      "\n"
+      "net n0 2 1 1 5 5  # trailing comment\n";
+  std::string error;
+  const auto parsed = parse_netlist(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_nets(), 1);
+}
+
+TEST(NetlistIo, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_netlist("net n0 2 1 1 2 2\n", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  EXPECT_FALSE(parse_netlist("netlist t 8 8 3\nnet n0 1 1 1\n", &error).has_value());
+  EXPECT_FALSE(parse_netlist("netlist t 8 8 3\nnet n0 2 1 1\n", &error).has_value());
+  EXPECT_FALSE(parse_netlist("netlist t 8 8 3\nbogus\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_netlist("netlist t 8 8 3\nnet n0 2 1 1 9 9\n", &error).has_value())
+      << "out-of-bounds pin must fail validation";
+}
+
+
+TEST(BenchGen, RowStructuredPlacementsSnapToRows) {
+  BenchSpec spec;
+  spec.name = "rows";
+  spec.width = 64;
+  spec.height = 64;
+  spec.num_nets = 40;
+  spec.row_structured = true;
+  spec.row_pitch = 6;
+  const PlacedNetlist instance = generate(spec);
+  EXPECT_TRUE(instance.valid());
+  for (const auto& net : instance.nets) {
+    for (const auto& pin : net.pins) {
+      EXPECT_EQ(pin.at.y % spec.row_pitch, 0) << net.name;
+    }
+  }
+  // Still deterministic.
+  const PlacedNetlist again = generate(spec);
+  ASSERT_EQ(again.num_nets(), instance.num_nets());
+  EXPECT_EQ(again.nets[5].pins[0].at, instance.nets[5].pins[0].at);
+}
+
+}  // namespace
+}  // namespace sadp::netlist

@@ -1,0 +1,146 @@
+// Integration tests of the full routing flow (Fig. 8) on small synthetic
+// instances, across both SADP flavours and all four experiment arms.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/flow.hpp"
+#include "core/router.hpp"
+#include "core/validate.hpp"
+#include "netlist/bench_gen.hpp"
+
+namespace sadp::core {
+namespace {
+
+netlist::PlacedNetlist small_instance(int side = 64, int nets = 50,
+                                      std::uint64_t seed = 1) {
+  netlist::BenchSpec spec;
+  spec.name = "itest";
+  spec.width = side;
+  spec.height = side;
+  spec.num_nets = nets;
+  spec.seed = seed;
+  return netlist::generate(spec);
+}
+
+using Arm = std::tuple<grid::SadpStyle, bool, bool>;  // style, dvi, tpl
+
+class RouterArms : public ::testing::TestWithParam<Arm> {};
+
+TEST_P(RouterArms, RoutesCleanlyAndValidates) {
+  const auto [style, dvi, tpl] = GetParam();
+  const netlist::PlacedNetlist instance = small_instance();
+
+  FlowOptions options;
+  options.style = style;
+  options.consider_dvi = dvi;
+  options.consider_tpl = tpl;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_EQ(report.unrouted_nets, 0);
+  EXPECT_EQ(report.remaining_congestion, 0u);
+  EXPECT_GT(report.wirelength, 0);
+  EXPECT_GE(report.via_count, instance.total_pins());  // every pin has a via
+
+  const auto issues = validate_routing(router, instance, /*expect_tpl_clean=*/tpl);
+  EXPECT_TRUE(issues.empty()) << issues.front().what;
+
+  if (tpl) {
+    EXPECT_EQ(report.remaining_fvps, 0u);
+    EXPECT_EQ(report.uncolorable_vias, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArms, RouterArms,
+    ::testing::Combine(::testing::Values(grid::SadpStyle::kSim,
+                                         grid::SadpStyle::kSid),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(Router, DeterministicAcrossRuns) {
+  const netlist::PlacedNetlist instance = small_instance(48, 30, 7);
+  FlowOptions options;
+  options.consider_dvi = true;
+  options.consider_tpl = true;
+
+  SadpRouter a(instance, options);
+  SadpRouter b(instance, options);
+  const RoutingReport ra = a.run();
+  const RoutingReport rb = b.run();
+  EXPECT_EQ(ra.wirelength, rb.wirelength);
+  EXPECT_EQ(ra.via_count, rb.via_count);
+  EXPECT_EQ(ra.rr_iterations, rb.rr_iterations);
+}
+
+TEST(Router, MultiPinNetsAreConnected) {
+  // Force several 3- and 4-pin nets and verify connectivity specifically.
+  netlist::PlacedNetlist instance;
+  instance.name = "multipin";
+  instance.width = 32;
+  instance.height = 32;
+  netlist::Net n0;
+  n0.id = 0;
+  n0.name = "n0";
+  n0.pins = {{{4, 4}}, {{20, 4}}, {{4, 20}}, {{20, 20}}};
+  netlist::Net n1;
+  n1.id = 1;
+  n1.name = "n1";
+  n1.pins = {{{10, 10}}, {{26, 14}}, {{14, 26}}};
+  instance.nets = {n0, n1};
+
+  FlowOptions options;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_TRUE(check_connectivity(router.nets(), instance).empty());
+}
+
+TEST(Router, DviConsiderationReducesDeadVias) {
+  // The paper's Table III trend on a small instance: routing with the DVI
+  // cost scheme leaves fewer dead vias after post-routing DVI.
+  const netlist::PlacedNetlist instance = small_instance(80, 110, 3);
+
+  auto dead_with = [&](bool consider_dvi) {
+    FlowConfig config;
+    config.options.consider_dvi = consider_dvi;
+    config.options.consider_tpl = true;
+    config.dvi_method = DviMethod::kHeuristic;
+    return run_flow(instance, config).dvi.dead_vias;
+  };
+  const int baseline = dead_with(false);
+  const int with_dvi = dead_with(true);
+  EXPECT_LE(with_dvi, baseline);
+}
+
+TEST(Router, TplConsiderationEliminatesUncolorableVias) {
+  const netlist::PlacedNetlist instance = small_instance(64, 80, 11);
+  FlowOptions options;
+  options.consider_tpl = true;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_EQ(report.remaining_fvps, 0u);
+  EXPECT_EQ(report.uncolorable_vias, 0);
+  EXPECT_TRUE(check_tpl_colorable(router.via_db()).empty());
+}
+
+TEST(Router, ReportsCountsConsistently) {
+  const netlist::PlacedNetlist instance = small_instance(48, 30, 5);
+  FlowOptions options;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+
+  long long wl = 0;
+  int vias = 0;
+  for (const auto& net : router.nets()) {
+    wl += net.wirelength();
+    vias += net.via_count();
+  }
+  EXPECT_EQ(report.wirelength, wl);
+  EXPECT_EQ(report.via_count, vias);
+}
+
+}  // namespace
+}  // namespace sadp::core

@@ -1,0 +1,159 @@
+// Tests of the SADP mask model: rectangle math, DRC engine, and the layer
+// decomposition behaviour (legal patterns clean, forbidden turns caught).
+#include <gtest/gtest.h>
+
+#include "grid/turns.hpp"
+#include "sadp/decomposition.hpp"
+#include "sadp/mask.hpp"
+
+namespace sadp::litho {
+namespace {
+
+using grid::ArmMask;
+using grid::Dir;
+using grid::Point;
+
+TEST(MaskRect, SpacingMath) {
+  const MaskRect a{0, 0, 2, 2};
+  EXPECT_EQ(rect_spacing(a, MaskRect{4, 0, 6, 2}), 2);   // side by side
+  EXPECT_EQ(rect_spacing(a, MaskRect{2, 0, 4, 2}), 0);   // touching
+  EXPECT_EQ(rect_spacing(a, MaskRect{1, 1, 3, 3}), 0);   // overlapping
+  EXPECT_EQ(rect_spacing(a, MaskRect{3, 3, 5, 5}), 1);   // diagonal corner
+  EXPECT_EQ(rect_spacing(a, MaskRect{0, 5, 2, 7}), 3);   // above
+  EXPECT_TRUE(rects_overlap(a, MaskRect{1, 1, 3, 3}));
+  EXPECT_FALSE(rects_overlap(a, MaskRect{2, 0, 4, 2}));
+}
+
+TEST(MaskDrc, MinWidth) {
+  Mask mask{"m", {{0, 0, 1, 4}}};
+  const auto violations = check_mask(mask, 2, 2);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, DrcViolation::Kind::kMinWidth);
+}
+
+TEST(MaskDrc, MinSpacing) {
+  Mask mask{"m", {{0, 0, 2, 2}, {3, 0, 5, 2}}};  // gap 1 < 2
+  const auto violations = check_mask(mask, 2, 2);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, DrcViolation::Kind::kMinSpacing);
+}
+
+TEST(MaskDrc, TouchingShapesMergeIntoOnePattern) {
+  // Two touching rects and a third at legal distance: no violations.
+  Mask mask{"m", {{0, 0, 2, 2}, {2, 0, 4, 2}, {6, 0, 8, 2}}};
+  EXPECT_TRUE(check_mask(mask, 2, 2).empty());
+}
+
+TEST(MaskDrc, ChainedTouchingMerges) {
+  // a-b touch, b-c touch: a and c belong to one pattern even though a and c
+  // do not touch directly; the sub-minimum gap between a and c is exempt.
+  Mask mask{"m", {{0, 0, 2, 2}, {1, 2, 3, 4}, {2, 0, 4, 1}}};
+  EXPECT_TRUE(check_mask(mask, 1, 2).empty());
+}
+
+// --- Layer decomposition -----------------------------------------------------
+
+LayerPattern straight_wire(int layer, Point from, Dir dir, int length) {
+  LayerPattern pattern;
+  pattern.layer = layer;
+  Point p = from;
+  for (int i = 0; i <= length; ++i) {
+    ArmMask arms = 0;
+    if (i > 0) arms |= grid::arm_bit(grid::opposite(dir));
+    if (i < length) arms |= grid::arm_bit(dir);
+    pattern.points.push_back({p, arms});
+    p = p + grid::step(dir);
+  }
+  return pattern;
+}
+
+class DecomposeStyles : public ::testing::TestWithParam<grid::SadpStyle> {};
+
+TEST_P(DecomposeStyles, StraightWiresAreClean) {
+  for (int y = 8; y <= 9; ++y) {  // both track parities
+    const auto pattern = straight_wire(2, {4, y}, Dir::kEast, 6);
+    const auto decomposition = decompose_layer(pattern, GetParam());
+    EXPECT_TRUE(decomposition.violations.empty()) << "y=" << y;
+    EXPECT_EQ(decomposition.forbidden_turns, 0);
+  }
+}
+
+TEST_P(DecomposeStyles, ParallelWiresOnAdjacentTracksAreClean) {
+  LayerPattern pattern = straight_wire(2, {4, 8}, Dir::kEast, 6);
+  const LayerPattern second = straight_wire(2, {4, 9}, Dir::kEast, 6);
+  pattern.points.insert(pattern.points.end(), second.points.begin(),
+                        second.points.end());
+  EXPECT_TRUE(decompose_layer(pattern, GetParam()).violations.empty());
+}
+
+TEST_P(DecomposeStyles, IsolatedPadsAreClean) {
+  LayerPattern pattern;
+  pattern.points.push_back({{4, 4}, 0});
+  pattern.points.push_back({{7, 5}, 0});
+  EXPECT_TRUE(decompose_layer(pattern, GetParam()).violations.empty());
+}
+
+LayerPattern l_shape(Point corner, grid::TurnKind kind, int arm_len) {
+  LayerPattern pattern;
+  const Dir h = (kind == grid::TurnKind::kNE || kind == grid::TurnKind::kSE)
+                    ? Dir::kEast
+                    : Dir::kWest;
+  const Dir v = (kind == grid::TurnKind::kNE || kind == grid::TurnKind::kNW)
+                    ? Dir::kNorth
+                    : Dir::kSouth;
+  pattern.points.push_back(
+      {corner, static_cast<ArmMask>(grid::arm_bit(h) | grid::arm_bit(v))});
+  Point ph = corner, pv = corner;
+  for (int i = 1; i <= arm_len; ++i) {
+    ph = ph + grid::step(h);
+    pv = pv + grid::step(v);
+    ArmMask ah = grid::arm_bit(grid::opposite(h));
+    ArmMask av = grid::arm_bit(grid::opposite(v));
+    if (i < arm_len) {
+      ah |= grid::arm_bit(h);
+      av |= grid::arm_bit(v);
+    }
+    pattern.points.push_back({ph, ah});
+    pattern.points.push_back({pv, av});
+  }
+  return pattern;
+}
+
+TEST_P(DecomposeStyles, TurnClassificationMatchesMaskDrc) {
+  const grid::TurnRules rules = grid::TurnRules::for_style(GetParam());
+  for (int cls = 0; cls < 4; ++cls) {
+    const Point corner{10 + cls / 2, 10 + cls % 2};
+    for (grid::TurnKind kind : grid::kTurnKinds) {
+      const auto decomposition = decompose_layer(l_shape(corner, kind, 2), GetParam());
+      const bool forbidden =
+          rules.classify(corner, kind) == grid::TurnClass::kForbidden;
+      EXPECT_EQ(!decomposition.violations.empty(), forbidden)
+          << grid::style_name(GetParam()) << " class " << cls << " turn "
+          << grid::turn_name(kind);
+      EXPECT_EQ(decomposition.forbidden_turns > 0, forbidden);
+    }
+  }
+}
+
+TEST_P(DecomposeStyles, CensusCountsTurns) {
+  const grid::TurnRules rules = grid::TurnRules::for_style(GetParam());
+  // Find one corner+kind per class.
+  int total = 0;
+  LayerPattern combined;
+  for (int cls = 0; cls < 4; ++cls) {
+    const Point corner{20 + 8 * cls + cls / 2, 20 + cls % 2};
+    const auto pattern = l_shape(corner, grid::TurnKind::kNE, 1);
+    combined.points.insert(combined.points.end(), pattern.points.begin(),
+                           pattern.points.end());
+    ++total;
+  }
+  const TurnCensus census = census_turns(combined, rules);
+  EXPECT_EQ(census.preferred + census.non_preferred + census.forbidden, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStyles, DecomposeStyles,
+                         ::testing::Values(grid::SadpStyle::kSim,
+                                           grid::SadpStyle::kSid));
+
+}  // namespace
+}  // namespace sadp::litho

@@ -1,0 +1,159 @@
+// Tests of the SAQP (quadruple patterning) extension: period-4 turn tables
+// and end-to-end routing under the [17]-style pre-assignment.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/validate.hpp"
+#include "grid/turns.hpp"
+#include "netlist/bench_gen.hpp"
+
+namespace sadp {
+namespace {
+
+TEST(Saqp, PeriodFourClasses) {
+  const grid::TurnRules rules = grid::TurnRules::saqp_sim();
+  EXPECT_EQ(rules.period(), 4);
+  EXPECT_EQ(rules.num_classes(), 16);
+  // Classification repeats with period 4, not 2.
+  for (grid::TurnKind k : grid::kTurnKinds) {
+    EXPECT_EQ(rules.classify({1, 1}, k), rules.classify({5, 9}, k));
+  }
+  bool differs_from_period2 = false;
+  for (grid::TurnKind k : grid::kTurnKinds) {
+    differs_from_period2 |= rules.classify({0, 0}, k) != rules.classify({2, 0}, k);
+  }
+  EXPECT_TRUE(differs_from_period2);
+}
+
+TEST(Saqp, MixedGenerationClassesForbidEverything) {
+  const grid::TurnRules rules = grid::TurnRules::saqp_sim();
+  // Corner (1,0): horizontal track generation differs from vertical.
+  for (grid::TurnKind k : grid::kTurnKinds) {
+    EXPECT_EQ(rules.classify({1, 0}, k), grid::TurnClass::kForbidden);
+  }
+  // Corner (0,0): first-spacer meeting point, preferred diagonal exists.
+  int allowed = 0;
+  for (grid::TurnKind k : grid::kTurnKinds) {
+    allowed += rules.classify({0, 0}, k) != grid::TurnClass::kForbidden;
+  }
+  EXPECT_EQ(allowed, 2);
+}
+
+TEST(Saqp, SadpTablesStillHavePeriodTwo) {
+  for (auto style : {grid::SadpStyle::kSim, grid::SadpStyle::kSid}) {
+    const grid::TurnRules rules = grid::TurnRules::for_style(style);
+    EXPECT_EQ(rules.period(), 2);
+    for (grid::TurnKind k : grid::kTurnKinds) {
+      EXPECT_EQ(rules.classify({0, 0}, k), rules.classify({2, 2}, k));
+    }
+  }
+}
+
+TEST(Saqp, RoutesAndValidatesEndToEnd) {
+  netlist::BenchSpec spec;
+  spec.name = "saqp_itest";
+  spec.width = 64;
+  spec.height = 64;
+  spec.num_nets = 45;
+  spec.seed = 31;
+  const netlist::PlacedNetlist instance = netlist::generate(spec);
+
+  core::FlowOptions options;
+  options.style = grid::SadpStyle::kSaqpSim;
+  options.consider_dvi = true;
+  options.consider_tpl = true;
+  core::SadpRouter router(instance, options);
+  const core::RoutingReport report = router.run();
+
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_EQ(report.remaining_fvps, 0u);
+  const auto issues =
+      core::validate_routing(router, instance, /*expect_tpl_clean=*/true);
+  EXPECT_TRUE(issues.empty()) << issues.front().what;
+}
+
+TEST(Saqp, DviFeasibilityUsesQuadRules) {
+  netlist::BenchSpec spec;
+  spec.name = "saqp_dvi_itest";
+  spec.width = 56;
+  spec.height = 56;
+  spec.num_nets = 35;
+  const netlist::PlacedNetlist instance = netlist::generate(spec);
+
+  core::FlowConfig config;
+  config.options.style = grid::SadpStyle::kSaqpSim;
+  config.options.consider_dvi = true;
+  config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  const core::ExperimentResult result = core::run_flow(instance, config);
+  EXPECT_TRUE(result.routing.routed_all);
+  EXPECT_EQ(result.dvi.uncolorable, 0);
+  EXPECT_LT(result.dvi.dead_vias, result.single_vias);
+}
+
+
+TEST(SimTrim, SameTurnTableAsSimButNoUnitException) {
+  const grid::TurnRules sim = grid::TurnRules::sim_cut();
+  const grid::TurnRules trim = grid::TurnRules::sim_trim();
+  EXPECT_EQ(trim.period(), 2);
+  for (int cls = 0; cls < 4; ++cls) {
+    const grid::Point p{cls / 2, cls % 2};
+    for (grid::TurnKind k : grid::kTurnKinds) {
+      EXPECT_EQ(sim.classify(p, k), trim.classify(p, k));
+      if (trim.classify(p, k) == grid::TurnClass::kForbidden) {
+        EXPECT_FALSE(trim.forbidden_ok_at_unit(p, k, grid::ShortArm::kVertical));
+        EXPECT_TRUE(sim.forbidden_ok_at_unit(p, k, grid::ShortArm::kVertical));
+      }
+    }
+  }
+}
+
+TEST(SimTrim, RoutesAndValidatesEndToEnd) {
+  netlist::BenchSpec spec;
+  spec.name = "simtrim_itest";
+  spec.width = 56;
+  spec.height = 56;
+  spec.num_nets = 40;
+  spec.seed = 41;
+  const netlist::PlacedNetlist instance = netlist::generate(spec);
+
+  core::FlowConfig config;
+  config.options.style = grid::SadpStyle::kSimTrim;
+  config.options.consider_dvi = true;
+  config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  std::unique_ptr<core::SadpRouter> router;
+  const core::ExperimentResult result = core::run_flow(instance, config, &router);
+  EXPECT_TRUE(result.routing.routed_all);
+  EXPECT_EQ(result.routing.remaining_fvps, 0u);
+  const auto issues =
+      core::validate_routing(*router, instance, /*expect_tpl_clean=*/true);
+  EXPECT_TRUE(issues.empty()) << issues.front().what;
+}
+
+TEST(SimTrim, FewerFeasibleDvicsThanSimCut) {
+  // The trim variant lacks the one-unit cut-mask exception, so across the
+  // parity classes it can never offer MORE feasible DVICs than SIM-cut.
+  int sim_total = 0, trim_total = 0;
+  for (int cls = 0; cls < 4; ++cls) {
+    for (auto style : {grid::SadpStyle::kSim, grid::SadpStyle::kSimTrim}) {
+      grid::RoutingGrid routing(20, 20, 3);
+      via::ViaDb vias(20, 20, 2);
+      const grid::TurnRules rules = grid::TurnRules::for_style(style);
+      const grid::Point at{10 + cls / 2, 10 + cls % 2};
+      core::RoutedNet net(0);
+      net.add_segment(2, at, grid::Dir::kWest);
+      net.add_segment(3, at, grid::Dir::kNorth);
+      net.add_via(2, at);
+      net.apply_to(routing, vias);
+      const auto n = core::feasible_dvics(routing, rules, net, 2, at).size();
+      (style == grid::SadpStyle::kSim ? sim_total : trim_total) +=
+          static_cast<int>(n);
+    }
+  }
+  EXPECT_LE(trim_total, sim_total);
+  EXPECT_LT(trim_total, sim_total) << "the exception must matter somewhere";
+}
+
+}  // namespace
+}  // namespace sadp

@@ -1,0 +1,112 @@
+// Unit tests for the util library: deterministic RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sadp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Xoshiro256StarStar rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256StarStar rng(13);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(fnv1a("ecc"), fnv1a("ecc"));
+  EXPECT_NE(fnv1a("ecc"), fnv1a("efc"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.begin_row();
+  t.cell("x");
+  t.cell(42);
+  t.begin_row();
+  t.cell("yy");
+  t.cell(3.5, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a  | long_header |"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  // All lines equal length.
+  std::size_t pos = 0, prev_len = std::string::npos;
+  while (pos < s.size()) {
+    const auto end = s.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (prev_len != std::string::npos) {
+      EXPECT_EQ(len, prev_len);
+    }
+    prev_len = len;
+    pos = end + 1;
+  }
+}
+
+TEST(Table, HandlesMissingCells) {
+  TextTable t({"a", "b"});
+  t.begin_row();
+  t.cell("only_one");
+  EXPECT_NE(t.to_string().find("only_one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sadp::util

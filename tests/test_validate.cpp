@@ -1,0 +1,140 @@
+// Mutation tests of the validation module: plant each defect class into a
+// clean routed design and check the corresponding validator reports it
+// (and that clean designs stay clean).
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/router.hpp"
+#include "core/validate.hpp"
+#include "netlist/bench_gen.hpp"
+
+namespace sadp::core {
+namespace {
+
+struct RoutedDesign {
+  netlist::PlacedNetlist instance;
+  std::unique_ptr<SadpRouter> router;
+
+  RoutedDesign() {
+    netlist::BenchSpec spec;
+    spec.name = "vtest";
+    spec.width = 48;
+    spec.height = 48;
+    spec.num_nets = 30;
+    spec.seed = 13;
+    instance = netlist::generate(spec);
+    FlowOptions options;
+    options.consider_tpl = true;
+    router = std::make_unique<SadpRouter>(instance, options);
+    EXPECT_TRUE(router->run().routed_all);
+  }
+};
+
+TEST(Validate, CleanDesignPassesEverything) {
+  RoutedDesign d;
+  EXPECT_TRUE(validate_routing(*d.router, d.instance, true).empty());
+}
+
+TEST(Validate, DetectsDisconnectedPin) {
+  RoutedDesign d;
+  // Claim an extra far-away pin for net 0 that nothing connects to.
+  netlist::PlacedNetlist mutated = d.instance;
+  mutated.nets[0].pins.push_back({{47, 47}});
+  const auto issues = check_connectivity(d.router->nets(), mutated);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].what.find("disconnected"), std::string::npos);
+}
+
+TEST(Validate, DetectsPlantedCongestion) {
+  RoutedDesign d;
+  auto& grid = const_cast<grid::RoutingGrid&>(d.router->routing_grid());
+  // Overlap two nets at one metal point.
+  grid.add_metal(2, {24, 24}, 0, 0);
+  grid.add_metal(2, {24, 24}, 1, 0);
+  EXPECT_FALSE(check_no_congestion(grid).empty());
+}
+
+TEST(Validate, DetectsPlantedForbiddenTurn) {
+  RoutedDesign d;
+  const grid::TurnRules& rules = d.router->turn_rules();
+  // Find a forbidden turn kind for parity class (0,0) and plant it.
+  grid::TurnKind bad = grid::TurnKind::kNE;
+  for (grid::TurnKind k : grid::kTurnKinds) {
+    if (rules.classify({40, 40}, k) == grid::TurnClass::kForbidden) {
+      bad = k;
+      break;
+    }
+  }
+  std::vector<RoutedNet> nets;
+  nets.emplace_back(0);
+  const grid::Dir h = (bad == grid::TurnKind::kNE || bad == grid::TurnKind::kSE)
+                          ? grid::Dir::kEast
+                          : grid::Dir::kWest;
+  const grid::Dir v = (bad == grid::TurnKind::kNE || bad == grid::TurnKind::kNW)
+                          ? grid::Dir::kNorth
+                          : grid::Dir::kSouth;
+  nets[0].add_segment(2, {40, 40}, h);
+  nets[0].add_segment(2, {40, 40}, v);
+  EXPECT_FALSE(check_no_forbidden_turns(nets, rules).empty());
+}
+
+TEST(Validate, DetectsPlantedFvp) {
+  RoutedDesign d;
+  auto& vias = const_cast<via::ViaDb&>(d.router->via_db());
+  // Drop a 2x2 block far from everything.
+  for (int dx = 0; dx < 2; ++dx) {
+    for (int dy = 0; dy < 2; ++dy) vias.add(1, {40 + dx, 40 + dy});
+  }
+  EXPECT_FALSE(check_no_fvps(vias).empty());
+  EXPECT_FALSE(check_tpl_colorable(vias).empty());
+}
+
+TEST(Validate, DviSolutionChecksCatchBadInsertions) {
+  RoutedDesign d;
+  const DviProblem problem = build_dvi_problem(
+      d.router->nets(), d.router->routing_grid(), d.router->turn_rules());
+  ASSERT_GT(problem.num_vias(), 0);
+
+  // Insertion index out of range.
+  std::vector<int> inserted(static_cast<std::size_t>(problem.num_vias()), -1);
+  std::vector<grid::Point> at(static_cast<std::size_t>(problem.num_vias()));
+  inserted[0] = 99;
+  EXPECT_FALSE(check_dvi_solution(*d.router, problem, inserted, at).empty());
+
+  // Two redundant vias at the same location.
+  int b = -1;
+  for (int i = 0; i < problem.num_vias() && b < 0; ++i) {
+    if (problem.feasible[static_cast<std::size_t>(i)].empty()) continue;
+    for (int j = i + 1; j < problem.num_vias() && b < 0; ++j) {
+      if (problem.vias[static_cast<std::size_t>(j)].via_layer !=
+          problem.vias[static_cast<std::size_t>(i)].via_layer) {
+        continue;
+      }
+      for (std::size_t ka = 0;
+           ka < problem.feasible[static_cast<std::size_t>(i)].size(); ++ka) {
+        for (std::size_t kb = 0;
+             kb < problem.feasible[static_cast<std::size_t>(j)].size(); ++kb) {
+          if (problem.feasible[static_cast<std::size_t>(i)][ka] ==
+              problem.feasible[static_cast<std::size_t>(j)][kb]) {
+            b = j;
+            inserted.assign(static_cast<std::size_t>(problem.num_vias()), -1);
+            inserted[static_cast<std::size_t>(i)] = static_cast<int>(ka);
+            inserted[static_cast<std::size_t>(j)] = static_cast<int>(kb);
+            at[static_cast<std::size_t>(i)] =
+                problem.feasible[static_cast<std::size_t>(i)][ka];
+            at[static_cast<std::size_t>(j)] =
+                problem.feasible[static_cast<std::size_t>(j)][kb];
+          }
+          if (b >= 0) break;
+        }
+        if (b >= 0) break;
+      }
+    }
+  }
+  if (b >= 0) {
+    EXPECT_FALSE(check_dvi_solution(*d.router, problem, inserted, at).empty());
+  }
+}
+
+}  // namespace
+}  // namespace sadp::core

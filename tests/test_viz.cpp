@@ -1,0 +1,63 @@
+// Unit tests of the SVG document builder: coordinate flip, shape emission,
+// grouping, and file output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "viz/svg.hpp"
+
+namespace sadp::viz {
+namespace {
+
+TEST(Svg, EmitsShapesWithFlippedY) {
+  SvgDocument doc(10, 10, 10.0);
+  Style style;
+  doc.rect(1, 1, 2, 3, style);
+  const std::string svg = doc.to_string();
+  // World rect y=[1,4) on a height-10 canvas at scale 10 -> top at (10-4)*10.
+  EXPECT_NE(svg.find("<rect x=\"10.00\" y=\"60.00\" width=\"20.00\" "
+                     "height=\"30.00\""),
+            std::string::npos)
+      << svg;
+}
+
+TEST(Svg, LineEndpointsFlip) {
+  SvgDocument doc(10, 10, 1.0);
+  Style style;
+  doc.line(0, 0, 10, 10, style);
+  const std::string svg = doc.to_string();
+  EXPECT_NE(svg.find("x1=\"0.00\" y1=\"10.00\" x2=\"10.00\" y2=\"0.00\""),
+            std::string::npos);
+}
+
+TEST(Svg, GroupsAndOpacity) {
+  SvgDocument doc(4, 4);
+  doc.begin_group("wires", 0.5);
+  doc.circle(2, 2, 0.5, Style{});
+  doc.end_group();
+  const std::string svg = doc.to_string();
+  EXPECT_NE(svg.find("<g id=\"wires\" opacity=\"0.50\">"), std::string::npos);
+  EXPECT_NE(svg.find("</g>"), std::string::npos);
+}
+
+TEST(Svg, SaveWritesFile) {
+  SvgDocument doc(4, 4);
+  doc.text(1, 1, "hello", 1.0, "red");
+  const std::string path = "/tmp/sadp_svg_test.svg";
+  ASSERT_TRUE(doc.save(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("hello"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, SaveFailsOnBadPath) {
+  SvgDocument doc(4, 4);
+  EXPECT_FALSE(doc.save("/nonexistent_dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace sadp::viz

@@ -1,0 +1,35 @@
+#include <cstdio>
+#include "core/flow.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/validate.hpp"
+#include "netlist/bench_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sadp;
+  const char* name = argc > 1 ? argv[1] : "ecc_s";
+  const bool tpl = argc > 2 ? atoi(argv[2]) : 1;
+  const bool dvi = argc > 3 ? atoi(argv[3]) : 1;
+  auto inst = netlist::generate_named(name, true);
+  core::FlowConfig config;
+  config.options.style = grid::SadpStyle::kSim;
+  config.options.consider_dvi = dvi;
+  config.options.consider_tpl = tpl;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  std::unique_ptr<core::SadpRouter> router;
+  auto result = core::run_flow(inst, config, &router);
+  printf("routing: routed=%d unrouted=%d cong=%zu fvps=%zu uncol=%d wl=%lld vias=%d iters=%zu t=%.2f\n",
+    result.routing.routed_all, result.routing.unrouted_nets,
+    result.routing.remaining_congestion, result.routing.remaining_fvps,
+    result.routing.uncolorable_vias, result.routing.wirelength,
+    result.routing.via_count, result.routing.rr_iterations, result.routing.route_seconds);
+  printf("dvi problem: %d vias, %zu candidates\n", result.single_vias, result.dvi_candidates);
+  printf("heuristic: dead=%d uncol=%d t=%.2f\n", result.dvi.dead_vias, result.dvi.uncolorable, result.dvi.seconds);
+
+  // Now try the ILP:
+  const auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
+  core::DviIlpParams ip; ip.bnb.time_limit_seconds = 30;
+  auto ilp = core::solve_dvi_ilp(problem, router->via_db(), ip);
+  printf("ilp: status=%d dead=%d uncol=%d obj=%.1f nodes=%zu t=%.2f\n",
+    (int)ilp.status, ilp.result.dead_vias, ilp.result.uncolorable, ilp.objective, ilp.nodes, ilp.result.seconds);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <map>
+#include "core/flow.hpp"
+#include "core/dvi_ilp.hpp"
+#include "ilp/components.hpp"
+#include "netlist/bench_gen.hpp"
+int main(int argc, char** argv) {
+  using namespace sadp;
+  auto inst = netlist::generate_named(argc > 1 ? argv[1] : "ecc_s", true);
+  core::FlowConfig config;
+  config.options.consider_dvi = true; config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  std::unique_ptr<core::SadpRouter> router;
+  (void)core::run_flow(inst, config, &router);
+  auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
+  auto ilp = core::build_dvi_ilp(problem);
+  printf("model: %d vars %d constraints\n", ilp.model.num_vars(), ilp.model.num_constraints());
+  std::map<int,int> hist; int biggest=0;
+  for (auto& c : ilp::split_components(ilp.model)) { hist[c.model.num_vars()]++; biggest = std::max(biggest, c.model.num_vars()); }
+  int shown=0;
+  for (auto it = hist.rbegin(); it != hist.rend() && shown < 12; ++it, ++shown)
+    printf("  comp size %d x%d\n", it->first, it->second);
+  printf("biggest=%d total_comps=%zu\n", biggest, (size_t)0);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/router.hpp"
+#include "netlist/bench_gen.hpp"
+int main() {
+  using namespace sadp;
+  auto inst = netlist::generate_named("ecc_s", true);
+  core::FlowOptions options;  // baseline
+  core::SadpRouter router(inst, options);
+  auto report = router.run();
+  printf("cong=%zu\n", report.remaining_congestion);
+  for (auto& c : router.routing_grid().collect_congestion()) {
+    printf("%s layer=%d at=(%d,%d): nets", c.is_via ? "via" : "metal", c.layer, c.p.x, c.p.y);
+    if (c.is_via) {
+      for (auto id : router.routing_grid().via_occupants(c.layer, c.p)) printf(" %d", id);
+    } else {
+      for (auto& o : router.routing_grid().metal_occupants(c.layer, c.p)) printf(" %d(arms=%d)", o.net, o.arms);
+    }
+    printf("\n");
+    // print pins of those nets
+    if (!c.is_via) for (auto& o : router.routing_grid().metal_occupants(c.layer, c.p)) {
+      printf("  net %d pins:", o.net);
+      for (auto& pin : inst.nets[o.net].pins) printf(" (%d,%d)", pin.at.x, pin.at.y);
+      printf(" ripped=%d\n", router.nets()[o.net].rip_count());
+    }
+  }
+  return 0;
+}

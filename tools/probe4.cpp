@@ -1,0 +1,52 @@
+#include <cstdio>
+#include <cmath>
+#include "core/flow.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/dvi_ilp.hpp"
+#include "via/coloring.hpp"
+#include "netlist/bench_gen.hpp"
+using namespace sadp;
+int main() {
+  auto inst = netlist::generate_named("ecc_s", true);
+  core::FlowConfig config;
+  config.options.consider_dvi = true; config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  std::unique_ptr<core::SadpRouter> router;
+  (void)core::run_flow(inst, config, &router);
+  auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
+  auto ilp_problem = core::build_dvi_ilp(problem);
+  auto h = core::run_dvi_heuristic(problem, router->via_db(), core::DviParams{});
+  const int n = problem.num_vias();
+  std::vector<int> warm(ilp_problem.model.num_vars(), 0);
+  for (int i = 0; i < n; ++i) {
+    const int color = h.original_color[i];
+    const auto& vc = ilp_problem.vars.via_color[i];
+    warm[vc[color == via::kUncolored ? 3 : color]] = 1;
+    const int k = h.result.inserted[i];
+    if (k < 0) continue;
+    warm[ilp_problem.vars.insert[i][k]] = 1;
+    const int dc = h.redundant_color[i];
+    if (dc != via::kUncolored) warm[ilp_problem.vars.dvic_color[i][k][dc]] = 1;
+  }
+  // find violated constraints
+  int shown = 0;
+  const auto& cons = ilp_problem.model.constraints();
+  for (size_t ci = 0; ci < cons.size() && shown < 10; ++ci) {
+    double lhs = 0;
+    for (auto& t : cons[ci].terms) lhs += t.coef * warm[t.var];
+    bool bad = false;
+    switch (cons[ci].sense) {
+      case ilp::Sense::kLe: bad = lhs > cons[ci].rhs + 1e-6; break;
+      case ilp::Sense::kGe: bad = lhs < cons[ci].rhs - 1e-6; break;
+      case ilp::Sense::kEq: bad = std::abs(lhs - cons[ci].rhs) > 1e-6; break;
+    }
+    if (bad) {
+      ++shown;
+      printf("violated c%zu: sense=%d rhs=%.1f lhs=%.1f terms:", ci, (int)cons[ci].sense, cons[ci].rhs, lhs);
+      for (auto& t : cons[ci].terms) printf(" %+.1f*%s(=%d)", t.coef, ilp_problem.model.var_name(t.var).c_str(), warm[t.var]);
+      printf("\n");
+    }
+  }
+  if (!shown) printf("warm start feasible! obj=%.1f\n", ilp_problem.model.objective_value(warm));
+  return 0;
+}

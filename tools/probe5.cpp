@@ -1,0 +1,33 @@
+#include <cstdio>
+#include <algorithm>
+#include "core/flow.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/dvi_ilp.hpp"
+#include "ilp/components.hpp"
+#include "ilp/bnb.hpp"
+#include "util/timer.hpp"
+#include "netlist/bench_gen.hpp"
+using namespace sadp;
+int main() {
+  auto inst = netlist::generate_named("ecc_s", true);
+  core::FlowConfig config;
+  config.options.consider_dvi = true; config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+  std::unique_ptr<core::SadpRouter> router;
+  (void)core::run_flow(inst, config, &router);
+  auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
+  auto ip = core::build_dvi_ilp(problem);
+  auto comps = ilp::split_components(ip.model);
+  struct R { int vars; size_t nodes; double t; int status; };
+  std::vector<R> rs;
+  for (auto& c : comps) {
+    ilp::BnbParams bp; bp.time_limit_seconds = 2.0;
+    util::Timer t;
+    auto sol = ilp::solve(c.model, bp);
+    rs.push_back({c.model.num_vars(), sol.nodes_explored, t.seconds(), (int)sol.status});
+  }
+  std::sort(rs.begin(), rs.end(), [](auto&a, auto&b){return a.t>b.t;});
+  for (int i = 0; i < 12 && i < (int)rs.size(); ++i)
+    printf("vars=%d nodes=%zu t=%.2f status=%d\n", rs[i].vars, rs[i].nodes, rs[i].t, rs[i].status);
+  return 0;
+}

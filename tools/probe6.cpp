@@ -1,0 +1,21 @@
+#include <cstdio>
+#include "sadp/decomposition.hpp"
+using namespace sadp;
+int main() {
+  // Preferred SIM turn at parity (0,0): NE. Build L with 2-unit arms.
+  litho::LayerPattern pattern;
+  grid::Point corner{10, 10};
+  pattern.points.push_back({corner, (grid::ArmMask)(grid::arm_bit(grid::Dir::kEast)|grid::arm_bit(grid::Dir::kNorth))});
+  pattern.points.push_back({{11,10}, (grid::ArmMask)(grid::arm_bit(grid::Dir::kWest)|grid::arm_bit(grid::Dir::kEast))});
+  pattern.points.push_back({{12,10}, (grid::ArmMask)grid::arm_bit(grid::Dir::kWest)});
+  pattern.points.push_back({{10,11}, (grid::ArmMask)(grid::arm_bit(grid::Dir::kSouth)|grid::arm_bit(grid::Dir::kNorth))});
+  pattern.points.push_back({{10,12}, (grid::ArmMask)grid::arm_bit(grid::Dir::kSouth)});
+  auto d = litho::decompose_layer(pattern, grid::SadpStyle::kSim);
+  printf("violations %zu, degradations %d forbidden %d\n", d.violations.size(), d.degradations, d.forbidden_turns);
+  for (auto& v : d.violations) printf("  %s\n", v.to_string().c_str());
+  printf("core rects:\n");
+  for (auto& r : d.core.rects) printf("  (%d,%d)-(%d,%d)\n", r.lo_x, r.lo_y, r.hi_x, r.hi_y);
+  printf("assist rects:\n");
+  for (auto& r : d.assist.rects) printf("  (%d,%d)-(%d,%d)\n", r.lo_x, r.lo_y, r.hi_x, r.hi_y);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/flow.hpp"
+#include "netlist/bench_gen.hpp"
+#include "via/decomp_graph.hpp"
+#include "via/coloring.hpp"
+using namespace sadp;
+int main() {
+  auto inst = netlist::generate_named("ecc_s", true);
+  core::FlowOptions options;
+  options.consider_dvi = true; options.consider_tpl = true;
+  core::SadpRouter router(inst, options);
+  (void)router.run();
+  auto problem = core::build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  auto h = core::run_dvi_heuristic(problem, router.via_db(), core::DviParams{});
+  auto e = core::solve_dvi_exact(problem, router.via_db());
+  printf("heuristic dead=%d  exact dead=%d optimal=%d\n", h.result.dead_vias, e.result.dead_vias, (int)e.proven_optimal);
+  // For each via dead in heuristic but protected in exact: why did the heuristic fail?
+  int zero_cand=0, insert_diff=0;
+  for (int i = 0; i < problem.num_vias(); ++i) {
+    if (h.result.inserted[i] < 0 && problem.feasible[i].empty()) zero_cand++;
+    if (h.result.inserted[i] < 0 && e.result.inserted[i] >= 0) insert_diff++;
+  }
+  printf("heuristic-dead-with-no-candidates=%d  dead-in-h-protected-in-exact=%d\n", zero_cand, insert_diff);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/flow.hpp"
+#include "netlist/bench_gen.hpp"
+using namespace sadp;
+int main(int argc, char** argv) {
+  int radius = argc > 1 ? atoi(argv[1]) : 9;
+  auto spec = *netlist::spec_for("ecc_s", true);
+  spec.local_radius = radius;
+  auto inst = netlist::generate(spec);
+  core::FlowOptions options;
+  options.consider_dvi = true; options.consider_tpl = true;
+  core::SadpRouter router(inst, options);
+  auto rep = router.run();
+  double util = (double)rep.wirelength / (2.0 * inst.width * inst.height);
+  printf("radius=%d routed=%d wl=%lld vias=%d util=%.1f%% t=%.1fs iters=%zu\n",
+         radius, rep.routed_all, rep.wirelength, rep.via_count, util*100, rep.route_seconds, rep.rr_iterations);
+  auto problem = core::build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  auto h = core::run_dvi_heuristic(problem, router.via_db(), core::DviParams{});
+  core::DviExactParams ep; ep.time_limit_seconds = 60;
+  auto e = core::solve_dvi_exact(problem, router.via_db(), ep);
+  printf("  heuristic dead=%d exact dead=%d optimal=%d ratio=%.2f\n",
+         h.result.dead_vias, e.result.dead_vias, (int)e.proven_optimal,
+         e.result.dead_vias ? (double)h.result.dead_vias/e.result.dead_vias : 0.0);
+  return 0;
+}

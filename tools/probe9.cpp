@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/dvi_exact.hpp"
+#include "core/dvi_heuristic.hpp"
+#include "core/flow.hpp"
+#include "netlist/bench_gen.hpp"
+using namespace sadp;
+int main() {
+  auto inst = netlist::generate_named("top_s", true);
+  core::FlowOptions options;
+  options.consider_dvi = true; options.consider_tpl = true;
+  core::SadpRouter router(inst, options);
+  auto rep = router.run();
+  printf("routed=%d t=%.1f\n", rep.routed_all, rep.route_seconds);
+  auto problem = core::build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  core::DviExactParams ep; ep.time_limit_seconds = 120;
+  auto e = core::solve_dvi_exact(problem, router.via_db(), ep);
+  auto h = core::run_dvi_heuristic(problem, router.via_db(), core::DviParams{});
+  printf("top_s: exact dead=%d optimal=%d t=%.2fs nodes=%zu | heuristic dead=%d t=%.2fs\n",
+         e.result.dead_vias, (int)e.proven_optimal, e.result.seconds, e.nodes,
+         h.result.dead_vias, h.result.seconds);
+  return 0;
+}

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/sadp_route_cli.cpp" "apps/CMakeFiles/sadp_route.dir/sadp_route_cli.cpp.o" "gcc" "apps/CMakeFiles/sadp_route.dir/sadp_route_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sadp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/sadp_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadp/CMakeFiles/sadp_sadp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/sadp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/sadp_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sadp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sadp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_route.dir/sadp_route_cli.cpp.o"
+  "CMakeFiles/sadp_route.dir/sadp_route_cli.cpp.o.d"
+  "sadp_route"
+  "sadp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

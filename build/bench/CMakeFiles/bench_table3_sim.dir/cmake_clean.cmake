@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sim.dir/bench_table3_sim.cpp.o"
+  "CMakeFiles/bench_table3_sim.dir/bench_table3_sim.cpp.o.d"
+  "bench_table3_sim"
+  "bench_table3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sid.dir/bench_table4_sid.cpp.o"
+  "CMakeFiles/bench_table4_sid.dir/bench_table4_sid.cpp.o.d"
+  "bench_table4_sid"
+  "bench_table4_sid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dvi_sim.dir/bench_table6_dvi_sim.cpp.o"
+  "CMakeFiles/bench_table6_dvi_sim.dir/bench_table6_dvi_sim.cpp.o.d"
+  "bench_table6_dvi_sim"
+  "bench_table6_dvi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dvi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

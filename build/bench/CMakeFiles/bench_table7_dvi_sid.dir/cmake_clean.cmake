@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_dvi_sid.dir/bench_table7_dvi_sid.cpp.o"
+  "CMakeFiles/bench_table7_dvi_sid.dir/bench_table7_dvi_sid.cpp.o.d"
+  "bench_table7_dvi_sid"
+  "bench_table7_dvi_sid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_dvi_sid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

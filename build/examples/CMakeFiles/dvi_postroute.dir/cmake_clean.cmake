@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvi_postroute.dir/dvi_postroute.cpp.o"
+  "CMakeFiles/dvi_postroute.dir/dvi_postroute.cpp.o.d"
+  "dvi_postroute"
+  "dvi_postroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvi_postroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

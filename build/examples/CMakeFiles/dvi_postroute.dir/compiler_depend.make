@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvi_postroute.
+# This may be replaced when dependencies are built.

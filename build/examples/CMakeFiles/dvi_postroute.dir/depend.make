@@ -1,0 +1,2 @@
+# Empty dependencies file for dvi_postroute.
+# This may be replaced when dependencies are built.

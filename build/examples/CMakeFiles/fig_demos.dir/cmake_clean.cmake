@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_demos.dir/fig_demos.cpp.o"
+  "CMakeFiles/fig_demos.dir/fig_demos.cpp.o.d"
+  "fig_demos"
+  "fig_demos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_demos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

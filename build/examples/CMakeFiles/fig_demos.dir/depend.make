@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_demos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sid_flow.dir/sid_flow.cpp.o"
+  "CMakeFiles/sid_flow.dir/sid_flow.cpp.o.d"
+  "sid_flow"
+  "sid_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sid_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

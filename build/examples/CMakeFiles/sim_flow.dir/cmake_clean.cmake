@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_flow.dir/sim_flow.cpp.o"
+  "CMakeFiles/sim_flow.dir/sim_flow.cpp.o.d"
+  "sim_flow"
+  "sim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

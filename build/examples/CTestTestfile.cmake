@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sim_flow "/root/repo/build/examples/sim_flow")
+set_tests_properties(example_sim_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fig_demos "/root/repo/build/examples/fig_demos")
+set_tests_properties(example_fig_demos PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dvi_postroute "/root/repo/build/examples/dvi_postroute" "ecc_s" "5")
+set_tests_properties(example_dvi_postroute PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_render_layout "/root/repo/build/examples/render_layout" "ecc_s" "/root/repo/build/examples/render_test")
+set_tests_properties(example_render_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_demo_netlist "/root/repo/build/apps/sadp_route" "--netlist" "/root/repo/examples/data/demo_adder.nl" "--validate" "--dvi-method" "exact")
+set_tests_properties(cli_demo_netlist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

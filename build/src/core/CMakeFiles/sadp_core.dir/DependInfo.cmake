@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_maps.cpp" "src/core/CMakeFiles/sadp_core.dir/cost_maps.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/cost_maps.cpp.o.d"
+  "/root/repo/src/core/dvi_exact.cpp" "src/core/CMakeFiles/sadp_core.dir/dvi_exact.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/dvi_exact.cpp.o.d"
+  "/root/repo/src/core/dvi_heuristic.cpp" "src/core/CMakeFiles/sadp_core.dir/dvi_heuristic.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/dvi_heuristic.cpp.o.d"
+  "/root/repo/src/core/dvi_ilp.cpp" "src/core/CMakeFiles/sadp_core.dir/dvi_ilp.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/dvi_ilp.cpp.o.d"
+  "/root/repo/src/core/dvic.cpp" "src/core/CMakeFiles/sadp_core.dir/dvic.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/dvic.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/sadp_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/maze_router.cpp" "src/core/CMakeFiles/sadp_core.dir/maze_router.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/maze_router.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sadp_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/routed_net.cpp" "src/core/CMakeFiles/sadp_core.dir/routed_net.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/routed_net.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/sadp_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/solution_io.cpp" "src/core/CMakeFiles/sadp_core.dir/solution_io.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/solution_io.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/sadp_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/sadp_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/sadp_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sadp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/sadp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadp/CMakeFiles/sadp_sadp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sadp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

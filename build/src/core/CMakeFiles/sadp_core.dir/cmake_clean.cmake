@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_core.dir/cost_maps.cpp.o"
+  "CMakeFiles/sadp_core.dir/cost_maps.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/dvi_exact.cpp.o"
+  "CMakeFiles/sadp_core.dir/dvi_exact.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/dvi_heuristic.cpp.o"
+  "CMakeFiles/sadp_core.dir/dvi_heuristic.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/dvi_ilp.cpp.o"
+  "CMakeFiles/sadp_core.dir/dvi_ilp.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/dvic.cpp.o"
+  "CMakeFiles/sadp_core.dir/dvic.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/flow.cpp.o"
+  "CMakeFiles/sadp_core.dir/flow.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/maze_router.cpp.o"
+  "CMakeFiles/sadp_core.dir/maze_router.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/report.cpp.o"
+  "CMakeFiles/sadp_core.dir/report.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/routed_net.cpp.o"
+  "CMakeFiles/sadp_core.dir/routed_net.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/router.cpp.o"
+  "CMakeFiles/sadp_core.dir/router.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/solution_io.cpp.o"
+  "CMakeFiles/sadp_core.dir/solution_io.cpp.o.d"
+  "CMakeFiles/sadp_core.dir/validate.cpp.o"
+  "CMakeFiles/sadp_core.dir/validate.cpp.o.d"
+  "libsadp_core.a"
+  "libsadp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

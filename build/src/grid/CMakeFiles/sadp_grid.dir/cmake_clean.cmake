@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_grid.dir/routing_grid.cpp.o"
+  "CMakeFiles/sadp_grid.dir/routing_grid.cpp.o.d"
+  "CMakeFiles/sadp_grid.dir/turns.cpp.o"
+  "CMakeFiles/sadp_grid.dir/turns.cpp.o.d"
+  "libsadp_grid.a"
+  "libsadp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_ilp.dir/bnb.cpp.o"
+  "CMakeFiles/sadp_ilp.dir/bnb.cpp.o.d"
+  "CMakeFiles/sadp_ilp.dir/components.cpp.o"
+  "CMakeFiles/sadp_ilp.dir/components.cpp.o.d"
+  "CMakeFiles/sadp_ilp.dir/lp_export.cpp.o"
+  "CMakeFiles/sadp_ilp.dir/lp_export.cpp.o.d"
+  "CMakeFiles/sadp_ilp.dir/model.cpp.o"
+  "CMakeFiles/sadp_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/sadp_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/sadp_ilp.dir/simplex.cpp.o.d"
+  "libsadp_ilp.a"
+  "libsadp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_netlist.dir/bench_gen.cpp.o"
+  "CMakeFiles/sadp_netlist.dir/bench_gen.cpp.o.d"
+  "CMakeFiles/sadp_netlist.dir/io.cpp.o"
+  "CMakeFiles/sadp_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/sadp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sadp_netlist.dir/netlist.cpp.o.d"
+  "libsadp_netlist.a"
+  "libsadp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sadp/decomposition.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/decomposition.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/decomposition.cpp.o.d"
+  "/root/repo/src/sadp/mask.cpp" "src/sadp/CMakeFiles/sadp_sadp.dir/mask.cpp.o" "gcc" "src/sadp/CMakeFiles/sadp_sadp.dir/mask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sadp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

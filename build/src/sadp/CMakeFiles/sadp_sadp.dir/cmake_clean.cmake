@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_sadp.dir/decomposition.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/decomposition.cpp.o.d"
+  "CMakeFiles/sadp_sadp.dir/mask.cpp.o"
+  "CMakeFiles/sadp_sadp.dir/mask.cpp.o.d"
+  "libsadp_sadp.a"
+  "libsadp_sadp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_sadp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

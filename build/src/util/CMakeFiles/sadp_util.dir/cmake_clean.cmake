@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_util.dir/json.cpp.o"
+  "CMakeFiles/sadp_util.dir/json.cpp.o.d"
+  "CMakeFiles/sadp_util.dir/logging.cpp.o"
+  "CMakeFiles/sadp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sadp_util.dir/rng.cpp.o"
+  "CMakeFiles/sadp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sadp_util.dir/stats.cpp.o"
+  "CMakeFiles/sadp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sadp_util.dir/table.cpp.o"
+  "CMakeFiles/sadp_util.dir/table.cpp.o.d"
+  "CMakeFiles/sadp_util.dir/timer.cpp.o"
+  "CMakeFiles/sadp_util.dir/timer.cpp.o.d"
+  "libsadp_util.a"
+  "libsadp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/via/coloring.cpp" "src/via/CMakeFiles/sadp_via.dir/coloring.cpp.o" "gcc" "src/via/CMakeFiles/sadp_via.dir/coloring.cpp.o.d"
+  "/root/repo/src/via/decomp_graph.cpp" "src/via/CMakeFiles/sadp_via.dir/decomp_graph.cpp.o" "gcc" "src/via/CMakeFiles/sadp_via.dir/decomp_graph.cpp.o.d"
+  "/root/repo/src/via/fvp.cpp" "src/via/CMakeFiles/sadp_via.dir/fvp.cpp.o" "gcc" "src/via/CMakeFiles/sadp_via.dir/fvp.cpp.o.d"
+  "/root/repo/src/via/via_db.cpp" "src/via/CMakeFiles/sadp_via.dir/via_db.cpp.o" "gcc" "src/via/CMakeFiles/sadp_via.dir/via_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sadp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_via.dir/coloring.cpp.o"
+  "CMakeFiles/sadp_via.dir/coloring.cpp.o.d"
+  "CMakeFiles/sadp_via.dir/decomp_graph.cpp.o"
+  "CMakeFiles/sadp_via.dir/decomp_graph.cpp.o.d"
+  "CMakeFiles/sadp_via.dir/fvp.cpp.o"
+  "CMakeFiles/sadp_via.dir/fvp.cpp.o.d"
+  "CMakeFiles/sadp_via.dir/via_db.cpp.o"
+  "CMakeFiles/sadp_via.dir/via_db.cpp.o.d"
+  "libsadp_via.a"
+  "libsadp_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

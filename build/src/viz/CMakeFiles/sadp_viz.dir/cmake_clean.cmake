@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadp_viz.dir/layout_writer.cpp.o"
+  "CMakeFiles/sadp_viz.dir/layout_writer.cpp.o.d"
+  "CMakeFiles/sadp_viz.dir/svg.cpp.o"
+  "CMakeFiles/sadp_viz.dir/svg.cpp.o.d"
+  "libsadp_viz.a"
+  "libsadp_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadp_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coloring.cpp" "tests/CMakeFiles/sadp_tests.dir/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_coloring.cpp.o.d"
+  "/root/repo/tests/test_dvi.cpp" "tests/CMakeFiles/sadp_tests.dir/test_dvi.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_dvi.cpp.o.d"
+  "/root/repo/tests/test_dvic.cpp" "tests/CMakeFiles/sadp_tests.dir/test_dvic.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_dvic.cpp.o.d"
+  "/root/repo/tests/test_flow_fuzz.cpp" "tests/CMakeFiles/sadp_tests.dir/test_flow_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_flow_fuzz.cpp.o.d"
+  "/root/repo/tests/test_fvp.cpp" "tests/CMakeFiles/sadp_tests.dir/test_fvp.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_fvp.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/sadp_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_ilp.cpp" "tests/CMakeFiles/sadp_tests.dir/test_ilp.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_ilp.cpp.o.d"
+  "/root/repo/tests/test_maze.cpp" "tests/CMakeFiles/sadp_tests.dir/test_maze.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_maze.cpp.o.d"
+  "/root/repo/tests/test_maze_reference.cpp" "tests/CMakeFiles/sadp_tests.dir/test_maze_reference.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_maze_reference.cpp.o.d"
+  "/root/repo/tests/test_multilayer.cpp" "tests/CMakeFiles/sadp_tests.dir/test_multilayer.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_multilayer.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/sadp_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/sadp_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_routed_net.cpp" "tests/CMakeFiles/sadp_tests.dir/test_routed_net.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_routed_net.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/sadp_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_sadp.cpp" "tests/CMakeFiles/sadp_tests.dir/test_sadp.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_sadp.cpp.o.d"
+  "/root/repo/tests/test_saqp.cpp" "tests/CMakeFiles/sadp_tests.dir/test_saqp.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_saqp.cpp.o.d"
+  "/root/repo/tests/test_solution_io.cpp" "tests/CMakeFiles/sadp_tests.dir/test_solution_io.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_solution_io.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/sadp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/sadp_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/sadp_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/sadp_tests.dir/test_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sadp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/sadp_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadp/CMakeFiles/sadp_sadp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/sadp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/sadp_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sadp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/sadp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sadp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe4.dir/probe4.cpp.o"
+  "CMakeFiles/probe4.dir/probe4.cpp.o.d"
+  "probe4"
+  "probe4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe5.dir/probe5.cpp.o"
+  "CMakeFiles/probe5.dir/probe5.cpp.o.d"
+  "probe5"
+  "probe5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe6.dir/probe6.cpp.o"
+  "CMakeFiles/probe6.dir/probe6.cpp.o.d"
+  "probe6"
+  "probe6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe7.dir/probe7.cpp.o"
+  "CMakeFiles/probe7.dir/probe7.cpp.o.d"
+  "probe7"
+  "probe7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe8.dir/probe8.cpp.o"
+  "CMakeFiles/probe8.dir/probe8.cpp.o.d"
+  "probe8"
+  "probe8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

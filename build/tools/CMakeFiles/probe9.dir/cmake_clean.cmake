@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe9.dir/probe9.cpp.o"
+  "CMakeFiles/probe9.dir/probe9.cpp.o.d"
+  "probe9"
+  "probe9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,18 +3,24 @@
 // Route a netlist (file or generated benchmark), run post-routing TPL-aware
 // DVI, optionally validate, save the solution, and render an SVG:
 //
-//   sadp_route --netlist design.nl --style SIM --dvi --tpl
-//              --dvi-method heuristic --save-solution out.sol --svg out.svg
-//   sadp_route --benchmark ecc_s --dvi --tpl --validate
+//   sadp_route --netlist design.nl --style SIM --dvi-method heuristic
+//              --save-solution out.sol --svg out.svg
+//   sadp_route --benchmark ecc_s --validate
+//
+// Batch mode: `--benchmark` takes a comma-separated list (or `all` for the
+// whole set); the jobs run concurrently on the FlowEngine thread pool:
+//
+//   sadp_route --benchmark all --jobs 8 --json-report metrics.json
 //
 // Or run DVI standalone on a previously saved solution:
 //
 //   sadp_route --dvi-only out.sol --dvi-method exact --ilp-limit 60
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dvi_exact.hpp"
 #include "core/dvi_heuristic.hpp"
@@ -23,8 +29,12 @@
 #include "core/report.hpp"
 #include "core/solution_io.hpp"
 #include "core/validate.hpp"
+#include "engine/flow_engine.hpp"
 #include "netlist/bench_gen.hpp"
 #include "netlist/io.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 #include "viz/layout_writer.hpp"
 
 namespace {
@@ -33,7 +43,7 @@ using namespace sadp;
 
 struct CliOptions {
   std::string netlist_path;
-  std::string benchmark;
+  std::string benchmark;  ///< comma-separated names, or "all"
   std::string dvi_only_path;
   std::string save_solution_path;
   std::string svg_path;
@@ -46,76 +56,73 @@ struct CliOptions {
   bool full_scale = false;
   core::DviMethod method = core::DviMethod::kHeuristic;
   double ilp_limit = 60.0;
+  int jobs = 0;
 };
-
-void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s (--netlist FILE | --benchmark NAME | --dvi-only FILE)\n"
-      "          [--style SIM|SID|SAQP-SIM|SIM-TRIM] [--no-dvi] [--no-tpl]\n"
-      "          [--dvi-method heuristic|exact|ilp] [--ilp-limit SECONDS]\n"
-      "          [--save-solution FILE] [--svg FILE] [--json-report FILE]\n"
-      "          [--stats] [--validate] [--full]\n",
-      argv0);
-}
 
 std::optional<CliOptions> parse_cli(int argc, char** argv) {
   CliOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--netlist") {
-      if (const char* v = next()) options.netlist_path = v; else return std::nullopt;
-    } else if (arg == "--benchmark") {
-      if (const char* v = next()) options.benchmark = v; else return std::nullopt;
-    } else if (arg == "--dvi-only") {
-      if (const char* v = next()) options.dvi_only_path = v; else return std::nullopt;
-    } else if (arg == "--save-solution") {
-      if (const char* v = next()) options.save_solution_path = v; else return std::nullopt;
-    } else if (arg == "--svg") {
-      if (const char* v = next()) options.svg_path = v; else return std::nullopt;
-    } else if (arg == "--json-report") {
-      if (const char* v = next()) options.json_report_path = v; else return std::nullopt;
-    } else if (arg == "--stats") {
-      options.print_stats = true;
-    } else if (arg == "--style") {
-      const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      if (std::strcmp(v, "SIM") == 0) options.style = grid::SadpStyle::kSim;
-      else if (std::strcmp(v, "SID") == 0) options.style = grid::SadpStyle::kSid;
-      else if (std::strcmp(v, "SAQP-SIM") == 0) options.style = grid::SadpStyle::kSaqpSim;
-      else if (std::strcmp(v, "SIM-TRIM") == 0) options.style = grid::SadpStyle::kSimTrim;
-      else return std::nullopt;
-    } else if (arg == "--dvi-method") {
-      const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      if (std::strcmp(v, "heuristic") == 0) options.method = core::DviMethod::kHeuristic;
-      else if (std::strcmp(v, "exact") == 0) options.method = core::DviMethod::kExact;
-      else if (std::strcmp(v, "ilp") == 0) options.method = core::DviMethod::kIlp;
-      else return std::nullopt;
-    } else if (arg == "--ilp-limit") {
-      const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      options.ilp_limit = std::atof(v);
-    } else if (arg == "--no-dvi") {
-      options.consider_dvi = false;
-    } else if (arg == "--no-tpl") {
-      options.consider_tpl = false;
-    } else if (arg == "--validate") {
-      options.validate = true;
-    } else if (arg == "--full") {
-      options.full_scale = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return std::nullopt;
-    }
+  std::string style = "SIM";
+  std::string method = "heuristic";
+  bool no_dvi = false;
+  bool no_tpl = false;
+
+  util::ArgParser parser(
+      "SADP-aware detailed routing with post-routing TPL-aware DVI");
+  parser.add_string("--netlist", &options.netlist_path, "route a netlist file",
+                    "FILE");
+  parser.add_string("--benchmark", &options.benchmark,
+                    "route generated benchmark(s); comma-separated, or 'all'",
+                    "NAMES");
+  parser.add_string("--dvi-only", &options.dvi_only_path,
+                    "run DVI on a saved solution", "FILE");
+  parser.add_string("--style", &style, "SIM, SID, SAQP-SIM or SIM-TRIM", "STYLE");
+  parser.add_string("--dvi-method", &method, "heuristic, exact or ilp", "M");
+  parser.add_double("--ilp-limit", &options.ilp_limit,
+                    "DVI solver time limit in seconds", "S");
+  parser.add_int("--jobs", &options.jobs,
+                 "worker threads for batch runs (0 = all cores)", "N");
+  parser.add_flag("--no-dvi", &no_dvi, "disable DVI consideration in routing");
+  parser.add_flag("--no-tpl", &no_tpl, "disable via-layer TPL consideration");
+  parser.add_string("--save-solution", &options.save_solution_path,
+                    "write the routed solution", "FILE");
+  parser.add_string("--svg", &options.svg_path, "render the layout", "FILE");
+  parser.add_string("--json-report", &options.json_report_path,
+                    "write a JSON report (single run) or engine metrics (batch)",
+                    "FILE");
+  parser.add_flag("--stats", &options.print_stats, "print the design statistics");
+  parser.add_flag("--validate", &options.validate, "validate the solution(s)");
+  parser.add_flag("--full", &options.full_scale,
+                  "paper-scale benchmarks (default: scaled)");
+  if (!parser.parse(argc, argv)) return std::nullopt;
+
+  options.consider_dvi = !no_dvi;
+  options.consider_tpl = !no_tpl;
+
+  if (style == "SIM") options.style = grid::SadpStyle::kSim;
+  else if (style == "SID") options.style = grid::SadpStyle::kSid;
+  else if (style == "SAQP-SIM") options.style = grid::SadpStyle::kSaqpSim;
+  else if (style == "SIM-TRIM") options.style = grid::SadpStyle::kSimTrim;
+  else {
+    std::fprintf(stderr, "unknown style: %s\n", style.c_str());
+    return std::nullopt;
   }
+
+  if (method == "heuristic") options.method = core::DviMethod::kHeuristic;
+  else if (method == "exact") options.method = core::DviMethod::kExact;
+  else if (method == "ilp") options.method = core::DviMethod::kIlp;
+  else {
+    std::fprintf(stderr, "unknown dvi method: %s\n", method.c_str());
+    return std::nullopt;
+  }
+
   const int sources = (!options.netlist_path.empty()) +
                       (!options.benchmark.empty()) +
                       (!options.dvi_only_path.empty());
-  if (sources != 1) return std::nullopt;
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "exactly one of --netlist, --benchmark, --dvi-only required\n");
+    return std::nullopt;
+  }
   return options;
 }
 
@@ -168,18 +175,194 @@ int run_dvi_only(const CliOptions& options) {
   return 0;
 }
 
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) names.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
+
+core::FlowConfig flow_config(const CliOptions& options) {
+  core::FlowConfig config;
+  config.options.style = options.style;
+  config.options.consider_dvi = options.consider_dvi;
+  config.options.consider_tpl = options.consider_tpl;
+  config.dvi_method = options.method;
+  config.ilp_time_limit_seconds = options.ilp_limit;
+  return config;
+}
+
+/// Post-process one finished run: print, report, validate, save, render.
+int finish_single(const CliOptions& options, const netlist::PlacedNetlist& instance,
+                  const engine::JobOutcome& outcome) {
+  const core::ExperimentResult& result = outcome.result;
+  const core::SadpRouter& router = *outcome.router;
+
+  std::printf("routing: %s, WL %lld, vias %d, %.2fs, R&R iterations %zu\n",
+              result.routing.routed_all ? "100%" : "INCOMPLETE",
+              result.routing.wirelength, result.routing.via_count,
+              result.routing.route_seconds, result.routing.rr_iterations);
+  std::printf("via TPL: FVPs %zu, uncolorable %d\n", result.routing.remaining_fvps,
+              result.routing.uncolorable_vias);
+  std::printf("DVI (%s): dead vias %d / %d, uncolorable %d, %.2fs\n",
+              core::dvi_method_name(options.method), result.dvi.dead_vias,
+              result.single_vias, result.dvi.uncolorable, result.dvi.seconds);
+
+  if (options.print_stats || !options.json_report_path.empty()) {
+    const core::DesignStats stats = core::collect_design_stats(router);
+    if (options.print_stats) {
+      std::fputs(core::render_text_report(result, stats).c_str(), stdout);
+    }
+    if (!options.json_report_path.empty()) {
+      std::ofstream out(options.json_report_path);
+      out << core::render_json_report(result, stats) << '\n';
+      std::printf("wrote %s\n", options.json_report_path.c_str());
+    }
+  }
+
+  int exit_code = result.routing.routed_all ? 0 : 1;
+  if (options.validate) {
+    const auto issues =
+        core::validate_routing(router, instance, options.consider_tpl);
+    if (issues.empty()) {
+      std::printf("validation: all checks passed\n");
+    } else {
+      for (const auto& issue : issues) {
+        std::printf("validation issue: %s\n", issue.what.c_str());
+      }
+      exit_code = 1;
+    }
+  }
+
+  if (!options.save_solution_path.empty()) {
+    std::ofstream out(options.save_solution_path);
+    core::write_solution(out, core::capture_solution(instance.name,
+                                                     router.routing_grid(),
+                                                     options.style,
+                                                     router.nets()));
+    std::printf("wrote %s\n", options.save_solution_path.c_str());
+  }
+  if (!options.svg_path.empty()) {
+    viz::LayoutWriterOptions render;
+    render.clip_hi_x = std::min(95, router.routing_grid().width() - 1);
+    render.clip_hi_y = std::min(95, router.routing_grid().height() - 1);
+    if (viz::render_layout(router, render).save(options.svg_path)) {
+      std::printf("wrote %s\n", options.svg_path.c_str());
+    }
+  }
+  return exit_code;
+}
+
+/// Batch mode: several benchmarks through the engine, summary table + metrics.
+int run_batch(const CliOptions& options, const std::vector<std::string>& names) {
+  std::vector<engine::FlowJob> jobs;
+  for (const auto& name : names) {
+    const auto spec = netlist::spec_for(name, !options.full_scale);
+    if (!spec) {
+      std::fprintf(stderr, "unknown benchmark %s\n", name.c_str());
+      return 2;
+    }
+    engine::FlowJob job;
+    job.label = name;
+    job.spec = *spec;
+    job.config = flow_config(options);
+    job.keep_router = options.validate;
+    jobs.push_back(std::move(job));
+  }
+
+  engine::EngineOptions engine_options;
+  engine_options.num_workers = options.jobs;
+  engine_options.on_job_done = [](const engine::JobOutcome& outcome,
+                                  std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "[%zu/%zu] %s: %.2fs\n", done, total,
+                 outcome.label.c_str(), outcome.metrics.total_seconds);
+  };
+  util::Timer wall;
+  const auto outcomes =
+      engine::FlowEngine(engine_options).run(std::move(jobs));
+  const double wall_seconds = wall.seconds();
+  const int workers = engine::FlowEngine::resolve_workers(options.jobs);
+
+  util::TextTable table({"CKT", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
+  int exit_code = 0;
+  for (const auto& outcome : outcomes) {
+    const core::ExperimentResult& r = outcome.result;
+    table.begin_row();
+    table.cell(r.benchmark);
+    table.cell(r.routing.wirelength);
+    table.cell(r.routing.via_count);
+    table.cell(r.routing.route_seconds, 1);
+    table.cell(r.dvi.dead_vias);
+    table.cell(r.dvi.uncolorable);
+    table.cell(r.routing.routed_all ? "100%" : "NO");
+    if (!r.routing.routed_all) exit_code = 1;
+    if (options.validate) {
+      const netlist::PlacedNetlist instance = netlist::generate(
+          *netlist::spec_for(outcome.label, !options.full_scale));
+      const auto issues = core::validate_routing(*outcome.router, instance,
+                                                 options.consider_tpl);
+      for (const auto& issue : issues) {
+        std::printf("validation issue (%s): %s\n", outcome.label.c_str(),
+                    issue.what.c_str());
+        exit_code = 1;
+      }
+    }
+  }
+  table.print();
+  std::printf("%zu jobs on %d workers in %.2fs wall\n", outcomes.size(), workers,
+              wall_seconds);
+
+  if (!options.json_report_path.empty()) {
+    std::ofstream out(options.json_report_path);
+    out << engine::metrics_json(outcomes, workers, wall_seconds) << '\n';
+    std::printf("wrote %s\n", options.json_report_path.c_str());
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto options = parse_cli(argc, argv);
-  if (!options) {
-    usage(argv[0]);
-    return 2;
-  }
+  auto options = parse_cli(argc, argv);
+  if (!options) return 2;
   if (!options->dvi_only_path.empty()) return run_dvi_only(*options);
 
-  // Load or generate the placed netlist.
+  // Batch mode: several generated benchmarks through the engine.
+  if (!options->benchmark.empty()) {
+    std::vector<std::string> names = split_names(options->benchmark);
+    if (options->benchmark == "all") {
+      names.clear();
+      for (const auto& row : options->full_scale ? netlist::paper_benchmarks()
+                                                 : netlist::scaled_benchmarks()) {
+        names.push_back(row.name);
+      }
+    }
+    if (names.size() > 1) {
+      if (!options->save_solution_path.empty() || !options->svg_path.empty()) {
+        std::fprintf(stderr,
+                     "--save-solution/--svg apply to single-instance runs only\n");
+        return 2;
+      }
+      return run_batch(*options, names);
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "no benchmark names given\n");
+      return 2;
+    }
+    options->benchmark = names[0];
+  }
+
+  // Single-instance mode (one benchmark or a netlist file): one engine job
+  // with the router retained for validation/rendering.
   netlist::PlacedNetlist instance;
+  engine::FlowJob job;
   if (!options->benchmark.empty()) {
     const auto spec = netlist::spec_for(options->benchmark, !options->full_scale);
     if (!spec) {
@@ -202,71 +385,15 @@ int main(int argc, char** argv) {
     instance = *parsed;
   }
 
-  core::FlowConfig config;
-  config.options.style = options->style;
-  config.options.consider_dvi = options->consider_dvi;
-  config.options.consider_tpl = options->consider_tpl;
-  config.dvi_method = options->method;
-  config.ilp_time_limit_seconds = options->ilp_limit;
-
   std::printf("routing %s (%d nets, %dx%d, %s, dvi=%d tpl=%d)...\n",
               instance.name.c_str(), instance.num_nets(), instance.width,
               instance.height, grid::style_name(options->style),
               options->consider_dvi, options->consider_tpl);
-  std::unique_ptr<core::SadpRouter> router;
-  const core::ExperimentResult result = core::run_flow(instance, config, &router);
 
-  std::printf("routing: %s, WL %lld, vias %d, %.2fs, R&R iterations %zu\n",
-              result.routing.routed_all ? "100%" : "INCOMPLETE",
-              result.routing.wirelength, result.routing.via_count,
-              result.routing.route_seconds, result.routing.rr_iterations);
-  std::printf("via TPL: FVPs %zu, uncolorable %d\n", result.routing.remaining_fvps,
-              result.routing.uncolorable_vias);
-  std::printf("DVI (%s): dead vias %d / %d, uncolorable %d, %.2fs\n",
-              core::dvi_method_name(options->method), result.dvi.dead_vias,
-              result.single_vias, result.dvi.uncolorable, result.dvi.seconds);
-
-  if (options->print_stats || !options->json_report_path.empty()) {
-    const core::DesignStats stats = core::collect_design_stats(*router);
-    if (options->print_stats) {
-      std::fputs(core::render_text_report(result, stats).c_str(), stdout);
-    }
-    if (!options->json_report_path.empty()) {
-      std::ofstream out(options->json_report_path);
-      out << core::render_json_report(result, stats) << '\n';
-      std::printf("wrote %s\n", options->json_report_path.c_str());
-    }
-  }
-
-  int exit_code = result.routing.routed_all ? 0 : 1;
-  if (options->validate) {
-    const auto issues = core::validate_routing(*router, instance,
-                                               options->consider_tpl);
-    if (issues.empty()) {
-      std::printf("validation: all checks passed\n");
-    } else {
-      for (const auto& issue : issues) {
-        std::printf("validation issue: %s\n", issue.what.c_str());
-      }
-      exit_code = 1;
-    }
-  }
-
-  if (!options->save_solution_path.empty()) {
-    std::ofstream out(options->save_solution_path);
-    core::write_solution(out, core::capture_solution(instance.name,
-                                                     router->routing_grid(),
-                                                     options->style,
-                                                     router->nets()));
-    std::printf("wrote %s\n", options->save_solution_path.c_str());
-  }
-  if (!options->svg_path.empty()) {
-    viz::LayoutWriterOptions render;
-    render.clip_hi_x = std::min(95, router->routing_grid().width() - 1);
-    render.clip_hi_y = std::min(95, router->routing_grid().height() - 1);
-    if (viz::render_layout(*router, render).save(options->svg_path)) {
-      std::printf("wrote %s\n", options->svg_path.c_str());
-    }
-  }
-  return exit_code;
+  job.label = instance.name;
+  job.netlist = instance;
+  job.config = flow_config(*options);
+  job.keep_router = true;
+  auto outcomes = engine::FlowEngine().run({std::move(job)});
+  return finish_single(*options, instance, outcomes[0]);
 }

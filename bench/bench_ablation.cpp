@@ -9,8 +9,11 @@
 //   3. DVI ILP with and without the heuristic warm start (anytime quality
 //      under the same time limit).
 //
-// Defaults to one mid-size circuit; --ckt/--full as usual.
+// Defaults to one mid-size circuit; --ckt/--full as usual.  The flow-level
+// variants (sections 1 and 2) run as one FlowEngine batch; metrics go to
+// bench_results/ablation.{json,csv}.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/dvi_exact.hpp"
@@ -19,20 +22,6 @@
 #include "util/table.hpp"
 
 using namespace sadp;
-
-namespace {
-
-core::ExperimentResult run_variant(const netlist::PlacedNetlist& instance,
-                                   const core::CostParams& cost) {
-  core::FlowConfig config;
-  config.options.consider_dvi = true;
-  config.options.consider_tpl = true;
-  config.options.cost = cost;
-  config.dvi_method = core::DviMethod::kHeuristic;
-  return core::run_flow(instance, config);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   auto args = bench::parse_args(argc, argv);
@@ -46,7 +35,7 @@ int main(int argc, char** argv) {
   const netlist::PlacedNetlist instance = netlist::generate(*spec);
   std::printf("== Ablations on %s ==\n", instance.name.c_str());
 
-  // --- 1. cost-weight knockouts ---------------------------------------------
+  // --- 1 & 2. flow-level variants, one engine batch ---------------------------
   struct Variant {
     const char* label;
     core::CostParams cost;
@@ -74,39 +63,58 @@ int main(int argc, char** argv) {
     variants.push_back({"gamma=0 (no TPLC)", c});
   }
 
+  std::vector<engine::FlowJob> jobs;
+  for (const auto& variant : variants) {
+    engine::FlowJob job;
+    job.label = instance.name;
+    job.arm = variant.label;
+    job.spec = *spec;
+    job.config.options.consider_dvi = true;
+    job.config.options.consider_tpl = true;
+    job.config.options.cost = variant.cost;
+    job.config.dvi_method = core::DviMethod::kHeuristic;
+    jobs.push_back(std::move(job));
+  }
+  // Section 2: the TPL phase's contribution (off vs on).
+  for (bool tpl : {false, true}) {
+    engine::FlowJob job;
+    job.label = instance.name;
+    job.arm = tpl ? "with TPL phase (Alg. 2)" : "without TPL phase";
+    job.spec = *spec;
+    job.config.options.consider_dvi = true;
+    job.config.options.consider_tpl = tpl;
+    job.config.dvi_method = core::DviMethod::kHeuristic;
+    jobs.push_back(std::move(job));
+  }
+  const auto outcomes = bench::run_batch(args, "ablation", std::move(jobs));
+
   std::printf("\n-- cost-assignment knockouts (DVI by heuristic) --\n");
   util::TextTable t1({"variant", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "rr iters"});
-  for (const auto& variant : variants) {
-    const auto result = run_variant(instance, variant.cost);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const core::ExperimentResult& result = outcomes[v].result;
     t1.begin_row();
-    t1.cell(variant.label);
+    t1.cell(variants[v].label);
     t1.cell(result.routing.wirelength);
     t1.cell(result.routing.via_count);
     t1.cell(result.routing.route_seconds, 2);
     t1.cell(result.dvi.dead_vias);
     t1.cell(result.dvi.uncolorable);
     t1.cell(static_cast<long long>(result.routing.rr_iterations));
-    std::fflush(stdout);
   }
   t1.print();
 
-  // --- 2. FVP blocking in Algorithm 2 ----------------------------------------
   // Blocking cannot be toggled from the public options (it is part of the
   // algorithm); approximate the ablation by comparing the TPL arm against
   // the no-TPL arm's residual FVP count, which shows what the phase earns.
   std::printf("\n-- Algorithm 2 contribution (TPL phase off vs on) --\n");
   util::TextTable t2({"configuration", "FVPs left", "#UV (router)", "CPU(s)"});
-  for (bool tpl : {false, true}) {
-    core::FlowConfig config;
-    config.options.consider_dvi = true;
-    config.options.consider_tpl = tpl;
-    config.dvi_method = core::DviMethod::kHeuristic;
-    const auto result = core::run_flow(instance, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const engine::JobOutcome& outcome = outcomes[variants.size() + i];
     t2.begin_row();
-    t2.cell(tpl ? "with TPL phase (Alg. 2)" : "without TPL phase");
-    t2.cell(static_cast<long long>(result.routing.remaining_fvps));
-    t2.cell(result.routing.uncolorable_vias);
-    t2.cell(result.routing.route_seconds, 2);
+    t2.cell(outcome.arm);
+    t2.cell(static_cast<long long>(outcome.result.routing.remaining_fvps));
+    t2.cell(outcome.result.routing.uncolorable_vias);
+    t2.cell(outcome.result.routing.route_seconds, 2);
   }
   t2.print();
 

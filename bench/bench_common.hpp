@@ -4,14 +4,20 @@
 //   --full        run the paper-scale benchmarks (default: scaled "_s" set)
 //   --ckt NAME    restrict to one circuit (e.g. --ckt ecc)
 //   --ilp-limit S per-instance ILP time limit in seconds
+//   --jobs N      worker threads for the batch engine (0 = all cores)
+//
+// Unknown flags are hard errors (exit 2), via util::ArgParser.
 #pragma once
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "engine/flow_engine.hpp"
 #include "netlist/bench_gen.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
 
 namespace sadp::bench {
 
@@ -19,22 +25,28 @@ struct BenchArgs {
   bool full = false;
   std::string only_ckt;
   double ilp_limit = 15.0;
+  int jobs = 0;  ///< engine workers; 0 = hardware_concurrency
+  bool quiet = false;
 };
 
+/// Register the shared flags on a parser (binaries may add their own).
+inline void register_common_flags(util::ArgParser& parser, BenchArgs& args) {
+  parser.add_flag("--full", &args.full,
+                  "run the paper-scale benchmark set (default: scaled)");
+  parser.add_string("--ckt", &args.only_ckt, "restrict to one circuit", "NAME");
+  parser.add_double("--ilp-limit", &args.ilp_limit,
+                    "per-instance ILP time limit in seconds", "S");
+  parser.add_int("--jobs", &args.jobs,
+                 "worker threads for the batch engine (0 = all cores)", "N");
+  parser.add_flag("--quiet", &args.quiet, "suppress per-job progress lines");
+}
+
+/// Parse the shared flags; exits 2 on unknown flags or malformed values.
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) {
-      args.full = true;
-    } else if (std::strcmp(argv[i], "--ckt") == 0 && i + 1 < argc) {
-      args.only_ckt = argv[++i];
-    } else if (std::strcmp(argv[i], "--ilp-limit") == 0 && i + 1 < argc) {
-      args.ilp_limit = std::atof(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--full] [--ckt NAME] [--ilp-limit S]\n",
-                   argv[0]);
-    }
-  }
+  util::ArgParser parser("reproduce one of the paper's experiment tables");
+  register_common_flags(parser, args);
+  if (!parser.parse(argc, argv)) std::exit(2);
   return args;
 }
 
@@ -50,6 +62,39 @@ inline std::vector<netlist::BenchStats> selected_benchmarks(const BenchArgs& arg
     rows = filtered;
   }
   return rows;
+}
+
+/// Engine configured from the shared flags, with a progress printer on
+/// stderr (stdout is reserved for the tables).
+inline engine::FlowEngine make_engine(const BenchArgs& args) {
+  engine::EngineOptions options;
+  options.num_workers = args.jobs;
+  if (!args.quiet) {
+    options.on_job_done = [](const engine::JobOutcome& outcome, std::size_t done,
+                             std::size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %s%s%s: %.2fs\n", done, total,
+                   outcome.label.c_str(), outcome.arm.empty() ? "" : " / ",
+                   outcome.arm.c_str(), outcome.metrics.total_seconds);
+    };
+  }
+  return engine::FlowEngine(options);
+}
+
+/// Run the batch and write bench_results/<stem>.{json,csv} next to the
+/// text tables.  Returns the outcomes in job order.
+inline std::vector<engine::JobOutcome> run_batch(const BenchArgs& args,
+                                                 const std::string& stem,
+                                                 std::vector<engine::FlowJob> jobs) {
+  util::Timer wall;
+  auto outcomes = make_engine(args).run(std::move(jobs));
+  const int workers = engine::FlowEngine::resolve_workers(args.jobs);
+  const std::string path = engine::write_metrics_files(
+      "bench_results", stem, outcomes, workers, wall.seconds());
+  if (!path.empty()) {
+    std::fprintf(stderr, "metrics: %s (%d workers, %.2fs wall)\n", path.c_str(),
+                 workers, wall.seconds());
+  }
+  return outcomes;
 }
 
 }  // namespace sadp::bench

@@ -4,7 +4,12 @@
 // The journal version enlarges the cost-assignment weights (alpha 8, beta 4)
 // relative to the conference paper to emphasize DVI, trading ~1% wirelength
 // and via count for a further large dead-via reduction.
+//
+// Both variants run concurrently through the FlowEngine; per-stage metrics
+// land in bench_results/table5.{json,csv}.
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/flow.hpp"
@@ -27,43 +32,38 @@ int main(int argc, char** argv) {
   std::printf("== Table V: SIM SADP-aware routing with DVI & via-layer TPL — "
               "conference vs journal parameters ==\n");
 
-  struct Row {
-    long long wl;
-    int vias;
-    double cpu;
-    int dv;
-    int uv;
-  };
-  std::vector<std::vector<Row>> rows(2);
+  const auto benchmarks = bench::selected_benchmarks(args);
+  std::vector<engine::FlowJob> jobs;
+  for (const auto& variant : variants) {
+    for (const auto& bench : benchmarks) {
+      engine::FlowJob job;
+      job.label = bench.name;
+      job.arm = variant.name;
+      job.spec = *netlist::spec_for(bench.name, !args.full);
+      job.config.options.style = grid::SadpStyle::kSim;
+      job.config.options.consider_dvi = true;
+      job.config.options.consider_tpl = true;
+      job.config.options.cost = variant.cost;
+      job.config.dvi_method = core::DviMethod::kExact;
+      job.config.ilp_time_limit_seconds = args.ilp_limit;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto outcomes = bench::run_batch(args, "table5", std::move(jobs));
 
-  for (int v = 0; v < 2; ++v) {
+  const std::size_t per_variant = benchmarks.size();
+  for (std::size_t v = 0; v < 2; ++v) {
     std::printf("\n== %s ==\n", variants[v].name);
     util::TextTable table({"CKT", "WL", "#Vias", "CPU(s)", "#DV", "#UV"});
-    for (const auto& bench : bench::selected_benchmarks(args)) {
-      const auto spec = netlist::spec_for(bench.name, !args.full);
-      const netlist::PlacedNetlist instance = netlist::generate(*spec);
-
-      core::FlowConfig config;
-      config.options.style = grid::SadpStyle::kSim;
-      config.options.consider_dvi = true;
-      config.options.consider_tpl = true;
-      config.options.cost = variants[v].cost;
-      config.dvi_method = core::DviMethod::kExact;
-      config.ilp_time_limit_seconds = args.ilp_limit;
-
-      const core::ExperimentResult result = core::run_flow(instance, config);
-      rows[static_cast<std::size_t>(v)].push_back(
-          Row{result.routing.wirelength, result.routing.via_count,
-              result.routing.route_seconds, result.dvi.dead_vias,
-              result.dvi.uncolorable});
+    for (std::size_t i = 0; i < per_variant; ++i) {
+      const core::ExperimentResult& r = outcomes[v * per_variant + i].result;
       table.begin_row();
-      table.cell(bench.name);
-      table.cell(result.routing.wirelength);
-      table.cell(result.routing.via_count);
-      table.cell(result.routing.route_seconds, 1);
-      table.cell(result.dvi.dead_vias);
-      table.cell(result.dvi.uncolorable);
-      std::fflush(stdout);
+      table.cell(r.benchmark);
+      table.cell(r.routing.wirelength);
+      table.cell(r.routing.via_count);
+      table.cell(r.routing.route_seconds, 1);
+      table.cell(r.dvi.dead_vias);
+      table.cell(r.dvi.uncolorable);
     }
     table.print();
   }
@@ -72,13 +72,14 @@ int main(int argc, char** argv) {
   util::TextTable summary({"variant", "WL", "#Vias", "CPU(s)", "#DV", "WLn",
                            "Viasn", "CPUn", "DVn"});
   std::array<double, 4> base{};
-  for (int v = 0; v < 2; ++v) {
+  for (std::size_t v = 0; v < 2; ++v) {
     util::Accumulator wl, vias, cpu, dv;
-    for (const auto& row : rows[static_cast<std::size_t>(v)]) {
-      wl.add(static_cast<double>(row.wl));
-      vias.add(row.vias);
-      cpu.add(row.cpu);
-      dv.add(row.dv);
+    for (std::size_t i = 0; i < per_variant; ++i) {
+      const core::ExperimentResult& r = outcomes[v * per_variant + i].result;
+      wl.add(static_cast<double>(r.routing.wirelength));
+      vias.add(r.routing.via_count);
+      cpu.add(r.routing.route_seconds);
+      dv.add(r.dvi.dead_vias);
     }
     if (v == 0) base = {wl.mean(), vias.mean(), cpu.mean(), dv.mean()};
     summary.begin_row();

@@ -9,6 +9,10 @@
 // latter two from the post-routing TPL-aware DVI solved to optimality (the
 // paper solves its ILP with Gurobi; here the domain-specific exact branch &
 // bound plays that role), with the per-instance time limit of --ilp-limit.
+//
+// All (circuit, arm) pairs run concurrently through the FlowEngine; the
+// tables are printed from the collected outcomes, and per-stage metrics go
+// to bench_results/<table>.{json,csv}.
 #pragma once
 
 #include <cstdio>
@@ -34,56 +38,43 @@ inline constexpr ArmSpec kArms[4] = {
     {"Consider DVI & via layer TPL", true, true},
 };
 
-struct ArmRow {
-  long long wl = 0;
-  int vias = 0;
-  double cpu = 0.0;
-  int dv = 0;
-  int uv = 0;
-  bool routed = false;
-};
-
-inline ArmRow run_arm(const netlist::PlacedNetlist& instance, grid::SadpStyle style,
-                      const ArmSpec& arm, double ilp_limit) {
-  core::FlowConfig config;
-  config.options.style = style;
-  config.options.consider_dvi = arm.consider_dvi;
-  config.options.consider_tpl = arm.consider_tpl;
-  config.dvi_method = core::DviMethod::kExact;
-  config.ilp_time_limit_seconds = ilp_limit;
-
-  const core::ExperimentResult result = core::run_flow(instance, config);
-  ArmRow row;
-  row.wl = result.routing.wirelength;
-  row.vias = result.routing.via_count;
-  row.cpu = result.routing.route_seconds;
-  row.dv = result.dvi.dead_vias;
-  row.uv = result.dvi.uncolorable;
-  row.routed = result.routing.routed_all;
-  return row;
-}
-
-inline void run_tables34(grid::SadpStyle style, const BenchArgs& args) {
+inline void run_tables34(grid::SadpStyle style, const BenchArgs& args,
+                         const std::string& stem) {
   const auto benchmarks = selected_benchmarks(args);
-  std::vector<std::vector<ArmRow>> rows(4);
 
-  for (int arm = 0; arm < 4; ++arm) {
+  // One engine job per (arm, circuit); job order is arm-major so the
+  // outcomes slice back into per-arm rows directly.
+  std::vector<engine::FlowJob> jobs;
+  for (const auto& arm : kArms) {
+    for (const auto& bench : benchmarks) {
+      engine::FlowJob job;
+      job.label = bench.name;
+      job.arm = arm.name;
+      job.spec = *netlist::spec_for(bench.name, !args.full);
+      job.config.options.style = style;
+      job.config.options.consider_dvi = arm.consider_dvi;
+      job.config.options.consider_tpl = arm.consider_tpl;
+      job.config.dvi_method = core::DviMethod::kExact;
+      job.config.ilp_time_limit_seconds = args.ilp_limit;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto outcomes = run_batch(args, stem, std::move(jobs));
+
+  const std::size_t per_arm = benchmarks.size();
+  for (std::size_t arm = 0; arm < 4; ++arm) {
     std::printf("\n== %s type: %s ==\n", grid::style_name(style), kArms[arm].name);
     util::TextTable table({"CKT", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
-    for (const auto& bench : benchmarks) {
-      const auto spec = netlist::spec_for(bench.name, !args.full);
-      const netlist::PlacedNetlist instance = netlist::generate(*spec);
-      const ArmRow row = run_arm(instance, style, kArms[arm], args.ilp_limit);
-      rows[static_cast<std::size_t>(arm)].push_back(row);
+    for (std::size_t i = 0; i < per_arm; ++i) {
+      const core::ExperimentResult& r = outcomes[arm * per_arm + i].result;
       table.begin_row();
-      table.cell(bench.name);
-      table.cell(row.wl);
-      table.cell(row.vias);
-      table.cell(row.cpu, 1);
-      table.cell(row.dv);
-      table.cell(row.uv);
-      table.cell(row.routed ? "100%" : "NO");
-      std::fflush(stdout);
+      table.cell(r.benchmark);
+      table.cell(r.routing.wirelength);
+      table.cell(r.routing.via_count);
+      table.cell(r.routing.route_seconds, 1);
+      table.cell(r.dvi.dead_vias);
+      table.cell(r.dvi.uncolorable);
+      table.cell(r.routing.routed_all ? "100%" : "NO");
     }
     table.print();
   }
@@ -94,14 +85,15 @@ inline void run_tables34(grid::SadpStyle style, const BenchArgs& args) {
   util::TextTable summary(
       {"arm", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "WLn", "Viasn", "CPUn", "DVn"});
   std::vector<double> base(5, 0.0);
-  for (int arm = 0; arm < 4; ++arm) {
+  for (std::size_t arm = 0; arm < 4; ++arm) {
     util::Accumulator wl, vias, cpu, dv, uv;
-    for (const auto& row : rows[static_cast<std::size_t>(arm)]) {
-      wl.add(static_cast<double>(row.wl));
-      vias.add(row.vias);
-      cpu.add(row.cpu);
-      dv.add(row.dv);
-      uv.add(row.uv);
+    for (std::size_t i = 0; i < per_arm; ++i) {
+      const core::ExperimentResult& r = outcomes[arm * per_arm + i].result;
+      wl.add(static_cast<double>(r.routing.wirelength));
+      vias.add(r.routing.via_count);
+      cpu.add(r.routing.route_seconds);
+      dv.add(r.dvi.dead_vias);
+      uv.add(r.dvi.uncolorable);
     }
     if (arm == 0) base = {wl.mean(), vias.mean(), cpu.mean(), dv.mean(), uv.mean()};
     summary.begin_row();

@@ -11,15 +11,15 @@
 //     which provably solves the same optimization (cross-checked in
 //     tests/test_dvi.cpp) orders of magnitude faster;
 //   * "heuristic": the paper's Algorithm 3.
+//
+// Each (circuit, solver) pair is one FlowEngine job (routing is
+// deterministic, so the three solvers see identical routing solutions);
+// every DVI solution is re-validated against the retained router.
 #pragma once
 
 #include <cstdio>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "core/dvi_exact.hpp"
-#include "core/dvi_heuristic.hpp"
-#include "core/dvi_ilp.hpp"
 #include "core/flow.hpp"
 #include "core/validate.hpp"
 #include "util/stats.hpp"
@@ -27,72 +27,74 @@
 
 namespace sadp::bench {
 
-inline void run_tables67(grid::SadpStyle style, const BenchArgs& args) {
+inline void run_tables67(grid::SadpStyle style, const BenchArgs& args,
+                         const std::string& stem) {
+  const auto benchmarks = selected_benchmarks(args);
+  constexpr core::DviMethod kMethods[3] = {
+      core::DviMethod::kIlp, core::DviMethod::kExact, core::DviMethod::kHeuristic};
+
+  std::vector<engine::FlowJob> jobs;
+  for (const auto& bench : benchmarks) {
+    for (const core::DviMethod method : kMethods) {
+      engine::FlowJob job;
+      job.label = bench.name;
+      job.arm = core::dvi_method_name(method);
+      job.spec = *netlist::spec_for(bench.name, !args.full);
+      job.config.options.style = style;
+      job.config.options.consider_dvi = true;
+      job.config.options.consider_tpl = true;
+      job.config.dvi_method = method;
+      job.config.ilp_time_limit_seconds = args.ilp_limit;
+      job.keep_router = true;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto outcomes = run_batch(args, stem, std::move(jobs));
+
   util::TextTable table({"CKT", "ILP #DV", "ILP CPU(s)", "Exact #DV",
                          "Exact CPU(s)", "Exact status", "Heu #DV", "Heu CPU(s)",
                          "#UV", "valid"});
   util::Accumulator ilp_dv, ilp_cpu, exact_dv, exact_cpu, heu_dv, heu_cpu;
 
-  for (const auto& bench : selected_benchmarks(args)) {
-    const auto spec = netlist::spec_for(bench.name, !args.full);
-    const netlist::PlacedNetlist instance = netlist::generate(*spec);
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    const engine::JobOutcome& ilp = outcomes[b * 3 + 0];
+    const engine::JobOutcome& exact = outcomes[b * 3 + 1];
+    const engine::JobOutcome& heuristic = outcomes[b * 3 + 2];
 
-    core::FlowOptions options;
-    options.style = style;
-    options.consider_dvi = true;
-    options.consider_tpl = true;
+    bool all_valid = true;
+    for (const engine::JobOutcome* outcome : {&ilp, &exact, &heuristic}) {
+      const core::DviProblem problem = core::build_dvi_problem(
+          outcome->router->nets(), outcome->router->routing_grid(),
+          outcome->router->turn_rules());
+      all_valid = all_valid &&
+                  core::check_dvi_solution(*outcome->router, problem,
+                                           outcome->result.dvi.inserted,
+                                           outcome->dvi_inserted_at)
+                      .empty();
+    }
 
-    auto router = std::make_unique<core::SadpRouter>(instance, options);
-    (void)router->run();
+    ilp_dv.add(ilp.result.dvi.dead_vias);
+    ilp_cpu.add(ilp.result.dvi.seconds);
+    exact_dv.add(exact.result.dvi.dead_vias);
+    exact_cpu.add(exact.result.dvi.seconds);
+    heu_dv.add(heuristic.result.dvi.dead_vias);
+    heu_cpu.add(heuristic.result.dvi.seconds);
 
-    const core::DviProblem problem = core::build_dvi_problem(
-        router->nets(), router->routing_grid(), router->turn_rules());
-
-    core::DviIlpParams ilp_params;
-    ilp_params.bnb.time_limit_seconds = args.ilp_limit;
-    const core::DviIlpOutput ilp =
-        core::solve_dvi_ilp(problem, router->via_db(), ilp_params);
-
-    core::DviExactParams exact_params;
-    exact_params.time_limit_seconds = args.ilp_limit;
-    const core::DviExactOutput exact =
-        core::solve_dvi_exact(problem, router->via_db(), exact_params);
-
-    const core::DviHeuristicOutput heuristic =
-        core::run_dvi_heuristic(problem, router->via_db(), options.dvi);
-
-    const bool all_valid =
-        core::check_dvi_solution(*router, problem, ilp.result.inserted,
-                                 ilp.inserted_at)
-            .empty() &&
-        core::check_dvi_solution(*router, problem, exact.result.inserted,
-                                 exact.inserted_at)
-            .empty() &&
-        core::check_dvi_solution(*router, problem, heuristic.result.inserted,
-                                 heuristic.inserted_at)
-            .empty();
-
-    ilp_dv.add(ilp.result.dead_vias);
-    ilp_cpu.add(ilp.result.seconds);
-    exact_dv.add(exact.result.dead_vias);
-    exact_cpu.add(exact.result.seconds);
-    heu_dv.add(heuristic.result.dead_vias);
-    heu_cpu.add(heuristic.result.seconds);
-
-    const int uv = ilp.result.uncolorable + exact.result.uncolorable +
-                   heuristic.result.uncolorable;
+    const int uv = ilp.result.dvi.uncolorable + exact.result.dvi.uncolorable +
+                   heuristic.result.dvi.uncolorable;
     table.begin_row();
-    table.cell(bench.name);
-    table.cell(ilp.result.dead_vias);
-    table.cell(ilp.result.seconds, 1);
-    table.cell(exact.result.dead_vias);
-    table.cell(exact.result.seconds, 2);
-    table.cell(exact.proven_optimal ? "optimal" : "time-limit");
-    table.cell(heuristic.result.dead_vias);
-    table.cell(heuristic.result.seconds, 3);
+    table.cell(benchmarks[b].name);
+    table.cell(ilp.result.dvi.dead_vias);
+    table.cell(ilp.result.dvi.seconds, 1);
+    table.cell(exact.result.dvi.dead_vias);
+    table.cell(exact.result.dvi.seconds, 2);
+    table.cell(exact.result.ilp_status == ilp::SolveStatus::kOptimal
+                   ? "optimal"
+                   : "time-limit");
+    table.cell(heuristic.result.dvi.dead_vias);
+    table.cell(heuristic.result.dvi.seconds, 3);
     table.cell(uv);
     table.cell(all_valid ? "yes" : "NO");
-    std::fflush(stdout);
   }
   table.print();
 

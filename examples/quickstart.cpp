@@ -35,8 +35,9 @@ net n4 2   10 20  20 20
   config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kHeuristic;
 
-  std::unique_ptr<core::SadpRouter> router;
-  const core::ExperimentResult result = core::run_flow(*parsed, config, &router);
+  core::FlowRun run = core::run_flow(*parsed, config);
+  const core::ExperimentResult& result = run.result;
+  std::unique_ptr<core::SadpRouter>& router = run.router;
 
   std::printf("routed %s: routability=%s WL=%lld vias=%d rr_iters=%zu\n",
               parsed->name.c_str(), result.routing.routed_all ? "100%" : "FAILED",

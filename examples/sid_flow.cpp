@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     config.options.consider_dvi = true;
     config.options.consider_tpl = true;
     config.dvi_method = core::DviMethod::kHeuristic;
-    const core::ExperimentResult result = core::run_flow(instance, config);
+    const core::ExperimentResult result = core::run_flow(instance, config).result;
     table.begin_row();
     table.cell(grid::style_name(style));
     table.cell(result.routing.wirelength);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     config.options.consider_tpl = arm.tpl;
     config.dvi_method = core::DviMethod::kHeuristic;
 
-    const core::ExperimentResult result = core::run_flow(instance, config);
+    const core::ExperimentResult result = core::run_flow(instance, config).result;
     table.begin_row();
     table.cell(arm.label);
     table.cell(result.routing.wirelength);

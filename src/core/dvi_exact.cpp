@@ -253,7 +253,7 @@ class ExactSolver {
   const DviProblem& problem_;
   via::ViaDb db_;
   DviExactParams params_;
-  util::Timer clock_;
+  util::ThreadCpuTimer clock_;
   std::size_t nodes_ = 0;
 };
 

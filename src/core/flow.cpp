@@ -5,56 +5,60 @@
 
 namespace sadp::core {
 
-DviResult run_post_routing_dvi(const SadpRouter& router, const FlowConfig& config,
-                               ilp::SolveStatus* status) {
+DviStageOutput run_post_routing_dvi(const SadpRouter& router,
+                                    const FlowConfig& config) {
   const DviProblem problem =
       build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  DviStageOutput out;
   switch (config.dvi_method) {
     case DviMethod::kHeuristic: {
-      const DviHeuristicOutput heuristic =
+      DviHeuristicOutput heuristic =
           run_dvi_heuristic(problem, router.via_db(), config.options.dvi);
-      if (status != nullptr) *status = ilp::SolveStatus::kOptimal;
-      return heuristic.result;
+      out.result = std::move(heuristic.result);
+      out.inserted_at = std::move(heuristic.inserted_at);
+      out.status = ilp::SolveStatus::kOptimal;
+      break;
     }
     case DviMethod::kExact: {
       DviExactParams params;
       params.time_limit_seconds = config.ilp_time_limit_seconds;
-      const DviExactOutput exact = solve_dvi_exact(problem, router.via_db(), params);
-      if (status != nullptr) {
-        *status = exact.proven_optimal ? ilp::SolveStatus::kOptimal
-                                       : ilp::SolveStatus::kFeasible;
-      }
-      return exact.result;
+      DviExactOutput exact = solve_dvi_exact(problem, router.via_db(), params);
+      out.result = std::move(exact.result);
+      out.inserted_at = std::move(exact.inserted_at);
+      out.status = exact.proven_optimal ? ilp::SolveStatus::kOptimal
+                                        : ilp::SolveStatus::kFeasible;
+      break;
     }
     case DviMethod::kIlp: {
       DviIlpParams params;
       params.bnb.time_limit_seconds = config.ilp_time_limit_seconds;
-      const DviIlpOutput ilp = solve_dvi_ilp(problem, router.via_db(), params);
-      if (status != nullptr) *status = ilp.status;
-      return ilp.result;
+      DviIlpOutput ilp = solve_dvi_ilp(problem, router.via_db(), params);
+      out.result = std::move(ilp.result);
+      out.inserted_at = std::move(ilp.inserted_at);
+      out.status = ilp.status;
+      break;
     }
   }
-  return {};
+  return out;
 }
 
-ExperimentResult run_flow(const netlist::PlacedNetlist& netlist,
-                          const FlowConfig& config,
-                          std::unique_ptr<SadpRouter>* router_out) {
-  ExperimentResult result;
-  result.benchmark = netlist.name;
+FlowRun run_flow(const netlist::PlacedNetlist& netlist, const FlowConfig& config) {
+  FlowRun run;
+  run.result.benchmark = netlist.name;
 
-  auto router = std::make_unique<SadpRouter>(netlist, config.options);
-  result.routing = router->run();
+  run.router = std::make_unique<SadpRouter>(netlist, config.options);
+  run.result.routing = run.router->run();
 
   const DviProblem problem = build_dvi_problem(
-      router->nets(), router->routing_grid(), router->turn_rules());
-  result.single_vias = problem.num_vias();
-  result.dvi_candidates = problem.total_candidates();
+      run.router->nets(), run.router->routing_grid(), run.router->turn_rules());
+  run.result.single_vias = problem.num_vias();
+  run.result.dvi_candidates = problem.total_candidates();
 
-  result.dvi = run_post_routing_dvi(*router, config, &result.ilp_status);
-
-  if (router_out != nullptr) *router_out = std::move(router);
-  return result;
+  DviStageOutput dvi = run_post_routing_dvi(*run.router, config);
+  run.result.dvi = std::move(dvi.result);
+  run.result.ilp_status = dvi.status;
+  run.dvi_inserted_at = std::move(dvi.inserted_at);
+  return run;
 }
 
 }  // namespace sadp::core

@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dvi_ilp.hpp"
 #include "core/params.hpp"
@@ -39,17 +40,31 @@ struct FlowConfig {
   double ilp_time_limit_seconds = 120.0;
 };
 
-/// Route the netlist and run post-routing DVI.  The router object is
-/// returned through `router_out` when the caller wants to inspect or
-/// validate the solution (pass nullptr otherwise).
-[[nodiscard]] ExperimentResult run_flow(const netlist::PlacedNetlist& netlist,
-                                        const FlowConfig& config,
-                                        std::unique_ptr<SadpRouter>* router_out =
-                                            nullptr);
+/// Everything one post-routing DVI stage produces, regardless of solver.
+struct DviStageOutput {
+  DviResult result;
+  /// Locations of the inserted redundant vias, parallel to result.inserted;
+  /// entry i is meaningful only when result.inserted[i] >= 0.
+  std::vector<grid::Point> inserted_at;
+  ilp::SolveStatus status = ilp::SolveStatus::kUnknown;
+};
+
+/// A finished flow: the table row plus the router (and DVI geometry) that
+/// produced it, for callers that validate, render or post-process the
+/// solution.  Owns the router — `router` is never null after run_flow.
+struct FlowRun {
+  ExperimentResult result;
+  /// DVI insertion locations, parallel to result.dvi.inserted.
+  std::vector<grid::Point> dvi_inserted_at;
+  std::unique_ptr<SadpRouter> router;
+};
+
+/// Route the netlist and run post-routing DVI.
+[[nodiscard]] FlowRun run_flow(const netlist::PlacedNetlist& netlist,
+                               const FlowConfig& config);
 
 /// Run only the post-routing DVI stage on an already-routed design.
-[[nodiscard]] DviResult run_post_routing_dvi(const SadpRouter& router,
-                                             const FlowConfig& config,
-                                             ilp::SolveStatus* status = nullptr);
+[[nodiscard]] DviStageOutput run_post_routing_dvi(const SadpRouter& router,
+                                                  const FlowConfig& config);
 
 }  // namespace sadp::core

@@ -177,6 +177,7 @@ void SadpRouter::push_violation(Violation v) {
                  [](const Violation& a, const Violation& b) {
                    return b.higher_priority_than(a);
                  });
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
 }
 
 bool SadpRouter::violation_still_valid(const Violation& v) const {
@@ -424,6 +425,7 @@ RoutingReport SadpRouter::run() {
 
   report.remaining_congestion = grid_->congestion_count();
   report.remaining_fvps = vias_->scan_all_fvps().size();
+  report.queue_peak = heap_peak_;
   report.unrouted_nets = static_cast<int>(unrouted_.size());
   report.routed_all = unrouted_.empty() && report.remaining_congestion == 0;
 

@@ -40,6 +40,7 @@ struct RoutingReport {
   int via_count = 0;                ///< "#Vias"
   double route_seconds = 0.0;       ///< "CPU(s)"
   std::size_t rr_iterations = 0;    ///< total rip-up/reroute iterations
+  std::size_t queue_peak = 0;       ///< peak size of the violation queue
   std::size_t remaining_congestion = 0;
   std::size_t remaining_fvps = 0;   ///< FVP windows left after Algorithm 2
   int uncolorable_vias = 0;         ///< Welsh-Powell residual (expected 0)
@@ -123,6 +124,7 @@ class SadpRouter {
   // Violation queue state (rebuilt per phase).
   std::vector<Violation> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t heap_peak_ = 0;  ///< high-water mark across all phases
 
   double present_factor_ = 1.0;
   std::vector<grid::NetId> unrouted_;

@@ -1,0 +1,205 @@
+#include "engine/flow_engine.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "grid/colored_grid.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace sadp::engine {
+
+namespace {
+
+const char* solve_status_name(ilp::SolveStatus status) noexcept {
+  switch (status) {
+    case ilp::SolveStatus::kOptimal: return "optimal";
+    case ilp::SolveStatus::kFeasible: return "feasible";
+    case ilp::SolveStatus::kInfeasible: return "infeasible";
+    case ilp::SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+JobOutcome run_job(FlowJob job) {
+  util::Timer total;
+  JobOutcome outcome;
+  outcome.arm = std::move(job.arm);
+  outcome.style = job.config.options.style;
+  outcome.dvi_method = job.config.dvi_method;
+
+  util::Timer generate;
+  netlist::PlacedNetlist local;
+  const netlist::PlacedNetlist* instance = nullptr;
+  if (job.netlist.has_value()) {
+    instance = &*job.netlist;
+  } else {
+    local = netlist::generate(job.spec);
+    instance = &local;
+  }
+  outcome.metrics.generate_seconds = generate.seconds();
+  outcome.label = job.label.empty() ? instance->name : std::move(job.label);
+
+  core::FlowRun run = core::run_flow(*instance, job.config);
+  outcome.result = std::move(run.result);
+  if (job.keep_router) {
+    outcome.router = std::move(run.router);
+    outcome.dvi_inserted_at = std::move(run.dvi_inserted_at);
+  }
+
+  const core::RoutingReport& routing = outcome.result.routing;
+  outcome.metrics.route_seconds = routing.route_seconds;
+  outcome.metrics.initial_routing_seconds = routing.initial_routing_seconds;
+  outcome.metrics.congestion_rr_seconds = routing.congestion_rr_seconds;
+  outcome.metrics.tpl_rr_seconds = routing.tpl_rr_seconds;
+  outcome.metrics.coloring_seconds = routing.coloring_seconds;
+  outcome.metrics.dvi_seconds = outcome.result.dvi.seconds;
+  outcome.metrics.rr_iterations = routing.rr_iterations;
+  outcome.metrics.queue_peak = routing.queue_peak;
+  outcome.metrics.total_seconds = total.seconds();
+  return outcome;
+}
+
+}  // namespace
+
+FlowEngine::FlowEngine(EngineOptions options) : options_(std::move(options)) {}
+
+int FlowEngine::resolve_workers(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<JobOutcome> FlowEngine::run(std::vector<FlowJob> jobs) const {
+  std::vector<JobOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  const int workers = std::min<int>(resolve_workers(options_.num_workers),
+                                    static_cast<int>(jobs.size()));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex callback_mutex;
+
+  auto drain = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < jobs.size();
+         i = next.fetch_add(1)) {
+      outcomes[i] = run_job(std::move(jobs[i]));
+      const std::size_t completed = done.fetch_add(1) + 1;
+      if (options_.on_job_done) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        options_.on_job_done(outcomes[i], completed, jobs.size());
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
+  for (auto& thread : pool) thread.join();
+  return outcomes;
+}
+
+namespace {
+
+void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
+  const core::ExperimentResult& r = outcome.result;
+  json.begin_object();
+  json.key("label").value(outcome.label);
+  json.key("arm").value(outcome.arm);
+  json.key("benchmark").value(r.benchmark);
+  json.key("style").value(grid::style_name(outcome.style));
+  json.key("dvi_method").value(core::dvi_method_name(outcome.dvi_method));
+  json.key("routed_all").value(r.routing.routed_all);
+  json.key("unrouted_nets").value(r.routing.unrouted_nets);
+  json.key("wirelength").value(r.routing.wirelength);
+  json.key("via_count").value(r.routing.via_count);
+  json.key("remaining_fvps").value(r.routing.remaining_fvps);
+  json.key("uncolorable_vias").value(r.routing.uncolorable_vias);
+  json.key("single_vias").value(r.single_vias);
+  json.key("dvi_candidates").value(r.dvi_candidates);
+  json.key("dead_vias").value(r.dvi.dead_vias);
+  json.key("uncolorable").value(r.dvi.uncolorable);
+  json.key("ilp_status").value(solve_status_name(r.ilp_status));
+  json.key("rr_iterations").value(outcome.metrics.rr_iterations);
+  json.key("queue_peak").value(outcome.metrics.queue_peak);
+  json.key("total_seconds").value(outcome.metrics.total_seconds);
+  json.key("stages").begin_object();
+  json.key("generate").value(outcome.metrics.generate_seconds);
+  json.key("route").value(outcome.metrics.route_seconds);
+  json.key("initial_routing").value(outcome.metrics.initial_routing_seconds);
+  json.key("congestion_rr").value(outcome.metrics.congestion_rr_seconds);
+  json.key("tpl_rr").value(outcome.metrics.tpl_rr_seconds);
+  json.key("coloring").value(outcome.metrics.coloring_seconds);
+  json.key("dvi").value(outcome.metrics.dvi_seconds);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string metrics_json(const std::vector<JobOutcome>& outcomes, int workers,
+                         double wall_seconds) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("sadp.flow_metrics.v1");
+  json.key("jobs").value(outcomes.size());
+  json.key("workers").value(workers);
+  json.key("wall_seconds").value(wall_seconds);
+  json.key("results").begin_array();
+  for (const auto& outcome : outcomes) emit_outcome(json, outcome);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
+  std::string out =
+      "label,arm,benchmark,style,dvi_method,routed_all,wirelength,via_count,single_vias,"
+      "dead_vias,uncolorable,rr_iterations,queue_peak,total_seconds,"
+      "route_seconds,initial_routing_seconds,congestion_rr_seconds,"
+      "tpl_rr_seconds,coloring_seconds,dvi_seconds\n";
+  char buffer[256];
+  for (const auto& outcome : outcomes) {
+    const core::ExperimentResult& r = outcome.result;
+    const StageMetrics& m = outcome.metrics;
+    out += outcome.label + ',' + outcome.arm + ',' + r.benchmark + ',' +
+           grid::style_name(outcome.style) + ',' +
+           core::dvi_method_name(outcome.dvi_method) + ',';
+    std::snprintf(buffer, sizeof buffer,
+                  "%d,%lld,%d,%d,%d,%d,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                  r.routing.routed_all ? 1 : 0, r.routing.wirelength,
+                  r.routing.via_count, r.single_vias, r.dvi.dead_vias,
+                  r.dvi.uncolorable, m.rr_iterations, m.queue_peak,
+                  m.total_seconds, m.route_seconds, m.initial_routing_seconds,
+                  m.congestion_rr_seconds, m.tpl_rr_seconds, m.coloring_seconds,
+                  m.dvi_seconds);
+    out += buffer;
+  }
+  return out;
+}
+
+std::string write_metrics_files(const std::string& directory,
+                                const std::string& stem,
+                                const std::vector<JobOutcome>& outcomes,
+                                int workers, double wall_seconds) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  const std::string json_path = directory + "/" + stem + ".json";
+  {
+    std::ofstream out(json_path);
+    if (!out) return {};
+    out << metrics_json(outcomes, workers, wall_seconds) << '\n';
+  }
+  std::ofstream csv(directory + "/" + stem + ".csv");
+  if (csv) csv << metrics_csv(outcomes);
+  return json_path;
+}
+
+}  // namespace sadp::engine

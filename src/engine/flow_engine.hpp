@@ -1,0 +1,123 @@
+// Parallel batch flow engine.
+//
+// The paper's experiment tables (III-VII) are embarrassingly parallel: each
+// row is an independent (netlist, SADP style, consideration arm, DVI method)
+// job.  FlowEngine runs a vector of such jobs on a fixed-size thread pool
+// and collects one JobOutcome per job, in job order, independent of how the
+// pool interleaved them.
+//
+// Determinism: a job is either a pre-placed netlist or a BenchSpec, and
+// specs are generated inside the worker with the spec-seeded PRNG
+// (bench_gen derives the seed from the spec, never from global state), so
+// every job sees bit-identical input and produces bit-identical
+// ExperimentResult rows regardless of the worker count.  Only the wall-clock
+// fields vary between runs.
+//
+// Each job also records per-stage metrics (StageMetrics) — wall time per
+// flow phase, R&R iterations, violation-queue peak — which metrics_json /
+// metrics_csv serialize for the bench_results/ trajectory files.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/bench_gen.hpp"
+
+namespace sadp::engine {
+
+/// Per-stage metrics of one finished flow job (Fig. 8 phases + DVI).
+struct StageMetrics {
+  double total_seconds = 0.0;       ///< whole job, including generation
+  double generate_seconds = 0.0;    ///< netlist synthesis (0 if pre-placed)
+  double route_seconds = 0.0;       ///< whole routing stage
+  double initial_routing_seconds = 0.0;
+  double congestion_rr_seconds = 0.0;
+  double tpl_rr_seconds = 0.0;      ///< TPL-violation-removal R&R (Alg. 2)
+  double coloring_seconds = 0.0;    ///< 3-coloring check + fix loop
+  double dvi_seconds = 0.0;         ///< post-routing DVI solve
+  std::size_t rr_iterations = 0;
+  std::size_t queue_peak = 0;       ///< violation-queue high-water mark
+};
+
+/// One unit of work: route + post-routing DVI on one instance.
+struct FlowJob {
+  /// Identifies the job in tables and metrics files; defaults to the
+  /// instance name when empty.
+  std::string label;
+  /// Caller-defined grouping tag (experiment arm, parameter variant, ...).
+  std::string arm;
+  /// The instance: either a pre-placed netlist, or a spec generated inside
+  /// the worker (deterministically — the generator PRNG is seeded from the
+  /// spec, so results do not depend on scheduling).
+  std::optional<netlist::PlacedNetlist> netlist;
+  netlist::BenchSpec spec;
+  core::FlowConfig config;
+  /// Retain the router (and DVI geometry) in the outcome for validation or
+  /// rendering.  Costs memory proportional to the design; off by default.
+  bool keep_router = false;
+};
+
+/// What one job produced.
+struct JobOutcome {
+  std::string label;
+  std::string arm;
+  grid::SadpStyle style = grid::SadpStyle::kSim;  ///< from the job config
+  core::DviMethod dvi_method = core::DviMethod::kIlp;
+  core::ExperimentResult result;
+  StageMetrics metrics;
+  /// Populated only when FlowJob::keep_router was set.
+  std::unique_ptr<core::SadpRouter> router;
+  /// DVI insertion locations (parallel to result.dvi.inserted); populated
+  /// only when FlowJob::keep_router was set.
+  std::vector<grid::Point> dvi_inserted_at;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().  The
+  /// pool never exceeds the job count.
+  int num_workers = 0;
+  /// Invoked (serialized under an internal mutex) as each job finishes,
+  /// with the number of completed jobs so far; for progress output.
+  std::function<void(const JobOutcome&, std::size_t done, std::size_t total)>
+      on_job_done;
+};
+
+class FlowEngine {
+ public:
+  explicit FlowEngine(EngineOptions options = {});
+
+  /// Run all jobs to completion on the pool.  Outcomes are returned in job
+  /// order.  Result rows are bit-identical for any worker count; only the
+  /// timing metrics vary.
+  [[nodiscard]] std::vector<JobOutcome> run(std::vector<FlowJob> jobs) const;
+
+  /// The worker count `requested` resolves to (0 => hardware concurrency,
+  /// always >= 1).
+  [[nodiscard]] static int resolve_workers(int requested) noexcept;
+
+ private:
+  EngineOptions options_;
+};
+
+/// Serialize outcomes as a JSON document:
+///   {"schema": "sadp.flow_metrics.v1", "workers": W, "wall_seconds": S,
+///    "results": [{job fields, result fields, "stages": {...}}, ...]}
+[[nodiscard]] std::string metrics_json(const std::vector<JobOutcome>& outcomes,
+                                       int workers, double wall_seconds);
+
+/// Flat CSV, one row per job, headers in row one.
+[[nodiscard]] std::string metrics_csv(const std::vector<JobOutcome>& outcomes);
+
+/// Write metrics_json to `<directory>/<stem>.json` (and CSV alongside as
+/// `<stem>.csv`), creating the directory when missing.  Returns the JSON
+/// path, or empty on I/O failure.
+std::string write_metrics_files(const std::string& directory,
+                                const std::string& stem,
+                                const std::vector<JobOutcome>& outcomes,
+                                int workers, double wall_seconds);
+
+}  // namespace sadp::engine

@@ -19,7 +19,7 @@ constexpr double kFeasEps = 1e-6;
 class ComponentSolver {
  public:
   ComponentSolver(const Model& model, const BnbParams& params,
-                  const util::Timer& clock, bool tail_decomposition = true)
+                  const util::ThreadCpuTimer& clock, bool tail_decomposition = true)
       : model_(model),
         params_(params),
         clock_(clock),
@@ -418,7 +418,7 @@ class ComponentSolver {
 
   const Model& model_;
   const BnbParams& params_;
-  const util::Timer& clock_;
+  const util::ThreadCpuTimer& clock_;
   bool tail_decomposition_ = true;
   std::vector<int> tail_values_;
 
@@ -453,7 +453,7 @@ class ComponentSolver {
 }  // namespace
 
 Solution solve(const Model& model, const BnbParams& params) {
-  util::Timer clock;
+  util::ThreadCpuTimer clock;
   Solution total;
   total.status = SolveStatus::kOptimal;
   total.value.assign(static_cast<std::size_t>(model.num_vars()), 0);

@@ -1,0 +1,107 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sadp::util {
+
+ArgParser::ArgParser(std::string description)
+    : description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  options_.push_back(Option{name, Kind::kFlag, target, help, ""});
+}
+
+void ArgParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help, const std::string& metavar) {
+  options_.push_back(Option{name, Kind::kString, target, help, metavar});
+}
+
+void ArgParser::add_int(const std::string& name, int* target,
+                        const std::string& help, const std::string& metavar) {
+  options_.push_back(Option{name, Kind::kInt, target, help, metavar});
+}
+
+void ArgParser::add_double(const std::string& name, double* target,
+                           const std::string& help, const std::string& metavar) {
+  options_.push_back(Option{name, Kind::kDouble, target, help, metavar});
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+bool ArgParser::fail(const std::string& argv0, const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n%s", argv0.c_str(), message.c_str(),
+               usage(argv0).c_str());
+  return false;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  const std::string argv0 = argc > 0 ? argv[0] : "?";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv0).c_str(), stdout);
+      std::exit(0);
+    }
+    const Option* option = find(arg);
+    if (option == nullptr) return fail(argv0, "unknown argument: " + arg);
+    if (option->kind == Kind::kFlag) {
+      *static_cast<bool*>(option->target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) return fail(argv0, arg + " requires a value");
+    const std::string value = argv[++i];
+    switch (option->kind) {
+      case Kind::kString:
+        *static_cast<std::string*>(option->target) = value;
+        break;
+      case Kind::kInt: {
+        char* end = nullptr;
+        const long parsed = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          return fail(argv0, arg + " expects an integer, got '" + value + "'");
+        }
+        *static_cast<int*>(option->target) = static_cast<int>(parsed);
+        break;
+      }
+      case Kind::kDouble: {
+        char* end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          return fail(argv0, arg + " expects a number, got '" + value + "'");
+        }
+        *static_cast<double*>(option->target) = parsed;
+        break;
+      }
+      case Kind::kFlag:
+        break;  // handled above
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::usage(const std::string& argv0) const {
+  std::string out = "usage: " + argv0;
+  for (const auto& option : options_) {
+    out += " [" + option.name;
+    if (option.kind != Kind::kFlag) out += " " + option.metavar;
+    out += "]";
+  }
+  out += "\n";
+  if (!description_.empty()) out += "  " + description_ + "\n";
+  for (const auto& option : options_) {
+    std::string left = "  " + option.name;
+    if (option.kind != Kind::kFlag) left += " " + option.metavar;
+    while (left.size() < 24) left += ' ';
+    out += left + option.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace sadp::util

@@ -1,6 +1,6 @@
-// Minimal JSON writer (no parsing) for machine-readable flow reports.
+// Minimal JSON writer and reader for machine-readable flow reports.
 //
-// Usage:
+// Writing:
 //   JsonWriter json;
 //   json.begin_object();
 //   json.key("wirelength").value(1234);
@@ -9,9 +9,18 @@
 //   json.end_array();
 //   json.end_object();
 //   std::string text = json.str();
+//
+// Reading (schema checks and round-trip tests):
+//   auto doc = parse_json(text);
+//   if (doc && doc->is_object()) { const JsonValue* wl = doc->find("wirelength"); }
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace sadp::util {
 
@@ -48,5 +57,35 @@ class JsonWriter {
   /// 'a' fresh array, 'A' array with entries, 'k' after a key.
   std::string stack_;
 };
+
+/// A parsed JSON value.  Numbers are kept as double (the metrics schema
+/// emits nothing that loses precision at 2^53); object member order is
+/// preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+};
+
+/// Parse a complete JSON document.  Trailing non-whitespace, malformed
+/// escapes, etc. are errors; on failure returns nullopt and, when `error`
+/// is non-null, stores a one-line description with the byte offset.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
 
 }  // namespace sadp::util

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace sadp::util {
 
@@ -25,6 +26,40 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A stopwatch over the calling thread's CPU time.
+///
+/// Solver deadlines (B&B ILP, exact DVI) must not depend on how many sibling
+/// worker threads share the machine: a wall-clock budget buys less search when
+/// the core is oversubscribed, which makes time-limited results vary with the
+/// engine's --jobs setting.  Charging the budget against per-thread CPU time
+/// keeps the cutoff point independent of scheduling.  Falls back to wall time
+/// where CLOCK_THREAD_CPUTIME_ID is unavailable.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept : start_(now()) {}
+
+  void reset() noexcept { start_ = now(); }
+
+  /// Elapsed CPU seconds consumed by this thread since construction/reset().
+  [[nodiscard]] double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace sadp::util

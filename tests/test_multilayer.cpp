@@ -48,8 +48,9 @@ TEST(MultiLayer, DviWorksAcrossThreeViaLayers) {
   config.options.consider_tpl = true;
   config.dvi_method = DviMethod::kHeuristic;
 
-  std::unique_ptr<SadpRouter> router;
-  const ExperimentResult result = run_flow(instance, config, &router);
+  FlowRun run = run_flow(instance, config);
+  const ExperimentResult& result = run.result;
+  std::unique_ptr<SadpRouter>& router = run.router;
   EXPECT_TRUE(result.routing.routed_all);
   EXPECT_EQ(result.dvi.uncolorable, 0);
   EXPECT_LT(result.dvi.dead_vias, result.single_vias);

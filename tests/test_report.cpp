@@ -53,7 +53,9 @@ struct FlowFixture {
     config.options.consider_dvi = true;
     config.options.consider_tpl = true;
     config.dvi_method = core::DviMethod::kHeuristic;
-    result = core::run_flow(instance, config, &router);
+    core::FlowRun run = core::run_flow(instance, config);
+    result = std::move(run.result);
+    router = std::move(run.router);
   }
 };
 
@@ -129,7 +131,7 @@ TEST(Flow, ExactMethodDispatch) {
   config.options.consider_dvi = true;
   config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kExact;
-  const core::ExperimentResult result = core::run_flow(instance, config);
+  const core::ExperimentResult result = core::run_flow(instance, config).result;
   EXPECT_TRUE(result.routing.routed_all);
   EXPECT_EQ(result.ilp_status, ilp::SolveStatus::kOptimal);
   EXPECT_EQ(result.dvi.uncolorable, 0);

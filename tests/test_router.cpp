@@ -107,7 +107,7 @@ TEST(Router, DviConsiderationReducesDeadVias) {
     config.options.consider_dvi = consider_dvi;
     config.options.consider_tpl = true;
     config.dvi_method = DviMethod::kHeuristic;
-    return run_flow(instance, config).dvi.dead_vias;
+    return run_flow(instance, config).result.dvi.dead_vias;
   };
   const int baseline = dead_with(false);
   const int with_dvi = dead_with(true);

@@ -85,7 +85,7 @@ TEST(Saqp, DviFeasibilityUsesQuadRules) {
   config.options.consider_dvi = true;
   config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kHeuristic;
-  const core::ExperimentResult result = core::run_flow(instance, config);
+  const core::ExperimentResult result = core::run_flow(instance, config).result;
   EXPECT_TRUE(result.routing.routed_all);
   EXPECT_EQ(result.dvi.uncolorable, 0);
   EXPECT_LT(result.dvi.dead_vias, result.single_vias);
@@ -122,8 +122,9 @@ TEST(SimTrim, RoutesAndValidatesEndToEnd) {
   config.options.consider_dvi = true;
   config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kHeuristic;
-  std::unique_ptr<core::SadpRouter> router;
-  const core::ExperimentResult result = core::run_flow(instance, config, &router);
+  core::FlowRun run = core::run_flow(instance, config);
+  const core::ExperimentResult& result = run.result;
+  std::unique_ptr<core::SadpRouter>& router = run.router;
   EXPECT_TRUE(result.routing.routed_all);
   EXPECT_EQ(result.routing.remaining_fvps, 0u);
   const auto issues =

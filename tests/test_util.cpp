@@ -3,6 +3,7 @@
 
 #include <set>
 
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -106,6 +107,54 @@ TEST(Table, HandlesMissingCells) {
   t.begin_row();
   t.cell("only_one");
   EXPECT_NE(t.to_string().find("only_one"), std::string::npos);
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("ckt \"1\"\n");
+  json.key("wl").value(1234);
+  json.key("ratio").value(0.125);
+  json.key("ok").value(true);
+  json.key("rows").begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  json.end_object();
+
+  std::string error;
+  const auto doc = parse_json(json.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("name")->string_value, "ckt \"1\"\n");
+  EXPECT_EQ(doc->find("wl")->number_value, 1234);
+  EXPECT_EQ(doc->find("ratio")->number_value, 0.125);
+  EXPECT_TRUE(doc->find("ok")->bool_value);
+  ASSERT_TRUE(doc->find("rows")->is_array());
+  ASSERT_EQ(doc->find("rows")->array.size(), 3u);
+  EXPECT_EQ(doc->find("rows")->array[2].number_value, 3);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParse, HandlesWhitespaceEscapesAndNesting) {
+  const char* text = R"({ "a" : [ { "b\u0041c" : -1.5e2 }, null, false ] })";
+  const auto doc = parse_json(text);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].find("bAc")->number_value, -150.0);
+  EXPECT_TRUE(a->array[1].is_null());
+  EXPECT_FALSE(a->array[2].bool_value);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\": 1,}", "nul", "{\"a\" 1}"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
 }
 
 }  // namespace

@@ -15,8 +15,9 @@ int main(int argc, char** argv) {
   config.options.consider_dvi = dvi;
   config.options.consider_tpl = tpl;
   config.dvi_method = core::DviMethod::kHeuristic;
-  std::unique_ptr<core::SadpRouter> router;
-  auto result = core::run_flow(inst, config, &router);
+  auto flow_run = core::run_flow(inst, config);
+  auto& result = flow_run.result;
+  auto& router = flow_run.router;
   printf("routing: routed=%d unrouted=%d cong=%zu fvps=%zu uncol=%d wl=%lld vias=%d iters=%zu t=%.2f\n",
     result.routing.routed_all, result.routing.unrouted_nets,
     result.routing.remaining_congestion, result.routing.remaining_fvps,

@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   core::FlowConfig config;
   config.options.consider_dvi = true; config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kHeuristic;
-  std::unique_ptr<core::SadpRouter> router;
-  (void)core::run_flow(inst, config, &router);
+  auto flow_run = core::run_flow(inst, config);
+  auto& router = flow_run.router;
   auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
   auto ilp = core::build_dvi_ilp(problem);
   printf("model: %d vars %d constraints\n", ilp.model.num_vars(), ilp.model.num_constraints());

@@ -11,8 +11,8 @@ int main() {
   core::FlowConfig config;
   config.options.consider_dvi = true; config.options.consider_tpl = true;
   config.dvi_method = core::DviMethod::kHeuristic;
-  std::unique_ptr<core::SadpRouter> router;
-  (void)core::run_flow(inst, config, &router);
+  auto flow_run = core::run_flow(inst, config);
+  auto& router = flow_run.router;
   auto problem = core::build_dvi_problem(router->nets(), router->routing_grid(), router->turn_rules());
   auto ilp_problem = core::build_dvi_ilp(problem);
   auto h = core::run_dvi_heuristic(problem, router->via_db(), core::DviParams{});

@@ -57,6 +57,12 @@ struct CliOptions {
   core::DviMethod method = core::DviMethod::kHeuristic;
   double ilp_limit = 60.0;
   int jobs = 0;
+  double deadline = 0.0;        ///< per-job wall deadline (0 = none)
+  double batch_deadline = 0.0;  ///< whole-batch wall deadline (0 = none)
+  bool keep_going = false;      ///< batch: report every row, no fail-fast
+  bool degrade_dvi = false;     ///< ILP DVI timeout => heuristic fallback
+  std::string journal_path;
+  bool resume = false;
 };
 
 std::optional<CliOptions> parse_cli(int argc, char** argv) {
@@ -81,6 +87,20 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
                     "DVI solver time limit in seconds", "S");
   parser.add_int("--jobs", &options.jobs,
                  "worker threads for batch runs (0 = all cores)", "N");
+  parser.add_double("--deadline", &options.deadline,
+                    "per-job wall-clock deadline in seconds (0 = none)", "S");
+  parser.add_double("--batch-deadline", &options.batch_deadline,
+                    "whole-batch wall-clock deadline in seconds (0 = none)",
+                    "S");
+  parser.add_flag("--keep-going", &options.keep_going,
+                  "batch: keep running after a job fails (default fails fast)");
+  parser.add_flag("--degrade-dvi", &options.degrade_dvi,
+                  "fall back to heuristic DVI when the ILP solver times out");
+  parser.add_string("--journal", &options.journal_path,
+                    "append per-job records to a crash-safe JSONL journal",
+                    "FILE");
+  parser.add_flag("--resume", &options.resume,
+                  "skip jobs already recorded in the --journal file");
   parser.add_flag("--no-dvi", &no_dvi, "disable DVI consideration in routing");
   parser.add_flag("--no-tpl", &no_tpl, "disable via-layer TPL consideration");
   parser.add_string("--save-solution", &options.save_solution_path,
@@ -121,6 +141,10 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
   if (sources != 1) {
     std::fprintf(stderr,
                  "exactly one of --netlist, --benchmark, --dvi-only required\n");
+    return std::nullopt;
+  }
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
     return std::nullopt;
   }
   return options;
@@ -196,12 +220,24 @@ core::FlowConfig flow_config(const CliOptions& options) {
   config.options.consider_tpl = options.consider_tpl;
   config.dvi_method = options.method;
   config.ilp_time_limit_seconds = options.ilp_limit;
+  config.degrade_dvi_on_timeout = options.degrade_dvi;
   return config;
 }
 
 /// Post-process one finished run: print, report, validate, save, render.
 int finish_single(const CliOptions& options, const netlist::PlacedNetlist& instance,
                   const engine::JobOutcome& outcome) {
+  if (!outcome.ok() || outcome.router == nullptr) {
+    std::fprintf(stderr, "flow %s: %s\n",
+                 engine::job_status_name(outcome.status),
+                 outcome.error.to_string().c_str());
+    return 1;
+  }
+  if (outcome.status == engine::JobStatus::kDegraded) {
+    std::fprintf(stderr,
+                 "note: ILP DVI hit its limit; results use the heuristic "
+                 "fallback (--degrade-dvi)\n");
+  }
   const core::ExperimentResult& result = outcome.result;
   const core::SadpRouter& router = *outcome.router;
 
@@ -223,6 +259,12 @@ int finish_single(const CliOptions& options, const netlist::PlacedNetlist& insta
     if (!options.json_report_path.empty()) {
       std::ofstream out(options.json_report_path);
       out << core::render_json_report(result, stats) << '\n';
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     options.json_report_path.c_str());
+        return 1;
+      }
       std::printf("wrote %s\n", options.json_report_path.c_str());
     }
   }
@@ -274,36 +316,56 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
     job.spec = *spec;
     job.config = flow_config(options);
     job.keep_router = options.validate;
+    job.deadline_seconds = options.deadline;
     jobs.push_back(std::move(job));
   }
 
   engine::EngineOptions engine_options;
   engine_options.num_workers = options.jobs;
+  engine_options.batch_deadline_seconds = options.batch_deadline;
+  engine_options.fail_fast = !options.keep_going;
+  engine_options.journal_path = options.journal_path;
+  engine_options.resume = options.resume;
   engine_options.on_job_done = [](const engine::JobOutcome& outcome,
                                   std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "[%zu/%zu] %s: %.2fs\n", done, total,
-                 outcome.label.c_str(), outcome.metrics.total_seconds);
+    if (outcome.ok()) {
+      std::fprintf(stderr, "[%zu/%zu] %s: %.2fs\n", done, total,
+                   outcome.label.c_str(), outcome.metrics.total_seconds);
+    } else {
+      std::fprintf(stderr, "[%zu/%zu] %s: status=%s (%s)\n", done, total,
+                   outcome.label.c_str(),
+                   engine::job_status_name(outcome.status),
+                   outcome.error.to_string().c_str());
+    }
   };
   util::Timer wall;
-  const auto outcomes =
+  const engine::BatchResult batch =
       engine::FlowEngine(engine_options).run(std::move(jobs));
   const double wall_seconds = wall.seconds();
   const int workers = engine::FlowEngine::resolve_workers(options.jobs);
 
-  util::TextTable table({"CKT", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
-  int exit_code = 0;
-  for (const auto& outcome : outcomes) {
+  util::TextTable table(
+      {"CKT", "status", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
+  int exit_code = batch.exit_code();
+  for (const auto& outcome : batch.outcomes) {
     const core::ExperimentResult& r = outcome.result;
     table.begin_row();
-    table.cell(r.benchmark);
+    table.cell(outcome.label);
+    table.cell(engine::job_status_name(outcome.status));
     table.cell(r.routing.wirelength);
     table.cell(r.routing.via_count);
     table.cell(r.routing.route_seconds, 1);
     table.cell(r.dvi.dead_vias);
     table.cell(r.dvi.uncolorable);
-    table.cell(r.routing.routed_all ? "100%" : "NO");
+    table.cell(!outcome.ok() ? "-" : (r.routing.routed_all ? "100%" : "NO"));
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "job %s %s: %s\n", outcome.label.c_str(),
+                   engine::job_status_name(outcome.status),
+                   outcome.error.to_string().c_str());
+      continue;
+    }
     if (!r.routing.routed_all) exit_code = 1;
-    if (options.validate) {
+    if (options.validate && outcome.router != nullptr) {
       const netlist::PlacedNetlist instance = netlist::generate(
           *netlist::spec_for(outcome.label, !options.full_scale));
       const auto issues = core::validate_routing(*outcome.router, instance,
@@ -316,22 +378,26 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
     }
   }
   table.print();
-  std::printf("%zu jobs on %d workers in %.2fs wall\n", outcomes.size(), workers,
-              wall_seconds);
+  std::printf(
+      "%zu jobs on %d workers in %.2fs wall (%zu ok, %zu degraded, %zu failed, "
+      "%zu timeout, %zu cancelled, %zu resumed)\n",
+      batch.outcomes.size(), workers, wall_seconds, batch.ok, batch.degraded,
+      batch.failed, batch.timed_out, batch.cancelled, batch.resumed);
 
   if (!options.json_report_path.empty()) {
     std::ofstream out(options.json_report_path);
-    out << engine::metrics_json(outcomes, workers, wall_seconds) << '\n';
+    out << engine::metrics_json(batch.outcomes, workers, wall_seconds) << '\n';
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_report_path.c_str());
+      return 1;
+    }
     std::printf("wrote %s\n", options.json_report_path.c_str());
   }
   return exit_code;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  auto options = parse_cli(argc, argv);
-  if (!options) return 2;
+int dispatch(CliOptions* options) {
   if (!options->dvi_only_path.empty()) return run_dvi_only(*options);
 
   // Batch mode: several generated benchmarks through the engine.
@@ -394,6 +460,27 @@ int main(int argc, char** argv) {
   job.netlist = instance;
   job.config = flow_config(*options);
   job.keep_router = true;
-  auto outcomes = engine::FlowEngine().run({std::move(job)});
-  return finish_single(*options, instance, outcomes[0]);
+  job.deadline_seconds = options->deadline;
+  std::vector<engine::FlowJob> jobs;
+  jobs.push_back(std::move(job));
+  const engine::BatchResult batch = engine::FlowEngine().run(std::move(jobs));
+  return finish_single(*options, instance, batch.outcomes[0]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = parse_cli(argc, argv);
+  if (!options) return 2;
+  // Work outside the engine's isolation boundary (benchmark generation for
+  // --validate, solution loading, ...) can still throw; exit cleanly.
+  try {
+    return dispatch(&*options);
+  } catch (const sadp::FlowError& e) {
+    std::fprintf(stderr, "error: %s\n", e.status().to_string().c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

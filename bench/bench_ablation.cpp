@@ -86,7 +86,13 @@ int main(int argc, char** argv) {
     job.config.dvi_method = core::DviMethod::kHeuristic;
     jobs.push_back(std::move(job));
   }
-  const auto outcomes = bench::run_batch(args, "ablation", std::move(jobs));
+  const engine::BatchResult batch =
+      bench::run_batch(args, "ablation", std::move(jobs));
+  const auto& outcomes = batch.outcomes;
+  if (!batch.all_ok()) {
+    std::fprintf(stderr, "ablation batch had failing jobs\n");
+    return 1;
+  }
 
   std::printf("\n-- cost-assignment knockouts (DVI by heuristic) --\n");
   util::TextTable t1({"variant", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "rr iters"});

@@ -65,36 +65,52 @@ inline std::vector<netlist::BenchStats> selected_benchmarks(const BenchArgs& arg
 }
 
 /// Engine configured from the shared flags, with a progress printer on
-/// stderr (stdout is reserved for the tables).
+/// stderr (stdout is reserved for the tables).  Failed jobs always print a
+/// `status=<...>` line — even under --quiet — so smoke runs can grep for
+/// `status=failed`.
 inline engine::FlowEngine make_engine(const BenchArgs& args) {
   engine::EngineOptions options;
   options.num_workers = args.jobs;
-  if (!args.quiet) {
-    options.on_job_done = [](const engine::JobOutcome& outcome, std::size_t done,
-                             std::size_t total) {
+  const bool quiet = args.quiet;
+  options.on_job_done = [quiet](const engine::JobOutcome& outcome,
+                                std::size_t done, std::size_t total) {
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "[%zu/%zu] %s%s%s: status=%s (%s)\n", done, total,
+                   outcome.label.c_str(), outcome.arm.empty() ? "" : " / ",
+                   outcome.arm.c_str(),
+                   engine::job_status_name(outcome.status),
+                   outcome.error.to_string().c_str());
+    } else if (!quiet) {
       std::fprintf(stderr, "[%zu/%zu] %s%s%s: %.2fs\n", done, total,
                    outcome.label.c_str(), outcome.arm.empty() ? "" : " / ",
                    outcome.arm.c_str(), outcome.metrics.total_seconds);
-    };
-  }
+    }
+  };
   return engine::FlowEngine(options);
 }
 
 /// Run the batch and write bench_results/<stem>.{json,csv} next to the
-/// text tables.  Returns the outcomes in job order.
-inline std::vector<engine::JobOutcome> run_batch(const BenchArgs& args,
-                                                 const std::string& stem,
-                                                 std::vector<engine::FlowJob> jobs) {
+/// text tables.  Exits 1 immediately when the metrics files cannot be
+/// written (a bench run whose trajectory files are missing is a failed
+/// run, not a quietly-degraded one).
+inline engine::BatchResult run_batch(const BenchArgs& args,
+                                     const std::string& stem,
+                                     std::vector<engine::FlowJob> jobs) {
   util::Timer wall;
-  auto outcomes = make_engine(args).run(std::move(jobs));
+  engine::BatchResult batch = make_engine(args).run(std::move(jobs));
   const int workers = engine::FlowEngine::resolve_workers(args.jobs);
-  const std::string path = engine::write_metrics_files(
-      "bench_results", stem, outcomes, workers, wall.seconds());
-  if (!path.empty()) {
-    std::fprintf(stderr, "metrics: %s (%d workers, %.2fs wall)\n", path.c_str(),
-                 workers, wall.seconds());
+  std::string path;
+  const util::Status written =
+      engine::write_metrics_files("bench_results", stem, batch.outcomes,
+                                  workers, wall.seconds(), &path);
+  if (!written.is_ok()) {
+    std::fprintf(stderr, "cannot write metrics: %s\n",
+                 written.to_string().c_str());
+    std::exit(1);
   }
-  return outcomes;
+  std::fprintf(stderr, "metrics: %s (%d workers, %.2fs wall)\n", path.c_str(),
+               workers, wall.seconds());
+  return batch;
 }
 
 }  // namespace sadp::bench

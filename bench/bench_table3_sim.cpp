@@ -5,6 +5,5 @@
 int main(int argc, char** argv) {
   const auto args = sadp::bench::parse_args(argc, argv);
   std::printf("== Table III: SIM type SADP-aware detailed routing, four arms ==\n");
-  sadp::bench::run_tables34(sadp::grid::SadpStyle::kSim, args, "table3");
-  return 0;
+  return sadp::bench::run_tables34(sadp::grid::SadpStyle::kSim, args, "table3");
 }

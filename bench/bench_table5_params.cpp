@@ -49,7 +49,9 @@ int main(int argc, char** argv) {
       jobs.push_back(std::move(job));
     }
   }
-  const auto outcomes = bench::run_batch(args, "table5", std::move(jobs));
+  const engine::BatchResult batch =
+      bench::run_batch(args, "table5", std::move(jobs));
+  const auto& outcomes = batch.outcomes;
 
   const std::size_t per_variant = benchmarks.size();
   for (std::size_t v = 0; v < 2; ++v) {
@@ -94,5 +96,5 @@ int main(int argc, char** argv) {
     summary.cell(base[3] > 0 ? dv.mean() / base[3] : 0.0, 3);
   }
   summary.print();
-  return 0;
+  return batch.exit_code();
 }

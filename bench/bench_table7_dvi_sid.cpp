@@ -5,6 +5,5 @@
 int main(int argc, char** argv) {
   const auto args = sadp::bench::parse_args(argc, argv);
   std::printf("== Table VII: TPL-aware DVI, SID type (ILP vs heuristic) ==\n");
-  sadp::bench::run_tables67(sadp::grid::SadpStyle::kSid, args, "table7");
-  return 0;
+  return sadp::bench::run_tables67(sadp::grid::SadpStyle::kSid, args, "table7");
 }

@@ -38,8 +38,9 @@ inline constexpr ArmSpec kArms[4] = {
     {"Consider DVI & via layer TPL", true, true},
 };
 
-inline void run_tables34(grid::SadpStyle style, const BenchArgs& args,
-                         const std::string& stem) {
+/// Returns the process exit code (non-zero when any job failed).
+inline int run_tables34(grid::SadpStyle style, const BenchArgs& args,
+                        const std::string& stem) {
   const auto benchmarks = selected_benchmarks(args);
 
   // One engine job per (arm, circuit); job order is arm-major so the
@@ -59,7 +60,8 @@ inline void run_tables34(grid::SadpStyle style, const BenchArgs& args,
       jobs.push_back(std::move(job));
     }
   }
-  const auto outcomes = run_batch(args, stem, std::move(jobs));
+  const engine::BatchResult batch = run_batch(args, stem, std::move(jobs));
+  const auto& outcomes = batch.outcomes;
 
   const std::size_t per_arm = benchmarks.size();
   for (std::size_t arm = 0; arm < 4; ++arm) {
@@ -109,6 +111,7 @@ inline void run_tables34(grid::SadpStyle style, const BenchArgs& args,
     summary.cell(base[3] > 0 ? dv.mean() / base[3] : 0.0, 3);
   }
   summary.print();
+  return batch.exit_code();
 }
 
 }  // namespace sadp::bench

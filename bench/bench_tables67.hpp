@@ -27,8 +27,9 @@
 
 namespace sadp::bench {
 
-inline void run_tables67(grid::SadpStyle style, const BenchArgs& args,
-                         const std::string& stem) {
+/// Returns the process exit code (non-zero when any job failed).
+inline int run_tables67(grid::SadpStyle style, const BenchArgs& args,
+                        const std::string& stem) {
   const auto benchmarks = selected_benchmarks(args);
   constexpr core::DviMethod kMethods[3] = {
       core::DviMethod::kIlp, core::DviMethod::kExact, core::DviMethod::kHeuristic};
@@ -49,7 +50,8 @@ inline void run_tables67(grid::SadpStyle style, const BenchArgs& args,
       jobs.push_back(std::move(job));
     }
   }
-  const auto outcomes = run_batch(args, stem, std::move(jobs));
+  const engine::BatchResult batch = run_batch(args, stem, std::move(jobs));
+  const auto& outcomes = batch.outcomes;
 
   util::TextTable table({"CKT", "ILP #DV", "ILP CPU(s)", "Exact #DV",
                          "Exact CPU(s)", "Exact status", "Heu #DV", "Heu CPU(s)",
@@ -63,6 +65,10 @@ inline void run_tables67(grid::SadpStyle style, const BenchArgs& args,
 
     bool all_valid = true;
     for (const engine::JobOutcome* outcome : {&ilp, &exact, &heuristic}) {
+      if (!outcome->ok() || outcome->router == nullptr) {
+        all_valid = false;
+        continue;
+      }
       const core::DviProblem problem = core::build_dvi_problem(
           outcome->router->nets(), outcome->router->routing_grid(),
           outcome->router->turn_rules());
@@ -108,6 +114,7 @@ inline void run_tables67(grid::SadpStyle style, const BenchArgs& args,
                 exact_dv.mean() / heu_dv.mean(), ilp_cpu.mean() / heu_cpu.mean(),
                 exact_cpu.mean() / heu_cpu.mean());
   }
+  return batch.exit_code();
 }
 
 }  // namespace sadp::bench

@@ -120,6 +120,12 @@ class ExactSolver {
     out.result.uncolorable = warm.result.uncolorable;
 
     for (const auto& comp : comps) {
+      if (params_.cancel.stop_requested()) {
+        // Remaining components keep the heuristic warm-start answer.
+        out.proven_optimal = false;
+        commit(comp, component_warm_choice(comp, warm, out), out);
+        continue;
+      }
       solve_component(comp, warm, out);
       if (clock_.seconds() > params_.time_limit_seconds) out.proven_optimal = false;
     }
@@ -199,7 +205,8 @@ class ExactSolver {
       if (aborted) return;
       if (++nodes_ > params_.node_limit ||
           ++component_nodes > params_.component_node_limit ||
-          clock_.seconds() > params_.time_limit_seconds) {
+          clock_.seconds() > params_.time_limit_seconds ||
+          ((nodes_ & 0xFF) == 0 && params_.cancel.stop_requested())) {
         aborted = true;
         return;
       }
@@ -232,6 +239,19 @@ class ExactSolver {
     if (aborted) out.proven_optimal = false;
 
     commit(comp, best_choice, out);
+  }
+
+  /// Global-sized choice vector carrying the warm start's picks for `comp`
+  /// (used when an external cancel skips the component's search entirely).
+  [[nodiscard]] std::vector<int> component_warm_choice(
+      const std::vector<int>& comp, const DviHeuristicOutput& warm,
+      const DviExactOutput& out) const {
+    std::vector<int> choice(out.result.inserted);
+    for (const int i : comp) {
+      choice[static_cast<std::size_t>(i)] =
+          warm.result.inserted[static_cast<std::size_t>(i)];
+    }
+    return choice;
   }
 
   void commit(const std::vector<int>& comp, const std::vector<int>& choice,

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "core/dvic.hpp"
+#include "util/cancel.hpp"
 #include "via/via_db.hpp"
 
 namespace sadp::core {
@@ -31,6 +32,9 @@ struct DviExactParams {
   /// Per-component search budget: a single pathological cluster degrades to
   /// its warm-start solution instead of starving every other component.
   std::size_t component_node_limit = 4'000'000;
+  /// Cooperative external stop (wall deadline / batch cancel); when it
+  /// fires the solver keeps its incumbent and reports non-optimal.
+  util::CancelToken cancel;
 };
 
 struct DviExactOutput {

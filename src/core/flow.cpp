@@ -5,23 +5,35 @@
 
 namespace sadp::core {
 
+namespace {
+
+DviStageOutput run_dvi_heuristic_stage(const DviProblem& problem,
+                                       const SadpRouter& router,
+                                       const FlowConfig& config) {
+  DviHeuristicOutput heuristic =
+      run_dvi_heuristic(problem, router.via_db(), config.options.dvi);
+  DviStageOutput out;
+  out.result = std::move(heuristic.result);
+  out.inserted_at = std::move(heuristic.inserted_at);
+  out.status = ilp::SolveStatus::kOptimal;
+  return out;
+}
+
+}  // namespace
+
 DviStageOutput run_post_routing_dvi(const SadpRouter& router,
                                     const FlowConfig& config) {
   const DviProblem problem =
       build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
   DviStageOutput out;
   switch (config.dvi_method) {
-    case DviMethod::kHeuristic: {
-      DviHeuristicOutput heuristic =
-          run_dvi_heuristic(problem, router.via_db(), config.options.dvi);
-      out.result = std::move(heuristic.result);
-      out.inserted_at = std::move(heuristic.inserted_at);
-      out.status = ilp::SolveStatus::kOptimal;
+    case DviMethod::kHeuristic:
+      out = run_dvi_heuristic_stage(problem, router, config);
       break;
-    }
     case DviMethod::kExact: {
       DviExactParams params;
       params.time_limit_seconds = config.ilp_time_limit_seconds;
+      params.cancel = config.options.cancel;
       DviExactOutput exact = solve_dvi_exact(problem, router.via_db(), params);
       out.result = std::move(exact.result);
       out.inserted_at = std::move(exact.inserted_at);
@@ -32,10 +44,28 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
     case DviMethod::kIlp: {
       DviIlpParams params;
       params.bnb.time_limit_seconds = config.ilp_time_limit_seconds;
-      DviIlpOutput ilp = solve_dvi_ilp(problem, router.via_db(), params);
-      out.result = std::move(ilp.result);
-      out.inserted_at = std::move(ilp.inserted_at);
-      out.status = ilp.status;
+      params.bnb.cancel = config.options.cancel;
+      // Degradation policy: an ILP solve that cannot prove optimality (time
+      // limit, external cancel) or dies outright falls back to the
+      // heuristic, keeping the batch row usable at the cost of optimality.
+      bool solver_failed = false;
+      try {
+        DviIlpOutput ilp = solve_dvi_ilp(problem, router.via_db(), params);
+        out.result = std::move(ilp.result);
+        out.inserted_at = std::move(ilp.inserted_at);
+        out.status = ilp.status;
+      } catch (const std::exception&) {
+        if (!config.degrade_dvi_on_timeout) throw;
+        solver_failed = true;
+      }
+      if (config.degrade_dvi_on_timeout &&
+          (solver_failed || out.status != ilp::SolveStatus::kOptimal) &&
+          !config.options.cancel.stop_requested()) {
+        const ilp::SolveStatus ilp_status = out.status;
+        out = run_dvi_heuristic_stage(problem, router, config);
+        out.status = solver_failed ? ilp::SolveStatus::kUnknown : ilp_status;
+        out.degraded = true;
+      }
       break;
     }
   }
@@ -43,11 +73,18 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
 }
 
 FlowRun run_flow(const netlist::PlacedNetlist& netlist, const FlowConfig& config) {
+  const util::CancelToken& cancel = config.options.cancel;
   FlowRun run;
   run.result.benchmark = netlist.name;
 
   run.router = std::make_unique<SadpRouter>(netlist, config.options);
   run.result.routing = run.router->run();
+  if (cancel.stop_requested()) {
+    // The router stopped cooperatively mid-search; the report describes the
+    // partial state.  Skip the DVI stage entirely.
+    run.status = cancel.status("routing");
+    return run;
+  }
 
   const DviProblem problem = build_dvi_problem(
       run.router->nets(), run.router->routing_grid(), run.router->turn_rules());
@@ -58,6 +95,8 @@ FlowRun run_flow(const netlist::PlacedNetlist& netlist, const FlowConfig& config
   run.result.dvi = std::move(dvi.result);
   run.result.ilp_status = dvi.status;
   run.dvi_inserted_at = std::move(dvi.inserted_at);
+  run.dvi_degraded = dvi.degraded;
+  if (cancel.stop_requested()) run.status = cancel.status("post-routing DVI");
   return run;
 }
 

@@ -10,6 +10,7 @@
 #include "core/params.hpp"
 #include "core/router.hpp"
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace sadp::core {
 
@@ -38,6 +39,11 @@ struct FlowConfig {
   FlowOptions options;
   DviMethod dvi_method = DviMethod::kIlp;
   double ilp_time_limit_seconds = 120.0;
+  /// Graceful degradation: when the ILP DVI solve fails to prove optimality
+  /// (time limit, external cancel) or throws, automatically re-solve with
+  /// the O(n log n) heuristic and mark the run degraded.  Off by default so
+  /// the paper-faithful tables keep reporting the time-limited ILP rows.
+  bool degrade_dvi_on_timeout = false;
 };
 
 /// Everything one post-routing DVI stage produces, regardless of solver.
@@ -47,6 +53,9 @@ struct DviStageOutput {
   /// entry i is meaningful only when result.inserted[i] >= 0.
   std::vector<grid::Point> inserted_at;
   ilp::SolveStatus status = ilp::SolveStatus::kUnknown;
+  /// True when the configured solver failed and the stage fell back to the
+  /// heuristic (FlowConfig::degrade_dvi_on_timeout).
+  bool degraded = false;
 };
 
 /// A finished flow: the table row plus the router (and DVI geometry) that
@@ -57,6 +66,11 @@ struct FlowRun {
   /// DVI insertion locations, parallel to result.dvi.inserted.
   std::vector<grid::Point> dvi_inserted_at;
   std::unique_ptr<SadpRouter> router;
+  /// Non-ok when the flow stopped early (cancel token fired): the routing
+  /// and DVI fields then describe the partial state, not a finished run.
+  util::Status status;
+  /// True when the DVI stage degraded to the heuristic fallback.
+  bool dvi_degraded = false;
 };
 
 /// Route the netlist and run post-routing DVI.

@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "grid/colored_grid.hpp"
+#include "util/cancel.hpp"
 
 namespace sadp::core {
 
@@ -64,6 +65,12 @@ struct FlowOptions {
   DviParams dvi;
   RoutingCosts routing;
   NegotiationParams negotiation;
+  /// Cooperative stop signal, polled by the router's R&R loops, the
+  /// coloring fix loop and the DVI solvers.  A default token never fires;
+  /// the FlowEngine installs one per job (job deadline + batch cancel).
+  /// When it fires the flow stops early and reports a cancelled/timeout
+  /// status instead of a complete result.
+  util::CancelToken cancel;
 };
 
 }  // namespace sadp::core

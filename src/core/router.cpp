@@ -1,10 +1,10 @@
 #include "core/router.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 
 #include "util/logging.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 #include "via/coloring.hpp"
 #include "via/decomp_graph.hpp"
@@ -15,7 +15,14 @@ SadpRouter::SadpRouter(const netlist::PlacedNetlist& netlist, FlowOptions option
     : netlist_(netlist),
       options_(options),
       rules_(grid::TurnRules::for_style(options.style)) {
-  assert(netlist_.valid());
+  // External input: fail loudly in every build type instead of routing a
+  // malformed design (the release-mode assert was undefined behavior bait).
+  if (!netlist_.valid()) {
+    throw FlowError(util::StatusCode::kInvalidInput,
+                    "netlist '" + netlist_.name +
+                        "' is invalid (empty, out-of-bounds pins, or bad "
+                        "layer count)");
+  }
   grid_ = std::make_unique<grid::RoutingGrid>(netlist_.width, netlist_.height,
                                               netlist_.num_metal_layers);
   vias_ = std::make_unique<via::ViaDb>(netlist_.width, netlist_.height,
@@ -160,6 +167,7 @@ void SadpRouter::initial_routing() {
 
   maze_->set_present_factor(options_.negotiation.present_factor_initial);
   for (grid::NetId id : order) {
+    if (options_.cancel.stop_requested()) return;
     rip_net(id);
     route_net(id);
   }
@@ -303,6 +311,7 @@ std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
   };
 
   while (!heap_.empty() && iterations < cap) {
+    if (options_.cancel.stop_requested()) break;
     std::pop_heap(heap_.begin(), heap_.end(), heap_less);
     const Violation v = heap_.back();
     heap_.pop_back();
@@ -346,6 +355,7 @@ std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
 
 void SadpRouter::coloring_fix_loop(RoutingReport& report) {
   for (int round = 0; round < 6; ++round) {
+    if (options_.cancel.stop_requested()) return;
     const via::DecompGraph graph = via::DecompGraph::build_all_layers(*vias_);
     const via::ColoringResult result = via::welsh_powell(graph);
     if (result.complete()) {
@@ -407,14 +417,16 @@ RoutingReport SadpRouter::run() {
   }
 
   // Retry any nets that failed during the noisy phases.
-  std::vector<grid::NetId> retry;
-  std::swap(retry, unrouted_);
-  for (const grid::NetId id : retry) {
-    rip_net(id);
-    route_net(id);
-  }
-  if (!unrouted_.empty()) {
-    report.rr_iterations += ripup_reroute_loop(options_.consider_tpl);
+  if (!options_.cancel.stop_requested()) {
+    std::vector<grid::NetId> retry;
+    std::swap(retry, unrouted_);
+    for (const grid::NetId id : retry) {
+      rip_net(id);
+      route_net(id);
+    }
+    if (!unrouted_.empty()) {
+      report.rr_iterations += ripup_reroute_loop(options_.consider_tpl);
+    }
   }
 
   if (options_.consider_tpl) {

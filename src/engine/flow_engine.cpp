@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "engine/journal.hpp"
 #include "grid/colored_grid.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -14,52 +15,103 @@ namespace sadp::engine {
 
 namespace {
 
-const char* solve_status_name(ilp::SolveStatus status) noexcept {
-  switch (status) {
-    case ilp::SolveStatus::kOptimal: return "optimal";
-    case ilp::SolveStatus::kFeasible: return "feasible";
-    case ilp::SolveStatus::kInfeasible: return "infeasible";
-    case ilp::SolveStatus::kUnknown: return "unknown";
-  }
-  return "?";
+/// The journal/table key of a job before it has run.
+std::string effective_label(const FlowJob& job) {
+  if (!job.label.empty()) return job.label;
+  if (job.netlist.has_value()) return job.netlist->name;
+  return job.spec.name;
 }
 
-JobOutcome run_job(FlowJob job) {
+/// Execute one job with full fault isolation: everything the flow throws is
+/// caught here and recorded as a failed outcome; a fired cancel token
+/// reclassifies the failure as timeout/cancelled.
+JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
   util::Timer total;
   JobOutcome outcome;
+  outcome.label = effective_label(job);
   outcome.arm = std::move(job.arm);
   outcome.style = job.config.options.style;
   outcome.dvi_method = job.config.dvi_method;
 
-  util::Timer generate;
-  netlist::PlacedNetlist local;
-  const netlist::PlacedNetlist* instance = nullptr;
-  if (job.netlist.has_value()) {
-    instance = &*job.netlist;
-  } else {
-    local = netlist::generate(job.spec);
-    instance = &local;
-  }
-  outcome.metrics.generate_seconds = generate.seconds();
-  outcome.label = job.label.empty() ? instance->name : std::move(job.label);
+  // Per-job deadline composes with the batch token; with no deadline the
+  // job still inherits batch cancellation.
+  const util::CancelToken token =
+      job.deadline_seconds > 0.0
+          ? batch_token.child_with_deadline(job.deadline_seconds)
+          : batch_token;
+  job.config.options.cancel = token;
 
-  core::FlowRun run = core::run_flow(*instance, job.config);
-  outcome.result = std::move(run.result);
-  if (job.keep_router) {
-    outcome.router = std::move(run.router);
-    outcome.dvi_inserted_at = std::move(run.dvi_inserted_at);
+  try {
+    util::Timer generate;
+    netlist::PlacedNetlist local;
+    const netlist::PlacedNetlist* instance = nullptr;
+    if (job.netlist.has_value()) {
+      instance = &*job.netlist;
+    } else {
+      local = netlist::generate(job.spec);  // throws FlowError on bad specs
+      instance = &local;
+    }
+    outcome.metrics.generate_seconds = generate.seconds();
+
+    core::FlowRun run = job.flow_override
+                            ? job.flow_override(*instance, job.config)
+                            : core::run_flow(*instance, job.config);
+    outcome.result = std::move(run.result);
+    if (job.keep_router) {
+      outcome.router = std::move(run.router);
+      outcome.dvi_inserted_at = std::move(run.dvi_inserted_at);
+    }
+    outcome.error = run.status;
+    if (!run.status.is_ok()) {
+      outcome.status = JobStatus::kFailed;  // reclassified below if token fired
+    } else if (run.dvi_degraded) {
+      outcome.status = JobStatus::kDegraded;
+    }
+
+    const core::RoutingReport& routing = outcome.result.routing;
+    outcome.metrics.route_seconds = routing.route_seconds;
+    outcome.metrics.initial_routing_seconds = routing.initial_routing_seconds;
+    outcome.metrics.congestion_rr_seconds = routing.congestion_rr_seconds;
+    outcome.metrics.tpl_rr_seconds = routing.tpl_rr_seconds;
+    outcome.metrics.coloring_seconds = routing.coloring_seconds;
+    outcome.metrics.dvi_seconds = outcome.result.dvi.seconds;
+    outcome.metrics.rr_iterations = routing.rr_iterations;
+    outcome.metrics.queue_peak = routing.queue_peak;
+  } catch (const FlowError& e) {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = e.status();
+  } catch (const std::exception& e) {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = util::Status::internal(e.what());
+  } catch (...) {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = util::Status::internal("unknown exception");
   }
 
-  const core::RoutingReport& routing = outcome.result.routing;
-  outcome.metrics.route_seconds = routing.route_seconds;
-  outcome.metrics.initial_routing_seconds = routing.initial_routing_seconds;
-  outcome.metrics.congestion_rr_seconds = routing.congestion_rr_seconds;
-  outcome.metrics.tpl_rr_seconds = routing.tpl_rr_seconds;
-  outcome.metrics.coloring_seconds = routing.coloring_seconds;
-  outcome.metrics.dvi_seconds = outcome.result.dvi.seconds;
-  outcome.metrics.rr_iterations = routing.rr_iterations;
-  outcome.metrics.queue_peak = routing.queue_peak;
+  if (outcome.status != JobStatus::kOk &&
+      outcome.status != JobStatus::kDegraded && token.stop_requested()) {
+    // A cooperative abort surfaces as a partial run or an exception; the
+    // token knows the real cause.
+    outcome.status = token.reason() == util::StopReason::kDeadline
+                         ? JobStatus::kTimeout
+                         : JobStatus::kCancelled;
+    if (outcome.error.is_ok()) outcome.error = token.status("flow");
+  }
   outcome.metrics.total_seconds = total.seconds();
+  return outcome;
+}
+
+/// A placeholder outcome for a job that was never started (batch cancelled
+/// or its deadline fired before a worker picked it up).
+JobOutcome skipped_outcome(const FlowJob& job, const util::CancelToken& token) {
+  JobOutcome outcome;
+  outcome.label = effective_label(job);
+  outcome.arm = job.arm;
+  outcome.style = job.config.options.style;
+  outcome.dvi_method = job.config.dvi_method;
+  outcome.result.benchmark = outcome.label;
+  outcome.status = JobStatus::kCancelled;
+  outcome.error = token.status("batch scheduling");
   return outcome;
 }
 
@@ -73,37 +125,100 @@ int FlowEngine::resolve_workers(int requested) noexcept {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-std::vector<JobOutcome> FlowEngine::run(std::vector<FlowJob> jobs) const {
-  std::vector<JobOutcome> outcomes(jobs.size());
-  if (jobs.empty()) return outcomes;
+BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
+  BatchResult batch;
+  batch.outcomes.resize(jobs.size());
+  if (jobs.empty()) return batch;
 
-  const int workers = std::min<int>(resolve_workers(options_.num_workers),
-                                    static_cast<int>(jobs.size()));
+  // Resume: restore journaled rows and schedule only the remainder.
+  std::vector<std::size_t> todo;
+  todo.reserve(jobs.size());
+  {
+    std::map<std::string, JobOutcome> journaled;
+    if (options_.resume && !options_.journal_path.empty()) {
+      journaled = load_journal(options_.journal_path);
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto hit = journaled.find(effective_label(jobs[i]));
+      if (hit != journaled.end()) {
+        batch.outcomes[i] = std::move(hit->second);
+        journaled.erase(hit);  // duplicate labels re-execute rather than alias
+      } else {
+        todo.push_back(i);
+      }
+    }
+  }
+
+  // The batch token: a child of the caller's token (so external cancellation
+  // propagates), optionally carrying the batch deadline, and always
+  // fireable for fail-fast.
+  const util::CancelToken batch_token =
+      options_.batch_deadline_seconds > 0.0
+          ? options_.cancel.child_with_deadline(options_.batch_deadline_seconds)
+          : options_.cancel.child();
+
+  const int workers =
+      std::min<int>(resolve_workers(options_.num_workers),
+                    static_cast<int>(std::max<std::size_t>(todo.size(), 1)));
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex callback_mutex;
+  std::mutex finish_mutex;
 
   auto drain = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < jobs.size();
-         i = next.fetch_add(1)) {
-      outcomes[i] = run_job(std::move(jobs[i]));
+    for (std::size_t t = next.fetch_add(1); t < todo.size();
+         t = next.fetch_add(1)) {
+      const std::size_t i = todo[t];
+      JobOutcome outcome = batch_token.stop_requested()
+                               ? skipped_outcome(jobs[i], batch_token)
+                               : execute_job(std::move(jobs[i]), batch_token);
+      const bool journal_it =
+          !options_.journal_path.empty() &&
+          (outcome.status == JobStatus::kOk ||
+           outcome.status == JobStatus::kDegraded ||
+           outcome.status == JobStatus::kFailed);
       const std::size_t completed = done.fetch_add(1) + 1;
-      if (options_.on_job_done) {
-        const std::lock_guard<std::mutex> lock(callback_mutex);
-        options_.on_job_done(outcomes[i], completed, jobs.size());
+      {
+        // One critical section per finished job: the journal append keeps
+        // file order intact and the progress callback stays serialized.
+        const std::lock_guard<std::mutex> lock(finish_mutex);
+        if (journal_it) {
+          // Journal failures must not fail the batch; the run still has its
+          // in-memory outcomes.  Resume will simply re-execute the job.
+          (void)append_journal(options_.journal_path, outcome);
+        }
+        batch.outcomes[i] = std::move(outcome);
+        if (options_.on_job_done) {
+          options_.on_job_done(batch.outcomes[i], completed, todo.size());
+        }
+        if (options_.fail_fast &&
+            (batch.outcomes[i].status == JobStatus::kFailed ||
+             batch.outcomes[i].status == JobStatus::kTimeout)) {
+          batch_token.request_cancel();
+        }
       }
     }
   };
 
-  if (workers <= 1) {
+  if (workers <= 1 || todo.size() <= 1) {
     drain();
-    return outcomes;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& thread : pool) thread.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
-  for (auto& thread : pool) thread.join();
-  return outcomes;
+
+  for (const JobOutcome& outcome : batch.outcomes) {
+    switch (outcome.status) {
+      case JobStatus::kOk: ++batch.ok; break;
+      case JobStatus::kDegraded: ++batch.degraded; break;
+      case JobStatus::kFailed: ++batch.failed; break;
+      case JobStatus::kTimeout: ++batch.timed_out; break;
+      case JobStatus::kCancelled: ++batch.cancelled; break;
+    }
+    if (outcome.from_journal) ++batch.resumed;
+  }
+  return batch;
 }
 
 namespace {
@@ -113,6 +228,9 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.begin_object();
   json.key("label").value(outcome.label);
   json.key("arm").value(outcome.arm);
+  json.key("status").value(job_status_name(outcome.status));
+  json.key("error").value(outcome.error.to_string());
+  json.key("from_journal").value(outcome.from_journal);
   json.key("benchmark").value(r.benchmark);
   json.key("style").value(grid::style_name(outcome.style));
   json.key("dvi_method").value(core::dvi_method_name(outcome.dvi_method));
@@ -126,7 +244,7 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("dvi_candidates").value(r.dvi_candidates);
   json.key("dead_vias").value(r.dvi.dead_vias);
   json.key("uncolorable").value(r.dvi.uncolorable);
-  json.key("ilp_status").value(solve_status_name(r.ilp_status));
+  json.key("ilp_status").value(ilp::solve_status_name(r.ilp_status));
   json.key("rr_iterations").value(outcome.metrics.rr_iterations);
   json.key("queue_peak").value(outcome.metrics.queue_peak);
   json.key("total_seconds").value(outcome.metrics.total_seconds);
@@ -161,7 +279,8 @@ std::string metrics_json(const std::vector<JobOutcome>& outcomes, int workers,
 
 std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
   std::string out =
-      "label,arm,benchmark,style,dvi_method,routed_all,wirelength,via_count,single_vias,"
+      "label,arm,status,error,benchmark,style,dvi_method,routed_all,wirelength,"
+      "via_count,single_vias,"
       "dead_vias,uncolorable,rr_iterations,queue_peak,total_seconds,"
       "route_seconds,initial_routing_seconds,congestion_rr_seconds,"
       "tpl_rr_seconds,coloring_seconds,dvi_seconds\n";
@@ -169,8 +288,14 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
   for (const auto& outcome : outcomes) {
     const core::ExperimentResult& r = outcome.result;
     const StageMetrics& m = outcome.metrics;
-    out += outcome.label + ',' + outcome.arm + ',' + r.benchmark + ',' +
-           grid::style_name(outcome.style) + ',' +
+    // CSV-hostile characters in the free-text error column degrade to '_'.
+    std::string error = outcome.error.to_string();
+    for (char& c : error) {
+      if (c == ',' || c == '\n' || c == '"') c = '_';
+    }
+    out += outcome.label + ',' + outcome.arm + ',' +
+           job_status_name(outcome.status) + ',' + error + ',' + r.benchmark +
+           ',' + grid::style_name(outcome.style) + ',' +
            core::dvi_method_name(outcome.dvi_method) + ',';
     std::snprintf(buffer, sizeof buffer,
                   "%d,%lld,%d,%d,%d,%d,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
@@ -185,21 +310,33 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
   return out;
 }
 
-std::string write_metrics_files(const std::string& directory,
-                                const std::string& stem,
-                                const std::vector<JobOutcome>& outcomes,
-                                int workers, double wall_seconds) {
+util::Status write_metrics_files(const std::string& directory,
+                                 const std::string& stem,
+                                 const std::vector<JobOutcome>& outcomes,
+                                 int workers, double wall_seconds,
+                                 std::string* json_path) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
-  const std::string json_path = directory + "/" + stem + ".json";
+  const std::string path = directory + "/" + stem + ".json";
   {
-    std::ofstream out(json_path);
-    if (!out) return {};
+    std::ofstream out(path);
+    if (!out) {
+      return util::Status::internal("cannot open " + path + " for writing");
+    }
     out << metrics_json(outcomes, workers, wall_seconds) << '\n';
+    out.flush();
+    if (!out) return util::Status::internal("short write to " + path);
   }
-  std::ofstream csv(directory + "/" + stem + ".csv");
-  if (csv) csv << metrics_csv(outcomes);
-  return json_path;
+  const std::string csv_path = directory + "/" + stem + ".csv";
+  std::ofstream csv(csv_path);
+  if (!csv) {
+    return util::Status::internal("cannot open " + csv_path + " for writing");
+  }
+  csv << metrics_csv(outcomes);
+  csv.flush();
+  if (!csv) return util::Status::internal("short write to " + csv_path);
+  if (json_path != nullptr) *json_path = path;
+  return util::Status::ok();
 }
 
 }  // namespace sadp::engine

@@ -1,4 +1,4 @@
-// Parallel batch flow engine.
+// Parallel batch flow engine with fault isolation.
 //
 // The paper's experiment tables (III-VII) are embarrassingly parallel: each
 // row is an independent (netlist, SADP style, consideration arm, DVI method)
@@ -6,12 +6,27 @@
 // and collects one JobOutcome per job, in job order, independent of how the
 // pool interleaved them.
 //
+// Fault isolation: each worker catches everything a job throws at the job
+// boundary and records a failed outcome (JobStatus + util::Status) instead
+// of terminating, so a batch of N jobs with one poisoned job still returns
+// N-1 good rows plus one diagnosable failure.  Jobs and the batch carry
+// wall-clock deadlines enforced through cooperative util::CancelToken
+// chains threaded into the router's R&R loops and the DVI solvers; a
+// fail-fast policy cancels the rest of the batch on the first failure.
+//
+// Crash safety: with EngineOptions::journal_path set, the engine appends
+// one JSONL record (schema sadp.flow_journal.v1, see engine/journal.hpp)
+// per finished job as it completes; EngineOptions::resume skips journaled
+// jobs on restart and returns their recorded rows, so an interrupted batch
+// re-executes only the remaining work.
+//
 // Determinism: a job is either a pre-placed netlist or a BenchSpec, and
 // specs are generated inside the worker with the spec-seeded PRNG
 // (bench_gen derives the seed from the spec, never from global state), so
 // every job sees bit-identical input and produces bit-identical
 // ExperimentResult rows regardless of the worker count.  Only the wall-clock
-// fields vary between runs.
+// fields vary between runs — and rows of jobs whose deadline fired, which
+// are inherently non-deterministic.
 //
 // Each job also records per-stage metrics (StageMetrics) — wall time per
 // flow phase, R&R iterations, violation-queue peak — which metrics_json /
@@ -26,6 +41,8 @@
 
 #include "core/flow.hpp"
 #include "netlist/bench_gen.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
 
 namespace sadp::engine {
 
@@ -45,8 +62,9 @@ struct StageMetrics {
 
 /// One unit of work: route + post-routing DVI on one instance.
 struct FlowJob {
-  /// Identifies the job in tables and metrics files; defaults to the
-  /// instance name when empty.
+  /// Identifies the job in tables, metrics files and the resume journal;
+  /// defaults to the instance name when empty.  Must be unique within a
+  /// batch for --resume to work.
   std::string label;
   /// Caller-defined grouping tag (experiment arm, parameter variant, ...).
   std::string arm;
@@ -59,7 +77,41 @@ struct FlowJob {
   /// Retain the router (and DVI geometry) in the outcome for validation or
   /// rendering.  Costs memory proportional to the design; off by default.
   bool keep_router = false;
+  /// Per-job wall-clock deadline in seconds (0 = none).  Enforced
+  /// cooperatively: the engine arms a CancelToken child and the flow stops
+  /// at its next cancellation point, yielding JobStatus::kTimeout.
+  double deadline_seconds = 0.0;
+  /// Test-only fault-injection hook: when set, replaces core::run_flow for
+  /// this job.  Exceptions it throws exercise the worker's isolation path;
+  /// the job's cancel token is visible as `config.options.cancel`.
+  std::function<core::FlowRun(const netlist::PlacedNetlist&,
+                              const core::FlowConfig&)>
+      flow_override;
 };
+
+/// Terminal state of one job.
+enum class JobStatus : std::uint8_t {
+  kOk = 0,     ///< finished normally
+  kDegraded,   ///< finished via a degradation fallback (heuristic DVI)
+  kFailed,     ///< threw; `error` carries the structured cause
+  kTimeout,    ///< its (or the batch's) wall deadline fired mid-flow
+  kCancelled,  ///< external/fail-fast cancellation before or during the run
+};
+
+[[nodiscard]] constexpr const char* job_status_name(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kDegraded: return "degraded";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Parse a job-status name back (journal round-trips); nullopt when unknown.
+[[nodiscard]] std::optional<JobStatus> parse_job_status(
+    const std::string& name) noexcept;
 
 /// What one job produced.
 struct JobOutcome {
@@ -67,6 +119,13 @@ struct JobOutcome {
   std::string arm;
   grid::SadpStyle style = grid::SadpStyle::kSim;  ///< from the job config
   core::DviMethod dvi_method = core::DviMethod::kIlp;
+  JobStatus status = JobStatus::kOk;
+  /// Structured failure cause; ok for kOk (and for kDegraded, where the
+  /// degradation is recorded in `status` alone).
+  util::Status error;
+  /// True when the row was restored from the resume journal rather than
+  /// executed in this run (timing metrics are then zero).
+  bool from_journal = false;
   core::ExperimentResult result;
   StageMetrics metrics;
   /// Populated only when FlowJob::keep_router was set.
@@ -74,26 +133,68 @@ struct JobOutcome {
   /// DVI insertion locations (parallel to result.dvi.inserted); populated
   /// only when FlowJob::keep_router was set.
   std::vector<grid::Point> dvi_inserted_at;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == JobStatus::kOk || status == JobStatus::kDegraded;
+  }
 };
 
 struct EngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().  The
   /// pool never exceeds the job count.
   int num_workers = 0;
-  /// Invoked (serialized under an internal mutex) as each job finishes,
-  /// with the number of completed jobs so far; for progress output.
+  /// Invoked (serialized under an internal mutex) as each executed job
+  /// finishes, with the number of completed jobs so far; for progress
+  /// output.  Not invoked for journal-restored rows.
   std::function<void(const JobOutcome&, std::size_t done, std::size_t total)>
       on_job_done;
+  /// Whole-batch wall-clock deadline in seconds (0 = none); jobs still
+  /// running when it fires stop cooperatively (kTimeout) and jobs not yet
+  /// started are marked kCancelled.
+  double batch_deadline_seconds = 0.0;
+  /// Fail fast: the first kFailed/kTimeout job cancels the rest of the
+  /// batch.  Default keeps going and reports every row.
+  bool fail_fast = false;
+  /// External cancellation: fire to stop the batch from another thread.
+  /// The engine always derives its own child token, so a default token
+  /// simply never fires.
+  util::CancelToken cancel;
+  /// When set, append one sadp.flow_journal.v1 JSONL record per finished
+  /// job (flushed per line, so a crash loses at most the in-flight jobs).
+  /// Cancelled/timed-out jobs are not journaled — a resumed run retries
+  /// them.
+  std::string journal_path;
+  /// Skip jobs that already have a journal record (matched by label) and
+  /// return their recorded rows instead of re-executing them.
+  bool resume = false;
+};
+
+/// What a whole batch produced: outcomes in job order plus aggregates.
+struct BatchResult {
+  std::vector<JobOutcome> outcomes;
+  std::size_t ok = 0;         ///< JobStatus::kOk
+  std::size_t degraded = 0;   ///< JobStatus::kDegraded
+  std::size_t failed = 0;     ///< JobStatus::kFailed
+  std::size_t timed_out = 0;  ///< JobStatus::kTimeout
+  std::size_t cancelled = 0;  ///< JobStatus::kCancelled
+  std::size_t resumed = 0;    ///< rows restored from the journal
+
+  /// Every row usable (ok or degraded)?
+  [[nodiscard]] bool all_ok() const noexcept {
+    return failed == 0 && timed_out == 0 && cancelled == 0;
+  }
+  /// Process exit status for batch drivers: 0 when all rows are usable.
+  [[nodiscard]] int exit_code() const noexcept { return all_ok() ? 0 : 1; }
 };
 
 class FlowEngine {
  public:
   explicit FlowEngine(EngineOptions options = {});
 
-  /// Run all jobs to completion on the pool.  Outcomes are returned in job
-  /// order.  Result rows are bit-identical for any worker count; only the
-  /// timing metrics vary.
-  [[nodiscard]] std::vector<JobOutcome> run(std::vector<FlowJob> jobs) const;
+  /// Run all jobs to completion (or failure — failures are isolated per
+  /// job) on the pool.  Outcomes are returned in job order.  Result rows
+  /// are bit-identical for any worker count; only the timing metrics vary.
+  [[nodiscard]] BatchResult run(std::vector<FlowJob> jobs) const;
 
   /// The worker count `requested` resolves to (0 => hardware concurrency,
   /// always >= 1).
@@ -113,11 +214,11 @@ class FlowEngine {
 [[nodiscard]] std::string metrics_csv(const std::vector<JobOutcome>& outcomes);
 
 /// Write metrics_json to `<directory>/<stem>.json` (and CSV alongside as
-/// `<stem>.csv`), creating the directory when missing.  Returns the JSON
-/// path, or empty on I/O failure.
-std::string write_metrics_files(const std::string& directory,
-                                const std::string& stem,
-                                const std::vector<JobOutcome>& outcomes,
-                                int workers, double wall_seconds);
+/// `<stem>.csv`), creating the directory when missing.  On success stores
+/// the JSON path in `json_path` (when non-null).
+[[nodiscard]] util::Status write_metrics_files(
+    const std::string& directory, const std::string& stem,
+    const std::vector<JobOutcome>& outcomes, int workers, double wall_seconds,
+    std::string* json_path = nullptr);
 
 }  // namespace sadp::engine

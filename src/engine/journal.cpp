@@ -1,0 +1,240 @@
+#include "engine/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "grid/colored_grid.hpp"
+#include "util/json.hpp"
+
+namespace sadp::engine {
+
+namespace {
+
+std::optional<grid::SadpStyle> parse_style(const std::string& name) {
+  for (const grid::SadpStyle s :
+       {grid::SadpStyle::kSim, grid::SadpStyle::kSid, grid::SadpStyle::kSaqpSim,
+        grid::SadpStyle::kSimTrim}) {
+    if (name == grid::style_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::DviMethod> parse_dvi_method(const std::string& name) {
+  for (const core::DviMethod m :
+       {core::DviMethod::kIlp, core::DviMethod::kHeuristic,
+        core::DviMethod::kExact}) {
+    if (name == core::dvi_method_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<ilp::SolveStatus> parse_solve_status(const std::string& name) {
+  for (const ilp::SolveStatus s :
+       {ilp::SolveStatus::kOptimal, ilp::SolveStatus::kFeasible,
+        ilp::SolveStatus::kInfeasible, ilp::SolveStatus::kUnknown}) {
+    if (name == ilp::solve_status_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+/// Required-field accessors; set `bad` instead of crashing on absent or
+/// mistyped members (truncated crash-time lines must never be fatal).
+const util::JsonValue* member(const util::JsonValue& doc, const char* key,
+                              bool& bad) {
+  const util::JsonValue* v = doc.find(key);
+  if (v == nullptr) bad = true;
+  return v;
+}
+
+std::string get_string(const util::JsonValue& doc, const char* key, bool& bad) {
+  const util::JsonValue* v = member(doc, key, bad);
+  if (v == nullptr || !v->is_string()) {
+    bad = true;
+    return {};
+  }
+  return v->string_value;
+}
+
+double get_number(const util::JsonValue& doc, const char* key, bool& bad) {
+  const util::JsonValue* v = member(doc, key, bad);
+  if (v == nullptr || !v->is_number()) {
+    bad = true;
+    return 0.0;
+  }
+  return v->number_value;
+}
+
+bool get_bool(const util::JsonValue& doc, const char* key, bool& bad) {
+  const util::JsonValue* v = member(doc, key, bad);
+  if (v == nullptr || !v->is_bool()) {
+    bad = true;
+    return false;
+  }
+  return v->bool_value;
+}
+
+}  // namespace
+
+std::optional<JobStatus> parse_job_status(const std::string& name) noexcept {
+  for (const JobStatus s : {JobStatus::kOk, JobStatus::kDegraded,
+                            JobStatus::kFailed, JobStatus::kTimeout,
+                            JobStatus::kCancelled}) {
+    if (name == job_status_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string journal_line(const JobOutcome& outcome) {
+  const core::ExperimentResult& r = outcome.result;
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kJournalSchema);
+  json.key("label").value(outcome.label);
+  json.key("arm").value(outcome.arm);
+  json.key("status").value(job_status_name(outcome.status));
+  json.key("error_code").value(util::status_code_name(outcome.error.code()));
+  json.key("error").value(outcome.error.message());
+  json.key("benchmark").value(r.benchmark);
+  json.key("style").value(grid::style_name(outcome.style));
+  json.key("dvi_method").value(core::dvi_method_name(outcome.dvi_method));
+  json.key("routed_all").value(r.routing.routed_all);
+  json.key("unrouted_nets").value(r.routing.unrouted_nets);
+  json.key("wirelength").value(r.routing.wirelength);
+  json.key("via_count").value(r.routing.via_count);
+  json.key("rr_iterations").value(r.routing.rr_iterations);
+  json.key("queue_peak").value(r.routing.queue_peak);
+  json.key("remaining_congestion").value(r.routing.remaining_congestion);
+  json.key("remaining_fvps").value(r.routing.remaining_fvps);
+  json.key("uncolorable_vias").value(r.routing.uncolorable_vias);
+  json.key("single_vias").value(r.single_vias);
+  json.key("dvi_candidates").value(r.dvi_candidates);
+  json.key("dead_vias").value(r.dvi.dead_vias);
+  json.key("uncolorable").value(r.dvi.uncolorable);
+  json.key("ilp_status").value(ilp::solve_status_name(r.ilp_status));
+  json.key("inserted").begin_array();
+  for (const int dvic : r.dvi.inserted) json.value(dvic);
+  json.end_array();
+  // Timing is informational only; resume comparisons ignore it.
+  json.key("route_seconds").value(r.routing.route_seconds);
+  json.key("dvi_seconds").value(r.dvi.seconds);
+  json.key("total_seconds").value(outcome.metrics.total_seconds);
+  json.end_object();
+  return json.str();
+}
+
+std::optional<JobOutcome> parse_journal_line(std::string_view line,
+                                             std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<JobOutcome> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) return fail("not a JSON object: " + parse_error);
+
+  bool bad = false;
+  if (get_string(*doc, "schema", bad) != kJournalSchema || bad) {
+    return fail("journal schema mismatch (want sadp.flow_journal.v1)");
+  }
+
+  JobOutcome outcome;
+  outcome.from_journal = true;
+  outcome.label = get_string(*doc, "label", bad);
+  outcome.arm = get_string(*doc, "arm", bad);
+
+  const auto status = parse_job_status(get_string(*doc, "status", bad));
+  const auto style = parse_style(get_string(*doc, "style", bad));
+  const auto method = parse_dvi_method(get_string(*doc, "dvi_method", bad));
+  const auto ilp_status = parse_solve_status(get_string(*doc, "ilp_status", bad));
+  if (bad || !status || !style || !method || !ilp_status) {
+    return fail("malformed journal record for label '" + outcome.label + "'");
+  }
+  outcome.status = *status;
+  outcome.style = *style;
+  outcome.dvi_method = *method;
+  outcome.error = util::Status(
+      util::parse_status_code(get_string(*doc, "error_code", bad)),
+      get_string(*doc, "error", bad));
+
+  core::ExperimentResult& r = outcome.result;
+  r.benchmark = get_string(*doc, "benchmark", bad);
+  r.routing.routed_all = get_bool(*doc, "routed_all", bad);
+  r.routing.unrouted_nets = static_cast<int>(get_number(*doc, "unrouted_nets", bad));
+  r.routing.wirelength =
+      static_cast<long long>(get_number(*doc, "wirelength", bad));
+  r.routing.via_count = static_cast<int>(get_number(*doc, "via_count", bad));
+  r.routing.rr_iterations =
+      static_cast<std::size_t>(get_number(*doc, "rr_iterations", bad));
+  r.routing.queue_peak =
+      static_cast<std::size_t>(get_number(*doc, "queue_peak", bad));
+  r.routing.remaining_congestion =
+      static_cast<std::size_t>(get_number(*doc, "remaining_congestion", bad));
+  r.routing.remaining_fvps =
+      static_cast<std::size_t>(get_number(*doc, "remaining_fvps", bad));
+  r.routing.uncolorable_vias =
+      static_cast<int>(get_number(*doc, "uncolorable_vias", bad));
+  r.single_vias = static_cast<int>(get_number(*doc, "single_vias", bad));
+  r.dvi_candidates =
+      static_cast<std::size_t>(get_number(*doc, "dvi_candidates", bad));
+  r.dvi.dead_vias = static_cast<int>(get_number(*doc, "dead_vias", bad));
+  r.dvi.uncolorable = static_cast<int>(get_number(*doc, "uncolorable", bad));
+  r.ilp_status = *ilp_status;
+
+  const util::JsonValue* inserted = doc->find("inserted");
+  if (inserted == nullptr || !inserted->is_array()) bad = true;
+  if (!bad) {
+    r.dvi.inserted.reserve(inserted->array.size());
+    for (const util::JsonValue& v : inserted->array) {
+      if (!v.is_number()) {
+        bad = true;
+        break;
+      }
+      r.dvi.inserted.push_back(static_cast<int>(v.number_value));
+    }
+  }
+
+  r.routing.route_seconds = get_number(*doc, "route_seconds", bad);
+  r.dvi.seconds = get_number(*doc, "dvi_seconds", bad);
+  outcome.metrics.total_seconds = get_number(*doc, "total_seconds", bad);
+  outcome.metrics.rr_iterations = r.routing.rr_iterations;
+  outcome.metrics.queue_peak = r.routing.queue_peak;
+
+  if (bad) {
+    return fail("malformed journal record for label '" + outcome.label + "'");
+  }
+  return outcome;
+}
+
+util::Status append_journal(const std::string& path, const JobOutcome& outcome) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return util::Status::internal("cannot open journal " + path +
+                                  " for appending");
+  }
+  out << journal_line(outcome) << '\n';
+  out.flush();
+  if (!out) return util::Status::internal("short write to journal " + path);
+  return util::Status::ok();
+}
+
+std::map<std::string, JobOutcome> load_journal(const std::string& path) {
+  std::map<std::string, JobOutcome> records;
+  std::ifstream in(path);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto outcome = parse_journal_line(line);
+    // Malformed lines (e.g. the torn tail of a crashed run) are skipped;
+    // the matching job simply re-executes.
+    if (outcome) records[outcome->label] = std::move(*outcome);
+  }
+  return records;
+}
+
+}  // namespace sadp::engine

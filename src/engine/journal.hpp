@@ -1,0 +1,50 @@
+// Crash-safe batch journal (schema sadp.flow_journal.v1).
+//
+// One JSON object per line, appended and flushed as each job finishes, so
+// killing a batch mid-run loses at most the jobs that were still in
+// flight.  A journal line carries the complete non-timing payload of a
+// JobOutcome (every field of the result fingerprint, including the DVI
+// insertion vector), which is what makes resume exact: a restored row is
+// bit-identical to the row the original run produced.
+//
+// Line format (one line, no internal newlines):
+//   {"schema":"sadp.flow_journal.v1","label":...,"arm":...,"status":...,
+//    "error_code":...,"error":...,"benchmark":...,"style":...,
+//    "dvi_method":...,<result fields>,"inserted":[...],
+//    "total_seconds":...}
+//
+// Unreadable or partially-written trailing lines (the crash case) are
+// skipped on load, never fatal.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/flow_engine.hpp"
+
+namespace sadp::engine {
+
+inline constexpr const char* kJournalSchema = "sadp.flow_journal.v1";
+
+/// Serialize one finished outcome as a single JSONL line (no newline).
+[[nodiscard]] std::string journal_line(const JobOutcome& outcome);
+
+/// Parse one journal line back into an outcome (`router` stays null,
+/// `from_journal` is set).  Returns nullopt and fills `error` on malformed
+/// input or schema mismatch.
+[[nodiscard]] std::optional<JobOutcome> parse_journal_line(
+    std::string_view line, std::string* error = nullptr);
+
+/// Append one record to `path` and flush it to the OS.  Creates the file
+/// (and parent directory) when missing.
+[[nodiscard]] util::Status append_journal(const std::string& path,
+                                          const JobOutcome& outcome);
+
+/// Load every well-formed record of a journal file, keyed by label (later
+/// duplicates win).  A missing file is an empty journal, not an error.
+[[nodiscard]] std::map<std::string, JobOutcome> load_journal(
+    const std::string& path);
+
+}  // namespace sadp::engine

@@ -154,6 +154,12 @@ class ComponentSolver {
       limits_hit_ = true;
       return true;
     }
+    // The external token involves a clock read when a deadline is armed, so
+    // poll it every 256 nodes rather than per node.
+    if ((nodes_ & 0xFF) == 0 && params_.cancel.stop_requested()) {
+      limits_hit_ = true;
+      return true;
+    }
     return false;
   }
 

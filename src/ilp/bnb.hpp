@@ -19,12 +19,18 @@
 #include <cstddef>
 
 #include "ilp/model.hpp"
+#include "util/cancel.hpp"
 
 namespace sadp::ilp {
 
 struct BnbParams {
   std::size_t max_nodes = 50'000'000;
   double time_limit_seconds = 600.0;
+  /// Cooperative external stop (wall deadline / batch cancel), polled every
+  /// few hundred nodes on top of the deterministic CPU-time budget above.
+  /// When it fires the solver returns its incumbent as kFeasible, exactly
+  /// like hitting the node or time limit.
+  util::CancelToken cancel;
   /// Solve an LP relaxation at each component root to tighten the bound.
   bool root_lp_bound = true;
   /// Optional feasible assignment (one 0/1 value per model variable) used

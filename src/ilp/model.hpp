@@ -76,6 +76,16 @@ enum class SolveStatus {
   kUnknown,     ///< limits hit with no incumbent
 };
 
+[[nodiscard]] constexpr const char* solve_status_name(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
 struct Solution {
   SolveStatus status = SolveStatus::kUnknown;
   std::vector<int> value;  ///< 0/1 per var (valid for kOptimal/kFeasible)

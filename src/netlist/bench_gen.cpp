@@ -1,7 +1,6 @@
 #include "netlist/bench_gen.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "util/rng.hpp"
 
@@ -84,8 +83,45 @@ std::optional<BenchSpec> spec_for(const std::string& name, bool scaled) {
   return std::nullopt;
 }
 
+util::Status validate_spec(const BenchSpec& spec) {
+  if (spec.width < 16 || spec.height < 16) {
+    return util::Status::invalid_input(
+        "benchmark spec '" + spec.name + "' needs a grid of at least 16x16, got " +
+        std::to_string(spec.width) + "x" + std::to_string(spec.height));
+  }
+  if (spec.num_nets <= 0) {
+    return util::Status::invalid_input("benchmark spec '" + spec.name +
+                                       "' needs a positive net count, got " +
+                                       std::to_string(spec.num_nets));
+  }
+  if (spec.min_pin_spacing < 1) {
+    return util::Status::invalid_input(
+        "benchmark spec '" + spec.name + "' needs min_pin_spacing >= 1, got " +
+        std::to_string(spec.min_pin_spacing));
+  }
+  // Capacity sanity: at min_pin_spacing s, each placed pin excludes a
+  // (2s-1)^2 neighborhood, so the grid can hold at most area/s^2-ish pins.
+  // Worst case every net draws 4 pins.
+  const long long spacing = spec.min_pin_spacing;
+  const long long capacity = (static_cast<long long>(spec.width) *
+                              spec.height) /
+                             (spacing * spacing);
+  const long long worst_case_pins = 4LL * spec.num_nets;
+  if (worst_case_pins > capacity) {
+    return util::Status::invalid_input(
+        "benchmark spec '" + spec.name + "' cannot fit " +
+        std::to_string(worst_case_pins) + " pins at spacing " +
+        std::to_string(spacing) + " into a " + std::to_string(spec.width) +
+        "x" + std::to_string(spec.height) + " grid (capacity ~" +
+        std::to_string(capacity) + ")");
+  }
+  return util::Status::ok();
+}
+
 PlacedNetlist generate(const BenchSpec& spec) {
-  assert(spec.width >= 16 && spec.height >= 16 && spec.num_nets > 0);
+  if (const util::Status valid = validate_spec(spec); !valid.is_ok()) {
+    throw FlowError(valid.code(), valid.message());
+  }
   const std::uint64_t seed =
       spec.seed != 0 ? spec.seed : util::fnv1a(spec.name) ^ 0xA5A5A5A5DEADBEEFull;
   util::Xoshiro256StarStar rng(seed);
@@ -143,7 +179,13 @@ PlacedNetlist generate(const BenchSpec& spec) {
         placed_net = true;
       }
     }
-    assert(placed_net && "benchmark generator could not place a net cluster");
+    if (!placed_net) {
+      throw FlowError(util::StatusCode::kInvalidInput,
+                      "benchmark spec '" + spec.name +
+                          "' is too dense: could not place a " +
+                          std::to_string(pin_count) + "-pin cluster for net " +
+                          std::to_string(n) + " after 1000 attempts");
+    }
     out.nets.push_back(std::move(net));
   }
   return out;
@@ -151,7 +193,12 @@ PlacedNetlist generate(const BenchSpec& spec) {
 
 PlacedNetlist generate_named(const std::string& name, bool scaled) {
   const auto spec = spec_for(name, scaled);
-  assert(spec.has_value() && "unknown benchmark name");
+  if (!spec.has_value()) {
+    throw FlowError(util::StatusCode::kInvalidInput,
+                    "unknown benchmark '" + name +
+                        "' (expected one of the Table I names: ecc, efc, ctl, "
+                        "alu, div, top)");
+  }
   return generate(*spec);
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace sadp::netlist {
 
@@ -64,10 +65,18 @@ struct BenchStats {
 [[nodiscard]] std::optional<BenchSpec> spec_for(const std::string& name,
                                                 bool scaled);
 
+/// Check a spec before generation: grid at least 16x16, a positive net
+/// count, and enough area for the requested pins at min_pin_spacing.
+/// Returns kInvalidInput with a human-readable message on violations.
+[[nodiscard]] util::Status validate_spec(const BenchSpec& spec);
+
 /// Generate a synthetic instance from a spec.  Deterministic in the spec.
+/// Throws sadp::FlowError (kInvalidInput) on invalid or unsatisfiable specs
+/// — in all build types, not just debug.
 [[nodiscard]] PlacedNetlist generate(const BenchSpec& spec);
 
-/// Convenience: generate a named paper benchmark.
+/// Convenience: generate a named paper benchmark.  Throws sadp::FlowError
+/// (kInvalidInput) when `name` is not a Table I benchmark.
 [[nodiscard]] PlacedNetlist generate_named(const std::string& name, bool scaled);
 
 }  // namespace sadp::netlist

@@ -1,0 +1,27 @@
+#include "util/status.hpp"
+
+#include <cstring>
+
+namespace sadp::util {
+
+StatusCode parse_status_code(const std::string& name) noexcept {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kUnroutable,
+        StatusCode::kSolverTimeout, StatusCode::kCancelled,
+        StatusCode::kInternal}) {
+    if (name == status_code_name(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sadp::util

@@ -1,0 +1,112 @@
+// Structured error taxonomy of the flow stack.
+//
+// Every recoverable failure in the routing/DVI flow maps onto one of six
+// codes so that batch drivers can aggregate, journal and react to failures
+// without string-matching messages:
+//
+//   kOk            success
+//   kInvalidInput  malformed/out-of-range external input (netlist, spec, CLI)
+//   kUnroutable    the instance cannot be completed (no routing exists)
+//   kSolverTimeout a deadline or search budget expired before completion
+//   kCancelled     an external cancellation request stopped the work
+//   kInternal      invariant violation / unexpected exception (a bug)
+//
+// `util::Status` is the value-style carrier (code + human-readable message);
+// `sadp::FlowError` is the exception-style carrier used where an error must
+// unwind through code that has no Status channel (e.g. constructors).  The
+// FlowEngine worker catches FlowError (and anything else) at the job
+// boundary and records a failed JobOutcome, so one poisoned job can never
+// take down a batch.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sadp::util {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidInput,
+  kUnroutable,
+  kSolverTimeout,
+  kCancelled,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidInput: return "invalid_input";
+    case StatusCode::kUnroutable: return "unroutable";
+    case StatusCode::kSolverTimeout: return "solver_timeout";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Parse a status-code name back (journal round-trips); kInternal when the
+/// name is unknown.
+[[nodiscard]] StatusCode parse_status_code(const std::string& name) noexcept;
+
+class Status {
+ public:
+  Status() = default;  ///< ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_input(std::string message) {
+    return Status(StatusCode::kInvalidInput, std::move(message));
+  }
+  [[nodiscard]] static Status unroutable(std::string message) {
+    return Status(StatusCode::kUnroutable, std::move(message));
+  }
+  [[nodiscard]] static Status solver_timeout(std::string message) {
+    return Status(StatusCode::kSolverTimeout, std::move(message));
+  }
+  [[nodiscard]] static Status cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace sadp::util
+
+namespace sadp {
+
+/// Exception-style carrier of a Status, for paths that must unwind (input
+/// validation in constructors, deep solver aborts).  Caught at the
+/// FlowEngine job boundary and converted back into a failed JobOutcome.
+class FlowError : public std::runtime_error {
+ public:
+  explicit FlowError(util::Status status)
+      : std::runtime_error(status.message()), code_(status.code()) {}
+  FlowError(util::StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] util::StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] util::Status status() const {
+    return util::Status(code_, what());
+  }
+
+ private:
+  util::StatusCode code_;
+};
+
+}  // namespace sadp

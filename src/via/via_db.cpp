@@ -1,26 +1,68 @@
 #include "via/via_db.hpp"
 
-#include <cassert>
+#include <string>
+
+#include "util/status.hpp"
 
 namespace sadp::via {
 
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw FlowError(util::StatusCode::kInternal, what);
+}
+
+std::string point_str(grid::Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+}  // namespace
+
 ViaDb::ViaDb(int width, int height, int num_via_layers)
     : width_(width), height_(height), layers_(num_via_layers) {
-  assert(width > 0 && height > 0 && num_via_layers >= 1);
+  if (width <= 0 || height <= 0 || num_via_layers < 1) {
+    throw FlowError(util::StatusCode::kInvalidInput,
+                    "ViaDb needs positive dimensions, got " +
+                        std::to_string(width) + "x" + std::to_string(height) +
+                        " with " + std::to_string(num_via_layers) +
+                        " via layers");
+  }
   count_.assign(static_cast<std::size_t>(layers_) * width_ * height_, 0);
 }
 
+void ViaDb::check_slot(int via_layer, grid::Point p, const char* op) const {
+  // These violations are always router bugs, never expected states, so they
+  // fail loudly in every build type instead of corrupting the occupancy
+  // array (the release-mode fate of the old assert()s).
+  if (via_layer < 1 || via_layer > layers_) {
+    fail(std::string("ViaDb::") + op + ": via layer " +
+         std::to_string(via_layer) + " outside [1," + std::to_string(layers_) +
+         "]");
+  }
+  if (!in_bounds(p)) {
+    fail(std::string("ViaDb::") + op + ": point " + point_str(p) +
+         " outside " + std::to_string(width_) + "x" + std::to_string(height_) +
+         " grid");
+  }
+}
+
 void ViaDb::add(int via_layer, grid::Point p) {
-  assert(in_bounds(p));
+  check_slot(via_layer, p, "add");
   auto& c = count_[slot(via_layer, p)];
-  assert(c < 255);
+  if (c == 255) {
+    fail("ViaDb::add: reference count overflow at layer " +
+         std::to_string(via_layer) + " " + point_str(p));
+  }
   ++c;
 }
 
 void ViaDb::remove(int via_layer, grid::Point p) {
-  assert(in_bounds(p));
+  check_slot(via_layer, p, "remove");
   auto& c = count_[slot(via_layer, p)];
-  assert(c > 0);
+  if (c == 0) {
+    fail("ViaDb::remove: no via recorded at layer " +
+         std::to_string(via_layer) + " " + point_str(p));
+  }
   --c;
 }
 

@@ -32,7 +32,10 @@ class ViaDb {
 
   /// Add one via occurrence at (via_layer, p).  Multiple occurrences (e.g.
   /// two congested nets with coincident vias) are reference-counted; the
-  /// location reads as occupied while any remain.
+  /// location reads as occupied while any remain.  Out-of-range layers or
+  /// points, count overflow and removal of an absent via throw
+  /// sadp::FlowError in every build type (they indicate router bugs that
+  /// would otherwise corrupt the occupancy silently in release builds).
   void add(int via_layer, grid::Point p);
   void remove(int via_layer, grid::Point p);
 
@@ -81,6 +84,8 @@ class ViaDb {
                                                           grid::Point p) const;
 
  private:
+  void check_slot(int via_layer, grid::Point p, const char* op) const;
+
   [[nodiscard]] std::size_t slot(int via_layer, grid::Point p) const noexcept {
     return static_cast<std::size_t>(via_layer - 1) * width_ * height_ +
            static_cast<std::size_t>(p.y) * width_ + p.x;

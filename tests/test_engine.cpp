@@ -62,11 +62,11 @@ std::string result_fingerprint(const core::ExperimentResult& r) {
 TEST(FlowEngine, ResultsAreBitIdenticalAcrossWorkerCounts) {
   engine::EngineOptions serial;
   serial.num_workers = 1;
-  const auto one = engine::FlowEngine(serial).run(small_job_list());
+  const auto one = engine::FlowEngine(serial).run(small_job_list()).outcomes;
 
   engine::EngineOptions parallel;
   parallel.num_workers = 8;
-  const auto eight = engine::FlowEngine(parallel).run(small_job_list());
+  const auto eight = engine::FlowEngine(parallel).run(small_job_list()).outcomes;
 
   ASSERT_EQ(one.size(), eight.size());
   for (std::size_t i = 0; i < one.size(); ++i) {
@@ -89,7 +89,7 @@ TEST(FlowEngine, OutcomesKeepJobOrderAndReportProgress) {
   std::vector<std::string> labels;
   for (const auto& job : jobs) labels.push_back(job.label);
 
-  const auto outcomes = engine::FlowEngine(options).run(std::move(jobs));
+  const auto outcomes = engine::FlowEngine(options).run(std::move(jobs)).outcomes;
   ASSERT_EQ(outcomes.size(), labels.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     EXPECT_EQ(outcomes[i].label, labels[i]);
@@ -101,7 +101,7 @@ TEST(FlowEngine, KeepRouterRetainsRouterAndDviGeometry) {
   auto jobs = small_job_list();
   jobs.resize(1);
   jobs[0].keep_router = true;
-  const auto outcomes = engine::FlowEngine().run(std::move(jobs));
+  const auto outcomes = engine::FlowEngine().run(std::move(jobs)).outcomes;
   ASSERT_EQ(outcomes.size(), 1u);
   ASSERT_NE(outcomes[0].router, nullptr);
   EXPECT_EQ(outcomes[0].dvi_inserted_at.size(),
@@ -110,7 +110,7 @@ TEST(FlowEngine, KeepRouterRetainsRouterAndDviGeometry) {
   // Without keep_router the router is dropped.
   auto cheap = small_job_list();
   cheap.resize(1);
-  const auto dropped = engine::FlowEngine().run(std::move(cheap));
+  const auto dropped = engine::FlowEngine().run(std::move(cheap)).outcomes;
   EXPECT_EQ(dropped[0].router, nullptr);
 }
 
@@ -123,7 +123,7 @@ TEST(FlowEngine, PrePlacedNetlistSkipsGeneration) {
   engine::FlowJob job;
   job.netlist = netlist::generate(spec);
   job.config.dvi_method = core::DviMethod::kHeuristic;
-  const auto outcomes = engine::FlowEngine().run({std::move(job)});
+  const auto outcomes = engine::FlowEngine().run({std::move(job)}).outcomes;
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].label, "engine_preplaced");
   EXPECT_EQ(outcomes[0].result.benchmark, "engine_preplaced");
@@ -133,7 +133,7 @@ TEST(FlowEngine, PrePlacedNetlistSkipsGeneration) {
 TEST(FlowEngine, MetricsJsonRoundTripsThroughUtilJson) {
   auto jobs = small_job_list();
   jobs.resize(2);
-  const auto outcomes = engine::FlowEngine().run(std::move(jobs));
+  const auto outcomes = engine::FlowEngine().run(std::move(jobs)).outcomes;
   const std::string text = engine::metrics_json(outcomes, 4, 1.5);
 
   std::string error;
@@ -174,12 +174,12 @@ TEST(FlowEngine, MetricsJsonRoundTripsThroughUtilJson) {
 TEST(FlowEngine, MetricsCsvHasOneRowPerJob) {
   auto jobs = small_job_list();
   jobs.resize(2);
-  const auto outcomes = engine::FlowEngine().run(std::move(jobs));
+  const auto outcomes = engine::FlowEngine().run(std::move(jobs)).outcomes;
   const std::string csv = engine::metrics_csv(outcomes);
   std::size_t lines = 0;
   for (const char c : csv) lines += c == '\n';
   EXPECT_EQ(lines, outcomes.size() + 1);  // header + rows
-  EXPECT_EQ(csv.rfind("label,arm,benchmark,style,dvi_method,", 0), 0u);
+  EXPECT_EQ(csv.rfind("label,arm,status,error,benchmark,style,dvi_method,", 0), 0u);
 }
 
 TEST(FlowEngine, ResolveWorkers) {

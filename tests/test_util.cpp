@@ -3,9 +3,11 @@
 
 #include <set>
 
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace sadp::util {
@@ -155,6 +157,96 @@ TEST(JsonParse, RejectsMalformedDocuments) {
     EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
+}
+
+// --- Status / FlowError -----------------------------------------------------
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  EXPECT_TRUE(Status().is_ok());
+  const Status s = Status::unroutable("net 3 blocked");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnroutable);
+  EXPECT_EQ(s.message(), "net 3 blocked");
+  EXPECT_EQ(s.to_string(), "unroutable: net 3 blocked");
+  EXPECT_EQ(Status::ok().to_string(), "ok");
+}
+
+TEST(Status, CodeNamesRoundTripThroughParse) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kUnroutable,
+        StatusCode::kSolverTimeout, StatusCode::kCancelled,
+        StatusCode::kInternal}) {
+    EXPECT_EQ(parse_status_code(status_code_name(code)), code)
+        << status_code_name(code);
+  }
+  // Unknown names degrade to kInternal (journal forward compatibility).
+  EXPECT_EQ(parse_status_code("no_such_code"), StatusCode::kInternal);
+}
+
+TEST(Status, FlowErrorExposesStatusAndWhat) {
+  const sadp::FlowError error(StatusCode::kSolverTimeout, "budget spent");
+  EXPECT_EQ(error.code(), StatusCode::kSolverTimeout);
+  EXPECT_EQ(error.status().to_string(), "solver_timeout: budget spent");
+  EXPECT_EQ(std::string(error.what()), "budget spent");
+}
+
+// --- CancelToken ------------------------------------------------------------
+
+TEST(CancelToken, DefaultTokenNeverStops) {
+  const CancelToken token;
+  EXPECT_FALSE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+  token.request_cancel();  // no-op on a default token
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(CancelToken, ExplicitCancelPropagatesThroughCopies) {
+  const CancelToken token = CancelToken::cancellable();
+  const CancelToken copy = token;
+  EXPECT_TRUE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_cancel();
+  EXPECT_TRUE(copy.stop_requested());
+  EXPECT_EQ(copy.reason(), StopReason::kCancelled);
+  EXPECT_EQ(copy.status("unit test").code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ExpiredDeadlineStopsWithTimeoutReason) {
+  const CancelToken token = CancelToken::with_deadline(0.0);
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+  EXPECT_EQ(token.status("unit test").code(), StatusCode::kSolverTimeout);
+  EXPECT_LE(token.seconds_remaining(), 0.0);
+
+  const CancelToken future = CancelToken::with_deadline(3600.0);
+  EXPECT_FALSE(future.stop_requested());
+  EXPECT_GT(future.seconds_remaining(), 3000.0);
+}
+
+TEST(CancelToken, ChildInheritsParentCancellation) {
+  const CancelToken parent = CancelToken::cancellable();
+  const CancelToken child = parent.child_with_deadline(3600.0);
+  EXPECT_FALSE(child.stop_requested());
+  parent.request_cancel();
+  EXPECT_TRUE(child.stop_requested());
+  EXPECT_EQ(child.reason(), StopReason::kCancelled);
+
+  // A child's own firing does not touch the parent.
+  const CancelToken quiet = CancelToken::cancellable();
+  const CancelToken noisy = quiet.child();
+  noisy.request_cancel();
+  EXPECT_TRUE(noisy.stop_requested());
+  EXPECT_FALSE(quiet.stop_requested());
+}
+
+TEST(CancelToken, ChildDeadlineTightensButNeverLoosens) {
+  const CancelToken parent = CancelToken::with_deadline(0.0);
+  const CancelToken child = parent.child_with_deadline(3600.0);
+  // The parent's already-expired deadline wins over the child's slack one.
+  EXPECT_TRUE(child.stop_requested());
+  EXPECT_EQ(child.reason(), StopReason::kDeadline);
 }
 
 }  // namespace

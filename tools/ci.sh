@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local CI gate:
+#   1. Debug build with ASan+UBSan, full ctest
+#   2. Release build, full ctest
+#   3. Release bench smoke run; any `status=failed` progress line fails
+#
+# Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== Debug + ASan/UBSan =="
+run_suite build-asan -DCMAKE_BUILD_TYPE=Debug "-DSADP_SANITIZE=address,undefined"
+
+echo "== Release =="
+run_suite build-ci -DCMAKE_BUILD_TYPE=Release
+
+echo "== bench smoke (scaled, heuristic-speed) =="
+smoke_log="$(mktemp)"
+trap 'rm -f "$smoke_log"' EXIT
+./build-ci/apps/sadp_route --benchmark all --jobs "$JOBS" --keep-going \
+    2> >(tee "$smoke_log" >&2)
+if grep -q "status=failed" "$smoke_log"; then
+  echo "bench smoke: failed jobs detected" >&2
+  exit 1
+fi
+
+echo "CI gate passed."

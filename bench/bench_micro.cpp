@@ -5,8 +5,10 @@
 
 #include <memory>
 
+#include "core/cost_maps.hpp"
 #include "core/dvi_heuristic.hpp"
 #include "core/flow.hpp"
+#include "core/maze_router.hpp"
 #include "ilp/bnb.hpp"
 #include "ilp/simplex.hpp"
 #include "netlist/bench_gen.hpp"
@@ -76,6 +78,136 @@ std::vector<grid::Point> random_spread_vias(int side, int count, std::uint64_t s
   }
   return out;
 }
+
+void BM_ScanAllFvps(benchmark::State& state) {
+  // Incremental-index scan cost as a function of the number of *live* FVPs
+  // (never a grid rescan): place deliberately-dense via clusters.
+  const int side = 128;
+  via::ViaDb db(side, side, 2);
+  util::Xoshiro256StarStar rng(19);
+  for (int i = 0; i < side * side / 8; ++i) {
+    const grid::Point p{static_cast<int>(rng.below(side)),
+                        static_cast<int>(rng.below(side))};
+    const int layer = 1 + static_cast<int>(rng.below(2));
+    if (!db.has(layer, p)) db.add(layer, p);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(db.scan_all_fvps());
+  state.counters["live_fvps"] = static_cast<double>(db.fvp_count());
+}
+BENCHMARK(BM_ScanAllFvps);
+
+/// A populated cost-map fixture: many overlapping via nets plus history
+/// bumps, approximating mid-negotiation map density.
+struct CostMapFixture {
+  grid::RoutingGrid routing{96, 96, 3};
+  via::ViaDb vias{96, 96, 2};
+  grid::TurnRules rules = grid::TurnRules::sim_cut();
+  core::FlowOptions options;
+  std::unique_ptr<core::CostMaps> costs;
+  std::vector<core::RoutedNet> nets;
+
+  CostMapFixture() {
+    options.consider_dvi = true;
+    options.consider_tpl = true;
+    costs = std::make_unique<core::CostMaps>(routing, rules, options);
+    util::Xoshiro256StarStar rng(23);
+    for (grid::NetId id = 0; id < 120; ++id) {
+      const grid::Point at{2 + static_cast<int>(rng.below(92)),
+                           2 + static_cast<int>(rng.below(92))};
+      core::RoutedNet net(id);
+      net.add_segment(2, at, grid::Dir::kEast);
+      net.add_segment(2, at + grid::step(grid::Dir::kWest), grid::Dir::kEast);
+      net.add_segment(3, at, grid::Dir::kNorth);
+      net.add_segment(3, at + grid::step(grid::Dir::kSouth), grid::Dir::kNorth);
+      net.add_via(2, at);
+      net.apply_to(routing, vias);
+      costs->add_net_costs(net);
+      nets.push_back(std::move(net));
+    }
+    for (int i = 0; i < 400; ++i) {
+      const grid::Point p{static_cast<int>(rng.below(96)),
+                          static_cast<int>(rng.below(96))};
+      costs->bump_via_history(1 + static_cast<int>(rng.below(2)), p, 1.0);
+      costs->bump_metal_history(2 + static_cast<int>(rng.below(2)), p, 1.0);
+    }
+  }
+};
+
+CostMapFixture& cost_fixture() {
+  static CostMapFixture f;
+  return f;
+}
+
+void BM_ViaPenalty(benchmark::State& state) {
+  // The pre-fusion vertex-cost expression: history + four component loads.
+  auto& f = cost_fixture();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    const grid::Point p{static_cast<int>(q % 96), static_cast<int>((q / 96) % 96)};
+    const int layer = 1 + static_cast<int>(q & 1);
+    benchmark::DoNotOptimize(f.costs->via_history(layer, p) +
+                             f.costs->via_penalty(layer, p));
+    q += 41;
+  }
+}
+BENCHMARK(BM_ViaPenalty);
+
+void BM_FusedViaCost(benchmark::State& state) {
+  // The fused single-load replacement on the identical access pattern.
+  auto& f = cost_fixture();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    const grid::Point p{static_cast<int>(q % 96), static_cast<int>((q / 96) % 96)};
+    const int layer = 1 + static_cast<int>(q & 1);
+    benchmark::DoNotOptimize(f.costs->fused_via_cost(layer, p));
+    q += 41;
+  }
+}
+BENCHMARK(BM_FusedViaCost);
+
+void BM_MazeCongested(benchmark::State& state) {
+  // One corner-to-corner maze search across a synthetic congested mid-band:
+  // the steady-state reroute workload (reused open list, fused cost loads,
+  // occupancy counts on every expansion).
+  grid::RoutingGrid routing(64, 64, 3);
+  via::ViaDb vias(64, 64, 2);
+  const grid::TurnRules rules = grid::TurnRules::sim_cut();
+  core::FlowOptions options;
+  options.consider_dvi = true;
+  options.consider_tpl = true;
+  core::CostMaps costs(routing, rules, options);
+  // A band of horizontal blocker wires with staggered single-point gaps,
+  // plus history on the band, forces long detours through priced vertices.
+  std::vector<core::RoutedNet> blockers;
+  for (int y = 20; y < 44; y += 2) {
+    core::RoutedNet net(100 + y);
+    for (int x = 0; x < 63; ++x) {
+      if (x == (y * 7) % 61) continue;
+      net.add_segment(2, {x, y}, grid::Dir::kEast);
+    }
+    net.apply_to(routing, vias);
+    costs.add_net_costs(net);
+    blockers.push_back(std::move(net));
+  }
+  for (int y = 20; y < 44; ++y) {
+    for (int x = 0; x < 64; ++x) costs.bump_metal_history(3, {x, y}, 2.0);
+  }
+  core::MazeRouter maze(routing, rules, costs, vias, options);
+  maze.set_present_factor(4.0);
+  const std::vector<core::MetalKey> sources{core::metal_key(2, {2, 2})};
+  std::uint64_t pops = 0;
+  for (auto _ : state) {
+    core::RoutedNet net(7);
+    net.add_metal(2, {2, 2}, 0);
+    std::vector<core::MetalKey> touched;
+    benchmark::DoNotOptimize(
+        maze.route_connection(net, sources, {61, 61}, &touched));
+    pops += maze.last_pops();
+  }
+  state.counters["pops/search"] =
+      static_cast<double>(pops) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MazeCongested)->Unit(benchmark::kMicrosecond);
 
 void BM_WelshPowell(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -23,6 +23,8 @@ CostMaps::CostMaps(const grid::RoutingGrid& grid, const grid::TurnRules& rules,
   hist_via_.assign(via_cells, 0.0);
   bdc_metal_.assign(metal_cells, 0.0);
   hist_metal_.assign(metal_cells, 0.0);
+  fused_metal_.assign(metal_cells, 0.0);
+  fused_via_.assign(via_cells, 0.0);
 }
 
 std::vector<double>& CostMaps::array_for(Map map) {
@@ -39,6 +41,7 @@ std::vector<double>& CostMaps::array_for(Map map) {
 void CostMaps::deposit(Map map, std::size_t index, double amount,
                        std::vector<Entry>& record) {
   array_for(map)[index] += amount;
+  refresh_fused(map, index);
   record.push_back(Entry{map, static_cast<std::uint32_t>(index), amount});
 }
 
@@ -107,6 +110,7 @@ void CostMaps::remove_net_costs(grid::NetId net) {
   if (it == records_.end()) return;
   for (const Entry& entry : it->second) {
     array_for(entry.map)[entry.index] -= entry.amount;
+    refresh_fused(entry.map, entry.index);
   }
   records_.erase(it);
 }

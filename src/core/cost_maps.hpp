@@ -50,6 +50,20 @@ class CostMaps {
 
   // --- Queries (hot path of the maze router) -------------------------------
 
+  /// Fused vertex cost of placing a via at (via_layer, p): negotiation
+  /// history + BDC + AMC + CDC + TPLC, maintained in place by deposit /
+  /// bump_via_history so the maze router pays a single load.  Always equals
+  /// via_history + via_penalty bit-exactly (the fused slot is recomputed
+  /// from the component arrays in a fixed order on every update).
+  [[nodiscard]] double fused_via_cost(int via_layer, grid::Point p) const {
+    return fused_via_[via_slot(via_layer, p)];
+  }
+
+  /// Fused vertex cost of routing metal through (layer, p): history + BDC.
+  [[nodiscard]] double fused_metal_cost(int layer, grid::Point p) const {
+    return fused_metal_[metal_slot(layer, p)];
+  }
+
   /// DVI/TPL penalty of placing a via at (via_layer, p).
   [[nodiscard]] double via_penalty(int via_layer, grid::Point p) const {
     const std::size_t i = via_slot(via_layer, p);
@@ -70,10 +84,14 @@ class CostMaps {
     return hist_via_[via_slot(via_layer, p)];
   }
   void bump_metal_history(int layer, grid::Point p, double amount) {
-    hist_metal_[metal_slot(layer, p)] += amount;
+    const std::size_t i = metal_slot(layer, p);
+    hist_metal_[i] += amount;
+    refresh_fused_metal(i);
   }
   void bump_via_history(int via_layer, grid::Point p, double amount) {
-    hist_via_[via_slot(via_layer, p)] += amount;
+    const std::size_t i = via_slot(via_layer, p);
+    hist_via_[i] += amount;
+    refresh_fused_via(i);
   }
 
   [[nodiscard]] const FlowOptions& options() const noexcept { return options_; }
@@ -95,6 +113,26 @@ class CostMaps {
   void deposit(Map map, std::size_t index, double amount,
                std::vector<Entry>& record);
   [[nodiscard]] std::vector<double>& array_for(Map map);
+
+  // Recompute a fused slot from its components in a fixed association
+  // order.  Keeping the order fixed (history + penalty sum) makes the fused
+  // value a pure function of the component values, independent of the
+  // update history — the bit-exactness invariant the differential tests
+  // check.
+  void refresh_fused_metal(std::size_t i) {
+    fused_metal_[i] = hist_metal_[i] + bdc_metal_[i];
+  }
+  void refresh_fused_via(std::size_t i) {
+    fused_via_[i] =
+        hist_via_[i] + (bdc_via_[i] + amc_via_[i] + cdc_via_[i] + tplc_via_[i]);
+  }
+  void refresh_fused(Map map, std::size_t i) {
+    if (map == Map::kBdcMetal) {
+      refresh_fused_metal(i);
+    } else {
+      refresh_fused_via(i);
+    }
+  }
 
   [[nodiscard]] std::size_t metal_slot(int layer, grid::Point p) const {
     return static_cast<std::size_t>(layer - 1) * num_points_ +
@@ -120,6 +158,10 @@ class CostMaps {
   std::vector<double> tplc_via_;
   std::vector<double> hist_metal_;
   std::vector<double> hist_via_;
+  // Fused per-slot totals (history + penalties), the single loads of the
+  // maze router's vertex-cost queries.
+  std::vector<double> fused_metal_;
+  std::vector<double> fused_via_;
 
   std::unordered_map<grid::NetId, std::vector<Entry>> records_;
 };

@@ -2,23 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 
 namespace sadp::core {
 
 namespace {
 
 constexpr int kDirNone = 4;
-
-struct QueueEntry {
-  double f;  ///< g + admissible heuristic
-  double g;
-  std::int64_t state;
-
-  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
-    return a.f > b.f;  // min-heap
-  }
-};
 
 }  // namespace
 
@@ -41,30 +30,22 @@ MazeRouter::MazeRouter(const grid::RoutingGrid& grid, const grid::TurnRules& rul
 
 double MazeRouter::metal_vertex_cost(int layer, grid::Point p,
                                      grid::NetId net) const {
-  const auto occupants = grid_.metal_occupants(layer, p);
-  int others = static_cast<int>(occupants.size());
-  for (const auto& occ : occupants) {
-    if (occ.net == net) {
-      --others;
-      break;
-    }
-  }
-  return costs_.metal_history(layer, p) + present_factor_ * others +
-         costs_.metal_penalty(layer, p);
+  // The routed net is never applied to the grid during a search (it is
+  // ripped first), so every occupant counted is an "other" net.
+  assert(grid_.metal_occupant(layer, p, net) == nullptr);
+  (void)net;
+  return costs_.fused_metal_cost(layer, p) +
+         present_factor_ * grid_.metal_net_count(layer, p);
 }
 
 double MazeRouter::via_vertex_cost(int via_layer, grid::Point p,
                                    grid::NetId net) const {
-  const auto occupants = grid_.via_occupants(via_layer, p);
-  int others = static_cast<int>(occupants.size());
-  for (const auto occ : occupants) {
-    if (occ == net) {
-      --others;
-      break;
-    }
-  }
-  return costs_.via_history(via_layer, p) + present_factor_ * others +
-         costs_.via_penalty(via_layer, p);
+  assert(std::find(grid_.via_occupants(via_layer, p).begin(),
+                   grid_.via_occupants(via_layer, p).end(),
+                   net) == grid_.via_occupants(via_layer, p).end());
+  (void)net;
+  return costs_.fused_via_cost(via_layer, p) +
+         present_factor_ * grid_.via_net_count(via_layer, p);
 }
 
 bool MazeRouter::route_connection(RoutedNet& net,
@@ -99,6 +80,9 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
                         std::vector<MetalKey>* new_points) {
   ++current_epoch_;
   last_pops_ = 0;
+  ++stats_.searches;
+  const std::size_t open_capacity_before = open_.capacity();
+  open_.clear();  // keeps capacity: steady-state searches are allocation-free
   const grid::NetId net_id = net.id();
   const double via_cost = options_.routing.via;
 
@@ -108,8 +92,6 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
            static_cast<double>(layer - 2) * via_cost;
   };
 
-  std::priority_queue<QueueEntry> pq;
-
   auto relax = [&](std::int64_t state, double g, std::int64_t from, int layer,
                    grid::Point p) {
     const std::size_t s = static_cast<std::size_t>(state);
@@ -117,7 +99,9 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
     epoch_[s] = current_epoch_;
     dist_[s] = g;
     parent_[s] = from;
-    pq.push(QueueEntry{g + heuristic(layer, p), g, state});
+    ++stats_.relaxations;
+    open_.push_back(OpenEntry{g + heuristic(layer, p), g, state});
+    std::push_heap(open_.begin(), open_.end());
   };
 
   // Sources: the metal points of the net's connected tree.
@@ -128,15 +112,17 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
     if (!window.contains(p)) continue;
     relax(state_id(layer, p, kDirNone), 0.0, -1, layer, p);
   }
-  if (pq.empty()) return false;
+  if (open_.empty()) return false;
 
   std::int64_t goal_state = -1;
-  while (!pq.empty()) {
-    const QueueEntry top = pq.top();
-    pq.pop();
+  while (!open_.empty()) {
+    std::pop_heap(open_.begin(), open_.end());
+    const OpenEntry top = open_.back();
+    open_.pop_back();
     const std::size_t s = static_cast<std::size_t>(top.state);
     if (epoch_[s] != current_epoch_ || top.g > dist_[s]) continue;
     ++last_pops_;
+    ++stats_.pops;
 
     // Decode.
     const int dir_in = static_cast<int>(top.state % 5);
@@ -219,6 +205,8 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
       relax(state_id(to_layer, p, kDirNone), top.g + cost, top.state, to_layer, p);
     }
   }
+
+  if (open_.capacity() == open_capacity_before) ++stats_.heap_reused;
 
   if (goal_state < 0) return false;
 

@@ -50,6 +50,11 @@ class MazeRouter {
   /// NOT updated — the caller applies the net afterwards) and the touched
   /// routable-layer points are appended to `*new_points`.  Returns false
   /// when no path exists.
+  ///
+  /// Invariant: the net being routed must not be applied to the grid (the
+  /// router always rips before rerouting).  The vertex-cost "others" term
+  /// can then read the incremental occupancy counts directly instead of
+  /// walking occupant spans to subtract the net's own entries.
   [[nodiscard]] bool route_connection(RoutedNet& net,
                                       const std::vector<MetalKey>& sources,
                                       grid::Point target_pin,
@@ -58,7 +63,26 @@ class MazeRouter {
   /// Search-effort statistics (nodes popped in the last call).
   [[nodiscard]] std::size_t last_pops() const noexcept { return last_pops_; }
 
+  /// Cumulative search-effort counters across the router's lifetime.
+  struct SearchStats {
+    std::uint64_t pops = 0;         ///< heap pops over all searches
+    std::uint64_t relaxations = 0;  ///< successful distance improvements
+    std::uint64_t searches = 0;     ///< search() invocations
+    std::uint64_t heap_reused = 0;  ///< searches needing no open-list regrowth
+  };
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+
  private:
+  struct OpenEntry {
+    double f;  ///< g + admissible heuristic
+    double g;
+    std::int64_t state;
+
+    friend bool operator<(const OpenEntry& a, const OpenEntry& b) {
+      return a.f > b.f;  // min-heap under std::push_heap/pop_heap
+    }
+  };
+
   struct Window {
     int lo_x, lo_y, hi_x, hi_y;
     [[nodiscard]] bool contains(grid::Point p) const noexcept {
@@ -94,12 +118,20 @@ class MazeRouter {
   double present_factor_ = 1.0;
   bool fvp_blocking_ = false;
   std::size_t last_pops_ = 0;
+  SearchStats stats_;
 
   // Per-state scratch, epoch-stamped to avoid clearing between calls.
   std::vector<double> dist_;
   std::vector<std::int64_t> parent_;
   std::vector<std::uint32_t> epoch_;
   std::uint32_t current_epoch_ = 0;
+
+  // Reusable open list: cleared (capacity kept) per search instead of
+  // constructing a fresh std::priority_queue, so steady-state searches are
+  // allocation-free.  Identical heap algorithm (push_heap/pop_heap), so the
+  // pop order — including tiebreaks — matches the priority_queue it
+  // replaces bit for bit.
+  std::vector<OpenEntry> open_;
 };
 
 }  // namespace sadp::core

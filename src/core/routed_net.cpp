@@ -19,6 +19,7 @@ void RoutedNet::add_via(int via_layer, grid::Point p, bool is_pin_via) {
   const NetVia via{via_layer, p, is_pin_via};
   if (std::find(vias_.begin(), vias_.end(), via) == vias_.end()) {
     vias_.push_back(via);
+    if (!is_pin_via) movable_vias_.insert(metal_key(via_layer, p).v);
   }
 }
 
@@ -29,6 +30,7 @@ void RoutedNet::clear_routing() {
     if (via.is_pin_via) kept.push_back(via);
   }
   vias_ = std::move(kept);
+  movable_vias_.clear();
 
   metal_.clear();
   for (const auto& via : vias_) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "grid/geometry.hpp"
@@ -81,6 +82,14 @@ class RoutedNet {
   }
   [[nodiscard]] const std::vector<NetVia>& vias() const noexcept { return vias_; }
 
+  /// True when the net has a movable (non-pin) via at (via_layer, p).
+  /// O(1) via an index maintained by add_via/clear_routing — the R&R
+  /// candidate selection calls this per occupant instead of scanning the
+  /// occupant's full via list.
+  [[nodiscard]] bool has_movable_via_at(int via_layer, grid::Point p) const {
+    return movable_vias_.contains(metal_key(via_layer, p).v);
+  }
+
   /// Wirelength: number of unit segments (each contributes two arm bits).
   [[nodiscard]] long long wirelength() const;
   [[nodiscard]] int via_count() const noexcept { return static_cast<int>(vias_.size()); }
@@ -97,6 +106,8 @@ class RoutedNet {
   grid::NetId id_;
   std::unordered_map<MetalKey, grid::ArmMask, MetalKeyHash> metal_;
   std::vector<NetVia> vias_;
+  /// (via_layer, point) keys of the movable vias, kept in sync with vias_.
+  std::unordered_set<std::int64_t> movable_vias_;
   bool routed_ = false;
   int rip_count_ = 0;
 };

@@ -69,28 +69,35 @@ bool SadpRouter::route_net(grid::NetId id) {
   bool ok = true;
   for (int attempt = 0; attempt < 4; ++attempt) {
     // Grow a connected tree from pin 0, always connecting the pin nearest
-    // to the current tree next.
+    // to the current tree next.  Each pending pin caches its Manhattan
+    // distance to the tree; after a connection only the newly added tree
+    // points are compared, so selection is O(|new| x |pending|) instead of
+    // rescanning the whole tree every time.
     std::vector<MetalKey> tree;
     tree.push_back(metal_key(2, pins.front().at));
     std::vector<grid::Point> pending;
-    for (std::size_t k = 1; k < pins.size(); ++k) pending.push_back(pins[k].at);
+    std::vector<int> pending_dist;
+    for (std::size_t k = 1; k < pins.size(); ++k) {
+      pending.push_back(pins[k].at);
+      pending_dist.push_back(grid::manhattan(pins.front().at, pins[k].at));
+    }
 
     ok = true;
     while (!pending.empty() && ok) {
-      // Nearest pending pin to the tree (Manhattan in the plane).
+      // Nearest pending pin to the tree (cached; first minimum wins, the
+      // tiebreak of the full rescan this replaces).
       std::size_t best = 0;
       int best_dist = INT32_MAX;
       for (std::size_t k = 0; k < pending.size(); ++k) {
-        for (const MetalKey key : tree) {
-          const int d = grid::manhattan(key_point(key), pending[k]);
-          if (d < best_dist) {
-            best_dist = d;
-            best = k;
-          }
+        if (pending_dist[k] < best_dist) {
+          best_dist = pending_dist[k];
+          best = k;
         }
       }
       const grid::Point target = pending[best];
       pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+      pending_dist.erase(pending_dist.begin() +
+                         static_cast<std::ptrdiff_t>(best));
 
       std::vector<MetalKey> new_points;
       if (!maze_->route_connection(net, tree, target, &new_points)) {
@@ -99,6 +106,13 @@ bool SadpRouter::route_net(grid::NetId id) {
       }
       tree.insert(tree.end(), new_points.begin(), new_points.end());
       tree.push_back(metal_key(2, target));
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        int d = std::min(pending_dist[k], grid::manhattan(target, pending[k]));
+        for (const MetalKey key : new_points) {
+          d = std::min(d, grid::manhattan(key_point(key), pending[k]));
+        }
+        pending_dist[k] = d;
+      }
     }
     if (!ok) break;
 
@@ -223,18 +237,16 @@ grid::NetId SadpRouter::choose_ripup_net(const Violation& v) const {
       for (const grid::NetId id : grid_->via_occupants(v.layer, v.at)) consider(id);
       break;
     case Violation::Kind::kFvp:
-      // Candidates: nets with a movable (non-pin) via inside the window.
+      // Candidates: nets with a movable (non-pin) via inside the window
+      // (O(1) per occupant via the RoutedNet movable-via index).
       for (int dy = 0; dy < via::kWindowSize; ++dy) {
         for (int dx = 0; dx < via::kWindowSize; ++dx) {
           const grid::Point cell{v.at.x + dx, v.at.y + dy};
           if (!grid_->in_bounds(cell)) continue;
           for (const grid::NetId id : grid_->via_occupants(v.layer, cell)) {
-            const auto& vias = nets_[static_cast<std::size_t>(id)].vias();
-            for (const auto& via : vias) {
-              if (via.via_layer == v.layer && via.at == cell && !via.is_pin_via) {
-                consider(id);
-                break;
-              }
+            if (nets_[static_cast<std::size_t>(id)].has_movable_via_at(v.layer,
+                                                                       cell)) {
+              consider(id);
             }
           }
         }
@@ -254,6 +266,10 @@ void SadpRouter::push_net_violations(grid::NetId id, bool consider_fvps) {
       push_violation(Violation{Violation::Kind::kCongestionMetal, layer, p, 0});
     }
   }
+  // The same FVP window overlaps up to nine of the net's vias; pushing (and
+  // history-bumping) it once per via bloated the heap and queue_peak, so
+  // windows already handled in this call are skipped.
+  std::vector<via::FvpWindow> seen_fvps;
   for (const auto& via : net.vias()) {
     if (grid_->via_congested(via.via_layer, via.at)) {
       push_violation(
@@ -264,6 +280,12 @@ void SadpRouter::push_net_violations(grid::NetId id, bool consider_fvps) {
       for (int ox = via.at.x - via::kWindowSize + 1; ox <= via.at.x; ++ox) {
         const grid::Point origin{ox, oy};
         if (!vias_->window_is_fvp(via.via_layer, origin)) continue;
+        const via::FvpWindow window{via.via_layer, origin};
+        if (std::find(seen_fvps.begin(), seen_fvps.end(), window) !=
+            seen_fvps.end()) {
+          continue;
+        }
+        seen_fvps.push_back(window);
         push_violation(Violation{Violation::Kind::kFvp, via.via_layer, origin, 0});
         // Reroute created an FVP: make its vias more expensive (Alg. 2).
         for (int dy = 0; dy < via::kWindowSize; ++dy) {
@@ -378,11 +400,8 @@ void SadpRouter::coloring_fix_loop(RoutingReport& report) {
       const int layer = graph.vertex_layer(v);
       costs_->bump_via_history(layer, p, options_.negotiation.history_increment * 4);
       for (const grid::NetId id : grid_->via_occupants(layer, p)) {
-        const auto& vias = nets_[static_cast<std::size_t>(id)].vias();
-        for (const auto& via : vias) {
-          if (via.via_layer == layer && via.at == p && !via.is_pin_via) {
-            owners.insert(id);
-          }
+        if (nets_[static_cast<std::size_t>(id)].has_movable_via_at(layer, p)) {
+          owners.insert(id);
         }
       }
     }
@@ -436,8 +455,13 @@ RoutingReport SadpRouter::run() {
   }
 
   report.remaining_congestion = grid_->congestion_count();
-  report.remaining_fvps = vias_->scan_all_fvps().size();
+  report.remaining_fvps = vias_->fvp_count();
   report.queue_peak = heap_peak_;
+  report.maze_pops = maze_->stats().pops;
+  report.maze_relaxations = maze_->stats().relaxations;
+  report.maze_searches = maze_->stats().searches;
+  report.heap_reuse = maze_->stats().heap_reused;
+  report.fvp_cache_hits = vias_->fvp_cache_hits();
   report.unrouted_nets = static_cast<int>(unrouted_.size());
   report.routed_all = unrouted_.empty() && report.remaining_congestion == 0;
 

@@ -45,6 +45,15 @@ struct RoutingReport {
   std::size_t remaining_fvps = 0;   ///< FVP windows left after Algorithm 2
   int uncolorable_vias = 0;         ///< Welsh-Powell residual (expected 0)
 
+  /// Search-effort perf counters (maze router + FVP cache), cumulative over
+  /// the whole flow; deterministic for a given seed, so they double as
+  /// cheap cross-run equivalence fingerprints.
+  std::uint64_t maze_pops = 0;         ///< heap pops over all maze searches
+  std::uint64_t maze_relaxations = 0;  ///< successful distance improvements
+  std::uint64_t maze_searches = 0;     ///< individual maze searches run
+  std::uint64_t heap_reuse = 0;        ///< searches with no open-list regrowth
+  std::uint64_t fvp_cache_hits = 0;    ///< FVP queries served by the cache
+
   /// Per-phase wall-clock breakdown (Fig. 8 phases).
   double initial_routing_seconds = 0.0;
   double congestion_rr_seconds = 0.0;

@@ -77,6 +77,11 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
     outcome.metrics.dvi_seconds = outcome.result.dvi.seconds;
     outcome.metrics.rr_iterations = routing.rr_iterations;
     outcome.metrics.queue_peak = routing.queue_peak;
+    outcome.metrics.maze_pops = routing.maze_pops;
+    outcome.metrics.maze_relaxations = routing.maze_relaxations;
+    outcome.metrics.maze_searches = routing.maze_searches;
+    outcome.metrics.heap_reuse = routing.heap_reuse;
+    outcome.metrics.fvp_cache_hits = routing.fvp_cache_hits;
   } catch (const FlowError& e) {
     outcome.status = JobStatus::kFailed;
     outcome.error = e.status();
@@ -247,6 +252,11 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("ilp_status").value(ilp::solve_status_name(r.ilp_status));
   json.key("rr_iterations").value(outcome.metrics.rr_iterations);
   json.key("queue_peak").value(outcome.metrics.queue_peak);
+  json.key("maze_pops").value(outcome.metrics.maze_pops);
+  json.key("maze_relaxations").value(outcome.metrics.maze_relaxations);
+  json.key("maze_searches").value(outcome.metrics.maze_searches);
+  json.key("heap_reuse").value(outcome.metrics.heap_reuse);
+  json.key("fvp_cache_hits").value(outcome.metrics.fvp_cache_hits);
   json.key("total_seconds").value(outcome.metrics.total_seconds);
   json.key("stages").begin_object();
   json.key("generate").value(outcome.metrics.generate_seconds);
@@ -281,10 +291,11 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
   std::string out =
       "label,arm,status,error,benchmark,style,dvi_method,routed_all,wirelength,"
       "via_count,single_vias,"
-      "dead_vias,uncolorable,rr_iterations,queue_peak,total_seconds,"
+      "dead_vias,uncolorable,rr_iterations,queue_peak,maze_pops,"
+      "maze_relaxations,maze_searches,heap_reuse,fvp_cache_hits,total_seconds,"
       "route_seconds,initial_routing_seconds,congestion_rr_seconds,"
       "tpl_rr_seconds,coloring_seconds,dvi_seconds\n";
-  char buffer[256];
+  char buffer[384];
   for (const auto& outcome : outcomes) {
     const core::ExperimentResult& r = outcome.result;
     const StageMetrics& m = outcome.metrics;
@@ -298,10 +309,16 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
            ',' + grid::style_name(outcome.style) + ',' +
            core::dvi_method_name(outcome.dvi_method) + ',';
     std::snprintf(buffer, sizeof buffer,
-                  "%d,%lld,%d,%d,%d,%d,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                  "%d,%lld,%d,%d,%d,%d,%zu,%zu,%llu,%llu,%llu,%llu,%llu,"
+                  "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
                   r.routing.routed_all ? 1 : 0, r.routing.wirelength,
                   r.routing.via_count, r.single_vias, r.dvi.dead_vias,
                   r.dvi.uncolorable, m.rr_iterations, m.queue_peak,
+                  static_cast<unsigned long long>(m.maze_pops),
+                  static_cast<unsigned long long>(m.maze_relaxations),
+                  static_cast<unsigned long long>(m.maze_searches),
+                  static_cast<unsigned long long>(m.heap_reuse),
+                  static_cast<unsigned long long>(m.fvp_cache_hits),
                   m.total_seconds, m.route_seconds, m.initial_routing_seconds,
                   m.congestion_rr_seconds, m.tpl_rr_seconds, m.coloring_seconds,
                   m.dvi_seconds);

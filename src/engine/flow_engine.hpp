@@ -58,6 +58,14 @@ struct StageMetrics {
   double dvi_seconds = 0.0;         ///< post-routing DVI solve
   std::size_t rr_iterations = 0;
   std::size_t queue_peak = 0;       ///< violation-queue high-water mark
+
+  // Router search-effort perf counters (deterministic per seed; see
+  // RoutingReport).
+  std::uint64_t maze_pops = 0;
+  std::uint64_t maze_relaxations = 0;
+  std::uint64_t maze_searches = 0;
+  std::uint64_t heap_reuse = 0;
+  std::uint64_t fvp_cache_hits = 0;
 };
 
 /// One unit of work: route + post-routing DVI on one instance.

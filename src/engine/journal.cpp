@@ -103,6 +103,11 @@ std::string journal_line(const JobOutcome& outcome) {
   json.key("via_count").value(r.routing.via_count);
   json.key("rr_iterations").value(r.routing.rr_iterations);
   json.key("queue_peak").value(r.routing.queue_peak);
+  json.key("maze_pops").value(r.routing.maze_pops);
+  json.key("maze_relaxations").value(r.routing.maze_relaxations);
+  json.key("maze_searches").value(r.routing.maze_searches);
+  json.key("heap_reuse").value(r.routing.heap_reuse);
+  json.key("fvp_cache_hits").value(r.routing.fvp_cache_hits);
   json.key("remaining_congestion").value(r.routing.remaining_congestion);
   json.key("remaining_fvps").value(r.routing.remaining_fvps);
   json.key("uncolorable_vias").value(r.routing.uncolorable_vias);
@@ -167,6 +172,16 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
       static_cast<std::size_t>(get_number(*doc, "rr_iterations", bad));
   r.routing.queue_peak =
       static_cast<std::size_t>(get_number(*doc, "queue_peak", bad));
+  r.routing.maze_pops =
+      static_cast<std::uint64_t>(get_number(*doc, "maze_pops", bad));
+  r.routing.maze_relaxations =
+      static_cast<std::uint64_t>(get_number(*doc, "maze_relaxations", bad));
+  r.routing.maze_searches =
+      static_cast<std::uint64_t>(get_number(*doc, "maze_searches", bad));
+  r.routing.heap_reuse =
+      static_cast<std::uint64_t>(get_number(*doc, "heap_reuse", bad));
+  r.routing.fvp_cache_hits =
+      static_cast<std::uint64_t>(get_number(*doc, "fvp_cache_hits", bad));
   r.routing.remaining_congestion =
       static_cast<std::size_t>(get_number(*doc, "remaining_congestion", bad));
   r.routing.remaining_fvps =
@@ -198,6 +213,11 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
   outcome.metrics.total_seconds = get_number(*doc, "total_seconds", bad);
   outcome.metrics.rr_iterations = r.routing.rr_iterations;
   outcome.metrics.queue_peak = r.routing.queue_peak;
+  outcome.metrics.maze_pops = r.routing.maze_pops;
+  outcome.metrics.maze_relaxations = r.routing.maze_relaxations;
+  outcome.metrics.maze_searches = r.routing.maze_searches;
+  outcome.metrics.heap_reuse = r.routing.heap_reuse;
+  outcome.metrics.fvp_cache_hits = r.routing.fvp_cache_hits;
 
   if (bad) {
     return fail("malformed journal record for label '" + outcome.label + "'");

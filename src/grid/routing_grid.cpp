@@ -9,10 +9,13 @@ RoutingGrid::RoutingGrid(int width, int height, int num_metal_layers)
   assert(width > 0 && height > 0 && num_metal_layers >= 2);
   metal_.resize(static_cast<std::size_t>(num_metal_) * num_points());
   vias_.resize(static_cast<std::size_t>(num_via_layers()) * num_points());
+  metal_count_.assign(metal_.size(), 0);
+  via_count_.assign(vias_.size(), 0);
 }
 
 void RoutingGrid::add_metal(int layer, Point p, NetId net, ArmMask arms) {
-  auto& occ = metal_[metal_slot(layer, p)];
+  const std::size_t s = metal_slot(layer, p);
+  auto& occ = metal_[s];
   for (auto& entry : occ) {
     if (entry.net == net) {
       entry.arms |= arms;
@@ -20,13 +23,16 @@ void RoutingGrid::add_metal(int layer, Point p, NetId net, ArmMask arms) {
     }
   }
   occ.push_back(MetalOcc{net, arms});
+  ++metal_count_[s];
 }
 
 void RoutingGrid::remove_metal(int layer, Point p, NetId net) {
-  auto& occ = metal_[metal_slot(layer, p)];
-  occ.erase(std::remove_if(occ.begin(), occ.end(),
-                           [net](const MetalOcc& e) { return e.net == net; }),
-            occ.end());
+  const std::size_t s = metal_slot(layer, p);
+  auto& occ = metal_[s];
+  const auto tail = std::remove_if(occ.begin(), occ.end(),
+                                   [net](const MetalOcc& e) { return e.net == net; });
+  metal_count_[s] -= static_cast<std::uint16_t>(occ.end() - tail);
+  occ.erase(tail, occ.end());
 }
 
 std::span<const MetalOcc> RoutingGrid::metal_occupants(int layer, Point p) const {
@@ -48,10 +54,6 @@ MetalOcc* RoutingGrid::metal_occupant_mut(int layer, Point p, NetId net) {
   return nullptr;
 }
 
-int RoutingGrid::metal_net_count(int layer, Point p) const {
-  return static_cast<int>(metal_[metal_slot(layer, p)].size());
-}
-
 NetId RoutingGrid::metal_single_owner(int layer, Point p) const {
   const auto& occ = metal_[metal_slot(layer, p)];
   return occ.size() == 1 ? occ.front().net : kNoNet;
@@ -64,13 +66,20 @@ bool RoutingGrid::metal_free_for(int layer, Point p, NetId net) const {
 }
 
 void RoutingGrid::add_via(int via_layer, Point p, NetId net) {
-  auto& occ = vias_[via_slot(via_layer, p)];
-  if (std::find(occ.begin(), occ.end(), net) == occ.end()) occ.push_back(net);
+  const std::size_t s = via_slot(via_layer, p);
+  auto& occ = vias_[s];
+  if (std::find(occ.begin(), occ.end(), net) == occ.end()) {
+    occ.push_back(net);
+    ++via_count_[s];
+  }
 }
 
 void RoutingGrid::remove_via(int via_layer, Point p, NetId net) {
-  auto& occ = vias_[via_slot(via_layer, p)];
-  occ.erase(std::remove(occ.begin(), occ.end(), net), occ.end());
+  const std::size_t s = via_slot(via_layer, p);
+  auto& occ = vias_[s];
+  const auto tail = std::remove(occ.begin(), occ.end(), net);
+  via_count_[s] -= static_cast<std::uint16_t>(occ.end() - tail);
+  occ.erase(tail, occ.end());
 }
 
 std::span<const NetId> RoutingGrid::via_occupants(int via_layer, Point p) const {

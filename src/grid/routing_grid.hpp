@@ -82,8 +82,11 @@ class RoutingGrid {
   [[nodiscard]] const MetalOcc* metal_occupant(int layer, Point p, NetId net) const;
   [[nodiscard]] MetalOcc* metal_occupant_mut(int layer, Point p, NetId net);
 
-  /// Number of *distinct* nets at the point.
-  [[nodiscard]] int metal_net_count(int layer, Point p) const;
+  /// Number of *distinct* nets at the point.  One load from the
+  /// incrementally-maintained count array (the maze router's hot path).
+  [[nodiscard]] int metal_net_count(int layer, Point p) const {
+    return metal_count_[metal_slot(layer, p)];
+  }
 
   /// True when two or more nets overlap at the point (a congestion in the
   /// paper's sense).
@@ -102,11 +105,15 @@ class RoutingGrid {
   void add_via(int via_layer, Point p, NetId net);
   void remove_via(int via_layer, Point p, NetId net);
   [[nodiscard]] std::span<const NetId> via_occupants(int via_layer, Point p) const;
+  /// Number of distinct nets with a via at the location (one load).
+  [[nodiscard]] int via_net_count(int via_layer, Point p) const {
+    return via_count_[via_slot(via_layer, p)];
+  }
   [[nodiscard]] bool has_via(int via_layer, Point p) const {
-    return !via_occupants(via_layer, p).empty();
+    return via_net_count(via_layer, p) > 0;
   }
   [[nodiscard]] bool via_congested(int via_layer, Point p) const {
-    return via_occupants(via_layer, p).size() > 1;
+    return via_net_count(via_layer, p) > 1;
   }
 
   // --- Global queries ------------------------------------------------------
@@ -141,6 +148,11 @@ class RoutingGrid {
   // start with no allocation.
   std::vector<std::vector<MetalOcc>> metal_;
   std::vector<std::vector<NetId>> vias_;
+  // Dense distinct-net counts per slot, kept in sync by add_*/remove_*;
+  // the router's congestion ("others") term reads these instead of walking
+  // the occupant spans.
+  std::vector<std::uint16_t> metal_count_;
+  std::vector<std::uint16_t> via_count_;
 };
 
 }  // namespace sadp::grid

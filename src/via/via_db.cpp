@@ -1,5 +1,6 @@
 #include "via/via_db.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "util/status.hpp"
@@ -19,7 +20,11 @@ std::string point_str(grid::Point p) {
 }  // namespace
 
 ViaDb::ViaDb(int width, int height, int num_via_layers)
-    : width_(width), height_(height), layers_(num_via_layers) {
+    : width_(width),
+      height_(height),
+      layers_(num_via_layers),
+      wwidth_(width + kWindowSize - 1),
+      wheight_(height + kWindowSize - 1) {
   if (width <= 0 || height <= 0 || num_via_layers < 1) {
     throw FlowError(util::StatusCode::kInvalidInput,
                     "ViaDb needs positive dimensions, got " +
@@ -28,6 +33,10 @@ ViaDb::ViaDb(int width, int height, int num_via_layers)
                         " via layers");
   }
   count_.assign(static_cast<std::size_t>(layers_) * width_ * height_, 0);
+  const std::size_t windows =
+      static_cast<std::size_t>(layers_) * wwidth_ * wheight_;
+  mask_.assign(windows, 0);
+  fvp_pos_.assign(windows, kNotFvp);
 }
 
 void ViaDb::check_slot(int via_layer, grid::Point p, const char* op) const {
@@ -46,6 +55,45 @@ void ViaDb::check_slot(int via_layer, grid::Point p, const char* op) const {
   }
 }
 
+FvpWindow ViaDb::window_of(std::size_t wslot_index) const noexcept {
+  const std::size_t per_layer = static_cast<std::size_t>(wwidth_) * wheight_;
+  const int layer = static_cast<int>(wslot_index / per_layer) + 1;
+  const std::size_t rest = wslot_index % per_layer;
+  const int oy = static_cast<int>(rest / wwidth_) - (kWindowSize - 1);
+  const int ox = static_cast<int>(rest % wwidth_) - (kWindowSize - 1);
+  return FvpWindow{layer, {ox, oy}};
+}
+
+void ViaDb::update_windows_around(int via_layer, grid::Point p) {
+  // The occupancy of cell p flipped: refresh the masks and FVP membership
+  // of the 9 windows containing p.  All of them are in wslot range because
+  // p is in the grid.
+  const bool occupied = count_[slot(via_layer, p)] > 0;
+  for (int oy = p.y - kWindowSize + 1; oy <= p.y; ++oy) {
+    for (int ox = p.x - kWindowSize + 1; ox <= p.x; ++ox) {
+      const std::size_t w = wslot(via_layer, {ox, oy});
+      const WindowMask bit = WindowMask{1} << window_bit(p.x - ox, p.y - oy);
+      const WindowMask mask =
+          occupied ? static_cast<WindowMask>(mask_[w] | bit)
+                   : static_cast<WindowMask>(mask_[w] & ~bit);
+      mask_[w] = mask;
+      const bool fvp_now = is_fvp(mask);
+      const bool fvp_was = fvp_pos_[w] != kNotFvp;
+      if (fvp_now && !fvp_was) {
+        fvp_pos_[w] = static_cast<std::uint32_t>(fvp_list_.size());
+        fvp_list_.push_back(static_cast<std::uint32_t>(w));
+      } else if (!fvp_now && fvp_was) {
+        const std::uint32_t pos = fvp_pos_[w];
+        const std::uint32_t moved = fvp_list_.back();
+        fvp_list_[pos] = moved;
+        fvp_pos_[moved] = pos;
+        fvp_list_.pop_back();
+        fvp_pos_[w] = kNotFvp;
+      }
+    }
+  }
+}
+
 void ViaDb::add(int via_layer, grid::Point p) {
   check_slot(via_layer, p, "add");
   auto& c = count_[slot(via_layer, p)];
@@ -54,6 +102,7 @@ void ViaDb::add(int via_layer, grid::Point p) {
          std::to_string(via_layer) + " " + point_str(p));
   }
   ++c;
+  if (c == 1) update_windows_around(via_layer, p);
 }
 
 void ViaDb::remove(int via_layer, grid::Point p) {
@@ -64,6 +113,7 @@ void ViaDb::remove(int via_layer, grid::Point p) {
          std::to_string(via_layer) + " " + point_str(p));
   }
   --c;
+  if (c == 0) update_windows_around(via_layer, p);
 }
 
 int ViaDb::occupied_count(int via_layer) const {
@@ -85,25 +135,14 @@ std::vector<grid::Point> ViaDb::locations(int via_layer) const {
   return out;
 }
 
-WindowMask ViaDb::window_mask(int via_layer, grid::Point origin) const {
-  WindowMask mask = 0;
-  for (int dy = 0; dy < kWindowSize; ++dy) {
-    for (int dx = 0; dx < kWindowSize; ++dx) {
-      const grid::Point q{origin.x + dx, origin.y + dy};
-      if (in_bounds(q) && has(via_layer, q)) {
-        mask |= WindowMask{1} << window_bit(dx, dy);
-      }
-    }
-  }
-  return mask;
-}
-
 bool ViaDb::would_create_fvp(int via_layer, grid::Point p) const {
+  ++fvp_cache_hits_;
   if (has(via_layer, p)) return in_fvp(via_layer, p);
   for (int oy = p.y - kWindowSize + 1; oy <= p.y; ++oy) {
     for (int ox = p.x - kWindowSize + 1; ox <= p.x; ++ox) {
-      WindowMask mask = window_mask(via_layer, {ox, oy});
-      mask |= WindowMask{1} << window_bit(p.x - ox, p.y - oy);
+      const WindowMask mask = static_cast<WindowMask>(
+          mask_[wslot(via_layer, {ox, oy})] |
+          (WindowMask{1} << window_bit(p.x - ox, p.y - oy)));
       if (is_fvp(mask)) return true;
     }
   }
@@ -111,9 +150,10 @@ bool ViaDb::would_create_fvp(int via_layer, grid::Point p) const {
 }
 
 bool ViaDb::in_fvp(int via_layer, grid::Point p) const {
+  ++fvp_cache_hits_;
   for (int oy = p.y - kWindowSize + 1; oy <= p.y; ++oy) {
     for (int ox = p.x - kWindowSize + 1; ox <= p.x; ++ox) {
-      if (window_is_fvp(via_layer, {ox, oy})) return true;
+      if (fvp_pos_[wslot(via_layer, {ox, oy})] != kNotFvp) return true;
     }
   }
   return false;
@@ -121,24 +161,28 @@ bool ViaDb::in_fvp(int via_layer, grid::Point p) const {
 
 std::vector<FvpWindow> ViaDb::scan_fvps(int via_layer) const {
   std::vector<FvpWindow> out;
-  // Slide the window over every origin whose window intersects the grid;
-  // origins may start slightly negative so border vias are covered.
-  for (int oy = -kWindowSize + 1; oy < height_; ++oy) {
-    for (int ox = -kWindowSize + 1; ox < width_; ++ox) {
-      if (window_is_fvp(via_layer, {ox, oy})) {
-        out.push_back(FvpWindow{via_layer, {ox, oy}});
-      }
-    }
+  for (const std::uint32_t w : fvp_list_) {
+    const FvpWindow window = window_of(w);
+    if (window.via_layer == via_layer) out.push_back(window);
   }
+  // Deterministic row-major origin order, independent of insertion history.
+  std::sort(out.begin(), out.end(), [](const FvpWindow& a, const FvpWindow& b) {
+    if (a.origin.y != b.origin.y) return a.origin.y < b.origin.y;
+    return a.origin.x < b.origin.x;
+  });
   return out;
 }
 
 std::vector<FvpWindow> ViaDb::scan_all_fvps() const {
   std::vector<FvpWindow> out;
-  for (int v = 1; v <= layers_; ++v) {
-    auto layer_fvps = scan_fvps(v);
-    out.insert(out.end(), layer_fvps.begin(), layer_fvps.end());
-  }
+  out.reserve(fvp_list_.size());
+  for (const std::uint32_t w : fvp_list_) out.push_back(window_of(w));
+  // Layer-major, then row-major origin: the order of the old full scan.
+  std::sort(out.begin(), out.end(), [](const FvpWindow& a, const FvpWindow& b) {
+    if (a.via_layer != b.via_layer) return a.via_layer < b.via_layer;
+    if (a.origin.y != b.origin.y) return a.origin.y < b.origin.y;
+    return a.origin.x < b.origin.x;
+  });
   return out;
 }
 

@@ -1,0 +1,360 @@
+// Differential tests of the incremental hot-path state against from-scratch
+// oracles.
+//
+// The router's inner loops read three pieces of incrementally-maintained
+// state: the ViaDb per-window FVP cache, the CostMaps fused vertex-cost
+// arrays, and the RoutingGrid distinct-net occupancy counts.  Each is a pure
+// function of the underlying occupancy/cost components; these tests churn
+// the structures with randomized (but seeded, hence reproducible)
+// add/remove sequences and verify after every step that the cached state is
+// bit-identical to a naive recomputation.  A final test runs the whole flow
+// twice and checks the result rows — including the new perf counters — are
+// bit-identical run to run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/cost_maps.hpp"
+#include "core/flow.hpp"
+#include "core/routed_net.hpp"
+#include "grid/routing_grid.hpp"
+#include "grid/turns.hpp"
+#include "netlist/bench_gen.hpp"
+#include "via/fvp.hpp"
+#include "via/via_db.hpp"
+
+namespace sadp {
+namespace {
+
+// --- ViaDb: incremental FVP state vs. occupancy rescans ----------------------
+
+/// Window mask recomputed from scratch out of ViaDb::has() — the quantity
+/// the per-window cache must always equal.
+via::WindowMask oracle_mask(const via::ViaDb& db, int layer, grid::Point origin) {
+  via::WindowMask mask = 0;
+  for (int dy = 0; dy < via::kWindowSize; ++dy) {
+    for (int dx = 0; dx < via::kWindowSize; ++dx) {
+      const grid::Point p{origin.x + dx, origin.y + dy};
+      if (db.in_bounds(p) && db.has(layer, p)) {
+        mask |= via::WindowMask{1} << via::window_bit(dx, dy);
+      }
+    }
+  }
+  return mask;
+}
+
+/// Row-major from-scratch FVP scan (the pre-incremental implementation).
+std::vector<via::FvpWindow> oracle_scan(const via::ViaDb& db, int layer) {
+  std::vector<via::FvpWindow> fvps;
+  for (int oy = -(via::kWindowSize - 1); oy < db.height(); ++oy) {
+    for (int ox = -(via::kWindowSize - 1); ox < db.width(); ++ox) {
+      const grid::Point origin{ox, oy};
+      if (via::is_fvp(oracle_mask(db, layer, origin))) {
+        fvps.push_back({layer, origin});
+      }
+    }
+  }
+  return fvps;
+}
+
+void expect_via_db_matches_oracle(const via::ViaDb& db, int step) {
+  std::size_t oracle_fvp_count = 0;
+  for (int layer = 1; layer <= db.num_via_layers(); ++layer) {
+    for (int oy = -(via::kWindowSize - 1); oy < db.height(); ++oy) {
+      for (int ox = -(via::kWindowSize - 1); ox < db.width(); ++ox) {
+        const grid::Point origin{ox, oy};
+        const via::WindowMask want = oracle_mask(db, layer, origin);
+        ASSERT_EQ(db.window_mask(layer, origin), want)
+            << "step " << step << " layer " << layer << " origin (" << ox
+            << "," << oy << ")";
+        ASSERT_EQ(db.window_is_fvp(layer, origin), via::is_fvp(want))
+            << "step " << step << " layer " << layer << " origin (" << ox
+            << "," << oy << ")";
+        if (via::is_fvp(want)) ++oracle_fvp_count;
+      }
+    }
+    ASSERT_EQ(db.scan_fvps(layer), oracle_scan(db, layer)) << "step " << step;
+  }
+  ASSERT_EQ(db.fvp_count(), oracle_fvp_count) << "step " << step;
+
+  // The point predicates: would_create_fvp / in_fvp against hypothetical /
+  // current oracle masks of the nine windows containing each point.
+  for (int layer = 1; layer <= db.num_via_layers(); ++layer) {
+    for (int y = 0; y < db.height(); ++y) {
+      for (int x = 0; x < db.width(); ++x) {
+        const grid::Point p{x, y};
+        bool want_would = false;
+        bool want_in = false;
+        for (int dy = -(via::kWindowSize - 1); dy <= 0; ++dy) {
+          for (int dx = -(via::kWindowSize - 1); dx <= 0; ++dx) {
+            const grid::Point origin{x + dx, y + dy};
+            const via::WindowMask cur = oracle_mask(db, layer, origin);
+            const auto bit = via::WindowMask{1} << via::window_bit(-dx, -dy);
+            want_would = want_would || via::is_fvp(static_cast<via::WindowMask>(cur | bit));
+            want_in = want_in || via::is_fvp(cur);
+          }
+        }
+        ASSERT_EQ(db.would_create_fvp(layer, p), want_would)
+            << "step " << step << " layer " << layer << " p (" << x << "," << y << ")";
+        ASSERT_EQ(db.in_fvp(layer, p), want_in)
+            << "step " << step << " layer " << layer << " p (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(ViaDbIncremental, MatchesFromScratchOracleUnderRandomChurn) {
+  constexpr int kWidth = 12, kHeight = 10, kLayers = 2, kSteps = 300;
+  via::ViaDb db(kWidth, kHeight, kLayers);
+  std::mt19937 rng(20160607);  // seeded: failures replay exactly
+  std::uniform_int_distribution<int> layer_dist(1, kLayers);
+  std::uniform_int_distribution<int> x_dist(0, kWidth - 1);
+  std::uniform_int_distribution<int> y_dist(0, kHeight - 1);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  // Live via occurrences (with refcounted duplicates, as congested nets
+  // produce them), so removals always target a present via.
+  std::vector<std::pair<int, grid::Point>> live;
+
+  for (int step = 0; step < kSteps; ++step) {
+    const bool removing = !live.empty() && op_dist(rng) < 45;
+    if (removing) {
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const std::size_t i = pick(rng);
+      db.remove(live[i].first, live[i].second);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      const int layer = layer_dist(rng);
+      const grid::Point p{x_dist(rng), y_dist(rng)};
+      db.add(layer, p);
+      live.emplace_back(layer, p);
+    }
+    // Full oracle sweep every few steps, cheap spot checks otherwise.
+    if (step % 10 == 0 || step == kSteps - 1) {
+      expect_via_db_matches_oracle(db, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // Drain to empty: the cache must come back to the all-clear state.
+  while (!live.empty()) {
+    db.remove(live.back().first, live.back().second);
+    live.pop_back();
+  }
+  expect_via_db_matches_oracle(db, kSteps);
+  EXPECT_EQ(db.fvp_count(), 0u);
+}
+
+// --- CostMaps: fused arrays vs. component sums -------------------------------
+
+struct CostFixture {
+  grid::RoutingGrid routing{20, 20, 3};
+  via::ViaDb vias{20, 20, 2};
+  grid::TurnRules rules = grid::TurnRules::sim_cut();
+};
+
+/// A small random L-shaped net with one movable via, the geometry
+/// add_net_costs expects (metal on both via layers, applied to the grid).
+core::RoutedNet random_via_net(CostFixture& f, grid::NetId id, std::mt19937& rng) {
+  std::uniform_int_distribution<int> coord(3, 16);
+  std::uniform_int_distribution<int> flip(0, 1);
+  const grid::Point at{coord(rng), coord(rng)};
+  const grid::Dir m2_dir = flip(rng) ? grid::Dir::kEast : grid::Dir::kWest;
+  const grid::Dir m3_dir = flip(rng) ? grid::Dir::kNorth : grid::Dir::kSouth;
+  core::RoutedNet net(id);
+  net.add_segment(2, at, m2_dir);
+  net.add_segment(2, at + grid::step(m2_dir), m2_dir);
+  net.add_segment(3, at, m3_dir);
+  net.add_segment(3, at + grid::step(m3_dir), m3_dir);
+  net.add_via(2, at);
+  net.apply_to(f.routing, f.vias);
+  return net;
+}
+
+void expect_fused_matches_components(const core::CostMaps& costs,
+                                     const grid::RoutingGrid& grid, int step) {
+  for (int layer = 2; layer <= grid.num_metal_layers(); ++layer) {
+    for (int y = 0; y < grid.height(); ++y) {
+      for (int x = 0; x < grid.width(); ++x) {
+        const grid::Point p{x, y};
+        // Bitwise equality, not approximate: the fused slot is recomputed
+        // from the components in a fixed association order, so any ULP of
+        // drift is a bug that would break cross-run determinism.
+        ASSERT_EQ(costs.fused_metal_cost(layer, p),
+                  costs.metal_history(layer, p) + costs.metal_penalty(layer, p))
+            << "step " << step << " metal layer " << layer << " (" << x << "," << y << ")";
+      }
+    }
+  }
+  for (int layer = 1; layer <= grid.num_via_layers(); ++layer) {
+    for (int y = 0; y < grid.height(); ++y) {
+      for (int x = 0; x < grid.width(); ++x) {
+        const grid::Point p{x, y};
+        ASSERT_EQ(costs.fused_via_cost(layer, p),
+                  costs.via_history(layer, p) + costs.via_penalty(layer, p))
+            << "step " << step << " via layer " << layer << " (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(CostMapsFused, MatchesComponentSumUnderRandomChurn) {
+  CostFixture f;
+  core::FlowOptions options;
+  options.consider_dvi = true;
+  options.consider_tpl = true;
+  core::CostMaps costs(f.routing, f.rules, options);
+
+  std::mt19937 rng(20160608);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  std::uniform_int_distribution<int> coord(0, 19);
+  std::uniform_real_distribution<double> amount(0.25, 3.0);
+
+  std::vector<core::RoutedNet> applied;
+  grid::NetId next_id = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    const int op = op_dist(rng);
+    if (op < 40 || applied.empty()) {
+      applied.push_back(random_via_net(f, next_id++, rng));
+      costs.add_net_costs(applied.back());
+    } else if (op < 70) {
+      std::uniform_int_distribution<std::size_t> pick(0, applied.size() - 1);
+      const std::size_t i = pick(rng);
+      costs.remove_net_costs(applied[i].id());
+      applied[i].remove_from(f.routing, f.vias);
+      applied[i] = std::move(applied.back());
+      applied.pop_back();
+    } else if (op < 85) {
+      costs.bump_metal_history(2 + (op & 1), {coord(rng), coord(rng)}, amount(rng));
+    } else {
+      costs.bump_via_history(1 + (op & 1), {coord(rng), coord(rng)}, amount(rng));
+    }
+    if (step % 5 == 0 || step == 119) {
+      expect_fused_matches_components(costs, f.routing, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // Unwind everything: fused arrays must return to pure history state.
+  while (!applied.empty()) {
+    costs.remove_net_costs(applied.back().id());
+    applied.back().remove_from(f.routing, f.vias);
+    applied.pop_back();
+  }
+  expect_fused_matches_components(costs, f.routing, -1);
+  // Interleaved add/remove leaves at most rounding residue in the component
+  // arrays ((a + b) - a - b need not be exactly 0 in floating point); the
+  // invariant under test is fused == components bitwise, checked above.
+  for (int layer = 1; layer <= f.routing.num_via_layers(); ++layer) {
+    for (int y = 0; y < f.routing.height(); ++y) {
+      for (int x = 0; x < f.routing.width(); ++x) {
+        ASSERT_NEAR(costs.via_penalty(layer, {x, y}), 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+// --- RoutingGrid: distinct-net count arrays vs. occupant lists ---------------
+
+void expect_counts_match_occupants(const grid::RoutingGrid& grid, int step) {
+  for (int layer = 1; layer <= grid.num_metal_layers(); ++layer) {
+    for (int y = 0; y < grid.height(); ++y) {
+      for (int x = 0; x < grid.width(); ++x) {
+        const grid::Point p{x, y};
+        ASSERT_EQ(static_cast<std::size_t>(grid.metal_net_count(layer, p)),
+                  grid.metal_occupants(layer, p).size())
+            << "step " << step << " metal " << layer << " (" << x << "," << y << ")";
+      }
+    }
+  }
+  for (int layer = 1; layer <= grid.num_via_layers(); ++layer) {
+    for (int y = 0; y < grid.height(); ++y) {
+      for (int x = 0; x < grid.width(); ++x) {
+        const grid::Point p{x, y};
+        ASSERT_EQ(static_cast<std::size_t>(grid.via_net_count(layer, p)),
+                  grid.via_occupants(layer, p).size())
+            << "step " << step << " via " << layer << " (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(RoutingGridCounts, MatchOccupantListsUnderRandomChurn) {
+  CostFixture f;
+  std::mt19937 rng(20160609);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  std::vector<core::RoutedNet> applied;
+  grid::NetId next_id = 100;
+  for (int step = 0; step < 150; ++step) {
+    if (op_dist(rng) < 55 || applied.empty()) {
+      applied.push_back(random_via_net(f, next_id++, rng));
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(0, applied.size() - 1);
+      const std::size_t i = pick(rng);
+      applied[i].remove_from(f.routing, f.vias);
+      applied[i] = std::move(applied.back());
+      applied.pop_back();
+    }
+    if (step % 10 == 0 || step == 149) {
+      expect_counts_match_occupants(f.routing, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  while (!applied.empty()) {
+    applied.back().remove_from(f.routing, f.vias);
+    applied.pop_back();
+  }
+  expect_counts_match_occupants(f.routing, -1);
+  EXPECT_EQ(f.routing.congestion_count(), 0u);
+}
+
+// --- Whole-flow determinism: two runs, bit-identical rows --------------------
+
+TEST(FlowDeterminism, RepeatedRunsProduceBitIdenticalRowsAndCounters) {
+  netlist::BenchSpec spec;
+  spec.name = "incremental_determinism";
+  spec.width = 40;
+  spec.height = 40;
+  spec.num_nets = 15;
+  const netlist::PlacedNetlist nl = netlist::generate(spec);
+
+  core::FlowConfig config;
+  config.options.consider_dvi = true;
+  config.options.consider_tpl = true;
+  config.dvi_method = core::DviMethod::kHeuristic;
+
+  const core::FlowRun a = core::run_flow(nl, config);
+  const core::FlowRun b = core::run_flow(nl, config);
+  ASSERT_TRUE(a.status.is_ok());
+  ASSERT_TRUE(b.status.is_ok());
+
+  const core::RoutingReport& ra = a.result.routing;
+  const core::RoutingReport& rb = b.result.routing;
+  EXPECT_EQ(ra.routed_all, rb.routed_all);
+  EXPECT_EQ(ra.wirelength, rb.wirelength);
+  EXPECT_EQ(ra.via_count, rb.via_count);
+  EXPECT_EQ(ra.rr_iterations, rb.rr_iterations);
+  EXPECT_EQ(ra.queue_peak, rb.queue_peak);
+  EXPECT_EQ(ra.remaining_congestion, rb.remaining_congestion);
+  EXPECT_EQ(ra.remaining_fvps, rb.remaining_fvps);
+  EXPECT_EQ(ra.uncolorable_vias, rb.uncolorable_vias);
+  // The perf counters are deterministic too — they count search work, not
+  // wall clock — so they double as cross-run equivalence fingerprints.
+  EXPECT_EQ(ra.maze_pops, rb.maze_pops);
+  EXPECT_EQ(ra.maze_relaxations, rb.maze_relaxations);
+  EXPECT_EQ(ra.maze_searches, rb.maze_searches);
+  EXPECT_EQ(ra.heap_reuse, rb.heap_reuse);
+  EXPECT_EQ(ra.fvp_cache_hits, rb.fvp_cache_hits);
+  EXPECT_GT(ra.maze_searches, 0u);
+  EXPECT_GT(ra.maze_pops, 0u);
+  EXPECT_EQ(a.result.dvi.dead_vias, b.result.dvi.dead_vias);
+  EXPECT_EQ(a.result.dvi.inserted, b.result.dvi.inserted);
+}
+
+}  // namespace
+}  // namespace sadp

@@ -33,4 +33,7 @@ if grep -q "status=failed" "$smoke_log"; then
   exit 1
 fi
 
+echo "== router perf smoke (BENCH_router.json) =="
+tools/perf_smoke.sh build-ci
+
 echo "CI gate passed."

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Router perf smoke: microbench the hot kernels and route a scaled batch,
+# then write BENCH_router.json with baseline-vs-current numbers.
+#
+#   * micro: ns/op of the FVP predicate, the fused vertex-cost load (and the
+#     component-sum expression it replaced), and a congested maze search;
+#   * end-to-end: route_seconds and maze_pops of the scaled ecc/efc/ctl rows.
+#
+# The baseline section freezes on the first run (or with --rebaseline);
+# subsequent runs report current numbers plus speedup ratios against it, so
+# a perf regression shows up as ratios sliding below 1.0 in the diff of
+# BENCH_router.json.  Pops ratios should stay exactly 1.0: search effort is
+# deterministic, so any change there is a behavior change, not noise.
+#
+# Usage: tools/perf_smoke.sh [build_dir] [--rebaseline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="build-ci"
+REBASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --rebaseline) REBASELINE=1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target bench_micro sadp_route >/dev/null
+
+micro_json="$(mktemp)"
+flow_json="$(mktemp)"
+trap 'rm -f "$micro_json" "$flow_json"' EXIT
+
+"./$BUILD/bench/bench_micro" \
+  --benchmark_filter='BM_WouldCreateFvp$|BM_FvpScan/64$|BM_FusedViaCost$|BM_ViaPenalty$|BM_MazeCongested$|BM_RoutingFlow$' \
+  --benchmark_min_time=0.2 --benchmark_format=json >"$micro_json"
+
+"./$BUILD/apps/sadp_route" --benchmark ecc,efc,ctl --jobs 1 \
+  --json-report "$flow_json" >/dev/null
+
+REBASELINE="$REBASELINE" MICRO="$micro_json" FLOW="$flow_json" python3 - <<'EOF'
+import json, os
+
+out_path = "BENCH_router.json"
+
+with open(os.environ["MICRO"]) as f:
+    micro = json.load(f)
+with open(os.environ["FLOW"]) as f:
+    flow = json.load(f)
+
+current = {"micro_ns": {}, "route": {}}
+for b in micro["benchmarks"]:
+    # real_time is ns/op for all selected kernels except the ms-unit flow.
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6}[b["time_unit"]]
+    current["micro_ns"][b["name"]] = round(b["real_time"] * scale, 3)
+for row in flow["results"]:
+    current["route"][row["label"]] = {
+        "route_seconds": round(row["stages"]["route"], 4),
+        "maze_pops": row["maze_pops"],
+        "maze_searches": row["maze_searches"],
+        "fvp_cache_hits": row["fvp_cache_hits"],
+    }
+
+baseline = None
+if not int(os.environ["REBASELINE"]) and os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f).get("baseline")
+    except (json.JSONDecodeError, OSError):
+        baseline = None
+if baseline is None:
+    baseline = current
+else:
+    # Benches/circuits added after the baseline froze enter at 1.0x.
+    for name, ns in current["micro_ns"].items():
+        baseline.setdefault("micro_ns", {}).setdefault(name, ns)
+    for label, row in current["route"].items():
+        baseline.setdefault("route", {}).setdefault(label, dict(row))
+
+speedup = {"micro": {}, "route_seconds": {}, "pops_ratio": {}}
+for name, ns in current["micro_ns"].items():
+    base = baseline.get("micro_ns", {}).get(name)
+    if base and ns:
+        speedup["micro"][name] = round(base / ns, 3)
+for label, row in current["route"].items():
+    base = baseline.get("route", {}).get(label)
+    if not base:
+        continue
+    if row["route_seconds"]:
+        speedup["route_seconds"][label] = round(
+            base["route_seconds"] / row["route_seconds"], 3)
+    if row["maze_pops"]:
+        speedup["pops_ratio"][label] = round(
+            base["maze_pops"] / row["maze_pops"], 6)
+
+doc = {
+    "schema": "sadp.bench_router.v1",
+    "baseline": baseline,
+    "current": current,
+    "speedup_vs_baseline": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+for name, s in sorted(speedup["micro"].items()):
+    print(f"  micro   {name:<24} {s:>8.3f}x")
+for label, s in sorted(speedup["route_seconds"].items()):
+    print(f"  route   {label:<24} {s:>8.3f}x")
+EOF

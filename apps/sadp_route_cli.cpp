@@ -32,6 +32,7 @@
 #include "engine/flow_engine.hpp"
 #include "netlist/bench_gen.hpp"
 #include "netlist/io.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -63,6 +64,7 @@ struct CliOptions {
   bool degrade_dvi = false;     ///< ILP DVI timeout => heuristic fallback
   std::string journal_path;
   bool resume = false;
+  std::string trace_path;  ///< Chrome trace-event JSON output (empty = off)
 };
 
 std::optional<CliOptions> parse_cli(int argc, char** argv) {
@@ -101,6 +103,10 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
                     "FILE");
   parser.add_flag("--resume", &options.resume,
                   "skip jobs already recorded in the --journal file");
+  parser.add_string("--trace", &options.trace_path,
+                    "write a Chrome trace-event JSON of the run "
+                    "(chrome://tracing / Perfetto)",
+                    "FILE");
   parser.add_flag("--no-dvi", &no_dvi, "disable DVI consideration in routing");
   parser.add_flag("--no-tpl", &no_tpl, "disable via-layer TPL consideration");
   parser.add_string("--save-solution", &options.save_solution_path,
@@ -475,7 +481,22 @@ int main(int argc, char** argv) {
   // Work outside the engine's isolation boundary (benchmark generation for
   // --validate, solution loading, ...) can still throw; exit cleanly.
   try {
-    return dispatch(&*options);
+    if (options->trace_path.empty()) return dispatch(&*options);
+
+    obs::TraceSession session;
+    session.install();
+    const int code = dispatch(&*options);
+    // All engine workers are joined by now; merge and write the trace.
+    session.uninstall();
+    const util::Status written = session.write_json(options->trace_path);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   written.to_string().c_str());
+      return code == 0 ? 1 : code;
+    }
+    std::printf("wrote %s (%zu events)\n", options->trace_path.c_str(),
+                session.event_count());
+    return code;
   } catch (const sadp::FlowError& e) {
     std::fprintf(stderr, "error: %s\n", e.status().to_string().c_str());
     return 1;

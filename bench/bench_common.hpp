@@ -5,6 +5,7 @@
 //   --ckt NAME    restrict to one circuit (e.g. --ckt ecc)
 //   --ilp-limit S per-instance ILP time limit in seconds
 //   --jobs N      worker threads for the batch engine (0 = all cores)
+//   --trace FILE  write a Chrome trace-event JSON of the batch
 //
 // Unknown flags are hard errors (exit 2), via util::ArgParser.
 #pragma once
@@ -16,6 +17,7 @@
 
 #include "engine/flow_engine.hpp"
 #include "netlist/bench_gen.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +29,7 @@ struct BenchArgs {
   double ilp_limit = 15.0;
   int jobs = 0;  ///< engine workers; 0 = hardware_concurrency
   bool quiet = false;
+  std::string trace_path;  ///< Chrome trace-event JSON output (empty = off)
 };
 
 /// Register the shared flags on a parser (binaries may add their own).
@@ -39,6 +42,10 @@ inline void register_common_flags(util::ArgParser& parser, BenchArgs& args) {
   parser.add_int("--jobs", &args.jobs,
                  "worker threads for the batch engine (0 = all cores)", "N");
   parser.add_flag("--quiet", &args.quiet, "suppress per-job progress lines");
+  parser.add_string("--trace", &args.trace_path,
+                    "write a Chrome trace-event JSON of the batch "
+                    "(chrome://tracing / Perfetto)",
+                    "FILE");
 }
 
 /// Parse the shared flags; exits 2 on unknown flags or malformed values.
@@ -97,7 +104,20 @@ inline engine::BatchResult run_batch(const BenchArgs& args,
                                      const std::string& stem,
                                      std::vector<engine::FlowJob> jobs) {
   util::Timer wall;
+  obs::TraceSession trace;
+  if (!args.trace_path.empty()) trace.install();
   engine::BatchResult batch = make_engine(args).run(std::move(jobs));
+  if (!args.trace_path.empty()) {
+    trace.uninstall();  // engine workers are joined; safe to merge
+    const util::Status written = trace.write_json(args.trace_path);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   written.to_string().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "trace: %s (%zu events)\n", args.trace_path.c_str(),
+                 trace.event_count());
+  }
   const int workers = engine::FlowEngine::resolve_workers(args.jobs);
   std::string path;
   const util::Status written =

@@ -86,13 +86,21 @@ class CostMaps {
   void bump_metal_history(int layer, grid::Point p, double amount) {
     const std::size_t i = metal_slot(layer, p);
     hist_metal_[i] += amount;
+    hist_sum_ += amount;
     refresh_fused_metal(i);
   }
   void bump_via_history(int via_layer, grid::Point p, double amount) {
     const std::size_t i = via_slot(via_layer, p);
     hist_via_[i] += amount;
+    hist_sum_ += amount;
     refresh_fused_via(i);
   }
+
+  /// Running sum of all negotiation-history bumps (history never decays, so
+  /// this equals the sum over both history arrays).  O(1); sampled per R&R
+  /// iteration by the convergence telemetry — a still-climbing sum with a
+  /// flat violation count means the negotiation is thrashing, not settling.
+  [[nodiscard]] double history_cost_sum() const noexcept { return hist_sum_; }
 
   [[nodiscard]] const FlowOptions& options() const noexcept { return options_; }
 
@@ -158,6 +166,7 @@ class CostMaps {
   std::vector<double> tplc_via_;
   std::vector<double> hist_metal_;
   std::vector<double> hist_via_;
+  double hist_sum_ = 0.0;
   // Fused per-slot totals (history + penalties), the single loads of the
   // maze router's vertex-cost queries.
   std::vector<double> fused_metal_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/dvi_heuristic.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "via/coloring.hpp"
 #include "via/decomp_graph.hpp"
@@ -281,6 +282,7 @@ class ExactSolver {
 
 DviExactOutput solve_dvi_exact(const DviProblem& problem, const via::ViaDb& vias,
                                const DviExactParams& params) {
+  obs::Span span("dvi_exact", static_cast<std::int64_t>(problem.num_vias()));
   ExactSolver solver(problem, vias, params);
   return solver.run();
 }

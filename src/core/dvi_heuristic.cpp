@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "via/coloring.hpp"
 #include "via/decomp_graph.hpp"
@@ -242,6 +243,7 @@ DviHeuristicOutput run_dvi_heuristic(const DviProblem& problem,
                                      const via::ViaDb& vias,
                                      const DviParams& params,
                                      const DviHeuristicOptions& options) {
+  obs::Span span("dvi_heuristic", static_cast<std::int64_t>(problem.num_vias()));
   Heuristic heuristic(problem, vias, params, options);
   return heuristic.run();
 }

@@ -2,6 +2,7 @@
 
 #include "core/dvi_exact.hpp"
 #include "core/dvi_heuristic.hpp"
+#include "obs/trace.hpp"
 
 namespace sadp::core {
 
@@ -27,10 +28,13 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
       build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
   DviStageOutput out;
   switch (config.dvi_method) {
-    case DviMethod::kHeuristic:
+    case DviMethod::kHeuristic: {
+      obs::Span span("dvi:heuristic");
       out = run_dvi_heuristic_stage(problem, router, config);
       break;
+    }
     case DviMethod::kExact: {
+      obs::Span span("dvi:exact");
       DviExactParams params;
       params.time_limit_seconds = config.ilp_time_limit_seconds;
       params.cancel = config.options.cancel;
@@ -42,6 +46,7 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
       break;
     }
     case DviMethod::kIlp: {
+      obs::Span span("dvi:ilp");
       DviIlpParams params;
       params.bnb.time_limit_seconds = config.ilp_time_limit_seconds;
       params.bnb.cancel = config.options.cancel;
@@ -61,6 +66,7 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
       if (config.degrade_dvi_on_timeout &&
           (solver_failed || out.status != ilp::SolveStatus::kOptimal) &&
           !config.options.cancel.stop_requested()) {
+        obs::Span degrade_span("dvi:heuristic_fallback");
         const ilp::SolveStatus ilp_status = out.status;
         out = run_dvi_heuristic_stage(problem, router, config);
         out.status = solver_failed ? ilp::SolveStatus::kUnknown : ilp_status;
@@ -78,7 +84,10 @@ FlowRun run_flow(const netlist::PlacedNetlist& netlist, const FlowConfig& config
   run.result.benchmark = netlist.name;
 
   run.router = std::make_unique<SadpRouter>(netlist, config.options);
-  run.result.routing = run.router->run();
+  {
+    obs::Span span("route");
+    run.result.routing = run.router->run();
+  }
   if (cancel.stop_requested()) {
     // The router stopped cooperatively mid-search; the report describes the
     // partial state.  Skip the DVI stage entirely.
@@ -86,12 +95,16 @@ FlowRun run_flow(const netlist::PlacedNetlist& netlist, const FlowConfig& config
     return run;
   }
 
+  obs::Span build_span("build_dvi_problem");
   const DviProblem problem = build_dvi_problem(
       run.router->nets(), run.router->routing_grid(), run.router->turn_rules());
+  build_span.end();
   run.result.single_vias = problem.num_vias();
   run.result.dvi_candidates = problem.total_candidates();
 
+  obs::Span dvi_span("dvi");
   DviStageOutput dvi = run_post_routing_dvi(*run.router, config);
+  dvi_span.end();
   run.result.dvi = std::move(dvi.result);
   run.result.ilp_status = dvi.status;
   run.dvi_inserted_at = std::move(dvi.inserted_at);

@@ -207,6 +207,7 @@ bool MazeRouter::search(RoutedNet& net, const std::vector<MetalKey>& sources,
   }
 
   if (open_.capacity() == open_capacity_before) ++stats_.heap_reused;
+  pops_hist_.add(static_cast<std::uint64_t>(last_pops_));
 
   if (goal_state < 0) return false;
 

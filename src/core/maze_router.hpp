@@ -27,6 +27,7 @@
 #include "core/routed_net.hpp"
 #include "grid/routing_grid.hpp"
 #include "grid/turns.hpp"
+#include "util/stats.hpp"
 #include "via/via_db.hpp"
 
 namespace sadp::core {
@@ -71,6 +72,13 @@ class MazeRouter {
     std::uint64_t heap_reused = 0;  ///< searches needing no open-list regrowth
   };
   [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+
+  /// Distribution of per-search pop counts (one sample per search()); the
+  /// p50/p95/max land in RoutingReport/StageMetrics so a handful of
+  /// pathological searches is visible next to the cumulative totals.
+  [[nodiscard]] const util::Histogram& search_pops() const noexcept {
+    return pops_hist_;
+  }
 
  private:
   struct OpenEntry {
@@ -119,6 +127,7 @@ class MazeRouter {
   bool fvp_blocking_ = false;
   std::size_t last_pops_ = 0;
   SearchStats stats_;
+  util::Histogram pops_hist_;
 
   // Per-state scratch, epoch-stamped to avoid clearing between calls.
   std::vector<double> dist_;

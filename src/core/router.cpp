@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 #include "util/timer.hpp"
@@ -57,6 +58,9 @@ void SadpRouter::rip_net(grid::NetId id) {
 }
 
 bool SadpRouter::route_net(grid::NetId id) {
+  // Static name + the net id as the span id: the trace stays allocation-free
+  // per net, and flow_report can still rank the slowest nets.
+  obs::Span net_span("route_net", id);
   RoutedNet& net = nets_[static_cast<std::size_t>(id)];
   const auto& pins = netlist_.nets[static_cast<std::size_t>(id)].pins;
 
@@ -341,6 +345,8 @@ std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
     if (!violation_still_valid(v)) continue;
 
     ++iterations;
+    obs::Span iter_span(consider_fvps ? "tpl_rr_iter" : "congestion_rr_iter",
+                        static_cast<std::int64_t>(iterations));
     if (iterations % escalate_every == 0 &&
         present_factor_ < options_.negotiation.present_factor_max) {
       present_factor_ *= options_.negotiation.present_factor_growth;
@@ -371,12 +377,26 @@ std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
     // The ripped net may still leave the violation in place (another pair of
     // nets congests the vertex, or other vias keep the FVP): re-check.
     if (violation_still_valid(v)) push_violation(v);
+
+    // Convergence telemetry: one multi-series counter sample per iteration.
+    // Every series is an O(1) read with no side effects (fvp_count and
+    // congestion_count are incrementally maintained; history_cost_sum is a
+    // running total), so sampling cannot perturb the routing result.
+    if (obs::tracing_enabled()) {
+      obs::counter("rr",
+                   {{"fvps", static_cast<double>(vias_->fvp_count())},
+                    {"queue", static_cast<double>(heap_.size())},
+                    {"congestion", static_cast<double>(grid_->congestion_count())},
+                    {"maze_pops", static_cast<double>(maze_->stats().pops)},
+                    {"history_sum", costs_->history_cost_sum()}});
+    }
   }
   return iterations;
 }
 
 void SadpRouter::coloring_fix_loop(RoutingReport& report) {
   for (int round = 0; round < 6; ++round) {
+    obs::Span round_span("coloring_round", round);
     if (options_.cancel.stop_requested()) return;
     const via::DecompGraph graph = via::DecompGraph::build_all_layers(*vias_);
     const via::ColoringResult result = via::welsh_powell(graph);
@@ -422,21 +442,30 @@ RoutingReport SadpRouter::run() {
   util::Timer phase;
   RoutingReport report;
 
-  initial_routing();
+  {
+    obs::Span span("initial_routing");
+    initial_routing();
+  }
   report.initial_routing_seconds = phase.seconds();
 
   phase.reset();
-  report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/false);
+  {
+    obs::Span span("congestion_rr");
+    report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/false);
+  }
   report.congestion_rr_seconds = phase.seconds();
 
   if (options_.consider_tpl) {
     phase.reset();
+    obs::Span span("tpl_rr");
     report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/true);
+    span.end();
     report.tpl_rr_seconds = phase.seconds();
   }
 
   // Retry any nets that failed during the noisy phases.
   if (!options_.cancel.stop_requested()) {
+    obs::Span span("retry_unrouted");
     std::vector<grid::NetId> retry;
     std::swap(retry, unrouted_);
     for (const grid::NetId id : retry) {
@@ -450,7 +479,9 @@ RoutingReport SadpRouter::run() {
 
   if (options_.consider_tpl) {
     util::Timer coloring_phase;
+    obs::Span span("coloring_fix");
     coloring_fix_loop(report);
+    span.end();
     report.coloring_seconds = coloring_phase.seconds();
   }
 
@@ -462,6 +493,9 @@ RoutingReport SadpRouter::run() {
   report.maze_searches = maze_->stats().searches;
   report.heap_reuse = maze_->stats().heap_reused;
   report.fvp_cache_hits = vias_->fvp_cache_hits();
+  report.maze_pops_p50 = maze_->search_pops().percentile(0.50);
+  report.maze_pops_p95 = maze_->search_pops().percentile(0.95);
+  report.maze_pops_max = maze_->search_pops().max();
   report.unrouted_nets = static_cast<int>(unrouted_.size());
   report.routed_all = unrouted_.empty() && report.remaining_congestion == 0;
 

@@ -54,6 +54,14 @@ struct RoutingReport {
   std::uint64_t heap_reuse = 0;        ///< searches with no open-list regrowth
   std::uint64_t fvp_cache_hits = 0;    ///< FVP queries served by the cache
 
+  /// Per-search pop-count distribution (util::Histogram percentiles over
+  /// all maze searches of the flow).  Deterministic like the counters
+  /// above — the p95/max expose the pathological-search tail that the
+  /// cumulative maze_pops total averages away.
+  std::uint64_t maze_pops_p50 = 0;
+  std::uint64_t maze_pops_p95 = 0;
+  std::uint64_t maze_pops_max = 0;
+
   /// Per-phase wall-clock breakdown (Fig. 8 phases).
   double initial_routing_seconds = 0.0;
   double congestion_rr_seconds = 0.0;

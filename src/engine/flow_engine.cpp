@@ -8,7 +8,9 @@
 
 #include "engine/journal.hpp"
 #include "grid/colored_grid.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace sadp::engine {
@@ -33,6 +35,12 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
   outcome.style = job.config.options.style;
   outcome.dvi_method = job.config.dvi_method;
 
+  // Every log line of this job carries its label, and the trace gets one
+  // enclosing span per job (dynamic name — allocates only when tracing on).
+  const util::ScopedLogTag log_tag(outcome.label);
+  const obs::Span job_span(
+      obs::tracing_enabled() ? "job:" + outcome.label : std::string());
+
   // Per-job deadline composes with the batch token; with no deadline the
   // job still inherits batch cancellation.
   const util::CancelToken token =
@@ -48,6 +56,7 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
     if (job.netlist.has_value()) {
       instance = &*job.netlist;
     } else {
+      obs::Span span("generate");
       local = netlist::generate(job.spec);  // throws FlowError on bad specs
       instance = &local;
     }
@@ -82,6 +91,9 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
     outcome.metrics.maze_searches = routing.maze_searches;
     outcome.metrics.heap_reuse = routing.heap_reuse;
     outcome.metrics.fvp_cache_hits = routing.fvp_cache_hits;
+    outcome.metrics.maze_pops_p50 = routing.maze_pops_p50;
+    outcome.metrics.maze_pops_p95 = routing.maze_pops_p95;
+    outcome.metrics.maze_pops_max = routing.maze_pops_max;
   } catch (const FlowError& e) {
     outcome.status = JobStatus::kFailed;
     outcome.error = e.status();
@@ -209,7 +221,14 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&drain, w] {
+        if (obs::tracing_enabled()) {
+          obs::name_this_thread("worker " + std::to_string(w));
+        }
+        drain();
+      });
+    }
     for (auto& thread : pool) thread.join();
   }
 
@@ -257,6 +276,9 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("maze_searches").value(outcome.metrics.maze_searches);
   json.key("heap_reuse").value(outcome.metrics.heap_reuse);
   json.key("fvp_cache_hits").value(outcome.metrics.fvp_cache_hits);
+  json.key("maze_pops_p50").value(outcome.metrics.maze_pops_p50);
+  json.key("maze_pops_p95").value(outcome.metrics.maze_pops_p95);
+  json.key("maze_pops_max").value(outcome.metrics.maze_pops_max);
   json.key("total_seconds").value(outcome.metrics.total_seconds);
   json.key("stages").begin_object();
   json.key("generate").value(outcome.metrics.generate_seconds);
@@ -292,10 +314,11 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
       "label,arm,status,error,benchmark,style,dvi_method,routed_all,wirelength,"
       "via_count,single_vias,"
       "dead_vias,uncolorable,rr_iterations,queue_peak,maze_pops,"
-      "maze_relaxations,maze_searches,heap_reuse,fvp_cache_hits,total_seconds,"
+      "maze_relaxations,maze_searches,heap_reuse,fvp_cache_hits,"
+      "maze_pops_p50,maze_pops_p95,maze_pops_max,total_seconds,"
       "route_seconds,initial_routing_seconds,congestion_rr_seconds,"
       "tpl_rr_seconds,coloring_seconds,dvi_seconds\n";
-  char buffer[384];
+  char buffer[512];
   for (const auto& outcome : outcomes) {
     const core::ExperimentResult& r = outcome.result;
     const StageMetrics& m = outcome.metrics;
@@ -310,6 +333,7 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
            core::dvi_method_name(outcome.dvi_method) + ',';
     std::snprintf(buffer, sizeof buffer,
                   "%d,%lld,%d,%d,%d,%d,%zu,%zu,%llu,%llu,%llu,%llu,%llu,"
+                  "%llu,%llu,%llu,"
                   "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
                   r.routing.routed_all ? 1 : 0, r.routing.wirelength,
                   r.routing.via_count, r.single_vias, r.dvi.dead_vias,
@@ -319,6 +343,9 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
                   static_cast<unsigned long long>(m.maze_searches),
                   static_cast<unsigned long long>(m.heap_reuse),
                   static_cast<unsigned long long>(m.fvp_cache_hits),
+                  static_cast<unsigned long long>(m.maze_pops_p50),
+                  static_cast<unsigned long long>(m.maze_pops_p95),
+                  static_cast<unsigned long long>(m.maze_pops_max),
                   m.total_seconds, m.route_seconds, m.initial_routing_seconds,
                   m.congestion_rr_seconds, m.tpl_rr_seconds, m.coloring_seconds,
                   m.dvi_seconds);

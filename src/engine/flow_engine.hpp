@@ -66,6 +66,11 @@ struct StageMetrics {
   std::uint64_t maze_searches = 0;
   std::uint64_t heap_reuse = 0;
   std::uint64_t fvp_cache_hits = 0;
+  // Per-search pop-count distribution (util::Histogram log2-bin quantiles;
+  // deterministic, so equivalence tests can fingerprint them too).
+  std::uint64_t maze_pops_p50 = 0;
+  std::uint64_t maze_pops_p95 = 0;
+  std::uint64_t maze_pops_max = 0;
 };
 
 /// One unit of work: route + post-routing DVI on one instance.

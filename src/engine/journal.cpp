@@ -64,6 +64,13 @@ double get_number(const util::JsonValue& doc, const char* key, bool& bad) {
   return v->number_value;
 }
 
+/// Optional numeric field: absent (journals written before the field
+/// existed) reads as 0 without poisoning the record.
+double get_number_or_zero(const util::JsonValue& doc, const char* key) {
+  const util::JsonValue* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : 0.0;
+}
+
 bool get_bool(const util::JsonValue& doc, const char* key, bool& bad) {
   const util::JsonValue* v = member(doc, key, bad);
   if (v == nullptr || !v->is_bool()) {
@@ -108,6 +115,9 @@ std::string journal_line(const JobOutcome& outcome) {
   json.key("maze_searches").value(r.routing.maze_searches);
   json.key("heap_reuse").value(r.routing.heap_reuse);
   json.key("fvp_cache_hits").value(r.routing.fvp_cache_hits);
+  json.key("maze_pops_p50").value(r.routing.maze_pops_p50);
+  json.key("maze_pops_p95").value(r.routing.maze_pops_p95);
+  json.key("maze_pops_max").value(r.routing.maze_pops_max);
   json.key("remaining_congestion").value(r.routing.remaining_congestion);
   json.key("remaining_fvps").value(r.routing.remaining_fvps);
   json.key("uncolorable_vias").value(r.routing.uncolorable_vias);
@@ -182,6 +192,12 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
       static_cast<std::uint64_t>(get_number(*doc, "heap_reuse", bad));
   r.routing.fvp_cache_hits =
       static_cast<std::uint64_t>(get_number(*doc, "fvp_cache_hits", bad));
+  r.routing.maze_pops_p50 =
+      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_p50"));
+  r.routing.maze_pops_p95 =
+      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_p95"));
+  r.routing.maze_pops_max =
+      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_max"));
   r.routing.remaining_congestion =
       static_cast<std::size_t>(get_number(*doc, "remaining_congestion", bad));
   r.routing.remaining_fvps =
@@ -218,6 +234,9 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
   outcome.metrics.maze_searches = r.routing.maze_searches;
   outcome.metrics.heap_reuse = r.routing.heap_reuse;
   outcome.metrics.fvp_cache_hits = r.routing.fvp_cache_hits;
+  outcome.metrics.maze_pops_p50 = r.routing.maze_pops_p50;
+  outcome.metrics.maze_pops_p95 = r.routing.maze_pops_p95;
+  outcome.metrics.maze_pops_max = r.routing.maze_pops_max;
 
   if (bad) {
     return fail("malformed journal record for label '" + outcome.label + "'");

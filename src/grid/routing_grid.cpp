@@ -24,6 +24,7 @@ void RoutingGrid::add_metal(int layer, Point p, NetId net, ArmMask arms) {
   }
   occ.push_back(MetalOcc{net, arms});
   ++metal_count_[s];
+  if (layer >= 2 && metal_count_[s] == 2) ++congested_;
 }
 
 void RoutingGrid::remove_metal(int layer, Point p, NetId net) {
@@ -31,7 +32,9 @@ void RoutingGrid::remove_metal(int layer, Point p, NetId net) {
   auto& occ = metal_[s];
   const auto tail = std::remove_if(occ.begin(), occ.end(),
                                    [net](const MetalOcc& e) { return e.net == net; });
+  const bool was_congested = metal_count_[s] > 1;
   metal_count_[s] -= static_cast<std::uint16_t>(occ.end() - tail);
+  if (layer >= 2 && was_congested && metal_count_[s] <= 1) --congested_;
   occ.erase(tail, occ.end());
 }
 
@@ -71,6 +74,7 @@ void RoutingGrid::add_via(int via_layer, Point p, NetId net) {
   if (std::find(occ.begin(), occ.end(), net) == occ.end()) {
     occ.push_back(net);
     ++via_count_[s];
+    if (via_count_[s] == 2) ++congested_;
   }
 }
 
@@ -78,7 +82,9 @@ void RoutingGrid::remove_via(int via_layer, Point p, NetId net) {
   const std::size_t s = via_slot(via_layer, p);
   auto& occ = vias_[s];
   const auto tail = std::remove(occ.begin(), occ.end(), net);
+  const bool was_congested = via_count_[s] > 1;
   via_count_[s] -= static_cast<std::uint16_t>(occ.end() - tail);
+  if (was_congested && via_count_[s] <= 1) --congested_;
   occ.erase(tail, occ.end());
 }
 
@@ -102,10 +108,6 @@ std::vector<RoutingGrid::CongestedVertex> RoutingGrid::collect_congestion() cons
     }
   }
   return out;
-}
-
-std::size_t RoutingGrid::congestion_count() const {
-  return collect_congestion().size();
 }
 
 }  // namespace sadp::grid

@@ -126,8 +126,12 @@ class RoutingGrid {
   };
   [[nodiscard]] std::vector<CongestedVertex> collect_congestion() const;
 
-  /// Total number of congested vertices.
-  [[nodiscard]] std::size_t congestion_count() const;
+  /// Total number of congested vertices (routable metal layers + via
+  /// layers), maintained incrementally by add_*/remove_* — O(1), cheap
+  /// enough to sample per R&R iteration for the convergence telemetry.
+  [[nodiscard]] std::size_t congestion_count() const noexcept {
+    return congested_;
+  }
 
  private:
   [[nodiscard]] std::size_t metal_slot(int layer, Point p) const {
@@ -153,6 +157,9 @@ class RoutingGrid {
   // the occupant spans.
   std::vector<std::uint16_t> metal_count_;
   std::vector<std::uint16_t> via_count_;
+  // Congested vertices (count > 1) over routable metal + via slots; kept in
+  // lockstep with the count arrays so congestion_count() is a member read.
+  std::size_t congested_ = 0;
 };
 
 }  // namespace sadp::grid

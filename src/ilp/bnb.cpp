@@ -5,6 +5,7 @@
 
 #include "ilp/components.hpp"
 #include "ilp/simplex.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace sadp::ilp {
@@ -459,13 +460,16 @@ class ComponentSolver {
 }  // namespace
 
 Solution solve(const Model& model, const BnbParams& params) {
+  obs::Span solve_span("ilp_bnb", model.num_vars());
   util::ThreadCpuTimer clock;
   Solution total;
   total.status = SolveStatus::kOptimal;
   total.value.assign(static_cast<std::size_t>(model.num_vars()), 0);
   total.objective = 0.0;
 
+  std::int64_t comp_index = 0;
   for (const auto& comp : split_components(model)) {
+    obs::Span comp_span("ilp_bnb_component", comp_index++);
     ComponentSolver solver(comp.model, params, clock);
     if (params.warm_start != nullptr &&
         static_cast<int>(params.warm_start->size()) == model.num_vars()) {

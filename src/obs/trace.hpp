@@ -1,0 +1,205 @@
+// Span tracing for the routing flow.
+//
+// A TraceSession collects timed spans and counter samples from every thread
+// of a flow run and serializes them as Chrome trace-event JSON (schema
+// sadp.flow_trace.v1) — open the file in chrome://tracing or
+// https://ui.perfetto.dev to see per-job swimlanes, nested route / R&R /
+// solver spans, and counter tracks of the convergence state.
+//
+// Instrumentation is compiled in permanently and costs one relaxed atomic
+// load per span site while no session is installed: the Span constructor
+// checks obs::tracing_enabled() first and leaves the object inert (no
+// allocation, no clock read, no buffer access) when tracing is off.  The
+// sites therefore live directly in the router and the solvers, outside
+// their inner loops, without a build flag.
+//
+// Tracing never perturbs results.  Span and counter recording only reads
+// flow state, never writes it, so the routed geometry, DVI choices and all
+// deterministic perf counters are bit-identical with tracing on or off
+// (tests/test_obs.cpp proves it row by row).
+//
+// Threading model.  Each thread appends to its own buffer (registered with
+// the installed session on first use, keyed by a global installation
+// generation so stale thread-local caches are never reused across
+// sessions); no lock is taken on the recording path.  to_json/write_json
+// merge the buffers under the session mutex and must only run after the
+// traced threads have been joined (the FlowEngine joins its pool before
+// the caller writes the trace).  The session must outlive every Span
+// started while it was installed.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sadp::obs {
+
+inline constexpr const char* kTraceSchema = "sadp.flow_trace.v1";
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// One recorded event.  Names are borrowed pointers: string literals or
+/// strings interned in the owning thread's buffer.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t ts_us = 0;   ///< steady-clock microseconds (absolute)
+  std::int64_t dur_us = 0;  ///< complete events only
+  std::int64_t id = -1;     ///< optional integer payload; emitted as args.id
+  char phase = 'X';         ///< 'X' complete, 'C' counter, 'I' instant
+  std::uint8_t num_values = 0;
+  struct KV {
+    const char* key;
+    double value;
+  };
+  std::array<KV, 6> values{};
+};
+
+/// Per-thread event storage.  Appended only by the owning thread; drained
+/// by TraceSession::to_json after that thread is done (joined or idle).
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(int tid) noexcept : tid_(tid) {}
+
+  void append(const TraceEvent& event) { events_.push_back(event); }
+
+  /// Copy a dynamic span name into buffer-owned stable storage.
+  [[nodiscard]] const char* intern(const std::string& name) {
+    return names_.emplace_back(name).c_str();
+  }
+
+  [[nodiscard]] int tid() const noexcept { return tid_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  void set_thread_name(std::string name) { thread_name_ = std::move(name); }
+  [[nodiscard]] const std::string& thread_name() const noexcept {
+    return thread_name_;
+  }
+
+ private:
+  int tid_;
+  std::vector<TraceEvent> events_;
+  std::deque<std::string> names_;  ///< deque: c_str() stays valid on growth
+  std::string thread_name_;
+};
+
+[[nodiscard]] std::int64_t now_us() noexcept;
+
+}  // namespace detail
+
+/// The one relaxed load every span site pays when tracing is off.
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Make this the process-wide recording session (replacing any other) and
+  /// enable the span sites.  Timestamps are reported relative to this call.
+  void install();
+
+  /// Stop recording into this session.  Already-buffered events remain
+  /// available to to_json.  Idempotent; also called by the destructor.
+  void uninstall();
+
+  [[nodiscard]] bool installed() const noexcept { return installed_; }
+
+  /// Merge all thread buffers into one Chrome trace-event JSON document.
+  /// Only call after the traced threads are joined or quiescent.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json to a file (single write + flush).
+  [[nodiscard]] util::Status write_json(const std::string& path) const;
+
+  /// Total recorded events across all thread buffers.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// The calling thread's buffer of the installed session, registering it
+  /// on first use; nullptr when no session is installed.
+  [[nodiscard]] static detail::ThreadBuffer* thread_buffer();
+
+ private:
+  [[nodiscard]] detail::ThreadBuffer* register_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+  std::int64_t start_us_ = 0;
+  bool installed_ = false;
+};
+
+/// RAII span: records one complete ('X') event over its lifetime.  Balanced
+/// by construction — early returns, exceptions and cancellation paths all
+/// run the destructor.  Inert (and allocation-free) when tracing is off.
+class Span {
+ public:
+  explicit Span(const char* name, std::int64_t id = -1) noexcept {
+    if (!tracing_enabled()) return;
+    begin(name, id);
+  }
+  /// Dynamic-name span (e.g. one per job); the name is copied into the
+  /// thread buffer, so this allocates — only when tracing is on.
+  explicit Span(const std::string& name, std::int64_t id = -1) {
+    if (!tracing_enabled()) return;
+    begin_interned(name, id);
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return buffer_ != nullptr; }
+
+  /// Attach/replace the integer payload (args.id) before the span closes.
+  void set_id(std::int64_t id) noexcept { id_ = id; }
+
+  /// Close the span now instead of at scope exit (idempotent; the
+  /// destructor then does nothing).
+  void end() noexcept {
+    if (buffer_ == nullptr) return;
+    record_end();
+    buffer_ = nullptr;
+  }
+
+ private:
+  void begin(const char* name, std::int64_t id) noexcept;
+  void begin_interned(const std::string& name, std::int64_t id);
+  void record_end() noexcept;
+
+  detail::ThreadBuffer* buffer_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_us_ = 0;
+  std::int64_t id_ = -1;
+};
+
+struct CounterValue {
+  const char* key;
+  double value;
+};
+
+/// Record one sample of a counter track (up to 6 named series per track).
+/// Callers should guard with tracing_enabled() so the sampled values are
+/// not even computed when tracing is off.
+void counter(const char* track, std::initializer_list<CounterValue> values);
+
+/// Record an instant event (a vertical marker in the trace view).
+void instant(const char* name, std::int64_t id = -1);
+
+/// Name the calling thread in the trace view (e.g. "worker 3").
+void name_this_thread(const std::string& name);
+
+}  // namespace sadp::obs

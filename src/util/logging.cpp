@@ -2,11 +2,18 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstring>
+#include <vector>
 
 namespace sadp::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::string& tag_slot() noexcept {
+  thread_local std::string tag;
+  return tag;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -17,16 +24,55 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_thread_log_tag(std::string tag) { tag_slot() = std::move(tag); }
+
+const std::string& thread_log_tag() noexcept { return tag_slot(); }
+
+ScopedLogTag::ScopedLogTag(std::string tag) : previous_(tag_slot()) {
+  tag_slot() = std::move(tag);
+}
+
+ScopedLogTag::~ScopedLogTag() { tag_slot() = std::move(previous_); }
+
 namespace detail {
 
 void vlog(LogLevel level, const char* tag, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] ", tag);
+
+  // Assemble the whole line first so a single fwrite emits it: stdio only
+  // guarantees atomicity per call, and per-fragment fprintf interleaved
+  // across the engine's workers.
+  char prefix[160];
+  const std::string& thread_tag = tag_slot();
+  int prefix_len =
+      thread_tag.empty()
+          ? std::snprintf(prefix, sizeof prefix, "[%s] ", tag)
+          : std::snprintf(prefix, sizeof prefix, "[%s] (%s) ", tag,
+                          thread_tag.c_str());
+  if (prefix_len < 0) prefix_len = 0;
+  if (prefix_len >= static_cast<int>(sizeof prefix)) {
+    prefix_len = static_cast<int>(sizeof prefix) - 1;
+  }
+
   std::va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int body_len = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body_len < 0) {
+    va_end(args_copy);
+    return;
+  }
+
+  std::vector<char> line(static_cast<std::size_t>(prefix_len) +
+                         static_cast<std::size_t>(body_len) + 2);
+  std::memcpy(line.data(), prefix, static_cast<std::size_t>(prefix_len));
+  std::vsnprintf(line.data() + prefix_len,
+                 static_cast<std::size_t>(body_len) + 1, fmt, args_copy);
+  va_end(args_copy);
+  line[line.size() - 1] = '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

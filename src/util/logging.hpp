@@ -1,6 +1,11 @@
 // Minimal leveled logging.  The router is a batch tool, so logging goes to
-// stderr and is filtered by a process-wide level; no timestamps, no locking
-// beyond what stdio provides (the flow is single-threaded).
+// stderr and is filtered by a process-wide level.  The flow engine runs
+// jobs on a thread pool, so every message is formatted into a buffer first
+// and written with a single fwrite — concurrent --jobs N workers produce
+// interleaving-free whole lines — and each line carries the calling
+// thread's tag (set per job by the engine) so output can be attributed:
+//
+//   [info] (ecc_s/tpl) retrying 3 unrouted nets
 #pragma once
 
 #include <cstdio>
@@ -13,6 +18,25 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilen
 /// Process-wide minimum level; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Set the calling thread's log tag, prefixed to its messages (empty = no
+/// prefix).  The FlowEngine tags each worker with the label of the job it
+/// is running.
+void set_thread_log_tag(std::string tag);
+[[nodiscard]] const std::string& thread_log_tag() noexcept;
+
+/// RAII: set the calling thread's log tag, restore the previous one on
+/// scope exit (jobs nested in a worker loop stack cleanly).
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(std::string tag);
+  ~ScopedLogTag();
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 namespace detail {
 void vlog(LogLevel level, const char* tag, const char* fmt, ...)

@@ -1,9 +1,15 @@
-// Small descriptive-statistics accumulator used by the benchmark harness to
-// build the "Ave." and "Nor." rows of the paper-style tables.
+// Small descriptive-statistics helpers: the Accumulator behind the "Ave."
+// and "Nor." rows of the paper-style tables, and a fixed-bin log-scaled
+// Histogram for heavy-tailed per-search effort distributions (maze-router
+// pop counts span five orders of magnitude between a trivial connection
+// and a congested detour, so mean alone hides the tail).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace sadp::util {
@@ -32,6 +38,82 @@ class Accumulator {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed log2-scaled histogram of non-negative integer samples.
+///
+/// Bin 0 holds the value 0; bin i (i >= 1) holds the values of bit width i,
+/// i.e. [2^(i-1), 2^i - 1].  The bin layout is a compile-time constant, so
+/// two histograms merge by adding counts — each engine worker can fill its
+/// own and the batch can still report one distribution.  Quantiles are
+/// approximate (the upper edge of the bin containing the target rank,
+/// clamped to the exact tracked maximum) but deterministic: the same
+/// samples produce the same p50/p95 on every run, which keeps the derived
+/// StageMetrics fields usable as cross-run fingerprints.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBins = 65;  ///< value 0 + bit widths 1..64
+
+  void add(std::uint64_t value) noexcept {
+    ++bins_[bin_index(value)];
+    ++count_;
+    if (value > max_) max_ = value;
+  }
+
+  /// Add all of `other`'s samples (bin-exact; max is the max of both).
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kNumBins; ++i) bins_[i] += other.bins_[i];
+    count_ += other.count_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const noexcept {
+    return bins_[bin];
+  }
+
+  /// Smallest bin upper edge below which at least `q` (0..1) of the samples
+  /// fall, clamped to the exact maximum; 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double want = q * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+    if (rank < 1) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t bin = 0; bin < kNumBins; ++bin) {
+      cumulative += bins_[bin];
+      if (cumulative >= rank) {
+        const std::uint64_t edge = bin_upper(bin);
+        return edge < max_ ? edge : max_;
+      }
+    }
+    return max_;
+  }
+
+  /// The bin a value lands in: 0 for 0, otherwise its bit width.
+  [[nodiscard]] static constexpr std::size_t bin_index(
+      std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive value range of a bin.
+  [[nodiscard]] static constexpr std::uint64_t bin_lower(
+      std::size_t bin) noexcept {
+    return bin == 0 ? 0 : std::uint64_t{1} << (bin - 1);
+  }
+  [[nodiscard]] static constexpr std::uint64_t bin_upper(
+      std::size_t bin) noexcept {
+    if (bin == 0) return 0;
+    if (bin >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bin) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBins> bins_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace sadp::util

@@ -1,0 +1,285 @@
+// obs::TraceSession / obs::Span: balance under exceptions, JSON validity,
+// per-thread timestamp ordering, and the no-perturbation guarantee (flow
+// rows bit-identical with tracing on, off, and across worker counts).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/flow_engine.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace sadp;
+
+std::string string_member(const util::JsonValue& obj, const char* key) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value : std::string();
+}
+
+double number_member(const util::JsonValue& obj, const char* key) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : -1.0;
+}
+
+TEST(Trace, DisabledTracingLeavesSpansInert) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const obs::Span span("never_recorded", 7);
+  EXPECT_FALSE(span.active());
+  // No session: counter/instant are no-ops rather than crashes.
+  obs::counter("rr", {{"fvps", 1.0}});
+  obs::instant("marker");
+}
+
+TEST(Trace, SpansBalanceUnderExceptionsAndEarlyExit) {
+  obs::TraceSession session;
+  session.install();
+  EXPECT_TRUE(obs::tracing_enabled());
+
+  {
+    obs::Span outer("outer");
+    const obs::Span inner("inner");
+    EXPECT_TRUE(inner.active());
+    outer.end();  // explicit early close...
+    outer.end();  // ...is idempotent
+  }
+  try {
+    const obs::Span doomed("doomed");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  for (int i = 0; i < 3; ++i) {
+    const obs::Span loop("loop", i);
+    if (i == 1) continue;  // early-exit path (cooperative cancellation shape)
+  }
+
+  session.uninstall();
+  EXPECT_FALSE(obs::tracing_enabled());
+  // Every begun span produced exactly one complete event: 2 + 1 + 3.
+  EXPECT_EQ(session.event_count(), 6u);
+
+  // Uninstalled session: new spans are inert again, the buffers keep the
+  // recorded events.
+  { const obs::Span late("late"); EXPECT_FALSE(late.active()); }
+  EXPECT_EQ(session.event_count(), 6u);
+}
+
+TEST(Trace, JsonParsesWithExpectedStructure) {
+  obs::TraceSession session;
+  session.install();
+  obs::name_this_thread("main");
+  {
+    const obs::Span span("phase_a", 42);
+    const obs::Span dynamic(std::string("job:test"));
+  }
+  obs::counter("rr", {{"fvps", 3.0}, {"queue", 17.0}});
+  obs::instant("milestone", 5);
+  session.uninstall();
+
+  std::string error;
+  const auto doc = util::parse_json(session.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(string_member(*doc, "schema"), obs::kTraceSchema);
+
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_process_meta = false, saw_thread_meta = false;
+  bool saw_phase_a = false, saw_dynamic = false, saw_counter = false,
+       saw_instant = false;
+  for (const util::JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const std::string name = string_member(event, "name");
+    const std::string phase = string_member(event, "ph");
+    if (phase == "M" && name == "process_name") saw_process_meta = true;
+    if (phase == "M" && name == "thread_name") {
+      saw_thread_meta = true;
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(string_member(*args, "name"), "main");
+    }
+    if (phase == "X" && name == "phase_a") {
+      saw_phase_a = true;
+      EXPECT_GE(number_member(event, "ts"), 0.0);
+      EXPECT_GE(number_member(event, "dur"), 0.0);
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(number_member(*args, "id"), 42.0);
+    }
+    if (phase == "X" && name == "job:test") saw_dynamic = true;
+    if (phase == "C" && name == "rr") {
+      saw_counter = true;
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(number_member(*args, "fvps"), 3.0);
+      EXPECT_EQ(number_member(*args, "queue"), 17.0);
+    }
+    if (phase == "I" && name == "milestone") saw_instant = true;
+  }
+  EXPECT_TRUE(saw_process_meta);
+  EXPECT_TRUE(saw_thread_meta);
+  EXPECT_TRUE(saw_phase_a);
+  EXPECT_TRUE(saw_dynamic);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(Trace, PerThreadTimestampsAreMonotonic) {
+  obs::TraceSession session;
+  session.install();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      obs::name_this_thread("worker " + std::to_string(t));
+      for (int i = 0; i < 50; ++i) {
+        const obs::Span span("tick", i);
+        obs::counter("load", {{"i", static_cast<double>(i)}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  session.uninstall();
+
+  std::string error;
+  const auto doc = util::parse_json(session.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Events are appended per thread in completion order, so within one tid
+  // the end time of 'X' events and the ts of 'C' events never go backwards.
+  std::map<int, double> last_end, last_counter;
+  std::map<int, int> per_tid_events;
+  for (const util::JsonValue& event : events->array) {
+    const std::string phase = string_member(event, "ph");
+    const int tid = static_cast<int>(number_member(event, "tid"));
+    if (phase == "X") {
+      const double end = number_member(event, "ts") + number_member(event, "dur");
+      EXPECT_GE(end, last_end[tid]);
+      last_end[tid] = end;
+      ++per_tid_events[tid];
+    } else if (phase == "C") {
+      const double ts = number_member(event, "ts");
+      EXPECT_GE(ts, last_counter[tid]);
+      last_counter[tid] = ts;
+      ++per_tid_events[tid];
+    }
+  }
+  ASSERT_EQ(per_tid_events.size(), 4u);  // one buffer per thread
+  for (const auto& [tid, count] : per_tid_events) EXPECT_EQ(count, 100) << tid;
+}
+
+// --- No-perturbation guarantee ----------------------------------------------
+
+std::vector<engine::FlowJob> trace_job_list() {
+  std::vector<engine::FlowJob> jobs;
+  const struct {
+    const char* name;
+    int side;
+    int nets;
+  } instances[2] = {{"obs_a", 40, 22}, {"obs_b", 44, 26}};
+  for (const auto& inst : instances) {
+    engine::FlowJob job;
+    job.label = inst.name;
+    job.spec.name = inst.name;
+    job.spec.width = inst.side;
+    job.spec.height = inst.side;
+    job.spec.num_nets = inst.nets;
+    job.config.options.consider_dvi = true;
+    job.config.options.consider_tpl = true;
+    job.config.dvi_method = core::DviMethod::kHeuristic;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Everything deterministic about a row, including the perf counters and the
+/// maze-pop percentiles; timing fields are deliberately excluded.
+std::string row_fingerprint(const engine::JobOutcome& outcome) {
+  const core::ExperimentResult& r = outcome.result;
+  std::string out = outcome.label;
+  out += '|' + std::to_string(r.routing.routed_all);
+  out += '|' + std::to_string(r.routing.wirelength);
+  out += '|' + std::to_string(r.routing.via_count);
+  out += '|' + std::to_string(r.routing.rr_iterations);
+  out += '|' + std::to_string(r.routing.queue_peak);
+  out += '|' + std::to_string(r.routing.remaining_congestion);
+  out += '|' + std::to_string(r.routing.remaining_fvps);
+  out += '|' + std::to_string(r.routing.maze_pops);
+  out += '|' + std::to_string(r.routing.maze_relaxations);
+  out += '|' + std::to_string(r.routing.maze_searches);
+  out += '|' + std::to_string(r.routing.heap_reuse);
+  out += '|' + std::to_string(r.routing.fvp_cache_hits);
+  out += '|' + std::to_string(r.routing.maze_pops_p50);
+  out += '|' + std::to_string(r.routing.maze_pops_p95);
+  out += '|' + std::to_string(r.routing.maze_pops_max);
+  out += '|' + std::to_string(r.dvi.dead_vias);
+  out += '|' + std::to_string(r.dvi.uncolorable);
+  for (const int dvic : r.dvi.inserted) out += ',' + std::to_string(dvic);
+  return out;
+}
+
+TEST(Trace, FlowRowsBitIdenticalWithTracingOnOffAndParallel) {
+  // Baseline: tracing off.
+  engine::EngineOptions serial;
+  serial.num_workers = 1;
+  const auto baseline = engine::FlowEngine(serial).run(trace_job_list()).outcomes;
+
+  // Tracing on, serial.
+  obs::TraceSession session;
+  session.install();
+  const auto traced = engine::FlowEngine(serial).run(trace_job_list()).outcomes;
+  session.uninstall();
+  EXPECT_GT(session.event_count(), 0u);
+
+  // Tracing on, 4 workers.
+  obs::TraceSession parallel_session;
+  parallel_session.install();
+  engine::EngineOptions parallel;
+  parallel.num_workers = 4;
+  const auto traced_parallel =
+      engine::FlowEngine(parallel).run(trace_job_list()).outcomes;
+  parallel_session.uninstall();
+
+  ASSERT_EQ(baseline.size(), traced.size());
+  ASSERT_EQ(baseline.size(), traced_parallel.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(row_fingerprint(baseline[i]), row_fingerprint(traced[i]))
+        << baseline[i].label;
+    EXPECT_EQ(row_fingerprint(baseline[i]), row_fingerprint(traced_parallel[i]))
+        << baseline[i].label;
+  }
+
+  // The traced run produced the expected span structure.
+  std::string error;
+  const auto doc = util::parse_json(session.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_job = false, saw_route = false, saw_initial = false,
+       saw_route_net = false, saw_rr_counter = false, saw_dvi = false;
+  for (const util::JsonValue& event : events->array) {
+    const std::string name = string_member(event, "name");
+    if (name.rfind("job:", 0) == 0) saw_job = true;
+    if (name == "route") saw_route = true;
+    if (name == "initial_routing") saw_initial = true;
+    if (name == "route_net") saw_route_net = true;
+    if (name == "rr" && string_member(event, "ph") == "C") saw_rr_counter = true;
+    if (name == "dvi") saw_dvi = true;
+  }
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_route);
+  EXPECT_TRUE(saw_initial);
+  EXPECT_TRUE(saw_route_net);
+  EXPECT_TRUE(saw_rr_counter);
+  EXPECT_TRUE(saw_dvi);
+}
+
+}  // namespace

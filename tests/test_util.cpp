@@ -79,6 +79,78 @@ TEST(Stats, EmptyAccumulatorIsSafe) {
   EXPECT_EQ(acc.variance(), 0.0);
 }
 
+TEST(Stats, HistogramBinEdges) {
+  // Bin 0 holds only the value 0; bin i holds the values of bit width i.
+  EXPECT_EQ(Histogram::bin_index(0), 0u);
+  EXPECT_EQ(Histogram::bin_index(1), 1u);
+  EXPECT_EQ(Histogram::bin_index(2), 2u);
+  EXPECT_EQ(Histogram::bin_index(3), 2u);
+  EXPECT_EQ(Histogram::bin_index(4), 3u);
+  EXPECT_EQ(Histogram::bin_index(1023), 10u);
+  EXPECT_EQ(Histogram::bin_index(1024), 11u);
+  EXPECT_EQ(Histogram::bin_index(~std::uint64_t{0}), 64u);
+
+  for (std::size_t bin = 1; bin < Histogram::kNumBins; ++bin) {
+    // Every bin's own edges land inside it, and the edges are contiguous.
+    EXPECT_EQ(Histogram::bin_index(Histogram::bin_lower(bin)), bin) << bin;
+    EXPECT_EQ(Histogram::bin_index(Histogram::bin_upper(bin)), bin) << bin;
+    EXPECT_EQ(Histogram::bin_lower(bin), Histogram::bin_upper(bin - 1) + 1)
+        << bin;
+  }
+  EXPECT_EQ(Histogram::bin_lower(0), 0u);
+  EXPECT_EQ(Histogram::bin_upper(0), 0u);
+  EXPECT_EQ(Histogram::bin_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Stats, HistogramCountsAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty is safe
+
+  // 90 samples of 3 and 10 samples of 1000: p50 must sit in bin 2, p95 and
+  // the max in the 1000s bin (clamped to the exact maximum).
+  for (int i = 0; i < 90; ++i) h.add(3);
+  for (int i = 0; i < 10; ++i) h.add(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bin_count(Histogram::bin_index(3)), 90u);
+  EXPECT_EQ(h.bin_count(Histogram::bin_index(1000)), 10u);
+  EXPECT_EQ(h.percentile(0.5), Histogram::bin_upper(Histogram::bin_index(3)));
+  EXPECT_EQ(h.percentile(0.95), 1000u);  // bin edge 1023 clamps to max
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+
+  // The zero bin participates like any other.
+  Histogram zeros;
+  zeros.add(0);
+  zeros.add(0);
+  zeros.add(5);
+  EXPECT_EQ(zeros.percentile(0.5), 0u);
+  EXPECT_EQ(zeros.percentile(1.0), 5u);
+}
+
+TEST(Stats, HistogramMergeMatchesCombinedSamples) {
+  Histogram a, b, combined;
+  const std::uint64_t a_samples[] = {0, 1, 7, 7, 300};
+  const std::uint64_t b_samples[] = {2, 2, 90000, 15};
+  for (const std::uint64_t v : a_samples) {
+    a.add(v);
+    combined.add(v);
+  }
+  for (const std::uint64_t v : b_samples) {
+    b.add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  for (std::size_t bin = 0; bin < Histogram::kNumBins; ++bin) {
+    EXPECT_EQ(a.bin_count(bin), combined.bin_count(bin)) << bin;
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << q;
+  }
+}
+
 TEST(Table, AlignsColumns) {
   TextTable t({"a", "long_header"});
   t.begin_row();

@@ -23,9 +23,23 @@ run_suite build-asan -DCMAKE_BUILD_TYPE=Debug "-DSADP_SANITIZE=address,undefined
 echo "== Release =="
 run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 
+echo "== TSan trace smoke (--trace under 2 workers) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DSADP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target sadp_route sadp_flow_report
+trace_json="$(mktemp --suffix=.json)"
+trap 'rm -f "$trace_json"' EXIT
+./build-tsan/apps/sadp_route --benchmark ecc,efc --jobs 2 --trace "$trace_json"
+for span in initial_routing congestion_rr route_net "job:" dvi; do
+  if ! grep -q "\"$span" "$trace_json"; then
+    echo "TSan trace smoke: span '$span' missing from $trace_json" >&2
+    exit 1
+  fi
+done
+./build-tsan/tools/sadp_flow_report --trace "$trace_json" >/dev/null
+
 echo "== bench smoke (scaled, heuristic-speed) =="
 smoke_log="$(mktemp)"
-trap 'rm -f "$smoke_log"' EXIT
+trap 'rm -f "$trace_json" "$smoke_log"' EXIT
 ./build-ci/apps/sadp_route --benchmark all --jobs "$JOBS" --keep-going \
     2> >(tee "$smoke_log" >&2)
 if grep -q "status=failed" "$smoke_log"; then

@@ -1,0 +1,366 @@
+// sadp_flow_report — digest a flow trace into human-readable summaries.
+//
+// Reads a sadp.flow_trace.v1 Chrome trace-event JSON (written by
+// `sadp_route --trace` or any bench binary's --trace flag) and prints:
+//
+//   * a per-stage time breakdown (span name -> count / total / mean / max),
+//   * the top-k slowest route_net spans (which nets dominate the runtime),
+//   * a per-iteration convergence table from the "rr" counter track (FVPs,
+//     violation-queue depth, congested vertices, cumulative maze pops,
+//     history-cost sum), stride-sampled for the terminal and complete with
+//     --csv FILE.
+//
+// With --metrics METRICS.json (a sadp.flow_metrics.v1 file from
+// --json-report / bench_results/) it also prints the per-job summary rows
+// including the maze-pop percentiles.
+//
+//   sadp_flow_report --trace trace.json --metrics bench_results/table3.json
+//   sadp_flow_report --trace trace.json --top 20 --csv convergence.csv
+//
+// Exit codes: 0 ok, 1 unreadable/invalid input, 2 bad usage.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sadp;
+
+struct SpanRow {
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  long long id = -1;
+  bool has_id = false;
+};
+
+struct CounterRow {
+  std::string track;
+  int tid = 0;
+  double ts_us = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+struct Trace {
+  std::map<int, std::string> thread_names;
+  std::vector<SpanRow> spans;
+  std::vector<CounterRow> counters;
+};
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+double number_or(const util::JsonValue& obj, const char* key, double fallback) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : fallback;
+}
+
+std::string string_or(const util::JsonValue& obj, const char* key) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value : std::string();
+}
+
+/// Parse and structurally validate one trace file; nullopt (with a message
+/// on stderr) on any problem.
+std::optional<Trace> load_trace(const std::string& path) {
+  const auto text = slurp(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  const auto doc = util::parse_json(*text, &error);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  if (string_or(*doc, "schema") != "sadp.flow_trace.v1") {
+    std::fprintf(stderr, "%s: schema mismatch (want sadp.flow_trace.v1)\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  const util::JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return std::nullopt;
+  }
+
+  Trace trace;
+  for (const util::JsonValue& event : events->array) {
+    if (!event.is_object()) continue;
+    const std::string phase = string_or(event, "ph");
+    const std::string name = string_or(event, "name");
+    const int tid = static_cast<int>(number_or(event, "tid", 0));
+    const util::JsonValue* args = event.find("args");
+
+    if (phase == "M") {
+      if (name == "thread_name" && args != nullptr) {
+        trace.thread_names[tid] = string_or(*args, "name");
+      }
+      continue;
+    }
+    if (phase == "X") {
+      SpanRow span;
+      span.name = name;
+      span.tid = tid;
+      span.ts_us = number_or(event, "ts", 0.0);
+      span.dur_us = number_or(event, "dur", 0.0);
+      if (args != nullptr) {
+        const util::JsonValue* id = args->find("id");
+        if (id != nullptr && id->is_number()) {
+          span.id = static_cast<long long>(id->number_value);
+          span.has_id = true;
+        }
+      }
+      trace.spans.push_back(std::move(span));
+      continue;
+    }
+    if (phase == "C" && args != nullptr && args->is_object()) {
+      CounterRow counter;
+      counter.track = name;
+      counter.tid = tid;
+      counter.ts_us = number_or(event, "ts", 0.0);
+      for (const auto& [key, value] : args->object) {
+        if (value.is_number()) counter.values.emplace_back(key, value.number_value);
+      }
+      trace.counters.push_back(std::move(counter));
+    }
+  }
+  return trace;
+}
+
+std::string thread_label(const Trace& trace, int tid) {
+  const auto hit = trace.thread_names.find(tid);
+  return hit != trace.thread_names.end() ? hit->second
+                                         : "thread " + std::to_string(tid);
+}
+
+void print_stage_breakdown(const Trace& trace) {
+  struct Agg {
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanRow& span : trace.spans) {
+    Agg& agg = by_name[span.name];
+    ++agg.count;
+    agg.total_us += span.dur_us;
+    agg.max_us = std::max(agg.max_us, span.dur_us);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  std::printf("== stage breakdown (%zu spans) ==\n", trace.spans.size());
+  util::TextTable table({"span", "count", "total(ms)", "mean(ms)", "max(ms)"});
+  for (const auto& [name, agg] : rows) {
+    table.begin_row();
+    table.cell(name);
+    table.cell(agg.count);
+    table.cell(agg.total_us / 1000.0, 3);
+    table.cell(agg.total_us / 1000.0 / static_cast<double>(agg.count), 3);
+    table.cell(agg.max_us / 1000.0, 3);
+  }
+  table.print();
+}
+
+void print_slowest_nets(const Trace& trace, int top) {
+  std::vector<const SpanRow*> nets;
+  for (const SpanRow& span : trace.spans) {
+    if (span.name == "route_net") nets.push_back(&span);
+  }
+  if (nets.empty()) {
+    std::printf("\n(no route_net spans in the trace)\n");
+    return;
+  }
+  std::sort(nets.begin(), nets.end(), [](const SpanRow* a, const SpanRow* b) {
+    return a->dur_us > b->dur_us;
+  });
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(top),
+                                              nets.size());
+  std::printf("\n== top %zu slowest route_net spans (of %zu) ==\n", k,
+              nets.size());
+  util::TextTable table({"rank", "net", "dur(ms)", "at(ms)", "thread"});
+  for (std::size_t i = 0; i < k; ++i) {
+    table.begin_row();
+    table.cell(i + 1);
+    table.cell(nets[i]->has_id ? std::to_string(nets[i]->id) : "?");
+    table.cell(nets[i]->dur_us / 1000.0, 3);
+    table.cell(nets[i]->ts_us / 1000.0, 1);
+    table.cell(thread_label(trace, nets[i]->tid));
+  }
+  table.print();
+}
+
+/// The "rr" counter track of one thread, in record order (the per-thread
+/// buffers preserve iteration order; ts ties are possible at µs resolution).
+void print_convergence(const Trace& trace, const std::string& csv_path) {
+  std::map<int, std::vector<const CounterRow*>> by_tid;
+  for (const CounterRow& counter : trace.counters) {
+    if (counter.track == "rr") by_tid[counter.tid].push_back(&counter);
+  }
+  if (by_tid.empty()) {
+    std::printf("\n(no rr counter samples in the trace)\n");
+    return;
+  }
+
+  // Column set = union of series keys, in first-seen order.
+  std::vector<std::string> keys;
+  for (const auto& [tid, rows] : by_tid) {
+    for (const CounterRow* row : rows) {
+      for (const auto& [key, value] : row->values) {
+        if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+          keys.push_back(key);
+        }
+      }
+    }
+  }
+
+  auto value_of = [](const CounterRow& row, const std::string& key) {
+    for (const auto& [k, v] : row.values) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  };
+
+  constexpr std::size_t kMaxPrinted = 32;  // per thread; --csv has every row
+  for (const auto& [tid, rows] : by_tid) {
+    std::printf("\n== convergence: %s (%zu R&R iterations) ==\n",
+                thread_label(trace, tid).c_str(), rows.size());
+    std::vector<std::string> header{"iter", "t(ms)"};
+    header.insert(header.end(), keys.begin(), keys.end());
+    util::TextTable table(header);
+    const std::size_t stride = std::max<std::size_t>(1, rows.size() / kMaxPrinted);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i % stride != 0 && i + 1 != rows.size()) continue;  // keep last row
+      table.begin_row();
+      table.cell(i + 1);
+      table.cell(rows[i]->ts_us / 1000.0, 1);
+      for (const std::string& key : keys) table.cell(value_of(*rows[i], key), 0);
+    }
+    table.print();
+    if (stride > 1) {
+      std::printf("(every %zu-th iteration shown; --csv FILE for all)\n", stride);
+    }
+  }
+
+  if (csv_path.empty()) return;
+  std::ofstream csv(csv_path);
+  if (!csv) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    std::exit(1);
+  }
+  csv << "thread,iter,ts_us";
+  for (const std::string& key : keys) csv << ',' << key;
+  csv << '\n';
+  for (const auto& [tid, rows] : by_tid) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      csv << tid << ',' << (i + 1) << ',' << rows[i]->ts_us;
+      for (const std::string& key : keys) csv << ',' << value_of(*rows[i], key);
+      csv << '\n';
+    }
+  }
+  csv.flush();
+  if (!csv) {
+    std::fprintf(stderr, "short write to %s\n", csv_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote %s\n", csv_path.c_str());
+}
+
+int print_metrics(const std::string& path) {
+  const auto text = slurp(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  const auto doc = util::parse_json(*text, &error);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (string_or(*doc, "schema") != "sadp.flow_metrics.v1") {
+    std::fprintf(stderr, "%s: schema mismatch (want sadp.flow_metrics.v1)\n",
+                 path.c_str());
+    return 1;
+  }
+  const util::JsonValue* results = doc->find("results");
+  if (results == nullptr || !results->is_array()) {
+    std::fprintf(stderr, "%s: missing results array\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("\n== jobs (%s, %d workers, %.2fs wall) ==\n", path.c_str(),
+              static_cast<int>(number_or(*doc, "workers", 0)),
+              number_or(*doc, "wall_seconds", 0.0));
+  util::TextTable table({"label", "status", "total(s)", "route(s)", "dvi(s)",
+                         "rr_iters", "pops_p50", "pops_p95", "pops_max"});
+  for (const util::JsonValue& row : results->array) {
+    if (!row.is_object()) continue;
+    table.begin_row();
+    table.cell(string_or(row, "label"));
+    table.cell(string_or(row, "status"));
+    table.cell(number_or(row, "total_seconds", 0.0), 2);
+    const util::JsonValue* stages = row.find("stages");
+    table.cell(stages != nullptr ? number_or(*stages, "route", 0.0) : 0.0, 2);
+    table.cell(stages != nullptr ? number_or(*stages, "dvi", 0.0) : 0.0, 2);
+    table.cell(static_cast<long long>(number_or(row, "rr_iterations", 0)));
+    table.cell(static_cast<long long>(number_or(row, "maze_pops_p50", 0)));
+    table.cell(static_cast<long long>(number_or(row, "maze_pops_p95", 0)));
+    table.cell(static_cast<long long>(number_or(row, "maze_pops_max", 0)));
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string csv_path;
+  int top = 10;
+
+  util::ArgParser parser(
+      "summarize a sadp.flow_trace.v1 trace (and optional flow metrics)");
+  parser.add_string("--trace", &trace_path,
+                    "trace JSON from sadp_route/bench --trace", "FILE");
+  parser.add_string("--metrics", &metrics_path,
+                    "sadp.flow_metrics.v1 JSON for per-job summary rows",
+                    "FILE");
+  parser.add_int("--top", &top, "slowest route_net spans to list", "N");
+  parser.add_string("--csv", &csv_path,
+                    "write the full per-iteration convergence table", "FILE");
+  if (!parser.parse(argc, argv)) return 2;
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "--trace FILE is required\n");
+    return 2;
+  }
+  if (top < 1) top = 1;
+
+  const auto trace = load_trace(trace_path);
+  if (!trace) return 1;
+
+  print_stage_breakdown(*trace);
+  print_slowest_nets(*trace, top);
+  print_convergence(*trace, csv_path);
+  if (!metrics_path.empty()) return print_metrics(metrics_path);
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "api/flow_api.hpp"
 #include "core/dvi_exact.hpp"
 #include "core/dvi_heuristic.hpp"
 #include "core/dvi_ilp.hpp"
@@ -219,15 +220,28 @@ std::vector<std::string> split_names(const std::string& csv) {
   return names;
 }
 
-core::FlowConfig flow_config(const CliOptions& options) {
-  core::FlowConfig config;
-  config.options.style = options.style;
-  config.options.consider_dvi = options.consider_dvi;
-  config.options.consider_tpl = options.consider_tpl;
-  config.dvi_method = options.method;
-  config.ilp_time_limit_seconds = options.ilp_limit;
-  config.degrade_dvi_on_timeout = options.degrade_dvi;
-  return config;
+/// The per-job request fields every CLI run shares; a CLI invocation is an
+/// api::FlowRequest dispatched in-process (see src/api/flow_api.hpp).
+api::JobRequest job_request(const CliOptions& options) {
+  api::JobRequest job;
+  job.style = options.style;
+  job.consider_dvi = options.consider_dvi;
+  job.consider_tpl = options.consider_tpl;
+  job.dvi_method = options.method;
+  job.ilp_limit_seconds = options.ilp_limit;
+  job.degrade_dvi = options.degrade_dvi;
+  job.deadline_seconds = options.deadline;
+  return job;
+}
+
+api::FlowRequest flow_request(const CliOptions& options) {
+  api::FlowRequest request;
+  request.workers = options.jobs;
+  request.batch_deadline_seconds = options.batch_deadline;
+  request.keep_going = options.keep_going;
+  request.journal_path = options.journal_path;
+  request.resume = options.resume;
+  return request;
 }
 
 /// Post-process one finished run: print, report, validate, save, render.
@@ -310,30 +324,19 @@ int finish_single(const CliOptions& options, const netlist::PlacedNetlist& insta
 
 /// Batch mode: several benchmarks through the engine, summary table + metrics.
 int run_batch(const CliOptions& options, const std::vector<std::string>& names) {
-  std::vector<engine::FlowJob> jobs;
+  api::FlowRequest request = flow_request(options);
   for (const auto& name : names) {
-    const auto spec = netlist::spec_for(name, !options.full_scale);
-    if (!spec) {
-      std::fprintf(stderr, "unknown benchmark %s\n", name.c_str());
-      return 2;
-    }
-    engine::FlowJob job;
+    api::JobRequest job = job_request(options);
     job.label = name;
-    job.spec = *spec;
-    job.config = flow_config(options);
-    job.keep_router = options.validate;
-    job.deadline_seconds = options.deadline;
-    jobs.push_back(std::move(job));
+    job.benchmark = name;
+    job.scaled = !options.full_scale;
+    request.jobs.push_back(std::move(job));
   }
 
-  engine::EngineOptions engine_options;
-  engine_options.num_workers = options.jobs;
-  engine_options.batch_deadline_seconds = options.batch_deadline;
-  engine_options.fail_fast = !options.keep_going;
-  engine_options.journal_path = options.journal_path;
-  engine_options.resume = options.resume;
-  engine_options.on_job_done = [](const engine::JobOutcome& outcome,
-                                  std::size_t done, std::size_t total) {
+  api::DispatchOptions hooks;
+  hooks.keep_router = options.validate;
+  hooks.on_job_done = [](const engine::JobOutcome& outcome, std::size_t done,
+                         std::size_t total) {
     if (outcome.ok()) {
       std::fprintf(stderr, "[%zu/%zu] %s: %.2fs\n", done, total,
                    outcome.label.c_str(), outcome.metrics.total_seconds);
@@ -344,11 +347,14 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
                    outcome.error.to_string().c_str());
     }
   };
-  util::Timer wall;
-  const engine::BatchResult batch =
-      engine::FlowEngine(engine_options).run(std::move(jobs));
-  const double wall_seconds = wall.seconds();
-  const int workers = engine::FlowEngine::resolve_workers(options.jobs);
+  const api::DispatchResult run = api::dispatch(request, hooks);
+  if (!run.status.is_ok()) {
+    std::fprintf(stderr, "%s\n", run.status.message().c_str());
+    return 2;
+  }
+  const engine::BatchResult& batch = run.batch;
+  const double wall_seconds = run.wall_seconds;
+  const int workers = run.workers;
 
   util::TextTable table(
       {"CKT", "status", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
@@ -431,10 +437,12 @@ int dispatch(CliOptions* options) {
     options->benchmark = names[0];
   }
 
-  // Single-instance mode (one benchmark or a netlist file): one engine job
-  // with the router retained for validation/rendering.
+  // Single-instance mode (one benchmark or a netlist file): a one-job
+  // request with the router retained for validation/rendering.  The
+  // instance is materialized here too (the banner and the exact parse
+  // diagnostics need it); the dispatch layer re-derives it from the same
+  // deterministic source.
   netlist::PlacedNetlist instance;
-  engine::FlowJob job;
   if (!options->benchmark.empty()) {
     const auto spec = netlist::spec_for(options->benchmark, !options->full_scale);
     if (!spec) {
@@ -462,15 +470,25 @@ int dispatch(CliOptions* options) {
               instance.height, grid::style_name(options->style),
               options->consider_dvi, options->consider_tpl);
 
+  api::FlowRequest request = flow_request(*options);
+  api::JobRequest job = job_request(*options);
   job.label = instance.name;
-  job.netlist = instance;
-  job.config = flow_config(*options);
-  job.keep_router = true;
-  job.deadline_seconds = options->deadline;
-  std::vector<engine::FlowJob> jobs;
-  jobs.push_back(std::move(job));
-  const engine::BatchResult batch = engine::FlowEngine().run(std::move(jobs));
-  return finish_single(*options, instance, batch.outcomes[0]);
+  if (!options->benchmark.empty()) {
+    job.benchmark = options->benchmark;
+    job.scaled = !options->full_scale;
+  } else {
+    job.netlist_path = options->netlist_path;
+  }
+  request.jobs.push_back(std::move(job));
+
+  api::DispatchOptions hooks;
+  hooks.keep_router = true;
+  const api::DispatchResult run = api::dispatch(request, hooks);
+  if (!run.status.is_ok()) {
+    std::fprintf(stderr, "%s\n", run.status.message().c_str());
+    return 1;
+  }
+  return finish_single(*options, instance, run.batch.outcomes[0]);
 }
 
 }  // namespace

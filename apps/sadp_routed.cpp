@@ -1,0 +1,60 @@
+// sadp_routed — long-lived routing service daemon.
+//
+// Listens on a loopback TCP port and serves sadp.flow_request.v1 batches
+// (see DESIGN.md §11 and src/api/flow_api.hpp) over newline-delimited
+// JSON, running every request on one shared worker pool:
+//
+//   sadp_routed --port 7471 --workers 4 --max-requests 2
+//   sadp_routed --port 0        # ephemeral; the chosen port is printed
+//
+// Prints "listening on 127.0.0.1:<port>" once ready (scripts wait for that
+// line).  SIGTERM/SIGINT drain gracefully: running jobs finish and are
+// streamed/journaled, unstarted jobs come back cancelled, then the process
+// exits 0.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "server/route_server.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  sadp::server::ServerOptions options;
+  bool quiet = false;
+  sadp::util::ArgParser parser(
+      "SADP routing service: sadp.flow_request.v1 batches over loopback TCP");
+  parser.add_int("--port", &options.port,
+                 "TCP port on 127.0.0.1 (0 = ephemeral, printed on startup)",
+                 "P");
+  parser.add_int("--workers", &options.pool_workers,
+                 "shared worker pool size (0 = all cores)", "N");
+  parser.add_int("--max-requests", &options.max_requests,
+                 "admission bound; further requests get resource_exhausted",
+                 "N");
+  parser.add_flag("--quiet", &quiet, "suppress per-request log lines");
+  if (!parser.parse(argc, argv)) return 2;
+  options.quiet = quiet;
+  if (options.max_requests < 1) {
+    std::fprintf(stderr, "--max-requests must be >= 1\n");
+    return 2;
+  }
+
+  sadp::server::RouteServer server(options);
+  const sadp::util::Status started = server.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.to_string().c_str());
+    return 1;
+  }
+  sadp::server::install_sigterm_drain(&server);
+
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  while (!server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "[sadp_routed] draining: finishing in-flight jobs\n");
+  server.stop();
+  sadp::server::install_sigterm_drain(nullptr);
+  return 0;
+}

@@ -69,10 +69,10 @@ int main(int argc, char** argv) {
     job.label = instance.name;
     job.arm = variant.label;
     job.spec = *spec;
-    job.config.options.consider_dvi = true;
-    job.config.options.consider_tpl = true;
+    job.config = bench::flow_config_from_args(args, grid::SadpStyle::kSim,
+                                              true, true,
+                                              core::DviMethod::kHeuristic);
     job.config.options.cost = variant.cost;
-    job.config.dvi_method = core::DviMethod::kHeuristic;
     jobs.push_back(std::move(job));
   }
   // Section 2: the TPL phase's contribution (off vs on).
@@ -81,9 +81,9 @@ int main(int argc, char** argv) {
     job.label = instance.name;
     job.arm = tpl ? "with TPL phase (Alg. 2)" : "without TPL phase";
     job.spec = *spec;
-    job.config.options.consider_dvi = true;
-    job.config.options.consider_tpl = tpl;
-    job.config.dvi_method = core::DviMethod::kHeuristic;
+    job.config = bench::flow_config_from_args(args, grid::SadpStyle::kSim,
+                                              true, tpl,
+                                              core::DviMethod::kHeuristic);
     jobs.push_back(std::move(job));
   }
   const engine::BatchResult batch =

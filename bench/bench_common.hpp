@@ -71,11 +71,11 @@ inline std::vector<netlist::BenchStats> selected_benchmarks(const BenchArgs& arg
   return rows;
 }
 
-/// Engine configured from the shared flags, with a progress printer on
-/// stderr (stdout is reserved for the tables).  Failed jobs always print a
-/// `status=<...>` line — even under --quiet — so smoke runs can grep for
-/// `status=failed`.
-inline engine::FlowEngine make_engine(const BenchArgs& args) {
+/// EngineOptions from the shared flags: worker count plus a progress
+/// printer on stderr (stdout is reserved for the tables).  Failed jobs
+/// always print a `status=<...>` line — even under --quiet — so smoke runs
+/// can grep for `status=failed`.
+inline engine::EngineOptions engine_options_from_args(const BenchArgs& args) {
   engine::EngineOptions options;
   options.num_workers = args.jobs;
   const bool quiet = args.quiet;
@@ -93,7 +93,30 @@ inline engine::FlowEngine make_engine(const BenchArgs& args) {
                    outcome.arm.c_str(), outcome.metrics.total_seconds);
     }
   };
-  return engine::FlowEngine(options);
+  return options;
+}
+
+/// Engine configured from the shared flags (engine_options_from_args).
+inline engine::FlowEngine make_engine(const BenchArgs& args) {
+  return engine::FlowEngine(engine_options_from_args(args));
+}
+
+/// The FlowConfig every table job starts from: one experiment arm is fully
+/// described by (style, DVI consideration, TPL consideration, DVI solver),
+/// and the shared --ilp-limit bounds whatever solver runs.  Binaries that
+/// sweep cost parameters overlay `config.options.cost` afterwards.
+inline core::FlowConfig flow_config_from_args(const BenchArgs& args,
+                                              grid::SadpStyle style,
+                                              bool consider_dvi,
+                                              bool consider_tpl,
+                                              core::DviMethod dvi_method) {
+  core::FlowConfig config;
+  config.options.style = style;
+  config.options.consider_dvi = consider_dvi;
+  config.options.consider_tpl = consider_tpl;
+  config.dvi_method = dvi_method;
+  config.ilp_time_limit_seconds = args.ilp_limit;
+  return config;
 }
 
 /// Run the batch and write bench_results/<stem>.{json,csv} next to the

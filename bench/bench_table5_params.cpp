@@ -40,12 +40,9 @@ int main(int argc, char** argv) {
       job.label = bench.name;
       job.arm = variant.name;
       job.spec = *netlist::spec_for(bench.name, !args.full);
-      job.config.options.style = grid::SadpStyle::kSim;
-      job.config.options.consider_dvi = true;
-      job.config.options.consider_tpl = true;
+      job.config = bench::flow_config_from_args(
+          args, grid::SadpStyle::kSim, true, true, core::DviMethod::kExact);
       job.config.options.cost = variant.cost;
-      job.config.dvi_method = core::DviMethod::kExact;
-      job.config.ilp_time_limit_seconds = args.ilp_limit;
       jobs.push_back(std::move(job));
     }
   }

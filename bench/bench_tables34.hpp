@@ -52,11 +52,9 @@ inline int run_tables34(grid::SadpStyle style, const BenchArgs& args,
       job.label = bench.name;
       job.arm = arm.name;
       job.spec = *netlist::spec_for(bench.name, !args.full);
-      job.config.options.style = style;
-      job.config.options.consider_dvi = arm.consider_dvi;
-      job.config.options.consider_tpl = arm.consider_tpl;
-      job.config.dvi_method = core::DviMethod::kExact;
-      job.config.ilp_time_limit_seconds = args.ilp_limit;
+      job.config = flow_config_from_args(args, style, arm.consider_dvi,
+                                         arm.consider_tpl,
+                                         core::DviMethod::kExact);
       jobs.push_back(std::move(job));
     }
   }

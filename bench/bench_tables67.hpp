@@ -41,11 +41,7 @@ inline int run_tables67(grid::SadpStyle style, const BenchArgs& args,
       job.label = bench.name;
       job.arm = core::dvi_method_name(method);
       job.spec = *netlist::spec_for(bench.name, !args.full);
-      job.config.options.style = style;
-      job.config.options.consider_dvi = true;
-      job.config.options.consider_tpl = true;
-      job.config.dvi_method = method;
-      job.config.ilp_time_limit_seconds = args.ilp_limit;
+      job.config = flow_config_from_args(args, style, true, true, method);
       job.keep_router = true;
       jobs.push_back(std::move(job));
     }

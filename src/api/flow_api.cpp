@@ -1,0 +1,503 @@
+#include "api/flow_api.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "engine/journal.hpp"
+#include "grid/colored_grid.hpp"
+#include "netlist/io.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace sadp::api {
+
+namespace {
+
+/// Field accessors with "absent = default, mistyped = error" semantics:
+/// requests written by newer clients may carry members we do not know, but
+/// a member we do know must have the right type.
+const util::JsonValue* find_member(const util::JsonValue& doc,
+                                   const char* key) {
+  return doc.is_object() ? doc.find(key) : nullptr;
+}
+
+bool read_string(const util::JsonValue& doc, const char* key,
+                 std::string* out, std::string* error) {
+  const util::JsonValue* v = find_member(doc, key);
+  if (v == nullptr) return true;
+  if (!v->is_string()) {
+    *error = std::string("field '") + key + "' must be a string";
+    return false;
+  }
+  *out = v->string_value;
+  return true;
+}
+
+bool read_number(const util::JsonValue& doc, const char* key, double* out,
+                 std::string* error) {
+  const util::JsonValue* v = find_member(doc, key);
+  if (v == nullptr) return true;
+  if (!v->is_number()) {
+    *error = std::string("field '") + key + "' must be a number";
+    return false;
+  }
+  *out = v->number_value;
+  return true;
+}
+
+bool read_int(const util::JsonValue& doc, const char* key, int* out,
+              std::string* error) {
+  double value = *out;
+  if (!read_number(doc, key, &value, error)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool read_bool(const util::JsonValue& doc, const char* key, bool* out,
+               std::string* error) {
+  const util::JsonValue* v = find_member(doc, key);
+  if (v == nullptr) return true;
+  if (!v->is_bool()) {
+    *error = std::string("field '") + key + "' must be a bool";
+    return false;
+  }
+  *out = v->bool_value;
+  return true;
+}
+
+void write_spec(util::JsonWriter& json, const netlist::BenchSpec& spec) {
+  json.begin_object();
+  json.key("name").value(spec.name);
+  json.key("width").value(spec.width);
+  json.key("height").value(spec.height);
+  json.key("num_nets").value(spec.num_nets);
+  json.key("num_metal_layers").value(spec.num_metal_layers);
+  json.key("local_radius").value(spec.local_radius);
+  json.key("global_net_fraction").value(spec.global_net_fraction);
+  json.key("min_pin_spacing").value(spec.min_pin_spacing);
+  json.key("row_structured").value(spec.row_structured);
+  json.key("row_pitch").value(spec.row_pitch);
+  // Seeds are user-chosen small integers (0 = derive from the name); the
+  // JSON double round-trip is exact below 2^53.
+  json.key("seed").value(static_cast<long long>(spec.seed));
+  json.end_object();
+}
+
+bool read_spec(const util::JsonValue& doc, netlist::BenchSpec* spec,
+               std::string* error) {
+  if (!doc.is_object()) {
+    *error = "field 'spec' must be an object";
+    return false;
+  }
+  double seed = 0.0;
+  double fraction = spec->global_net_fraction;
+  if (!read_string(doc, "name", &spec->name, error) ||
+      !read_int(doc, "width", &spec->width, error) ||
+      !read_int(doc, "height", &spec->height, error) ||
+      !read_int(doc, "num_nets", &spec->num_nets, error) ||
+      !read_int(doc, "num_metal_layers", &spec->num_metal_layers, error) ||
+      !read_int(doc, "local_radius", &spec->local_radius, error) ||
+      !read_number(doc, "global_net_fraction", &fraction, error) ||
+      !read_int(doc, "min_pin_spacing", &spec->min_pin_spacing, error) ||
+      !read_bool(doc, "row_structured", &spec->row_structured, error) ||
+      !read_int(doc, "row_pitch", &spec->row_pitch, error) ||
+      !read_number(doc, "seed", &seed, error)) {
+    return false;
+  }
+  spec->global_net_fraction = fraction;
+  spec->seed = static_cast<std::uint64_t>(seed);
+  return true;
+}
+
+}  // namespace
+
+std::optional<grid::SadpStyle> parse_style(const std::string& name) {
+  for (const grid::SadpStyle s :
+       {grid::SadpStyle::kSim, grid::SadpStyle::kSid, grid::SadpStyle::kSaqpSim,
+        grid::SadpStyle::kSimTrim}) {
+    if (name == grid::style_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::DviMethod> parse_dvi_method(const std::string& name) {
+  for (const core::DviMethod m :
+       {core::DviMethod::kIlp, core::DviMethod::kHeuristic,
+        core::DviMethod::kExact}) {
+    if (name == core::dvi_method_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::string effective_label(const JobRequest& job) {
+  if (!job.label.empty()) return job.label;
+  if (!job.benchmark.empty()) return job.benchmark;
+  if (job.spec.has_value()) return job.spec->name;
+  return job.netlist_path;
+}
+
+util::Status validate(const FlowRequest& request) {
+  if (request.jobs.empty()) {
+    return util::Status::invalid_input("request has no jobs");
+  }
+  if (request.workers < 0) {
+    return util::Status::invalid_input("workers must be >= 0");
+  }
+  if (request.batch_deadline_seconds < 0.0) {
+    return util::Status::invalid_input("batch_deadline must be >= 0");
+  }
+  if (request.resume && request.journal_path.empty()) {
+    return util::Status::invalid_input("resume requires a journal path");
+  }
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+    const JobRequest& job = request.jobs[i];
+    const std::string where = "job " + std::to_string(i);
+    const int sources = (!job.benchmark.empty()) + job.spec.has_value() +
+                        (!job.netlist_path.empty());
+    if (sources != 1) {
+      return util::Status::invalid_input(
+          where + ": exactly one of benchmark, spec, netlist_path required");
+    }
+    if (job.ilp_limit_seconds < 0.0) {
+      return util::Status::invalid_input(where + ": ilp_limit must be >= 0");
+    }
+    if (job.deadline_seconds < 0.0) {
+      return util::Status::invalid_input(where + ": deadline must be >= 0");
+    }
+    // Rows and the resume journal are keyed by label; a duplicate would
+    // alias them (same check the engine enforces for journaled batches).
+    if (!labels.insert(effective_label(job)).second) {
+      return util::Status::invalid_input(
+          where + ": duplicate job label '" + effective_label(job) + "'");
+    }
+  }
+  return util::Status::ok();
+}
+
+std::string serialize_request(const FlowRequest& request) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kRequestSchema);
+  json.key("workers").value(request.workers);
+  json.key("batch_deadline").value(request.batch_deadline_seconds);
+  json.key("keep_going").value(request.keep_going);
+  json.key("journal").value(request.journal_path);
+  json.key("resume").value(request.resume);
+  json.key("jobs").begin_array();
+  for (const JobRequest& job : request.jobs) {
+    json.begin_object();
+    if (!job.label.empty()) json.key("label").value(job.label);
+    if (!job.arm.empty()) json.key("arm").value(job.arm);
+    if (!job.benchmark.empty()) {
+      json.key("benchmark").value(job.benchmark);
+      json.key("scaled").value(job.scaled);
+    }
+    if (job.spec.has_value()) {
+      json.key("spec");
+      write_spec(json, *job.spec);
+    }
+    if (!job.netlist_path.empty()) {
+      json.key("netlist_path").value(job.netlist_path);
+    }
+    json.key("style").value(grid::style_name(job.style));
+    json.key("consider_dvi").value(job.consider_dvi);
+    json.key("consider_tpl").value(job.consider_tpl);
+    json.key("dvi_method").value(core::dvi_method_name(job.dvi_method));
+    json.key("ilp_limit").value(job.ilp_limit_seconds);
+    json.key("degrade_dvi").value(job.degrade_dvi);
+    json.key("deadline").value(job.deadline_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<FlowRequest> parse_request(std::string_view line,
+                                         std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<FlowRequest> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("request is not a JSON object: " + parse_error);
+  }
+  {
+    const util::JsonValue* schema = doc->find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string_value != kRequestSchema) {
+      return fail(std::string("request schema mismatch (want ") +
+                  kRequestSchema + ")");
+    }
+  }
+
+  FlowRequest request;
+  std::string field_error;
+  if (!read_int(*doc, "workers", &request.workers, &field_error) ||
+      !read_number(*doc, "batch_deadline", &request.batch_deadline_seconds,
+                   &field_error) ||
+      !read_bool(*doc, "keep_going", &request.keep_going, &field_error) ||
+      !read_string(*doc, "journal", &request.journal_path, &field_error) ||
+      !read_bool(*doc, "resume", &request.resume, &field_error)) {
+    return fail(field_error);
+  }
+
+  const util::JsonValue* jobs = doc->find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    return fail("field 'jobs' must be an array");
+  }
+  request.jobs.reserve(jobs->array.size());
+  for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+    const util::JsonValue& entry = jobs->array[i];
+    const std::string where = "job " + std::to_string(i) + ": ";
+    if (!entry.is_object()) return fail(where + "not a JSON object");
+    JobRequest job;
+    std::string style_name = grid::style_name(job.style);
+    std::string method_name = core::dvi_method_name(job.dvi_method);
+    if (!read_string(entry, "label", &job.label, &field_error) ||
+        !read_string(entry, "arm", &job.arm, &field_error) ||
+        !read_string(entry, "benchmark", &job.benchmark, &field_error) ||
+        !read_bool(entry, "scaled", &job.scaled, &field_error) ||
+        !read_string(entry, "netlist_path", &job.netlist_path, &field_error) ||
+        !read_string(entry, "style", &style_name, &field_error) ||
+        !read_bool(entry, "consider_dvi", &job.consider_dvi, &field_error) ||
+        !read_bool(entry, "consider_tpl", &job.consider_tpl, &field_error) ||
+        !read_string(entry, "dvi_method", &method_name, &field_error) ||
+        !read_number(entry, "ilp_limit", &job.ilp_limit_seconds,
+                     &field_error) ||
+        !read_bool(entry, "degrade_dvi", &job.degrade_dvi, &field_error) ||
+        !read_number(entry, "deadline", &job.deadline_seconds, &field_error)) {
+      return fail(where + field_error);
+    }
+    if (const util::JsonValue* spec = entry.find("spec")) {
+      netlist::BenchSpec parsed;
+      if (!read_spec(*spec, &parsed, &field_error)) {
+        return fail(where + field_error);
+      }
+      job.spec = parsed;
+    }
+    const auto style = parse_style(style_name);
+    if (!style) return fail(where + "unknown style '" + style_name + "'");
+    job.style = *style;
+    const auto method = parse_dvi_method(method_name);
+    if (!method) {
+      return fail(where + "unknown dvi_method '" + method_name + "'");
+    }
+    job.dvi_method = *method;
+    request.jobs.push_back(std::move(job));
+  }
+  return request;
+}
+
+util::Status to_flow_jobs(const FlowRequest& request,
+                          std::vector<engine::FlowJob>* jobs) {
+  jobs->clear();
+  jobs->reserve(request.jobs.size());
+  for (const JobRequest& source : request.jobs) {
+    engine::FlowJob job;
+    job.label = source.label;
+    job.arm = source.arm;
+    if (!source.benchmark.empty()) {
+      const auto spec = netlist::spec_for(source.benchmark, source.scaled);
+      if (!spec) {
+        return util::Status::invalid_input("unknown benchmark " +
+                                           source.benchmark);
+      }
+      job.spec = *spec;
+    } else if (source.spec.has_value()) {
+      job.spec = *source.spec;
+    } else {
+      std::ifstream in(source.netlist_path);
+      if (!in) {
+        return util::Status::invalid_input("cannot open " +
+                                           source.netlist_path);
+      }
+      std::string parse_error;
+      const auto parsed = netlist::read_netlist(in, &parse_error);
+      if (!parsed) {
+        return util::Status::invalid_input("parse error in " +
+                                           source.netlist_path + ": " +
+                                           parse_error);
+      }
+      job.netlist = *parsed;
+    }
+    job.config.options.style = source.style;
+    job.config.options.consider_dvi = source.consider_dvi;
+    job.config.options.consider_tpl = source.consider_tpl;
+    job.config.dvi_method = source.dvi_method;
+    job.config.ilp_time_limit_seconds = source.ilp_limit_seconds;
+    job.config.degrade_dvi_on_timeout = source.degrade_dvi;
+    job.deadline_seconds = source.deadline_seconds;
+    jobs->push_back(std::move(job));
+  }
+  return util::Status::ok();
+}
+
+engine::EngineOptions engine_options(const FlowRequest& request) {
+  engine::EngineOptions options;
+  options.num_workers = request.workers;
+  options.batch_deadline_seconds = request.batch_deadline_seconds;
+  options.fail_fast = !request.keep_going;
+  options.journal_path = request.journal_path;
+  options.resume = request.resume;
+  return options;
+}
+
+std::string response_row_line(const engine::JobOutcome& outcome,
+                              std::size_t done, std::size_t total) {
+  // The outcome payload is the journal record verbatim; splicing the
+  // pre-serialized object keeps the two schemas byte-identical by
+  // construction.
+  std::string line = std::string("{\"schema\":\"") + kResponseSchema +
+                     "\",\"type\":\"row\",\"done\":" + std::to_string(done) +
+                     ",\"total\":" + std::to_string(total) + ",\"outcome\":";
+  line += engine::journal_line(outcome);
+  line += '}';
+  return line;
+}
+
+std::string response_summary_line(const engine::BatchResult& batch,
+                                  int workers, double wall_seconds) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kResponseSchema);
+  json.key("type").value("batch");
+  json.key("jobs").value(batch.outcomes.size());
+  json.key("ok").value(batch.ok);
+  json.key("degraded").value(batch.degraded);
+  json.key("failed").value(batch.failed);
+  json.key("timed_out").value(batch.timed_out);
+  json.key("cancelled").value(batch.cancelled);
+  json.key("resumed").value(batch.resumed);
+  json.key("workers").value(workers);
+  json.key("wall_seconds").value(wall_seconds);
+  json.end_object();
+  return json.str();
+}
+
+std::string response_error_line(const util::Status& error) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kResponseSchema);
+  json.key("type").value("error");
+  json.key("code").value(util::status_code_name(error.code()));
+  json.key("message").value(error.message());
+  json.end_object();
+  return json.str();
+}
+
+std::optional<ResponseEvent> parse_response_line(std::string_view line,
+                                                 std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<ResponseEvent> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("response is not a JSON object: " + parse_error);
+  }
+  const util::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != kResponseSchema) {
+    return fail(std::string("response schema mismatch (want ") +
+                kResponseSchema + ")");
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string()) {
+    return fail("field 'type' must be a string");
+  }
+
+  ResponseEvent event;
+  std::string field_error;
+  if (type->string_value == "row") {
+    event.kind = ResponseEvent::Kind::kRow;
+    double done = 0.0;
+    double total = 0.0;
+    if (!read_number(*doc, "done", &done, &field_error) ||
+        !read_number(*doc, "total", &total, &field_error)) {
+      return fail(field_error);
+    }
+    event.done = static_cast<std::size_t>(done);
+    event.total = static_cast<std::size_t>(total);
+    const util::JsonValue* outcome = doc->find("outcome");
+    if (outcome == nullptr) return fail("row without an 'outcome' object");
+    auto parsed = engine::parse_outcome_object(*outcome, &field_error);
+    if (!parsed) return fail(field_error);
+    event.outcome = std::move(*parsed);
+    return event;
+  }
+  if (type->string_value == "batch") {
+    event.kind = ResponseEvent::Kind::kBatch;
+    double jobs = 0, ok = 0, degraded = 0, failed = 0, timed_out = 0,
+           cancelled = 0, resumed = 0;
+    if (!read_number(*doc, "jobs", &jobs, &field_error) ||
+        !read_number(*doc, "ok", &ok, &field_error) ||
+        !read_number(*doc, "degraded", &degraded, &field_error) ||
+        !read_number(*doc, "failed", &failed, &field_error) ||
+        !read_number(*doc, "timed_out", &timed_out, &field_error) ||
+        !read_number(*doc, "cancelled", &cancelled, &field_error) ||
+        !read_number(*doc, "resumed", &resumed, &field_error) ||
+        !read_int(*doc, "workers", &event.workers, &field_error) ||
+        !read_number(*doc, "wall_seconds", &event.wall_seconds,
+                     &field_error)) {
+      return fail(field_error);
+    }
+    event.jobs = static_cast<std::size_t>(jobs);
+    event.ok = static_cast<std::size_t>(ok);
+    event.degraded = static_cast<std::size_t>(degraded);
+    event.failed = static_cast<std::size_t>(failed);
+    event.timed_out = static_cast<std::size_t>(timed_out);
+    event.cancelled = static_cast<std::size_t>(cancelled);
+    event.resumed = static_cast<std::size_t>(resumed);
+    return event;
+  }
+  if (type->string_value == "error") {
+    event.kind = ResponseEvent::Kind::kError;
+    std::string code;
+    std::string message;
+    if (!read_string(*doc, "code", &code, &field_error) ||
+        !read_string(*doc, "message", &message, &field_error)) {
+      return fail(field_error);
+    }
+    event.error = util::Status(util::parse_status_code(code), message);
+    return event;
+  }
+  return fail("unknown response type '" + type->string_value + "'");
+}
+
+DispatchResult dispatch(const FlowRequest& request,
+                        const DispatchOptions& options) {
+  DispatchResult out;
+  out.status = validate(request);
+  if (!out.status.is_ok()) return out;
+
+  std::vector<engine::FlowJob> jobs;
+  out.status = to_flow_jobs(request, &jobs);
+  if (!out.status.is_ok()) return out;
+  if (options.keep_router) {
+    for (engine::FlowJob& job : jobs) job.keep_router = true;
+  }
+
+  engine::EngineOptions engine_opts = engine_options(request);
+  if (options.max_workers > 0 &&
+      (engine_opts.num_workers == 0 ||
+       engine_opts.num_workers > options.max_workers)) {
+    engine_opts.num_workers = options.max_workers;
+  }
+  engine_opts.on_job_done = options.on_job_done;
+  engine_opts.cancel = options.cancel;
+  engine_opts.drain = options.drain;
+  engine_opts.executor = options.executor;
+
+  out.workers = engine::FlowEngine::resolve_workers(engine_opts.num_workers);
+  util::Timer wall;
+  out.batch = engine::FlowEngine(engine_opts).run(std::move(jobs));
+  out.wall_seconds = wall.seconds();
+  return out;
+}
+
+}  // namespace sadp::api

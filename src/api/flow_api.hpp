@@ -1,0 +1,202 @@
+// Routing-as-a-service request/response layer (schemas
+// sadp.flow_request.v1 / sadp.flow_response.v1).
+//
+// One versioned request describes a whole flow batch — spec-or-netlist
+// jobs, per-job and batch deadlines, keep-going vs fail-fast, DVI
+// degradation, journal/resume — and maps 1:1 onto engine::FlowJob +
+// engine::EngineOptions.  Every consumer goes through the same three
+// steps:
+//
+//   FlowRequest request = ...;            // from CLI flags or a socket line
+//   DispatchResult run = api::dispatch(request, hooks);
+//
+// The CLI (sadp_route) builds a request from its flags and dispatches it
+// in-process; the daemon (sadp_routed) parses the identical JSON off a TCP
+// socket and dispatches it on its shared worker pool; the client tool
+// serializes the same struct onto the wire.  A CLI invocation therefore IS
+// a local request — there is exactly one place where requests are
+// validated, materialized into jobs, and turned into outcome rows.
+//
+// Wire framing is newline-delimited JSON: the client sends one
+// flow_request.v1 line; the server streams back one flow_response.v1 line
+// per finished job ("row", in completion order) followed by one "batch"
+// summary line, or a single "error" line (e.g. code resource_exhausted
+// when the admission queue is full).  Row lines embed the job's full
+// sadp.flow_journal.v1 payload, so a row received over the socket carries
+// exactly the fields a journaled/in-process run records.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/flow_engine.hpp"
+#include "netlist/bench_gen.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace sadp::api {
+
+inline constexpr const char* kRequestSchema = "sadp.flow_request.v1";
+inline constexpr const char* kResponseSchema = "sadp.flow_response.v1";
+
+/// Parse a style/DVI-method name as it appears in requests, journals and
+/// CLI flags ("SIM", "SID", ... / "heuristic", "exact", "ILP").
+[[nodiscard]] std::optional<grid::SadpStyle> parse_style(
+    const std::string& name);
+[[nodiscard]] std::optional<core::DviMethod> parse_dvi_method(
+    const std::string& name);
+
+/// One job of a request.  Exactly one instance source must be set:
+/// `benchmark` (a Table I name, resolved with `scaled`), an inline
+/// generator `spec`, or `netlist_path` (a path readable where the request
+/// is dispatched — the daemon is a local trusted service, so paths resolve
+/// on the server host).
+struct JobRequest {
+  std::string label;  ///< row/journal key; defaults to the instance name
+  std::string arm;    ///< display-only grouping tag
+  std::string benchmark;
+  bool scaled = true;
+  std::optional<netlist::BenchSpec> spec;
+  std::string netlist_path;
+  grid::SadpStyle style = grid::SadpStyle::kSim;
+  bool consider_dvi = true;
+  bool consider_tpl = true;
+  core::DviMethod dvi_method = core::DviMethod::kHeuristic;
+  double ilp_limit_seconds = 60.0;
+  bool degrade_dvi = false;       ///< ILP DVI timeout => heuristic fallback
+  double deadline_seconds = 0.0;  ///< per-job wall deadline (0 = none)
+};
+
+/// A whole batch: jobs plus the engine-level execution policy.
+struct FlowRequest {
+  int workers = 0;  ///< engine workers (0 = all cores; servers cap this)
+  double batch_deadline_seconds = 0.0;
+  bool keep_going = false;  ///< report every row instead of failing fast
+  /// Crash-recovery journal (a path where the request is dispatched); with
+  /// `resume`, rows already journaled are restored instead of re-executed.
+  std::string journal_path;
+  bool resume = false;
+  std::vector<JobRequest> jobs;
+};
+
+/// The label a job's row will carry: JobRequest::label when set, otherwise
+/// the instance source (benchmark / spec name / netlist path).
+[[nodiscard]] std::string effective_label(const JobRequest& job);
+
+/// Structural validation, shared by every entry point: at least one job,
+/// exactly one instance source per job, non-negative limits, resume only
+/// with a journal, and — because rows and the resume journal are keyed by
+/// label — no duplicate effective labels.  Returns kInvalidInput with a
+/// pinpointing message on the first violation.
+[[nodiscard]] util::Status validate(const FlowRequest& request);
+
+/// One line of JSON (no trailing newline), schema field included.
+[[nodiscard]] std::string serialize_request(const FlowRequest& request);
+
+/// Inverse of serialize_request.  Unknown members are ignored (forward
+/// compatibility); a wrong/missing schema or malformed field is an error:
+/// returns nullopt and fills `error` when non-null.
+[[nodiscard]] std::optional<FlowRequest> parse_request(
+    std::string_view line, std::string* error = nullptr);
+
+/// Materialize the request's jobs (resolve benchmark names, read netlist
+/// files).  kInvalidInput on unknown benchmarks or unreadable/malformed
+/// netlist files; on success `jobs` holds one FlowJob per JobRequest, in
+/// order.
+[[nodiscard]] util::Status to_flow_jobs(const FlowRequest& request,
+                                        std::vector<engine::FlowJob>* jobs);
+
+/// The engine-level options a request asks for (workers, batch deadline,
+/// fail-fast policy, journal/resume).  Callers attach their own hooks
+/// (progress callback, cancel/drain tokens, executor) on top.
+[[nodiscard]] engine::EngineOptions engine_options(const FlowRequest& request);
+
+// ---------------------------------------------------------------------------
+// Responses: one "row" line per finished job (streamed in completion
+// order), one final "batch" summary line, or a single "error" line.
+
+/// {"schema":"sadp.flow_response.v1","type":"row","done":D,"total":T,
+///  "outcome":{<sadp.flow_journal.v1 object>}}
+[[nodiscard]] std::string response_row_line(const engine::JobOutcome& outcome,
+                                            std::size_t done,
+                                            std::size_t total);
+
+/// {"schema":...,"type":"batch","jobs":N,"ok":...,"degraded":...,
+///  "failed":...,"timed_out":...,"cancelled":...,"resumed":...,
+///  "workers":W,"wall_seconds":S}
+[[nodiscard]] std::string response_summary_line(
+    const engine::BatchResult& batch, int workers, double wall_seconds);
+
+/// {"schema":...,"type":"error","code":"resource_exhausted","message":...}
+[[nodiscard]] std::string response_error_line(const util::Status& error);
+
+/// One parsed response line, discriminated by `kind`.
+struct ResponseEvent {
+  enum class Kind { kRow, kBatch, kError };
+  Kind kind = Kind::kError;
+  // kRow: the job's outcome (full journal payload) plus stream progress.
+  engine::JobOutcome outcome;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  // kBatch: the summary counts of the whole batch.
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t cancelled = 0;
+  std::size_t resumed = 0;
+  int workers = 0;
+  double wall_seconds = 0.0;
+  // kError: the structured server-side error.
+  util::Status error;
+};
+
+/// Parse any response line.  nullopt + `error` on malformed input or a
+/// schema mismatch (a kError event is a successful parse, not a failure).
+[[nodiscard]] std::optional<ResponseEvent> parse_response_line(
+    std::string_view line, std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Dispatch: the one function that turns a request into outcome rows.
+
+/// Caller-side hooks merged into the request's engine options.
+struct DispatchOptions {
+  /// Streamed per finished job (serialized by the engine); servers write a
+  /// response_row_line from here.
+  std::function<void(const engine::JobOutcome&, std::size_t done,
+                     std::size_t total)>
+      on_job_done;
+  /// Request-scoped cancellation (client disconnect, Ctrl-C).
+  util::CancelToken cancel;
+  /// Graceful drain (SIGTERM): finish running jobs, skip unstarted ones.
+  util::CancelToken drain;
+  /// Shared worker pool of a long-lived server; null = engine spawns its
+  /// own threads.
+  engine::Executor* executor = nullptr;
+  /// Cap on the request's `workers` (a server pins this to its pool size
+  /// so one request cannot oversubscribe the pool).  0 = no cap.
+  int max_workers = 0;
+  /// Retain routers in the outcomes (local CLI validation/rendering only —
+  /// routers never travel over the wire).
+  bool keep_router = false;
+};
+
+struct DispatchResult {
+  /// kInvalidInput when validation or job materialization failed; the
+  /// batch is then empty and nothing was executed.
+  util::Status status;
+  engine::BatchResult batch;
+  int workers = 0;  ///< resolved engine worker count
+  double wall_seconds = 0.0;
+};
+
+/// validate + to_flow_jobs + FlowEngine::run, under the caller's hooks.
+/// This is the single entry point the CLI, the daemon and the tests share.
+[[nodiscard]] DispatchResult dispatch(const FlowRequest& request,
+                                      const DispatchOptions& options = {});
+
+}  // namespace sadp::api

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -147,6 +148,37 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
   batch.outcomes.resize(jobs.size());
   if (jobs.empty()) return batch;
 
+  // A journaled batch is keyed by label; a duplicate would re-execute under
+  // the same key and alias rows on resume.  Reject the whole batch loudly.
+  if (!options_.journal_path.empty() || options_.resume) {
+    std::map<std::string, std::size_t> labels;
+    std::string duplicate;
+    for (const FlowJob& job : jobs) {
+      if (++labels[effective_label(job)] > 1) {
+        duplicate = effective_label(job);
+        break;
+      }
+    }
+    if (!duplicate.empty()) {
+      const util::Status error = util::Status::invalid_input(
+          "duplicate job label '" + duplicate +
+          "' in a journaled batch (labels key the resume journal and must "
+          "be unique)");
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobOutcome& outcome = batch.outcomes[i];
+        outcome.label = effective_label(jobs[i]);
+        outcome.arm = jobs[i].arm;
+        outcome.style = jobs[i].config.options.style;
+        outcome.dvi_method = jobs[i].config.dvi_method;
+        outcome.result.benchmark = outcome.label;
+        outcome.status = JobStatus::kFailed;
+        outcome.error = error;
+      }
+      batch.failed = jobs.size();
+      return batch;
+    }
+  }
+
   // Resume: restore journaled rows and schedule only the remainder.
   std::vector<std::size_t> todo;
   todo.reserve(jobs.size());
@@ -185,9 +217,14 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
     for (std::size_t t = next.fetch_add(1); t < todo.size();
          t = next.fetch_add(1)) {
       const std::size_t i = todo[t];
-      JobOutcome outcome = batch_token.stop_requested()
-                               ? skipped_outcome(jobs[i], batch_token)
-                               : execute_job(std::move(jobs[i]), batch_token);
+      // A fired batch token also stops in-flight work; a fired drain token
+      // only keeps new jobs from starting (graceful server shutdown).
+      JobOutcome outcome =
+          batch_token.stop_requested()
+              ? skipped_outcome(jobs[i], batch_token)
+          : options_.drain.stop_requested()
+              ? skipped_outcome(jobs[i], options_.drain)
+              : execute_job(std::move(jobs[i]), batch_token);
       const bool journal_it =
           !options_.journal_path.empty() &&
           (outcome.status == JobStatus::kOk ||
@@ -216,7 +253,11 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
     }
   };
 
-  if (workers <= 1 || todo.size() <= 1) {
+  if (options_.executor != nullptr) {
+    // The executor's threads are long-lived and shared across batches, so
+    // they keep whatever trace names their owner gave them.
+    options_.executor->run_parallel(workers, [&drain](int) { drain(); });
+  } else if (workers <= 1 || todo.size() <= 1) {
     drain();
   } else {
     std::vector<std::thread> pool;

@@ -152,10 +152,32 @@ struct JobOutcome {
   }
 };
 
+/// Supplies the threads FlowEngine::run executes on.  A long-lived service
+/// (the sadp_routed daemon) implements this over one persistent pool so
+/// that every concurrent batch shares the same fixed set of worker threads
+/// instead of each run() spawning its own.
+///
+/// Contract: run_parallel must invoke work(0) .. work(tasks - 1), each
+/// exactly once (possibly concurrently, in any order, on any thread), and
+/// return only after every call has finished.  The work closures are
+/// independent drain loops over one shared job queue, so they never block
+/// on each other — executing them sequentially on a single thread is a
+/// valid implementation.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void run_parallel(int tasks,
+                            const std::function<void(int)>& work) = 0;
+};
+
 struct EngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().  The
   /// pool never exceeds the job count.
   int num_workers = 0;
+  /// When set, the engine submits its worker loops to this executor instead
+  /// of spawning threads; num_workers still bounds how many loops are
+  /// submitted.  Not owned; must outlive run().
+  Executor* executor = nullptr;
   /// Invoked (serialized under an internal mutex) as each executed job
   /// finishes, with the number of completed jobs so far; for progress
   /// output.  Not invoked for journal-restored rows.
@@ -172,6 +194,12 @@ struct EngineOptions {
   /// The engine always derives its own child token, so a default token
   /// simply never fires.
   util::CancelToken cancel;
+  /// Graceful drain: when this token fires, jobs that have not started yet
+  /// are skipped (kCancelled) but jobs already executing run to completion
+  /// — unlike `cancel`, which also stops in-flight work cooperatively.
+  /// This is how a SIGTERM'd server finishes (and journals) what it is
+  /// doing while giving the rest of the batch back to a resumed run.
+  util::CancelToken drain;
   /// When set, append one sadp.flow_journal.v1 JSONL record per finished
   /// job (flushed per line, so a crash loses at most the in-flight jobs).
   /// Cancelled/timed-out jobs are not journaled — a resumed run retries
@@ -207,6 +235,12 @@ class FlowEngine {
   /// Run all jobs to completion (or failure — failures are isolated per
   /// job) on the pool.  Outcomes are returned in job order.  Result rows
   /// are bit-identical for any worker count; only the timing metrics vary.
+  ///
+  /// When the batch is journaled (journal_path set or resume requested),
+  /// duplicate job labels are rejected up front: every outcome comes back
+  /// kFailed with a kInvalidInput error and nothing executes, because the
+  /// journal is keyed by label and a duplicate would silently alias rows
+  /// on resume.
   [[nodiscard]] BatchResult run(std::vector<FlowJob> jobs) const;
 
   /// The worker count `requested` resolves to (0 => hardware concurrency,

@@ -91,11 +91,11 @@ std::optional<JobStatus> parse_job_status(const std::string& name) noexcept {
   return std::nullopt;
 }
 
-std::string journal_line(const JobOutcome& outcome) {
+void write_outcome_object(util::JsonWriter& json, const JobOutcome& outcome) {
   const core::ExperimentResult& r = outcome.result;
-  util::JsonWriter json;
   json.begin_object();
   json.key("schema").value(kJournalSchema);
+  json.key("from_journal").value(outcome.from_journal);
   json.key("label").value(outcome.label);
   json.key("arm").value(outcome.arm);
   json.key("status").value(job_status_name(outcome.status));
@@ -134,33 +134,41 @@ std::string journal_line(const JobOutcome& outcome) {
   json.key("dvi_seconds").value(r.dvi.seconds);
   json.key("total_seconds").value(outcome.metrics.total_seconds);
   json.end_object();
+}
+
+std::string journal_line(const JobOutcome& outcome) {
+  util::JsonWriter json;
+  write_outcome_object(json, outcome);
   return json.str();
 }
 
-std::optional<JobOutcome> parse_journal_line(std::string_view line,
-                                             std::string* error) {
+std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
+                                               std::string* error) {
   auto fail = [&](const std::string& what) -> std::optional<JobOutcome> {
     if (error != nullptr) *error = what;
     return std::nullopt;
   };
-  std::string parse_error;
-  const auto doc = util::parse_json(line, &parse_error);
-  if (!doc || !doc->is_object()) return fail("not a JSON object: " + parse_error);
+  if (!doc.is_object()) return fail("outcome record is not a JSON object");
 
   bool bad = false;
-  if (get_string(*doc, "schema", bad) != kJournalSchema || bad) {
+  if (get_string(doc, "schema", bad) != kJournalSchema || bad) {
     return fail("journal schema mismatch (want sadp.flow_journal.v1)");
   }
 
   JobOutcome outcome;
-  outcome.from_journal = true;
-  outcome.label = get_string(*doc, "label", bad);
-  outcome.arm = get_string(*doc, "arm", bad);
+  // Absent in journals written before the field existed; those records were
+  // executed rows by construction.
+  {
+    const util::JsonValue* v = doc.find("from_journal");
+    outcome.from_journal = v != nullptr && v->is_bool() && v->bool_value;
+  }
+  outcome.label = get_string(doc, "label", bad);
+  outcome.arm = get_string(doc, "arm", bad);
 
-  const auto status = parse_job_status(get_string(*doc, "status", bad));
-  const auto style = parse_style(get_string(*doc, "style", bad));
-  const auto method = parse_dvi_method(get_string(*doc, "dvi_method", bad));
-  const auto ilp_status = parse_solve_status(get_string(*doc, "ilp_status", bad));
+  const auto status = parse_job_status(get_string(doc, "status", bad));
+  const auto style = parse_style(get_string(doc, "style", bad));
+  const auto method = parse_dvi_method(get_string(doc, "dvi_method", bad));
+  const auto ilp_status = parse_solve_status(get_string(doc, "ilp_status", bad));
   if (bad || !status || !style || !method || !ilp_status) {
     return fail("malformed journal record for label '" + outcome.label + "'");
   }
@@ -168,50 +176,50 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
   outcome.style = *style;
   outcome.dvi_method = *method;
   outcome.error = util::Status(
-      util::parse_status_code(get_string(*doc, "error_code", bad)),
-      get_string(*doc, "error", bad));
+      util::parse_status_code(get_string(doc, "error_code", bad)),
+      get_string(doc, "error", bad));
 
   core::ExperimentResult& r = outcome.result;
-  r.benchmark = get_string(*doc, "benchmark", bad);
-  r.routing.routed_all = get_bool(*doc, "routed_all", bad);
-  r.routing.unrouted_nets = static_cast<int>(get_number(*doc, "unrouted_nets", bad));
+  r.benchmark = get_string(doc, "benchmark", bad);
+  r.routing.routed_all = get_bool(doc, "routed_all", bad);
+  r.routing.unrouted_nets = static_cast<int>(get_number(doc, "unrouted_nets", bad));
   r.routing.wirelength =
-      static_cast<long long>(get_number(*doc, "wirelength", bad));
-  r.routing.via_count = static_cast<int>(get_number(*doc, "via_count", bad));
+      static_cast<long long>(get_number(doc, "wirelength", bad));
+  r.routing.via_count = static_cast<int>(get_number(doc, "via_count", bad));
   r.routing.rr_iterations =
-      static_cast<std::size_t>(get_number(*doc, "rr_iterations", bad));
+      static_cast<std::size_t>(get_number(doc, "rr_iterations", bad));
   r.routing.queue_peak =
-      static_cast<std::size_t>(get_number(*doc, "queue_peak", bad));
+      static_cast<std::size_t>(get_number(doc, "queue_peak", bad));
   r.routing.maze_pops =
-      static_cast<std::uint64_t>(get_number(*doc, "maze_pops", bad));
+      static_cast<std::uint64_t>(get_number(doc, "maze_pops", bad));
   r.routing.maze_relaxations =
-      static_cast<std::uint64_t>(get_number(*doc, "maze_relaxations", bad));
+      static_cast<std::uint64_t>(get_number(doc, "maze_relaxations", bad));
   r.routing.maze_searches =
-      static_cast<std::uint64_t>(get_number(*doc, "maze_searches", bad));
+      static_cast<std::uint64_t>(get_number(doc, "maze_searches", bad));
   r.routing.heap_reuse =
-      static_cast<std::uint64_t>(get_number(*doc, "heap_reuse", bad));
+      static_cast<std::uint64_t>(get_number(doc, "heap_reuse", bad));
   r.routing.fvp_cache_hits =
-      static_cast<std::uint64_t>(get_number(*doc, "fvp_cache_hits", bad));
+      static_cast<std::uint64_t>(get_number(doc, "fvp_cache_hits", bad));
   r.routing.maze_pops_p50 =
-      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_p50"));
+      static_cast<std::uint64_t>(get_number_or_zero(doc, "maze_pops_p50"));
   r.routing.maze_pops_p95 =
-      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_p95"));
+      static_cast<std::uint64_t>(get_number_or_zero(doc, "maze_pops_p95"));
   r.routing.maze_pops_max =
-      static_cast<std::uint64_t>(get_number_or_zero(*doc, "maze_pops_max"));
+      static_cast<std::uint64_t>(get_number_or_zero(doc, "maze_pops_max"));
   r.routing.remaining_congestion =
-      static_cast<std::size_t>(get_number(*doc, "remaining_congestion", bad));
+      static_cast<std::size_t>(get_number(doc, "remaining_congestion", bad));
   r.routing.remaining_fvps =
-      static_cast<std::size_t>(get_number(*doc, "remaining_fvps", bad));
+      static_cast<std::size_t>(get_number(doc, "remaining_fvps", bad));
   r.routing.uncolorable_vias =
-      static_cast<int>(get_number(*doc, "uncolorable_vias", bad));
-  r.single_vias = static_cast<int>(get_number(*doc, "single_vias", bad));
+      static_cast<int>(get_number(doc, "uncolorable_vias", bad));
+  r.single_vias = static_cast<int>(get_number(doc, "single_vias", bad));
   r.dvi_candidates =
-      static_cast<std::size_t>(get_number(*doc, "dvi_candidates", bad));
-  r.dvi.dead_vias = static_cast<int>(get_number(*doc, "dead_vias", bad));
-  r.dvi.uncolorable = static_cast<int>(get_number(*doc, "uncolorable", bad));
+      static_cast<std::size_t>(get_number(doc, "dvi_candidates", bad));
+  r.dvi.dead_vias = static_cast<int>(get_number(doc, "dead_vias", bad));
+  r.dvi.uncolorable = static_cast<int>(get_number(doc, "uncolorable", bad));
   r.ilp_status = *ilp_status;
 
-  const util::JsonValue* inserted = doc->find("inserted");
+  const util::JsonValue* inserted = doc.find("inserted");
   if (inserted == nullptr || !inserted->is_array()) bad = true;
   if (!bad) {
     r.dvi.inserted.reserve(inserted->array.size());
@@ -224,9 +232,9 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
     }
   }
 
-  r.routing.route_seconds = get_number(*doc, "route_seconds", bad);
-  r.dvi.seconds = get_number(*doc, "dvi_seconds", bad);
-  outcome.metrics.total_seconds = get_number(*doc, "total_seconds", bad);
+  r.routing.route_seconds = get_number(doc, "route_seconds", bad);
+  r.dvi.seconds = get_number(doc, "dvi_seconds", bad);
+  outcome.metrics.total_seconds = get_number(doc, "total_seconds", bad);
   outcome.metrics.rr_iterations = r.routing.rr_iterations;
   outcome.metrics.queue_peak = r.routing.queue_peak;
   outcome.metrics.maze_pops = r.routing.maze_pops;
@@ -241,6 +249,21 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
   if (bad) {
     return fail("malformed journal record for label '" + outcome.label + "'");
   }
+  return outcome;
+}
+
+std::optional<JobOutcome> parse_journal_line(std::string_view line,
+                                             std::string* error) {
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) *error = "not a JSON object: " + parse_error;
+    return std::nullopt;
+  }
+  auto outcome = parse_outcome_object(*doc, error);
+  // Whatever the record said, a row read back from the journal file is a
+  // restored row.
+  if (outcome) outcome->from_journal = true;
   return outcome;
 }
 

@@ -23,10 +23,24 @@
 #include <string_view>
 
 #include "engine/flow_engine.hpp"
+#include "util/json.hpp"
 
 namespace sadp::engine {
 
 inline constexpr const char* kJournalSchema = "sadp.flow_journal.v1";
+
+/// Serialize the outcome's full non-timing payload (plus informational
+/// timing fields) as one JSON object on an open writer, schema field
+/// included.  This object IS the journal record; the wire protocol
+/// (sadp.flow_response.v1) embeds the same object in its row lines, which
+/// is what makes a row received over the socket bit-identical to a
+/// journaled one.
+void write_outcome_object(util::JsonWriter& json, const JobOutcome& outcome);
+
+/// Inverse of write_outcome_object (`router` stays null).  Returns nullopt
+/// and fills `error` on malformed input or schema mismatch.
+[[nodiscard]] std::optional<JobOutcome> parse_outcome_object(
+    const util::JsonValue& doc, std::string* error = nullptr);
 
 /// Serialize one finished outcome as a single JSONL line (no newline).
 [[nodiscard]] std::string journal_line(const JobOutcome& outcome);

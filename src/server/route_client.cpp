@@ -1,0 +1,130 @@
+#include "server/route_client.hpp"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace sadp::server {
+
+namespace {
+
+int connect_to(const std::string& host, int port, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &found);
+  if (rc != 0) {
+    *error = "cannot resolve " + host + ": " + ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    *error = "cannot connect to " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+RemoteBatch run_remote(
+    const std::string& host, int port, const api::FlowRequest& request,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row) {
+  RemoteBatch batch;
+  std::string error;
+  const int fd = connect_to(host, port, &error);
+  if (fd < 0) {
+    batch.status = util::Status::internal(error);
+    return batch;
+  }
+
+  if (!send_all(fd, api::serialize_request(request) + "\n")) {
+    batch.status = util::Status::internal("send failed: " +
+                                          std::string(std::strerror(errno)));
+    ::close(fd);
+    return batch;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  auto consume_line = [&](std::string_view line) {
+    if (line.empty()) return;
+    std::string parse_error;
+    auto event = api::parse_response_line(line, &parse_error);
+    if (!event) {
+      if (batch.status.is_ok()) {
+        batch.status = util::Status::internal("bad response line: " +
+                                              parse_error);
+      }
+      return;
+    }
+    switch (event->kind) {
+      case api::ResponseEvent::Kind::kRow:
+        if (on_row) on_row(event->outcome, event->done, event->total);
+        batch.rows.push_back(std::move(event->outcome));
+        break;
+      case api::ResponseEvent::Kind::kBatch:
+        batch.jobs = event->jobs;
+        batch.ok = event->ok;
+        batch.degraded = event->degraded;
+        batch.failed = event->failed;
+        batch.timed_out = event->timed_out;
+        batch.cancelled = event->cancelled;
+        batch.resumed = event->resumed;
+        batch.workers = event->workers;
+        batch.wall_seconds = event->wall_seconds;
+        batch.summary_received = true;
+        break;
+      case api::ResponseEvent::Kind::kError:
+        batch.status = event->error;
+        break;
+    }
+  };
+
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      consume_line(std::string_view(buffer).substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+
+  if (!buffer.empty()) consume_line(buffer);  // unterminated trailing line
+  if (batch.status.is_ok() && !batch.summary_received) {
+    batch.status = util::Status::internal(
+        "connection closed before the batch summary (server died?)");
+  }
+  return batch;
+}
+
+}  // namespace sadp::server

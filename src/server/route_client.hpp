@@ -1,0 +1,52 @@
+// Client side of the sadp_routed wire protocol: connect, send one
+// sadp.flow_request.v1 line, collect the streamed sadp.flow_response.v1
+// lines until the server closes the connection.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/flow_api.hpp"
+#include "engine/flow_engine.hpp"
+#include "util/status.hpp"
+
+namespace sadp::server {
+
+/// Everything one remote batch produced, assembled from the response
+/// stream.  `rows` holds the outcomes in arrival order (completion order on
+/// the server, journal-restored rows last).
+struct RemoteBatch {
+  /// Transport/protocol failures and server "error" lines land here
+  /// (e.g. kResourceExhausted when the server rejected the request).
+  util::Status status;
+  std::vector<engine::JobOutcome> rows;
+  // Counts of the final "batch" summary line.
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t cancelled = 0;
+  std::size_t resumed = 0;
+  int workers = 0;
+  double wall_seconds = 0.0;
+  bool summary_received = false;
+
+  /// Usable end-to-end: transport ok, summary seen, every row ok/degraded.
+  [[nodiscard]] bool all_ok() const noexcept {
+    return status.is_ok() && summary_received && failed == 0 &&
+           timed_out == 0 && cancelled == 0;
+  }
+};
+
+/// Run `request` against a sadp_routed instance at host:port.  Blocks until
+/// the server closes the stream; `on_row` (optional) fires per received row
+/// for live progress.  Connection failures, malformed response lines, and a
+/// stream that ends before the batch summary all surface in `status`.
+[[nodiscard]] RemoteBatch run_remote(
+    const std::string& host, int port, const api::FlowRequest& request,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row = {});
+
+}  // namespace sadp::server

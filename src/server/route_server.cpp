@@ -1,0 +1,334 @@
+#include "server/route_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+namespace sadp::server {
+
+namespace {
+
+util::Status errno_status(const std::string& what) {
+  return util::Status::internal(what + ": " + std::strerror(errno));
+}
+
+/// Write `line` + '\n' fully; false on any send failure (client gone).
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+WorkerPool::WorkerPool(int workers) {
+  const int n = engine::FlowEngine::resolve_workers(workers);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with an empty queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::run_parallel(int tasks,
+                              const std::function<void(int)>& work) {
+  if (tasks <= 0) return;
+  // The caller blocks below until every task ran, so capturing `work` by
+  // pointer is safe.
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = tasks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < tasks; ++i) {
+      queue_.push_back([sync, &work, i] {
+        work(i);
+        const std::lock_guard<std::mutex> task_lock(sync->mutex);
+        if (--sync->remaining == 0) sync->done.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(sync->mutex);
+  sync->done.wait(lock, [&sync] { return sync->remaining == 0; });
+}
+
+void WorkerPool::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RouteServer
+
+RouteServer::RouteServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+RouteServer::~RouteServer() { stop(); }
+
+util::Status RouteServer::start() {
+  pool_ = std::make_unique<WorkerPool>(options_.pool_workers);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return errno_status("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return errno_status("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return errno_status("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return util::Status::ok();
+}
+
+void RouteServer::begin_drain() noexcept {
+  draining_.store(true, std::memory_order_release);
+  drain_token_.request_cancel();  // atomic store; signal-handler safe
+}
+
+void RouteServer::accept_loop() {
+  while (!draining()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    reap_handlers(/*join_all=*/false);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (draining()) {
+      ::close(fd);
+      break;
+    }
+
+    // Bounded admission: beyond max_requests in flight, reject loudly
+    // instead of queueing unboundedly.  The client sees a structured,
+    // retryable error, not a hang.
+    if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_line(fd, api::response_error_line(util::Status::resource_exhausted(
+                        "server at capacity (" +
+                        std::to_string(options_.max_requests) +
+                        " requests in flight); retry later")));
+      ::close(fd);
+      continue;
+    }
+
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    const std::lock_guard<std::mutex> lock(handlers_mutex_);
+    handlers_.push_back(Handler{
+        std::thread([this, fd, done] { handle_connection(fd, done); }), done});
+  }
+}
+
+void RouteServer::handle_connection(
+    int fd, const std::shared_ptr<std::atomic<bool>>& done) {
+  struct ConnectionGuard {
+    RouteServer* server;
+    int fd;
+    const std::shared_ptr<std::atomic<bool>>& done;
+    ~ConnectionGuard() {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      server->active_.fetch_sub(1, std::memory_order_acq_rel);
+      done->store(true, std::memory_order_release);
+    }
+  } guard{this, fd, done};
+
+  // One request line per connection.
+  std::string line;
+  char chunk[4096];
+  bool complete = false;
+  while (!complete) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return;  // client vanished before finishing the request
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] == '\n') {
+        complete = true;
+        break;
+      }
+      line.push_back(chunk[i]);
+    }
+    if (line.size() > options_.max_request_bytes) {
+      send_line(fd, api::response_error_line(util::Status::invalid_input(
+                        "request exceeds " +
+                        std::to_string(options_.max_request_bytes) +
+                        " bytes")));
+      return;
+    }
+  }
+
+  std::string parse_error;
+  const auto request = api::parse_request(line, &parse_error);
+  if (!request) {
+    send_line(fd,
+              api::response_error_line(util::Status::invalid_input(parse_error)));
+    return;
+  }
+  if (!options_.quiet) {
+    std::fprintf(stderr, "[sadp_routed] request: %zu job(s), workers=%d\n",
+                 request->jobs.size(), request->workers);
+  }
+  if (options_.on_request_admitted) options_.on_request_admitted();
+
+  // Client disconnect maps onto the request's cancel token: the first
+  // failed row write cancels the batch's in-flight jobs cooperatively.
+  const util::CancelToken cancel = util::CancelToken::cancellable();
+  std::atomic<bool> client_gone{false};
+  std::size_t streamed = 0;
+  const std::size_t total = request->jobs.size();
+
+  api::DispatchOptions hooks;
+  hooks.cancel = cancel;
+  hooks.drain = drain_token_;
+  hooks.executor = pool_.get();
+  hooks.max_workers = pool_->size();
+  // on_job_done is serialized by the engine, so `streamed` needs no lock.
+  hooks.on_job_done = [&](const engine::JobOutcome& outcome, std::size_t,
+                          std::size_t) {
+    if (client_gone.load(std::memory_order_relaxed)) return;
+    if (!send_line(fd, api::response_row_line(outcome, ++streamed, total))) {
+      client_gone.store(true, std::memory_order_relaxed);
+      cancel.request_cancel();
+    }
+  };
+
+  const api::DispatchResult run = api::dispatch(*request, hooks);
+  if (!run.status.is_ok()) {
+    send_line(fd, api::response_error_line(run.status));
+    return;
+  }
+  if (client_gone.load(std::memory_order_relaxed)) return;
+
+  // Journal-restored rows never pass through on_job_done; stream them after
+  // the executed ones so the client still receives every row exactly once.
+  for (const engine::JobOutcome& outcome : run.batch.outcomes) {
+    if (!outcome.from_journal) continue;
+    if (!send_line(fd, api::response_row_line(outcome, ++streamed, total))) {
+      return;
+    }
+  }
+  send_line(fd, api::response_summary_line(run.batch, run.workers,
+                                           run.wall_seconds));
+  if (!options_.quiet) {
+    std::fprintf(stderr,
+                 "[sadp_routed] batch done: ok=%zu degraded=%zu failed=%zu "
+                 "timeout=%zu cancelled=%zu resumed=%zu (%.2fs)\n",
+                 run.batch.ok, run.batch.degraded, run.batch.failed,
+                 run.batch.timed_out, run.batch.cancelled, run.batch.resumed,
+                 run.wall_seconds);
+  }
+}
+
+void RouteServer::reap_handlers(bool join_all) {
+  const std::lock_guard<std::mutex> lock(handlers_mutex_);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (join_all || it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RouteServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  begin_drain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_handlers(/*join_all=*/true);
+  if (pool_) pool_->shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signal plumbing
+
+namespace {
+
+std::atomic<RouteServer*> g_drain_target{nullptr};
+
+extern "C" void sadp_drain_signal_handler(int) {
+  RouteServer* server = g_drain_target.load(std::memory_order_acquire);
+  if (server != nullptr) server->begin_drain();
+}
+
+}  // namespace
+
+void install_sigterm_drain(RouteServer* server) {
+  g_drain_target.store(server, std::memory_order_release);
+  struct sigaction action{};
+  if (server != nullptr) {
+    action.sa_handler = sadp_drain_signal_handler;
+    sigemptyset(&action.sa_mask);
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace sadp::server

@@ -1,0 +1,161 @@
+// Long-lived routing service: a TCP daemon around api::dispatch.
+//
+// sadp_routed listens on a loopback TCP port and speaks the
+// newline-delimited JSON protocol of src/api/flow_api.hpp: one
+// sadp.flow_request.v1 line in, a stream of sadp.flow_response.v1 lines
+// out (one "row" per finished job in completion order, then one "batch"
+// summary — or a single "error" line).
+//
+// Resource model: the server owns ONE WorkerPool for its whole lifetime;
+// every admitted request runs its FlowEngine drain loops on that shared
+// pool (engine::Executor), so N concurrent batches share a fixed set of
+// threads instead of multiplying them.  Admission is bounded: at most
+// `max_requests` requests are in flight, and a request beyond that is
+// rejected immediately with a structured `resource_exhausted` error line —
+// explicit overload, never an unbounded queue.
+//
+// Cancellation and shutdown:
+//   * client disconnect — a failed row write fires the request's cancel
+//     token, which stops that batch's in-flight jobs cooperatively;
+//   * per-job / batch deadlines — carried inside the request, enforced by
+//     the engine's CancelToken chains as in-process runs;
+//   * SIGTERM / stop() — fires the server-wide *drain* token: running jobs
+//     finish (and are journaled / streamed), unstarted jobs come back
+//     kCancelled, the listener closes, and the process exits cleanly.  A
+//     journaled batch interrupted this way completes under --resume.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/flow_api.hpp"
+#include "engine/flow_engine.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace sadp::server {
+
+/// Fixed pool of persistent worker threads implementing engine::Executor.
+/// run_parallel enqueues the engine's drain loops and blocks the calling
+/// (connection handler) thread until they finish; concurrent requests
+/// interleave their loops on the same threads, FIFO.
+class WorkerPool : public engine::Executor {
+ public:
+  /// `workers` <= 0 means hardware concurrency (at least 1).
+  explicit WorkerPool(int workers);
+  ~WorkerPool() override;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  void run_parallel(int tasks, const std::function<void(int)>& work) override;
+
+  /// Reject further work and join the threads.  Idempotent; called by the
+  /// destructor.  Pending tasks still run (drain loops exit quickly once
+  /// their batch token fires, so shutdown after begin_drain is prompt).
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the chosen one back with
+  /// port()).  The daemon is a local trusted service — it never binds a
+  /// non-loopback address.
+  int port = 0;
+  /// Shared pool size; 0 = hardware concurrency.  Every request's engine
+  /// worker count is capped to this.
+  int pool_workers = 0;
+  /// Admission bound: requests in flight beyond this are rejected with a
+  /// resource_exhausted error line.
+  int max_requests = 4;
+  /// Reject request lines longer than this (protocol hygiene).
+  std::size_t max_request_bytes = 16u << 20;
+  /// Suppress the per-request stderr log lines.
+  bool quiet = false;
+  /// Test hook: invoked on the handler thread after a request is parsed and
+  /// admitted, before it is dispatched.  Blocking here holds the admission
+  /// slot, which is how the overload test makes rejection deterministic.
+  std::function<void()> on_request_admitted;
+};
+
+class RouteServer {
+ public:
+  explicit RouteServer(ServerOptions options = {});
+  ~RouteServer();
+
+  RouteServer(const RouteServer&) = delete;
+  RouteServer& operator=(const RouteServer&) = delete;
+
+  /// Bind + listen on 127.0.0.1 and start the accept loop.
+  [[nodiscard]] util::Status start();
+
+  /// The bound port (after start()).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Begin graceful drain: stop accepting, let running jobs finish, skip
+  /// unstarted ones (kCancelled).  Async-signal-safe (atomic stores only) —
+  /// this is the SIGTERM handler's entry point.  Idempotent.
+  void begin_drain() noexcept;
+
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Drain, join the accept loop and every connection handler, shut the
+  /// pool down and close the socket.  Idempotent; called by the destructor.
+  void stop();
+
+  /// Requests rejected for overload so far.
+  [[nodiscard]] std::size_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void handle_connection(int fd, const std::shared_ptr<std::atomic<bool>>& done);
+  void reap_handlers(bool join_all);
+
+  ServerOptions options_;
+  std::unique_ptr<WorkerPool> pool_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  util::CancelToken drain_token_ = util::CancelToken::cancellable();
+  std::atomic<int> active_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::mutex handlers_mutex_;
+  std::list<Handler> handlers_;
+  bool stopped_ = false;
+};
+
+/// Route SIGTERM and SIGINT to server->begin_drain() (one server per
+/// process).  Pass nullptr to restore the default disposition.
+void install_sigterm_drain(RouteServer* server);
+
+}  // namespace sadp::server

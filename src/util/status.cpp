@@ -8,7 +8,7 @@ StatusCode parse_status_code(const std::string& name) noexcept {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kUnroutable,
         StatusCode::kSolverTimeout, StatusCode::kCancelled,
-        StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
     if (name == status_code_name(code)) return code;
   }
   return StatusCode::kInternal;

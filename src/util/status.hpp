@@ -4,12 +4,15 @@
 // codes so that batch drivers can aggregate, journal and react to failures
 // without string-matching messages:
 //
-//   kOk            success
-//   kInvalidInput  malformed/out-of-range external input (netlist, spec, CLI)
-//   kUnroutable    the instance cannot be completed (no routing exists)
-//   kSolverTimeout a deadline or search budget expired before completion
-//   kCancelled     an external cancellation request stopped the work
-//   kInternal      invariant violation / unexpected exception (a bug)
+//   kOk                success
+//   kInvalidInput      malformed/out-of-range external input (netlist, spec,
+//                      CLI, flow request)
+//   kUnroutable        the instance cannot be completed (no routing exists)
+//   kSolverTimeout     a deadline or search budget expired before completion
+//   kCancelled         an external cancellation request stopped the work
+//   kResourceExhausted a bounded queue or capacity limit rejected the work
+//                      (the routing service's overload answer; retryable)
+//   kInternal          invariant violation / unexpected exception (a bug)
 //
 // `util::Status` is the value-style carrier (code + human-readable message);
 // `sadp::FlowError` is the exception-style carrier used where an error must
@@ -32,6 +35,7 @@ enum class StatusCode : std::uint8_t {
   kUnroutable,
   kSolverTimeout,
   kCancelled,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -42,6 +46,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kUnroutable: return "unroutable";
     case StatusCode::kSolverTimeout: return "solver_timeout";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kInternal: return "internal";
   }
   return "?";
@@ -69,6 +74,9 @@ class Status {
   }
   [[nodiscard]] static Status cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
   [[nodiscard]] static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

@@ -1,0 +1,301 @@
+// api::FlowRequest / FlowResponse: schema round-trips, validation, and the
+// shared dispatch path every front end (CLI, daemon, client) goes through.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/flow_api.hpp"
+#include "engine/flow_engine.hpp"
+#include "engine/journal.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace sadp;
+
+netlist::BenchSpec tiny_spec(const char* name, int side = 40, int nets = 15) {
+  netlist::BenchSpec spec;
+  spec.name = name;
+  spec.width = side;
+  spec.height = side;
+  spec.num_nets = nets;
+  return spec;
+}
+
+api::FlowRequest tiny_request() {
+  api::FlowRequest request;
+  request.keep_going = true;
+  api::JobRequest job;
+  job.label = "api_a";
+  job.spec = tiny_spec("api_a");
+  job.dvi_method = core::DviMethod::kHeuristic;
+  request.jobs.push_back(job);
+  return request;
+}
+
+/// The non-timing payload of an ExperimentResult, for equality checks.
+std::string result_fingerprint(const core::ExperimentResult& r) {
+  std::string out = r.benchmark;
+  out += '|' + std::to_string(r.routing.routed_all);
+  out += '|' + std::to_string(r.routing.wirelength);
+  out += '|' + std::to_string(r.routing.via_count);
+  out += '|' + std::to_string(r.routing.rr_iterations);
+  out += '|' + std::to_string(r.single_vias);
+  out += '|' + std::to_string(r.dvi_candidates);
+  out += '|' + std::to_string(r.dvi.dead_vias);
+  out += '|' + std::to_string(r.dvi.uncolorable);
+  for (const int dvic : r.dvi.inserted) out += ',' + std::to_string(dvic);
+  return out;
+}
+
+TEST(FlowApi, RequestRoundTripsThroughTheWireFormat) {
+  api::FlowRequest request;
+  request.workers = 3;
+  request.batch_deadline_seconds = 12.5;
+  request.keep_going = true;
+  request.journal_path = "runs.jsonl";
+  request.resume = true;
+
+  api::JobRequest by_benchmark;
+  by_benchmark.label = "row1";
+  by_benchmark.arm = "armA";
+  by_benchmark.benchmark = "ecc";
+  by_benchmark.scaled = false;
+  by_benchmark.style = grid::SadpStyle::kSid;
+  by_benchmark.consider_dvi = false;
+  by_benchmark.dvi_method = core::DviMethod::kExact;
+  by_benchmark.ilp_limit_seconds = 7.0;
+  by_benchmark.degrade_dvi = true;
+  by_benchmark.deadline_seconds = 3.0;
+  request.jobs.push_back(by_benchmark);
+
+  api::JobRequest by_spec;
+  by_spec.label = "row2";
+  by_spec.spec = tiny_spec("gen", 48, 20);
+  by_spec.spec->row_structured = true;
+  by_spec.spec->seed = 1234;
+  request.jobs.push_back(by_spec);
+
+  api::JobRequest by_file;
+  by_file.label = "row3";
+  by_file.netlist_path = "/tmp/design.nl";
+  request.jobs.push_back(by_file);
+
+  const std::string line = api::serialize_request(request);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, NDJSON framing
+
+  std::string error;
+  const auto parsed = api::parse_request(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->workers, 3);
+  EXPECT_DOUBLE_EQ(parsed->batch_deadline_seconds, 12.5);
+  EXPECT_TRUE(parsed->keep_going);
+  EXPECT_EQ(parsed->journal_path, "runs.jsonl");
+  EXPECT_TRUE(parsed->resume);
+  ASSERT_EQ(parsed->jobs.size(), 3u);
+
+  const api::JobRequest& j0 = parsed->jobs[0];
+  EXPECT_EQ(j0.label, "row1");
+  EXPECT_EQ(j0.arm, "armA");
+  EXPECT_EQ(j0.benchmark, "ecc");
+  EXPECT_FALSE(j0.scaled);
+  EXPECT_EQ(j0.style, grid::SadpStyle::kSid);
+  EXPECT_FALSE(j0.consider_dvi);
+  EXPECT_EQ(j0.dvi_method, core::DviMethod::kExact);
+  EXPECT_DOUBLE_EQ(j0.ilp_limit_seconds, 7.0);
+  EXPECT_TRUE(j0.degrade_dvi);
+  EXPECT_DOUBLE_EQ(j0.deadline_seconds, 3.0);
+
+  const api::JobRequest& j1 = parsed->jobs[1];
+  ASSERT_TRUE(j1.spec.has_value());
+  EXPECT_EQ(j1.spec->name, "gen");
+  EXPECT_EQ(j1.spec->width, 48);
+  EXPECT_EQ(j1.spec->num_nets, 20);
+  EXPECT_TRUE(j1.spec->row_structured);
+  EXPECT_EQ(j1.spec->seed, 1234u);
+
+  EXPECT_EQ(parsed->jobs[2].netlist_path, "/tmp/design.nl");
+}
+
+TEST(FlowApi, ParseRequestRejectsBadInputAndIgnoresUnknownMembers) {
+  std::string error;
+  EXPECT_FALSE(api::parse_request("not json", &error).has_value());
+  EXPECT_FALSE(api::parse_request("{\"schema\":\"wrong.v1\",\"jobs\":[]}",
+                                  &error)
+                   .has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  // A mistyped known field is an error...
+  EXPECT_FALSE(
+      api::parse_request("{\"schema\":\"sadp.flow_request.v1\","
+                         "\"workers\":\"four\",\"jobs\":[]}",
+                         &error)
+          .has_value());
+  // ...an unknown member is forward compatibility, not an error.
+  const auto parsed = api::parse_request(
+      "{\"schema\":\"sadp.flow_request.v1\",\"future_field\":1,"
+      "\"jobs\":[{\"benchmark\":\"ecc\",\"another\":true}]}",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->jobs.size(), 1u);
+  EXPECT_EQ(parsed->jobs[0].benchmark, "ecc");
+
+  // Unknown style / dvi_method names are errors (they silently change what
+  // would run otherwise).
+  EXPECT_FALSE(api::parse_request(
+                   "{\"schema\":\"sadp.flow_request.v1\","
+                   "\"jobs\":[{\"benchmark\":\"ecc\",\"style\":\"EUV\"}]}",
+                   &error)
+                   .has_value());
+}
+
+TEST(FlowApi, ValidateCatchesStructuralErrors) {
+  api::FlowRequest empty;
+  EXPECT_EQ(api::validate(empty).code(), util::StatusCode::kInvalidInput);
+
+  api::FlowRequest two_sources = tiny_request();
+  two_sources.jobs[0].benchmark = "ecc";  // spec is set too
+  EXPECT_EQ(api::validate(two_sources).code(),
+            util::StatusCode::kInvalidInput);
+
+  api::FlowRequest no_source = tiny_request();
+  no_source.jobs[0].spec.reset();
+  EXPECT_EQ(api::validate(no_source).code(), util::StatusCode::kInvalidInput);
+
+  api::FlowRequest resume_without_journal = tiny_request();
+  resume_without_journal.resume = true;
+  EXPECT_EQ(api::validate(resume_without_journal).code(),
+            util::StatusCode::kInvalidInput);
+
+  api::FlowRequest negative_deadline = tiny_request();
+  negative_deadline.jobs[0].deadline_seconds = -1.0;
+  EXPECT_EQ(api::validate(negative_deadline).code(),
+            util::StatusCode::kInvalidInput);
+
+  // Duplicate effective labels alias rows (and the resume journal).
+  api::FlowRequest duplicates = tiny_request();
+  duplicates.jobs.push_back(duplicates.jobs[0]);
+  const util::Status dup = api::validate(duplicates);
+  EXPECT_EQ(dup.code(), util::StatusCode::kInvalidInput);
+  EXPECT_NE(dup.message().find("duplicate"), std::string::npos);
+
+  EXPECT_TRUE(api::validate(tiny_request()).is_ok());
+}
+
+TEST(FlowApi, UnknownBenchmarkFailsAtMaterialization) {
+  api::FlowRequest request;
+  api::JobRequest job;
+  job.benchmark = "nosuchckt";
+  request.jobs.push_back(job);
+  const api::DispatchResult run = api::dispatch(request);
+  EXPECT_EQ(run.status.code(), util::StatusCode::kInvalidInput);
+  EXPECT_NE(run.status.message().find("unknown benchmark nosuchckt"),
+            std::string::npos);
+  EXPECT_TRUE(run.batch.outcomes.empty());  // nothing executed
+}
+
+TEST(FlowApi, DispatchMatchesDirectFlowEngine) {
+  // The api layer is plumbing, not policy: dispatching a request must
+  // produce the same rows as hand-assembling the jobs.
+  api::FlowRequest request = tiny_request();
+  api::JobRequest second;
+  second.label = "api_b";
+  second.spec = tiny_spec("api_b", 44, 18);
+  second.dvi_method = core::DviMethod::kHeuristic;
+  request.jobs.push_back(second);
+
+  const api::DispatchResult via_api = api::dispatch(request);
+  ASSERT_TRUE(via_api.status.is_ok());
+
+  std::vector<engine::FlowJob> jobs;
+  ASSERT_TRUE(api::to_flow_jobs(request, &jobs).is_ok());
+  const engine::BatchResult direct =
+      engine::FlowEngine(api::engine_options(request)).run(std::move(jobs));
+
+  ASSERT_EQ(via_api.batch.outcomes.size(), direct.outcomes.size());
+  for (std::size_t i = 0; i < direct.outcomes.size(); ++i) {
+    EXPECT_EQ(via_api.batch.outcomes[i].label, direct.outcomes[i].label);
+    EXPECT_EQ(result_fingerprint(via_api.batch.outcomes[i].result),
+              result_fingerprint(direct.outcomes[i].result));
+  }
+  EXPECT_GE(via_api.workers, 1);
+  EXPECT_GE(via_api.wall_seconds, 0.0);
+}
+
+TEST(FlowApi, ResponseRowEmbedsTheJournalObjectBitIdentically) {
+  const api::DispatchResult run = api::dispatch(tiny_request());
+  ASSERT_TRUE(run.status.is_ok());
+  ASSERT_EQ(run.batch.outcomes.size(), 1u);
+  const engine::JobOutcome& outcome = run.batch.outcomes[0];
+
+  const std::string line = api::response_row_line(outcome, 1, 1);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  // The embedded outcome object IS the journal record, byte for byte.
+  EXPECT_NE(line.find(engine::journal_line(outcome)), std::string::npos);
+
+  std::string error;
+  const auto event = api::parse_response_line(line, &error);
+  ASSERT_TRUE(event.has_value()) << error;
+  EXPECT_EQ(event->kind, api::ResponseEvent::Kind::kRow);
+  EXPECT_EQ(event->done, 1u);
+  EXPECT_EQ(event->total, 1u);
+  EXPECT_EQ(event->outcome.label, outcome.label);
+  EXPECT_EQ(event->outcome.status, outcome.status);
+  EXPECT_EQ(result_fingerprint(event->outcome.result),
+            result_fingerprint(outcome.result));
+  // A row serialized again is identical to the first serialization: the
+  // schema loses nothing a journal resume (or a remote client) needs.
+  EXPECT_EQ(api::response_row_line(event->outcome, 1, 1), line);
+}
+
+TEST(FlowApi, SummaryAndErrorLinesRoundTrip) {
+  engine::BatchResult batch;
+  batch.outcomes.resize(5);
+  batch.ok = 2;
+  batch.degraded = 1;
+  batch.failed = 1;
+  batch.cancelled = 1;
+  batch.resumed = 2;
+  std::string error;
+  const auto summary = api::parse_response_line(
+      api::response_summary_line(batch, 4, 2.25), &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(summary->kind, api::ResponseEvent::Kind::kBatch);
+  EXPECT_EQ(summary->jobs, 5u);
+  EXPECT_EQ(summary->ok, 2u);
+  EXPECT_EQ(summary->degraded, 1u);
+  EXPECT_EQ(summary->failed, 1u);
+  EXPECT_EQ(summary->cancelled, 1u);
+  EXPECT_EQ(summary->resumed, 2u);
+  EXPECT_EQ(summary->workers, 4);
+  EXPECT_DOUBLE_EQ(summary->wall_seconds, 2.25);
+
+  const auto overload = api::parse_response_line(api::response_error_line(
+      util::Status::resource_exhausted("server at capacity")));
+  ASSERT_TRUE(overload.has_value());
+  EXPECT_EQ(overload->kind, api::ResponseEvent::Kind::kError);
+  EXPECT_EQ(overload->error.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(overload->error.message(), "server at capacity");
+}
+
+TEST(FlowApi, StyleAndMethodNamesParseBothWays) {
+  for (const grid::SadpStyle s :
+       {grid::SadpStyle::kSim, grid::SadpStyle::kSid, grid::SadpStyle::kSaqpSim,
+        grid::SadpStyle::kSimTrim}) {
+    const auto parsed = api::parse_style(grid::style_name(s));
+    ASSERT_TRUE(parsed.has_value()) << grid::style_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(api::parse_style("EUV").has_value());
+  for (const core::DviMethod m :
+       {core::DviMethod::kIlp, core::DviMethod::kHeuristic,
+        core::DviMethod::kExact}) {
+    const auto parsed = api::parse_dvi_method(core::dvi_method_name(m));
+    ASSERT_TRUE(parsed.has_value()) << core::dvi_method_name(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(api::parse_dvi_method("oracle").has_value());
+}
+
+}  // namespace

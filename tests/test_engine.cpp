@@ -182,6 +182,70 @@ TEST(FlowEngine, MetricsCsvHasOneRowPerJob) {
   EXPECT_EQ(csv.rfind("label,arm,status,error,benchmark,style,dvi_method,", 0), 0u);
 }
 
+TEST(FlowEngine, JournaledBatchRejectsDuplicateLabelsUpFront) {
+  // The journal is keyed by label, so a duplicate would alias rows on
+  // resume.  The whole batch is rejected before anything executes.
+  auto jobs = small_job_list();
+  jobs[1].label = jobs[0].label;
+  engine::EngineOptions options;
+  options.journal_path = testing::TempDir() + "engine_dup_journal.jsonl";
+  const auto batch = engine::FlowEngine(options).run(std::move(jobs));
+  EXPECT_EQ(batch.failed, batch.outcomes.size());
+  for (const auto& outcome : batch.outcomes) {
+    EXPECT_EQ(outcome.status, engine::JobStatus::kFailed);
+    EXPECT_EQ(outcome.error.code(), util::StatusCode::kInvalidInput);
+  }
+
+  // Un-journaled batches still allow duplicates (the bench tables reuse a
+  // circuit label across experiment arms).
+  auto unjournaled = small_job_list();
+  unjournaled.resize(2);
+  unjournaled[1].label = unjournaled[0].label;
+  EXPECT_EQ(engine::FlowEngine().run(std::move(unjournaled)).failed, 0u);
+}
+
+TEST(FlowEngine, FiredDrainTokenSkipsJobsAsCancelled) {
+  // Unlike `cancel`, the drain token only keeps new jobs from starting; a
+  // token fired before run() therefore skips everything cleanly.
+  engine::EngineOptions options;
+  options.drain = util::CancelToken::cancellable();
+  options.drain.request_cancel();
+  const auto batch = engine::FlowEngine(options).run(small_job_list());
+  EXPECT_EQ(batch.cancelled, batch.outcomes.size());
+  for (const auto& outcome : batch.outcomes) {
+    EXPECT_EQ(outcome.status, engine::JobStatus::kCancelled);
+  }
+}
+
+TEST(FlowEngine, ExternalExecutorSuppliesTheWorkerThreads) {
+  // An EngineOptions::executor replaces the engine's own thread spawning;
+  // results stay bit-identical to the self-threaded run.
+  struct InlineExecutor : engine::Executor {
+    int calls = 0;
+    void run_parallel(int tasks,
+                      const std::function<void(int)>& work) override {
+      for (int i = 0; i < tasks; ++i) work(i);
+      ++calls;
+    }
+  } executor;
+  engine::EngineOptions options;
+  options.executor = &executor;
+  options.num_workers = 4;
+  auto jobs = small_job_list();
+  jobs.resize(2);
+  const auto via_executor = engine::FlowEngine(options).run(std::move(jobs));
+  EXPECT_EQ(executor.calls, 1);
+
+  auto reference_jobs = small_job_list();
+  reference_jobs.resize(2);
+  const auto reference = engine::FlowEngine().run(std::move(reference_jobs));
+  ASSERT_EQ(via_executor.outcomes.size(), reference.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+    EXPECT_EQ(result_fingerprint(via_executor.outcomes[i].result),
+              result_fingerprint(reference.outcomes[i].result));
+  }
+}
+
 TEST(FlowEngine, ResolveWorkers) {
   EXPECT_EQ(engine::FlowEngine::resolve_workers(3), 3);
   EXPECT_GE(engine::FlowEngine::resolve_workers(0), 1);

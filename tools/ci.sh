@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local CI gate:
 #   1. Debug build with ASan+UBSan, full ctest
-#   2. Release build, full ctest
-#   3. Release bench smoke run; any `status=failed` progress line fails
+#   2. ASan server smoke: sadp_routed + sadp_route_client round trip
+#   3. Release build, full ctest
+#   4. Release bench smoke run; any `status=failed` progress line fails
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -20,6 +21,33 @@ run_suite() {
 echo "== Debug + ASan/UBSan =="
 run_suite build-asan -DCMAKE_BUILD_TYPE=Debug "-DSADP_SANITIZE=address,undefined"
 
+echo "== ASan server smoke (sadp_routed round trip) =="
+server_log="$(mktemp)"
+client_log="$(mktemp)"
+trap 'rm -f "$server_log" "$client_log"' EXIT
+./build-asan/apps/sadp_routed --port 0 --workers 1 > "$server_log" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$server_log")"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "server smoke: daemon never printed its port" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+./build-asan/tools/sadp_route_client --port "$port" --benchmark ecc \
+    --keep-going 2> >(tee "$client_log" >&2)
+if ! grep -q "status=ok" "$client_log"; then
+  echo "server smoke: no finished row from the client" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$server_pid"
+wait "$server_pid"   # set -e: a non-zero daemon exit fails the gate
+
 echo "== Release =="
 run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 
@@ -27,7 +55,7 @@ echo "== TSan trace smoke (--trace under 2 workers) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DSADP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target sadp_route sadp_flow_report
 trace_json="$(mktemp --suffix=.json)"
-trap 'rm -f "$trace_json"' EXIT
+trap 'rm -f "$server_log" "$client_log" "$trace_json"' EXIT
 ./build-tsan/apps/sadp_route --benchmark ecc,efc --jobs 2 --trace "$trace_json"
 for span in initial_routing congestion_rr route_net "job:" dvi; do
   if ! grep -q "\"$span" "$trace_json"; then
@@ -39,7 +67,7 @@ done
 
 echo "== bench smoke (scaled, heuristic-speed) =="
 smoke_log="$(mktemp)"
-trap 'rm -f "$trace_json" "$smoke_log"' EXIT
+trap 'rm -f "$server_log" "$client_log" "$trace_json" "$smoke_log"' EXIT
 ./build-ci/apps/sadp_route --benchmark all --jobs "$JOBS" --keep-going \
     2> >(tee "$smoke_log" >&2)
 if grep -q "status=failed" "$smoke_log"; then

@@ -1,0 +1,173 @@
+// sadp_route_client — submit a flow batch to a running sadp_routed daemon.
+//
+//   sadp_route_client --port 7471 --benchmark ecc,risc --keep-going
+//   sadp_route_client --port 7471 --benchmark all --journal runs.jsonl
+//   sadp_route_client --port 7471 --benchmark all --journal runs.jsonl --resume
+//
+// The request mirrors sadp_route's batch flags (the two front ends build
+// the same api::FlowRequest); rows stream back as they finish and the
+// summary table matches sadp_route's.  Exit codes: 0 all rows usable,
+// 1 otherwise (including server-side errors), 2 bad flags.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "netlist/bench_gen.hpp"
+#include "server/route_client.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sadp;
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) names.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string benchmark;
+  std::string style = "SIM";
+  std::string method = "heuristic";
+  bool full_scale = false;
+  bool no_dvi = false;
+  bool no_tpl = false;
+  api::FlowRequest request;
+  double ilp_limit = 60.0;
+  double deadline = 0.0;
+  bool degrade_dvi = false;
+
+  util::ArgParser parser("submit a flow batch to a running sadp_routed");
+  parser.add_string("--host", &host, "server host", "HOST");
+  parser.add_int("--port", &port, "server port (required)", "P");
+  parser.add_string("--benchmark", &benchmark,
+                    "benchmark name(s); comma-separated, or 'all'", "NAMES");
+  parser.add_flag("--full", &full_scale,
+                  "paper-scale benchmarks (default: scaled)");
+  parser.add_string("--style", &style, "SIM, SID, SAQP-SIM or SIM-TRIM",
+                    "STYLE");
+  parser.add_string("--dvi-method", &method, "heuristic, exact or ILP", "M");
+  parser.add_double("--ilp-limit", &ilp_limit,
+                    "DVI solver time limit in seconds", "S");
+  parser.add_flag("--no-dvi", &no_dvi, "disable DVI consideration in routing");
+  parser.add_flag("--no-tpl", &no_tpl, "disable via-layer TPL consideration");
+  parser.add_flag("--degrade-dvi", &degrade_dvi,
+                  "fall back to heuristic DVI when the ILP solver times out");
+  parser.add_int("--workers", &request.workers,
+                 "engine workers requested (server caps to its pool)", "N");
+  parser.add_double("--deadline", &deadline,
+                    "per-job wall-clock deadline in seconds (0 = none)", "S");
+  parser.add_double("--batch-deadline", &request.batch_deadline_seconds,
+                    "whole-batch wall-clock deadline in seconds (0 = none)",
+                    "S");
+  parser.add_flag("--keep-going", &request.keep_going,
+                  "keep running after a job fails (default fails fast)");
+  parser.add_string("--journal", &request.journal_path,
+                    "server-side crash-safe JSONL journal path", "FILE");
+  parser.add_flag("--resume", &request.resume,
+                  "skip jobs already recorded in the --journal file");
+  if (!parser.parse(argc, argv)) return 2;
+
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+  if (benchmark.empty()) {
+    std::fprintf(stderr, "--benchmark is required\n");
+    return 2;
+  }
+  if (request.resume && request.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
+    return 2;
+  }
+  const auto parsed_style = api::parse_style(style);
+  if (!parsed_style) {
+    std::fprintf(stderr, "unknown style: %s\n", style.c_str());
+    return 2;
+  }
+  const auto parsed_method = api::parse_dvi_method(method);
+  if (!parsed_method) {
+    std::fprintf(stderr, "unknown dvi method: %s\n", method.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> names = split_names(benchmark);
+  if (benchmark == "all") {
+    names.clear();
+    for (const auto& row : full_scale ? netlist::paper_benchmarks()
+                                      : netlist::scaled_benchmarks()) {
+      names.push_back(row.name);
+    }
+  }
+  for (const auto& name : names) {
+    api::JobRequest job;
+    job.label = name;
+    job.benchmark = name;
+    job.scaled = !full_scale;
+    job.style = *parsed_style;
+    job.dvi_method = *parsed_method;
+    job.consider_dvi = !no_dvi;
+    job.consider_tpl = !no_tpl;
+    job.ilp_limit_seconds = ilp_limit;
+    job.degrade_dvi = degrade_dvi;
+    job.deadline_seconds = deadline;
+    request.jobs.push_back(std::move(job));
+  }
+
+  const server::RemoteBatch batch = server::run_remote(
+      host, port, request,
+      [](const engine::JobOutcome& outcome, std::size_t done,
+         std::size_t total) {
+        std::fprintf(stderr, "[%zu/%zu] %s: status=%s%s\n", done, total,
+                     outcome.label.c_str(),
+                     engine::job_status_name(outcome.status),
+                     outcome.from_journal ? " (resumed)" : "");
+      });
+
+  if (!batch.status.is_ok()) {
+    std::fprintf(stderr, "server error: %s\n",
+                 batch.status.to_string().c_str());
+    return 1;
+  }
+
+  util::TextTable table(
+      {"CKT", "status", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
+  for (const auto& outcome : batch.rows) {
+    const core::ExperimentResult& r = outcome.result;
+    table.begin_row();
+    table.cell(outcome.label);
+    table.cell(engine::job_status_name(outcome.status));
+    table.cell(r.routing.wirelength);
+    table.cell(r.routing.via_count);
+    table.cell(r.routing.route_seconds, 1);
+    table.cell(r.dvi.dead_vias);
+    table.cell(r.dvi.uncolorable);
+    table.cell(!outcome.ok() ? "-" : (r.routing.routed_all ? "100%" : "NO"));
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "job %s %s: %s\n", outcome.label.c_str(),
+                   engine::job_status_name(outcome.status),
+                   outcome.error.to_string().c_str());
+    }
+  }
+  table.print();
+  std::printf(
+      "%zu jobs on %d server workers in %.2fs wall (%zu ok, %zu degraded, "
+      "%zu failed, %zu timeout, %zu cancelled, %zu resumed)\n",
+      batch.jobs, batch.workers, batch.wall_seconds, batch.ok, batch.degraded,
+      batch.failed, batch.timed_out, batch.cancelled, batch.resumed);
+  return batch.all_ok() ? 0 : 1;
+}

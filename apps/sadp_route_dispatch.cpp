@@ -1,0 +1,94 @@
+// sadp_route_dispatch — load-balancing front for a fleet of sadp_routed
+// backends.
+//
+//   sadp_route_dispatch --port 7470 --backends 127.0.0.1:7471,127.0.0.1:7472
+//
+// Clients speak to the dispatcher exactly as they would to one daemon
+// (same flow-request and control lines; sadp_route_client --port 7470
+// just works).  Each flow request is forwarded to the live backend with
+// the smallest advertised queue depth; a backend that dies mid-fleet is
+// routed around as long as zero response bytes have been relayed (see
+// src/server/dispatch.hpp for the commit rule).  "stats" against the
+// dispatcher aggregates the fleet and lists each backend as a peer row.
+//
+// Prints "dispatching on 127.0.0.1:<port>" once ready.  SIGTERM/SIGINT
+// exit after in-flight forwards complete.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "server/dispatch.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void stop_handler(int) { g_stop.store(true); }
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) out.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sadp::server::DispatcherOptions options;
+  std::string backends_csv;
+  bool quiet = false;
+  sadp::util::ArgParser parser(
+      "load-balancing front for a fleet of sadp_routed backends");
+  parser.add_int("--port", &options.port,
+                 "TCP port on 127.0.0.1 (0 = ephemeral, printed on startup)",
+                 "P");
+  parser.add_string("--backends", &backends_csv,
+                    "backend daemons (required)", "H:P,...");
+  parser.add_int("--probe-interval-ms", &options.probe_interval_ms,
+                 "stats-probe cadence", "MS");
+  parser.add_int("--stale-after-ms", &options.stale_after_ms,
+                 "probe age beyond which a backend is considered dead", "MS");
+  parser.add_flag("--quiet", &quiet, "suppress per-forward log lines");
+  if (!parser.parse(argc, argv)) return 2;
+  options.quiet = quiet;
+  options.backends = split_csv(backends_csv);
+  if (options.backends.empty()) {
+    std::fprintf(stderr, "--backends is required\n");
+    return 2;
+  }
+
+  sadp::server::RouteDispatcher dispatcher(options);
+  const sadp::util::Status started = dispatcher.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.to_string().c_str());
+    return 1;
+  }
+
+  struct sigaction action{};
+  action.sa_handler = stop_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::printf("dispatching on 127.0.0.1:%d\n", dispatcher.port());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "[sadp_route_dispatch] stopping\n");
+  dispatcher.stop();
+  return 0;
+}

@@ -1,11 +1,21 @@
 // sadp_routed — long-lived routing service daemon.
 //
 // Listens on a loopback TCP port and serves sadp.flow_request.v1 batches
-// (see DESIGN.md §11 and src/api/flow_api.hpp) over newline-delimited
-// JSON, running every request on one shared worker pool:
+// (see DESIGN.md §11-12 and src/api/flow_api.hpp) over newline-delimited
+// JSON on an epoll event loop, running every request on one shared worker
+// pool and answering repeated identical jobs from a content-addressed
+// result cache:
 //
 //   sadp_routed --port 7471 --workers 4 --max-requests 2
-//   sadp_routed --port 0        # ephemeral; the chosen port is printed
+//   sadp_routed --port 0                      # ephemeral; port is printed
+//   sadp_routed --port 7471 --cache-entries 0 # disable the result cache
+//   sadp_routed --port 7471 --beacon-peers 127.0.0.1:7472,127.0.0.1:7473
+//
+// Client modes (talk to a RUNNING daemon or dispatcher, then exit):
+//
+//   sadp_routed --stats --port 7471   # print queue/cache/peer stats
+//   sadp_routed --ping  --port 7471   # liveness probe (exit 0 when up)
+//   sadp_routed --drain --port 7471   # ask it to drain gracefully
 //
 // Prints "listening on 127.0.0.1:<port>" once ready (scripts wait for that
 // line).  SIGTERM/SIGINT drain gracefully: running jobs finish and are
@@ -13,14 +23,61 @@
 // exits 0.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "server/route_client.hpp"
 #include "server/route_server.hpp"
 #include "util/args.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) out.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int print_stats(const std::string& host, int port) {
+  sadp::api::StatsReply stats;
+  const sadp::util::Status got = sadp::server::query_stats(host, port, &stats);
+  if (!got.is_ok()) {
+    std::fprintf(stderr, "stats failed: %s\n", got.to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "queue_depth=%zu active=%zu rejected=%zu cache_hits=%zu "
+      "cache_misses=%zu pool=%d uptime=%.1fs draining=%s\n",
+      stats.queue_depth, stats.active, stats.rejected, stats.cache_hits,
+      stats.cache_misses, stats.pool_size, stats.uptime_seconds,
+      stats.draining ? "yes" : "no");
+  for (const auto& peer : stats.peers) {
+    std::printf("peer %s: queue_depth=%d active=%d age=%.2fs alive=%s\n",
+                peer.addr.c_str(), peer.queue_depth, peer.active,
+                peer.age_seconds, peer.alive ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   sadp::server::ServerOptions options;
   bool quiet = false;
+  bool stats_mode = false;
+  bool ping_mode = false;
+  bool drain_mode = false;
+  std::string host = "127.0.0.1";
+  std::string beacon_peers_csv;
+  int cache_entries = 256;
   sadp::util::ArgParser parser(
       "SADP routing service: sadp.flow_request.v1 batches over loopback TCP");
   parser.add_int("--port", &options.port,
@@ -31,13 +88,60 @@ int main(int argc, char** argv) {
   parser.add_int("--max-requests", &options.max_requests,
                  "admission bound; further requests get resource_exhausted",
                  "N");
+  parser.add_int("--cache-entries", &cache_entries,
+                 "result cache capacity in entries (0 = disabled)", "N");
+  parser.add_string("--beacon-peers", &beacon_peers_csv,
+                    "sibling daemons to gossip load beacons to", "H:P,...");
+  parser.add_int("--beacon-interval-ms", &options.beacon_interval_ms,
+                 "beacon cadence in milliseconds", "MS");
   parser.add_flag("--quiet", &quiet, "suppress per-request log lines");
+  parser.add_string("--host", &host, "client modes: server host", "HOST");
+  parser.add_flag("--stats", &stats_mode,
+                  "client mode: print a running daemon's stats and exit");
+  parser.add_flag("--ping", &ping_mode,
+                  "client mode: liveness probe (exit 0 when the daemon is up)");
+  parser.add_flag("--drain", &drain_mode,
+                  "client mode: ask a running daemon to drain gracefully");
   if (!parser.parse(argc, argv)) return 2;
   options.quiet = quiet;
+
+  if (stats_mode || ping_mode || drain_mode) {
+    if (options.port <= 0) {
+      std::fprintf(stderr, "client modes need --port of a running daemon\n");
+      return 2;
+    }
+    if (stats_mode) return print_stats(host, options.port);
+    if (ping_mode) {
+      double uptime = 0.0;
+      const sadp::util::Status up =
+          sadp::server::ping_remote(host, options.port, &uptime);
+      if (!up.is_ok()) {
+        std::fprintf(stderr, "ping failed: %s\n", up.to_string().c_str());
+        return 1;
+      }
+      std::printf("pong uptime=%.1fs\n", uptime);
+      return 0;
+    }
+    const sadp::util::Status drained =
+        sadp::server::drain_remote(host, options.port);
+    if (!drained.is_ok()) {
+      std::fprintf(stderr, "drain failed: %s\n", drained.to_string().c_str());
+      return 1;
+    }
+    std::printf("draining\n");
+    return 0;
+  }
+
   if (options.max_requests < 1) {
     std::fprintf(stderr, "--max-requests must be >= 1\n");
     return 2;
   }
+  if (cache_entries < 0) {
+    std::fprintf(stderr, "--cache-entries must be >= 0\n");
+    return 2;
+  }
+  options.cache_entries = static_cast<std::size_t>(cache_entries);
+  options.beacon_peers = split_csv(beacon_peers_csv);
 
   sadp::server::RouteServer server(options);
   const sadp::util::Status started = server.start();

@@ -1,0 +1,223 @@
+#include "api/control.hpp"
+
+#include "util/json.hpp"
+
+namespace sadp::api {
+
+namespace {
+
+bool read_opt_string(const util::JsonValue& doc, const char* key,
+                     std::string* out) {
+  const util::JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_string()) return false;
+  *out = v->string_value;
+  return true;
+}
+
+bool read_opt_int(const util::JsonValue& doc, const char* key, int* out) {
+  const util::JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number()) return false;
+  *out = static_cast<int>(v->number_value);
+  return true;
+}
+
+std::size_t read_count(const util::JsonValue& doc, const char* key) {
+  const util::JsonValue* v = doc.find(key);
+  return (v != nullptr && v->is_number())
+             ? static_cast<std::size_t>(v->number_value)
+             : 0u;
+}
+
+double read_double(const util::JsonValue& doc, const char* key) {
+  const util::JsonValue* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : 0.0;
+}
+
+bool read_flag(const util::JsonValue& doc, const char* key) {
+  const util::JsonValue* v = doc.find(key);
+  return v != nullptr && v->is_bool() && v->bool_value;
+}
+
+}  // namespace
+
+const char* control_type_name(ControlRequest::Type type) noexcept {
+  switch (type) {
+    case ControlRequest::Type::kPing: return "ping";
+    case ControlRequest::Type::kStats: return "stats";
+    case ControlRequest::Type::kDrain: return "drain";
+    case ControlRequest::Type::kBeacon: return "beacon";
+  }
+  return "?";
+}
+
+std::string serialize_control_request(const ControlRequest& request) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("type").value(control_type_name(request.type));
+  if (request.type == ControlRequest::Type::kBeacon) {
+    json.key("from").value(request.from);
+    json.key("queue_depth").value(request.queue_depth);
+    json.key("active").value(request.active);
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::optional<ControlRequest> parse_control_request(std::string_view line,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<ControlRequest> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("control line is not a JSON object: " + parse_error);
+  }
+  const util::JsonValue* schema = doc->find("schema");
+  if (schema != nullptr &&
+      (!schema->is_string() || schema->string_value != kControlSchema)) {
+    return fail("not a control line (schema present and not " +
+                std::string(kControlSchema) + ")");
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string()) {
+    return fail("control line without a string 'type' member");
+  }
+
+  ControlRequest request;
+  if (type->string_value == "ping") {
+    request.type = ControlRequest::Type::kPing;
+  } else if (type->string_value == "stats") {
+    request.type = ControlRequest::Type::kStats;
+  } else if (type->string_value == "drain") {
+    request.type = ControlRequest::Type::kDrain;
+  } else if (type->string_value == "beacon") {
+    request.type = ControlRequest::Type::kBeacon;
+  } else {
+    return fail("unknown control type '" + type->string_value + "'");
+  }
+  if (!read_opt_string(*doc, "from", &request.from) ||
+      !read_opt_int(*doc, "queue_depth", &request.queue_depth) ||
+      !read_opt_int(*doc, "active", &request.active)) {
+    return fail("malformed beacon payload");
+  }
+  return request;
+}
+
+bool looks_like_control_line(std::string_view line) noexcept {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  constexpr std::string_view kTypeKey = "\"type\"";
+  return line.substr(i, kTypeKey.size()) == kTypeKey;
+}
+
+std::string pong_line(double uptime_seconds) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("pong");
+  json.key("uptime_seconds").value(uptime_seconds);
+  json.end_object();
+  return json.str();
+}
+
+std::string draining_line() {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("draining");
+  json.end_object();
+  return json.str();
+}
+
+std::string stats_reply_line(const StatsReply& stats) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("stats");
+  json.key("queue_depth").value(stats.queue_depth);
+  json.key("active").value(stats.active);
+  json.key("rejected").value(stats.rejected);
+  json.key("cache_hits").value(stats.cache_hits);
+  json.key("cache_misses").value(stats.cache_misses);
+  json.key("pool_size").value(stats.pool_size);
+  json.key("uptime_seconds").value(stats.uptime_seconds);
+  json.key("draining").value(stats.draining);
+  json.key("peers").begin_array();
+  for (const PeerStatus& peer : stats.peers) {
+    json.begin_object();
+    json.key("addr").value(peer.addr);
+    json.key("queue_depth").value(peer.queue_depth);
+    json.key("active").value(peer.active);
+    json.key("age_seconds").value(peer.age_seconds);
+    json.key("alive").value(peer.alive);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<StatsReply> parse_stats_reply(std::string_view line,
+                                            std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<StatsReply> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("stats reply is not a JSON object: " + parse_error);
+  }
+  const util::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != kControlSchema) {
+    return fail(std::string("stats reply schema mismatch (want ") +
+                kControlSchema + ")");
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string() || type->string_value != "stats") {
+    return fail("not a stats reply");
+  }
+
+  StatsReply stats;
+  stats.queue_depth = read_count(*doc, "queue_depth");
+  stats.active = read_count(*doc, "active");
+  stats.rejected = read_count(*doc, "rejected");
+  stats.cache_hits = read_count(*doc, "cache_hits");
+  stats.cache_misses = read_count(*doc, "cache_misses");
+  stats.pool_size = static_cast<int>(read_count(*doc, "pool_size"));
+  stats.uptime_seconds = read_double(*doc, "uptime_seconds");
+  stats.draining = read_flag(*doc, "draining");
+  if (const util::JsonValue* peers = doc->find("peers");
+      peers != nullptr && peers->is_array()) {
+    for (const util::JsonValue& entry : peers->array) {
+      if (!entry.is_object()) continue;
+      PeerStatus peer;
+      if (!read_opt_string(entry, "addr", &peer.addr) ||
+          !read_opt_int(entry, "queue_depth", &peer.queue_depth) ||
+          !read_opt_int(entry, "active", &peer.active)) {
+        continue;
+      }
+      peer.age_seconds = read_double(entry, "age_seconds");
+      const util::JsonValue* alive = entry.find("alive");
+      peer.alive = alive == nullptr || !alive->is_bool() || alive->bool_value;
+      stats.peers.push_back(std::move(peer));
+    }
+  }
+  return stats;
+}
+
+}  // namespace sadp::api

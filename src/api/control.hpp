@@ -1,0 +1,105 @@
+// Control plane of the routing service (schema sadp.control.v1).
+//
+// Alongside sadp.flow_request.v1 batch lines, a daemon (and the
+// sadp_route_dispatch front) accepts tiny newline-delimited control lines
+// that are answered on the event loop itself — they never enter the
+// admission gate or touch the worker pool, so health probes keep working
+// while the server is saturated:
+//
+//   → {"type":"ping"}
+//   ← {"schema":"sadp.control.v1","type":"pong","uptime_seconds":12.3}
+//
+//   → {"type":"stats"}
+//   ← {"schema":"sadp.control.v1","type":"stats","queue_depth":1,...}
+//
+//   → {"type":"drain"}            // same effect as SIGTERM
+//   ← {"schema":"sadp.control.v1","type":"draining"}
+//
+//   → {"type":"beacon","from":"127.0.0.1:7447","queue_depth":2,"active":2}
+//     (no reply; the sender closes immediately)
+//
+// Beacons are the load/liveness gossip between sibling daemons — each
+// backend periodically tells its peers how deep its queue is, a miniature
+// of an OSPF hello.  The dispatcher's health probes are plain "stats"
+// round trips; a backend whose reply goes stale is routed around.
+//
+// A control line is recognized by leading with its "type" member (all
+// producers in this repo emit {"type":... first); anything carrying the
+// flow-request schema is never treated as control.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sadp::api {
+
+inline constexpr const char* kControlSchema = "sadp.control.v1";
+
+/// One inbound control line.
+struct ControlRequest {
+  enum class Type { kPing, kStats, kDrain, kBeacon };
+  Type type = Type::kPing;
+  // Beacon payload: the sender's advertised address and load.
+  std::string from;
+  int queue_depth = 0;
+  int active = 0;
+};
+
+[[nodiscard]] const char* control_type_name(ControlRequest::Type type) noexcept;
+
+/// One line of JSON (no trailing newline), "type" member first.
+[[nodiscard]] std::string serialize_control_request(
+    const ControlRequest& request);
+
+/// Parse a control line.  Unknown members are ignored; an unknown "type",
+/// a missing "type", or a line carrying the flow-request schema returns
+/// nullopt (and fills `error` when non-null).
+[[nodiscard]] std::optional<ControlRequest> parse_control_request(
+    std::string_view line, std::string* error = nullptr);
+
+/// Cheap routing test for the server's line demultiplexer: does this line
+/// lead with a "type" member (after the opening brace and whitespace)?
+/// Control producers always serialize "type" first; flow requests lead
+/// with "schema".
+[[nodiscard]] bool looks_like_control_line(std::string_view line) noexcept;
+
+// ---------------------------------------------------------------------------
+// Replies.
+
+/// One row of a stats reply's peer table: a sibling daemon known through
+/// beacons, or (in the dispatcher's stats) a backend known through probes.
+struct PeerStatus {
+  std::string addr;
+  int queue_depth = 0;
+  int active = 0;
+  double age_seconds = 0.0;  ///< since the last beacon / successful probe
+  bool alive = true;
+};
+
+/// The "stats" reply payload.
+struct StatsReply {
+  std::size_t queue_depth = 0;  ///< admitted flow requests in flight
+  std::size_t active = 0;       ///< same number today; kept distinct on the wire
+  std::size_t rejected = 0;     ///< admission rejections since startup
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  int pool_size = 0;            ///< worker threads (0 for the dispatcher)
+  double uptime_seconds = 0.0;
+  bool draining = false;
+  std::vector<PeerStatus> peers;
+};
+
+[[nodiscard]] std::string pong_line(double uptime_seconds);
+[[nodiscard]] std::string draining_line();
+[[nodiscard]] std::string stats_reply_line(const StatsReply& stats);
+
+/// Parse a stats reply line.  Counter members are optional (absent = 0) so
+/// newer clients keep parsing older daemons; a wrong schema or type is an
+/// error.
+[[nodiscard]] std::optional<StatsReply> parse_stats_reply(
+    std::string_view line, std::string* error = nullptr);
+
+}  // namespace sadp::api

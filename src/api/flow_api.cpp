@@ -346,36 +346,66 @@ engine::EngineOptions engine_options(const FlowRequest& request) {
   return options;
 }
 
-std::string response_row_line(const engine::JobOutcome& outcome,
-                              std::size_t done, std::size_t total) {
-  // The outcome payload is the journal record verbatim; splicing the
-  // pre-serialized object keeps the two schemas byte-identical by
-  // construction.
+std::string response_row_line_raw(std::string_view outcome_json,
+                                  std::size_t done, std::size_t total,
+                                  const char* cache) {
   std::string line = std::string("{\"schema\":\"") + kResponseSchema +
                      "\",\"type\":\"row\",\"done\":" + std::to_string(done) +
-                     ",\"total\":" + std::to_string(total) + ",\"outcome\":";
-  line += engine::journal_line(outcome);
+                     ",\"total\":" + std::to_string(total);
+  if (cache != nullptr) {
+    line += ",\"cache\":\"";
+    line += cache;
+    line += '"';
+  }
+  line += ",\"outcome\":";
+  line += outcome_json;
   line += '}';
   return line;
 }
 
-std::string response_summary_line(const engine::BatchResult& batch,
-                                  int workers, double wall_seconds) {
+std::string response_row_line(const engine::JobOutcome& outcome,
+                              std::size_t done, std::size_t total,
+                              const char* cache) {
+  // The outcome payload is the journal record verbatim; splicing the
+  // pre-serialized object keeps the two schemas byte-identical by
+  // construction.
+  return response_row_line_raw(engine::journal_line(outcome), done, total,
+                               cache);
+}
+
+std::string response_summary_line(const ResponseSummary& summary) {
   util::JsonWriter json;
   json.begin_object();
   json.key("schema").value(kResponseSchema);
   json.key("type").value("batch");
-  json.key("jobs").value(batch.outcomes.size());
-  json.key("ok").value(batch.ok);
-  json.key("degraded").value(batch.degraded);
-  json.key("failed").value(batch.failed);
-  json.key("timed_out").value(batch.timed_out);
-  json.key("cancelled").value(batch.cancelled);
-  json.key("resumed").value(batch.resumed);
-  json.key("workers").value(workers);
-  json.key("wall_seconds").value(wall_seconds);
+  json.key("jobs").value(summary.jobs);
+  json.key("ok").value(summary.ok);
+  json.key("degraded").value(summary.degraded);
+  json.key("failed").value(summary.failed);
+  json.key("timed_out").value(summary.timed_out);
+  json.key("cancelled").value(summary.cancelled);
+  json.key("resumed").value(summary.resumed);
+  json.key("cache_hits").value(summary.cache_hits);
+  json.key("cache_misses").value(summary.cache_misses);
+  json.key("workers").value(summary.workers);
+  json.key("wall_seconds").value(summary.wall_seconds);
   json.end_object();
   return json.str();
+}
+
+std::string response_summary_line(const engine::BatchResult& batch,
+                                  int workers, double wall_seconds) {
+  ResponseSummary summary;
+  summary.jobs = batch.outcomes.size();
+  summary.ok = batch.ok;
+  summary.degraded = batch.degraded;
+  summary.failed = batch.failed;
+  summary.timed_out = batch.timed_out;
+  summary.cancelled = batch.cancelled;
+  summary.resumed = batch.resumed;
+  summary.workers = workers;
+  summary.wall_seconds = wall_seconds;
+  return response_summary_line(summary);
 }
 
 std::string response_error_line(const util::Status& error) {
@@ -423,6 +453,10 @@ std::optional<ResponseEvent> parse_response_line(std::string_view line,
     }
     event.done = static_cast<std::size_t>(done);
     event.total = static_cast<std::size_t>(total);
+    // Optional: absent on rows from pre-cache daemons and non-cache paths.
+    if (!read_string(*doc, "cache", &event.cache, &field_error)) {
+      return fail(field_error);
+    }
     const util::JsonValue* outcome = doc->find("outcome");
     if (outcome == nullptr) return fail("row without an 'outcome' object");
     auto parsed = engine::parse_outcome_object(*outcome, &field_error);
@@ -434,6 +468,15 @@ std::optional<ResponseEvent> parse_response_line(std::string_view line,
     event.kind = ResponseEvent::Kind::kBatch;
     double jobs = 0, ok = 0, degraded = 0, failed = 0, timed_out = 0,
            cancelled = 0, resumed = 0;
+    // Cache counters are optional (absent = 0): summaries written before
+    // the result cache existed must keep parsing.
+    double cache_hits = 0, cache_misses = 0;
+    if (!read_number(*doc, "cache_hits", &cache_hits, &field_error) ||
+        !read_number(*doc, "cache_misses", &cache_misses, &field_error)) {
+      return fail(field_error);
+    }
+    event.cache_hits = static_cast<std::size_t>(cache_hits);
+    event.cache_misses = static_cast<std::size_t>(cache_misses);
     if (!read_number(*doc, "jobs", &jobs, &field_error) ||
         !read_number(*doc, "ok", &ok, &field_error) ||
         !read_number(*doc, "degraded", &degraded, &field_error) ||

@@ -119,14 +119,47 @@ struct FlowRequest {
 // order), one final "batch" summary line, or a single "error" line.
 
 /// {"schema":"sadp.flow_response.v1","type":"row","done":D,"total":T,
-///  "outcome":{<sadp.flow_journal.v1 object>}}
+///  ["cache":"hit"|"miss",] "outcome":{<sadp.flow_journal.v1 object>}}
+/// `cache` (nullptr = omit the member) records whether the serving daemon
+/// answered from its result cache; rows from paths that never consult the
+/// cache (CLI dispatch, journaled batches, journal-restored rows) omit it.
 [[nodiscard]] std::string response_row_line(const engine::JobOutcome& outcome,
                                             std::size_t done,
-                                            std::size_t total);
+                                            std::size_t total,
+                                            const char* cache = nullptr);
+
+/// A cache hit replays the stored journal-object bytes verbatim;
+/// `response_row_line_raw` wraps such a pre-serialized object in the row
+/// framing without re-encoding (this is what keeps hit rows byte-identical
+/// to the miss rows they were recorded from).
+[[nodiscard]] std::string response_row_line_raw(std::string_view outcome_json,
+                                                std::size_t done,
+                                                std::size_t total,
+                                                const char* cache);
+
+/// Counts of the final "batch" summary line.  `jobs` can exceed
+/// `ok+degraded+...` contributions of one engine run because cache-served
+/// rows never enter the engine.
+struct ResponseSummary {
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t cancelled = 0;
+  std::size_t resumed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  int workers = 0;
+  double wall_seconds = 0.0;
+};
 
 /// {"schema":...,"type":"batch","jobs":N,"ok":...,"degraded":...,
 ///  "failed":...,"timed_out":...,"cancelled":...,"resumed":...,
-///  "workers":W,"wall_seconds":S}
+///  "cache_hits":...,"cache_misses":...,"workers":W,"wall_seconds":S}
+[[nodiscard]] std::string response_summary_line(const ResponseSummary& summary);
+
+/// Convenience overload for callers with a plain engine batch (no cache).
 [[nodiscard]] std::string response_summary_line(
     const engine::BatchResult& batch, int workers, double wall_seconds);
 
@@ -141,7 +174,12 @@ struct ResponseEvent {
   engine::JobOutcome outcome;
   std::size_t done = 0;
   std::size_t total = 0;
-  // kBatch: the summary counts of the whole batch.
+  /// "hit" / "miss" when the serving daemon consulted its result cache;
+  /// empty when the row carried no cache member (older daemons, CLI rows,
+  /// journaled batches).
+  std::string cache;
+  // kBatch: the summary counts of the whole batch.  The cache counters are
+  // optional on the wire (absent = 0) so pre-cache summaries still parse.
   std::size_t jobs = 0;
   std::size_t ok = 0;
   std::size_t degraded = 0;
@@ -149,6 +187,8 @@ struct ResponseEvent {
   std::size_t timed_out = 0;
   std::size_t cancelled = 0;
   std::size_t resumed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   int workers = 0;
   double wall_seconds = 0.0;
   // kError: the structured server-side error.
@@ -157,6 +197,9 @@ struct ResponseEvent {
 
 /// Parse any response line.  nullopt + `error` on malformed input or a
 /// schema mismatch (a kError event is a successful parse, not a failure).
+/// The cache members ("cache" on rows, "cache_hits"/"cache_misses" on the
+/// summary) are optional, so rows written by pre-cache daemons — and old
+/// journals replayed through this parser — still parse.
 [[nodiscard]] std::optional<ResponseEvent> parse_response_line(
     std::string_view line, std::string* error = nullptr);
 

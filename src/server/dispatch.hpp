@@ -1,0 +1,130 @@
+// Multi-daemon front: sadp_route_dispatch accepts the same wire dialects
+// as sadp_routed and forwards each flow request to the least-loaded live
+// backend.
+//
+// The dispatcher holds no routing state of its own.  A probe thread sends
+// {"type":"stats"} to every configured backend on a fixed cadence and
+// records the advertised queue depth; a backend whose last successful
+// probe is older than `stale_after_ms` is considered dead and routed
+// around.  Backend selection picks the live backend with the smallest
+// advertised queue depth (ties broken by fewest requests forwarded so
+// far); backends that have never answered a probe are still tried last,
+// so the fleet works during the first probe cycle.
+//
+// Failover rule: a forwarded request may be retried on another backend
+// only while ZERO response bytes have been relayed to the client.  Once
+// the first byte is through, the dispatcher is committed — replaying a
+// half-streamed batch elsewhere would duplicate rows.  A backend that is
+// SIGKILLed therefore fails over transparently for every request it had
+// not yet started answering, and requests it was mid-stream on surface as
+// a truncated stream to that one client.
+//
+// Control lines are answered by the dispatcher itself: "ping" with its
+// own uptime, "stats" with fleet-aggregated depth plus one peer row per
+// backend (alive flag from probe age), "drain" by forwarding the drain to
+// every backend.  The front is intentionally tiny — one thread per client
+// connection is fine here because connections only live for one request.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/control.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace sadp::server {
+
+struct DispatcherOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral.
+  int port = 0;
+  /// Backend daemons ("host:port").  At least one is required.
+  std::vector<std::string> backends;
+  int probe_interval_ms = 200;
+  /// A backend whose last successful probe is older than this is dead.
+  int stale_after_ms = 1000;
+  std::size_t max_request_bytes = 16u << 20;
+  bool quiet = false;
+};
+
+/// One backend's state as seen by the dispatcher (for stats and tests).
+struct BackendSnapshot {
+  std::string addr;
+  bool alive = false;
+  int queue_depth = 0;
+  double probe_age_seconds = 0.0;
+  std::size_t forwarded = 0;
+};
+
+class RouteDispatcher {
+ public:
+  explicit RouteDispatcher(DispatcherOptions options);
+  ~RouteDispatcher();
+
+  RouteDispatcher(const RouteDispatcher&) = delete;
+  RouteDispatcher& operator=(const RouteDispatcher&) = delete;
+
+  [[nodiscard]] util::Status start();
+  [[nodiscard]] int port() const noexcept { return port_; }
+  void stop();
+
+  /// Requests that were retried on another backend after a dead first pick.
+  [[nodiscard]] std::size_t failovers() const noexcept {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<BackendSnapshot> backends() const;
+
+ private:
+  struct Backend {
+    std::string addr;
+    std::string host;
+    int port = 0;
+    double last_good_probe = -1.0;  ///< uptime seconds; <0 = never answered
+    int queue_depth = 0;
+    std::size_t forwarded = 0;
+  };
+
+  void probe_loop();
+  void accept_loop();
+  void handle_client(int fd);
+  void handle_control(int fd, const std::string& line);
+  /// Forward one request line; returns true once >=1 byte reached the
+  /// client (committed), false when the backend produced nothing.
+  bool forward_to(std::size_t backend_index, const std::string& line,
+                  int client_fd);
+  [[nodiscard]] bool backend_alive(const Backend& backend) const;
+  /// Try order: live backends by ascending advertised depth, then
+  /// never-probed/stale ones in configuration order.
+  [[nodiscard]] std::vector<std::size_t> pick_order() const;
+  [[nodiscard]] api::StatsReply fleet_stats() const;
+
+  DispatcherOptions options_;
+  util::Timer uptime_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::thread probe_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> failovers_{0};
+
+  mutable std::mutex backends_mutex_;
+  std::vector<Backend> backends_;
+
+  std::mutex probe_cv_mutex_;
+  std::condition_variable probe_cv_;
+
+  /// Detached handler threads, tracked as a waitgroup so stop() can block
+  /// until the last one finished.
+  std::mutex handlers_mutex_;
+  std::condition_variable handlers_cv_;
+  int handler_count_ = 0;
+
+  bool stopped_ = false;
+};
+
+}  // namespace sadp::server

@@ -1,0 +1,134 @@
+#include "server/result_cache.hpp"
+
+#include <cstdio>
+
+#include "engine/journal.hpp"
+#include "grid/colored_grid.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace sadp::server {
+
+std::string canonical_job_json(const api::JobRequest& job) {
+  // Members in sorted order, every default materialized.  Serializing
+  // through JsonWriter keeps number/string formatting identical to the
+  // wire schema, so this form is stable as long as the writer is.
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value(job.benchmark);
+  json.key("consider_dvi").value(job.consider_dvi);
+  json.key("consider_tpl").value(job.consider_tpl);
+  json.key("degrade_dvi").value(job.degrade_dvi);
+  json.key("dvi_method").value(core::dvi_method_name(job.dvi_method));
+  json.key("ilp_limit").value(job.ilp_limit_seconds);
+  json.key("netlist_path").value(job.netlist_path);
+  json.key("scaled").value(job.scaled);
+  if (job.spec.has_value()) {
+    const netlist::BenchSpec& spec = *job.spec;
+    json.key("spec").begin_object();
+    json.key("global_net_fraction").value(spec.global_net_fraction);
+    json.key("height").value(spec.height);
+    json.key("local_radius").value(spec.local_radius);
+    json.key("min_pin_spacing").value(spec.min_pin_spacing);
+    json.key("name").value(spec.name);
+    json.key("num_metal_layers").value(spec.num_metal_layers);
+    json.key("num_nets").value(spec.num_nets);
+    json.key("row_pitch").value(spec.row_pitch);
+    json.key("row_structured").value(spec.row_structured);
+    json.key("seed").value(static_cast<long long>(spec.seed));
+    json.key("width").value(spec.width);
+    json.end_object();
+  } else {
+    json.key("spec").value("");
+  }
+  json.key("style").value(grid::style_name(job.style));
+  json.end_object();
+  return json.str();
+}
+
+std::optional<std::string> job_cache_key(const api::JobRequest& job) {
+  // File-backed jobs hash the path, not the content — an edit on disk
+  // would silently serve stale rows, so they are never cached.  Jobs with
+  // a wall deadline can time out depending on machine load, which breaks
+  // the bit-identical-replay contract.
+  if (!job.netlist_path.empty()) return std::nullopt;
+  if (job.deadline_seconds > 0.0) return std::nullopt;
+  return canonical_job_json(job);
+}
+
+std::string cache_key_id(const std::string& canonical_key) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(util::fnv1a(canonical_key)));
+  return buffer;
+}
+
+std::string journal_object_prefix(const std::string& label,
+                                  const std::string& arm) {
+  std::string prefix = "{\"schema\":\"";
+  prefix += engine::kJournalSchema;
+  prefix += "\",\"from_journal\":false,\"label\":\"";
+  prefix += util::JsonWriter::escape(label);
+  prefix += "\",\"arm\":\"";
+  prefix += util::JsonWriter::escape(arm);
+  prefix += "\",";
+  return prefix;
+}
+
+std::optional<CachedRow> make_cached_row(const engine::JobOutcome& outcome) {
+  if (!outcome.ok() || outcome.from_journal) return std::nullopt;
+  const std::string line = engine::journal_line(outcome);
+  const std::string prefix =
+      journal_object_prefix(outcome.label, outcome.arm);
+  if (line.compare(0, prefix.size(), prefix) != 0) {
+    // Journal format drift: better an eternal miss than a wrong replay.
+    return std::nullopt;
+  }
+  CachedRow row;
+  row.suffix = line.substr(prefix.size());
+  row.degraded = outcome.status == engine::JobStatus::kDegraded;
+  return row;
+}
+
+std::string replay_journal_object(const CachedRow& row,
+                                  const std::string& label,
+                                  const std::string& arm) {
+  return journal_object_prefix(label, arm) + row.suffix;
+}
+
+std::optional<CachedRow> ResultCache::lookup(const std::string& key) {
+  if (capacity_ == 0) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);  // bump to MRU
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key, CachedRow row) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(row);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.emplace_front(key, std::move(row));
+  index_.emplace(key, entries_.begin());
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sadp::server

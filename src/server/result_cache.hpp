@@ -1,0 +1,128 @@
+// Content-addressed result cache of the routing service.
+//
+// Rows are deterministic: a job described by a benchmark name or an inline
+// generator spec produces bit-identical sadp.flow_journal.v1 records on
+// every run (the generator PRNG is seeded from the spec and solver
+// deadlines are charged against per-thread CPU time).  That makes repeated
+// requests byte-replayable — the cache stores the serialized journal
+// object of a finished job, keyed by a canonical hash of the job itself,
+// and a hit replays those bytes without touching the worker pool.
+//
+// Key normalization (canonical_job_json): the job is re-serialized with
+// the members in sorted order and every default materialized, so two
+// requests that differ only in member order, omitted defaults, or
+// display/execution fields address the same entry.  Excluded from the key:
+//   * label / arm          — display and journal keys; they never change
+//                            the routed result (the stored record's
+//                            label/arm are rewritten on replay);
+//   * workers / journal / resume / keep_going / batch_deadline — batch
+//                            execution policy; rows are proven
+//                            bit-identical at any worker count, and only
+//                            ok/degraded rows are cached so fail-fast and
+//                            batch-deadline statuses cannot leak in.
+// Uncacheable jobs (job_cache_key returns nullopt):
+//   * netlist_path sources — the file's content is not part of the key, so
+//                            an edit on disk would serve stale rows;
+//   * deadline_seconds > 0 — wall-deadline rows are inherently
+//                            non-deterministic (kTimeout depends on load).
+//
+// Replay byte-identity: the stored value is the journal object MINUS its
+// fixed prefix ({"schema":...,"from_journal":false,"label":...,"arm":...,)
+// which is re-synthesized with the requesting job's label/arm.  For the
+// same request the rebuilt line is byte-identical to the line a fresh
+// execution would stream (including the recorded timing fields — a hit
+// reports the original run's timings, which is what "replay" means).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "api/flow_api.hpp"
+#include "engine/flow_engine.hpp"
+
+namespace sadp::server {
+
+/// The canonical (sorted-keys, defaults-materialized) serialization of the
+/// flow-affecting fields of one job.  This string IS the cache address —
+/// keying by the full canonical form instead of its hash makes collisions
+/// impossible; the 64-bit FNV-1a of it (cache_key_id) is only a compact
+/// identifier for logs and traces.
+[[nodiscard]] std::string canonical_job_json(const api::JobRequest& job);
+
+/// The cache key of a job, or nullopt when the job must not be cached
+/// (netlist_path source, nonzero wall deadline).
+[[nodiscard]] std::optional<std::string> job_cache_key(
+    const api::JobRequest& job);
+
+/// Compact hex id of a canonical key, for logging.
+[[nodiscard]] std::string cache_key_id(const std::string& canonical_key);
+
+/// One cached row: the journal object with the label/arm prefix stripped,
+/// plus the bits of bookkeeping a replay needs to update the batch summary.
+struct CachedRow {
+  std::string suffix;      ///< journal-object bytes from "status" onward
+  bool degraded = false;   ///< kDegraded (vs kOk) — for summary counts
+};
+
+/// Build the journal-object prefix for a label/arm pair; a stored suffix
+/// appended to it reconstructs a full sadp.flow_journal.v1 object.
+[[nodiscard]] std::string journal_object_prefix(const std::string& label,
+                                                const std::string& arm);
+
+/// Split a freshly serialized journal line into prefix + suffix; nullopt
+/// when the line does not start with the expected prefix (format drift —
+/// the caller must then skip caching rather than ever replay wrong bytes).
+[[nodiscard]] std::optional<CachedRow> make_cached_row(
+    const engine::JobOutcome& outcome);
+
+/// Reconstruct the full journal object of a cached row under the
+/// requesting job's label/arm.
+[[nodiscard]] std::string replay_journal_object(const CachedRow& row,
+                                                const std::string& label,
+                                                const std::string& arm);
+
+/// Bounded, thread-safe LRU map from canonical job key to cached row.
+/// lookup() counts a hit or a miss; insert() of an existing key refreshes
+/// recency.  Only ok/degraded rows should ever be inserted.
+class ResultCache {
+ public:
+  /// `capacity` = max entries; 0 disables the cache (lookup always misses
+  /// without counting, insert is a no-op).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// Returns the cached row and counts a hit; nullopt counts a miss.
+  [[nodiscard]] std::optional<CachedRow> lookup(const std::string& key);
+
+  void insert(const std::string& key, CachedRow row);
+
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// MRU-first recency list; the map stores list iterators for O(1) bump.
+  std::list<std::pair<std::string, CachedRow>> entries_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, CachedRow>>::iterator>
+      index_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace sadp::server

@@ -4,7 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "util/rng.hpp"
 
 namespace sadp::server {
 
@@ -86,6 +90,7 @@ RemoteBatch run_remote(
       case api::ResponseEvent::Kind::kRow:
         if (on_row) on_row(event->outcome, event->done, event->total);
         batch.rows.push_back(std::move(event->outcome));
+        batch.row_cache.push_back(std::move(event->cache));
         break;
       case api::ResponseEvent::Kind::kBatch:
         batch.jobs = event->jobs;
@@ -95,6 +100,8 @@ RemoteBatch run_remote(
         batch.timed_out = event->timed_out;
         batch.cancelled = event->cancelled;
         batch.resumed = event->resumed;
+        batch.cache_hits = event->cache_hits;
+        batch.cache_misses = event->cache_misses;
         batch.workers = event->workers;
         batch.wall_seconds = event->wall_seconds;
         batch.summary_received = true;
@@ -125,6 +132,119 @@ RemoteBatch run_remote(
         "connection closed before the batch summary (server died?)");
   }
   return batch;
+}
+
+RemoteBatch run_remote_retry(
+    const std::string& host, int port, const api::FlowRequest& request,
+    const RetryOptions& retry,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row) {
+  util::Xoshiro256StarStar jitter(retry.seed != 0 ? retry.seed : 0x5adbull);
+  RemoteBatch batch;
+  for (int attempt = 0;; ++attempt) {
+    batch = run_remote(host, port, request, on_row);
+    batch.attempts = attempt + 1;
+    if (batch.status.code() != util::StatusCode::kResourceExhausted ||
+        attempt >= retry.retries) {
+      return batch;
+    }
+    // Full-jitter exponential backoff: uniform in (0, min(base*2^k, cap)].
+    double ceiling_ms = static_cast<double>(retry.base_delay_ms);
+    for (int k = 0; k < attempt && ceiling_ms < retry.max_delay_ms; ++k) {
+      ceiling_ms *= 2.0;
+    }
+    if (ceiling_ms > retry.max_delay_ms) {
+      ceiling_ms = static_cast<double>(retry.max_delay_ms);
+    }
+    const double delay_ms = jitter.uniform() * ceiling_ms;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(delay_ms * 1000.0) + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control round trips
+
+util::Status control_round_trip(const std::string& host, int port,
+                                const std::string& request_line,
+                                std::string* reply_line) {
+  std::string error;
+  const int fd = connect_to(host, port, &error);
+  if (fd < 0) return util::Status::internal(error);
+  if (!send_all(fd, request_line + "\n")) {
+    ::close(fd);
+    return util::Status::internal("send failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  reply_line->clear();
+  char chunk[4096];
+  bool complete = false;
+  while (!complete) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] == '\n') {
+        complete = true;
+        break;
+      }
+      reply_line->push_back(chunk[i]);
+    }
+  }
+  ::close(fd);
+  if (!complete) {
+    return util::Status::internal("connection closed before a control reply");
+  }
+  return util::Status::ok();
+}
+
+util::Status query_stats(const std::string& host, int port,
+                         api::StatsReply* reply) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kStats;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  std::string error;
+  const auto stats = api::parse_stats_reply(line, &error);
+  if (!stats) return util::Status::internal("bad stats reply: " + error);
+  *reply = *stats;
+  return util::Status::ok();
+}
+
+util::Status ping_remote(const std::string& host, int port,
+                         double* uptime_seconds) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kPing;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  if (line.find("\"type\":\"pong\"") == std::string::npos) {
+    return util::Status::internal("unexpected ping reply: " + line);
+  }
+  if (uptime_seconds != nullptr) {
+    const std::size_t at = line.find("\"uptime_seconds\":");
+    *uptime_seconds =
+        at == std::string::npos
+            ? 0.0
+            : std::strtod(line.c_str() + at + sizeof("\"uptime_seconds\":") - 1,
+                          nullptr);
+  }
+  return util::Status::ok();
+}
+
+util::Status drain_remote(const std::string& host, int port) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kDrain;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  if (line.find("\"type\":\"draining\"") == std::string::npos) {
+    return util::Status::internal("unexpected drain reply: " + line);
+  }
+  return util::Status::ok();
 }
 
 }  // namespace sadp::server

@@ -3,10 +3,12 @@
 // lines until the server closes the connection.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "api/control.hpp"
 #include "api/flow_api.hpp"
 #include "engine/flow_engine.hpp"
 #include "util/status.hpp"
@@ -21,6 +23,9 @@ struct RemoteBatch {
   /// (e.g. kResourceExhausted when the server rejected the request).
   util::Status status;
   std::vector<engine::JobOutcome> rows;
+  /// Per-row cache marker, aligned with `rows`: "hit" / "miss" when the
+  /// serving daemon consulted its result cache, "" otherwise.
+  std::vector<std::string> row_cache;
   // Counts of the final "batch" summary line.
   std::size_t jobs = 0;
   std::size_t ok = 0;
@@ -29,9 +34,13 @@ struct RemoteBatch {
   std::size_t timed_out = 0;
   std::size_t cancelled = 0;
   std::size_t resumed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   int workers = 0;
   double wall_seconds = 0.0;
   bool summary_received = false;
+  /// How many send attempts run_remote_retry used (1 = first try worked).
+  int attempts = 1;
 
   /// Usable end-to-end: transport ok, summary seen, every row ok/degraded.
   [[nodiscard]] bool all_ok() const noexcept {
@@ -48,5 +57,48 @@ struct RemoteBatch {
     const std::string& host, int port, const api::FlowRequest& request,
     const std::function<void(const engine::JobOutcome&, std::size_t done,
                              std::size_t total)>& on_row = {});
+
+/// Bounded retry with jittered exponential backoff for transient rejection.
+/// Off by default (`retries` = 0) so callers — and tests — only opt into
+/// waiting.  Only a resource_exhausted error (admission bound hit, server
+/// draining, no live dispatcher backend) is retried: it is the one status
+/// the protocol defines as "same request, later, may succeed".  The delay
+/// before attempt k is uniform in (0, min(base * 2^(k-1), max_delay)] —
+/// full jitter, so a thundering herd of rejected clients decorrelates.
+struct RetryOptions {
+  int retries = 0;          ///< extra attempts after the first
+  int base_delay_ms = 50;   ///< backoff scale for the first retry
+  int max_delay_ms = 2000;  ///< backoff cap (--retry-max-ms)
+  std::uint64_t seed = 0;   ///< jitter PRNG seed (deterministic per client)
+};
+
+/// run_remote plus the retry policy above; `batch.attempts` reports how
+/// many tries it took.
+[[nodiscard]] RemoteBatch run_remote_retry(
+    const std::string& host, int port, const api::FlowRequest& request,
+    const RetryOptions& retry,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row = {});
+
+// ---------------------------------------------------------------------------
+// Control-plane round trips (sadp.control.v1): one line out, one line back.
+
+/// Send one control line and read one reply line.
+[[nodiscard]] util::Status control_round_trip(const std::string& host,
+                                              int port,
+                                              const std::string& request_line,
+                                              std::string* reply_line);
+
+/// {"type":"stats"} → parsed StatsReply.
+[[nodiscard]] util::Status query_stats(const std::string& host, int port,
+                                       api::StatsReply* reply);
+
+/// {"type":"ping"} → server uptime (liveness probe).
+[[nodiscard]] util::Status ping_remote(const std::string& host, int port,
+                                       double* uptime_seconds = nullptr);
+
+/// {"type":"drain"} → ask the daemon (or a whole fleet, via the
+/// dispatcher) to begin graceful drain.
+[[nodiscard]] util::Status drain_remote(const std::string& host, int port);
 
 }  // namespace sadp::server

@@ -1,8 +1,10 @@
 #include "server/route_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,18 +20,42 @@ util::Status errno_status(const std::string& what) {
   return util::Status::internal(what + ": " + std::strerror(errno));
 }
 
-/// Write `line` + '\n' fully; false on any send failure (client gone).
-bool send_line(int fd, const std::string& line) {
-  std::string framed = line;
-  framed += '\n';
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// "host:port" -> (host, port); false on malformed input.
+bool split_host_port(const std::string& addr, std::string* host, int* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= addr.size()) return false;
+  *host = addr.substr(0, colon);
+  try {
+    *port = std::stoi(addr.substr(colon + 1));
+  } catch (...) {
+    return false;
   }
-  return true;
+  return *port > 0 && *port < 65536;
+}
+
+/// Blocking one-shot fire-and-forget line to host:port (beacon sender).
+void send_oneshot_line(const std::string& host, int port,
+                       const std::string& line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    const std::string framed = line + "\n";
+    (void)::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+  }
+  ::close(fd);
 }
 
 }  // namespace
@@ -110,6 +136,8 @@ RouteServer::~RouteServer() { stop(); }
 
 util::Status RouteServer::start() {
   pool_ = std::make_unique<WorkerPool>(options_.pool_workers);
+  cache_ = std::make_unique<ResultCache>(options_.cache_entries);
+  uptime_.reset();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return errno_status("socket");
@@ -124,7 +152,8 @@ util::Status RouteServer::start() {
              sizeof addr) != 0) {
     return errno_status("bind 127.0.0.1:" + std::to_string(options_.port));
   }
-  if (::listen(listen_fd_, 16) != 0) return errno_status("listen");
+  if (::listen(listen_fd_, 128) != 0) return errno_status("listen");
+  if (!set_nonblocking(listen_fd_)) return errno_status("fcntl listener");
 
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
@@ -134,173 +163,610 @@ util::Status RouteServer::start() {
   }
   port_ = ntohs(bound.sin_port);
 
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return errno_status("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return errno_status("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return errno_status("epoll_ctl listener");
+  }
+  listener_registered_ = true;
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return errno_status("epoll_ctl eventfd");
+  }
+
+  loop_thread_ = std::thread([this] { event_loop(); });
+  if (!options_.beacon_peers.empty()) {
+    beacon_thread_ = std::thread([this] { beacon_loop(); });
+  }
   return util::Status::ok();
 }
 
 void RouteServer::begin_drain() noexcept {
   draining_.store(true, std::memory_order_release);
   drain_token_.request_cancel();  // atomic store; signal-handler safe
+  // No wake here: this must stay async-signal-safe, and the event loop
+  // polls the flag within its timeout.
 }
 
-void RouteServer::accept_loop() {
-  while (!draining()) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
-    reap_handlers(/*join_all=*/false);
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+void RouteServer::wake() noexcept {
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof one);
+}
 
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    if (draining()) {
-      ::close(fd);
-      break;
+// ---------------------------------------------------------------------------
+// Event loop
+
+void RouteServer::event_loop() {
+  epoll_event events[64];
+  for (;;) {
+    // Drain: stop accepting, but keep serving in-flight connections.
+    if (draining() && listener_registered_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_registered_ = false;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Force idle (request-less) connections shut; running ones finish.
+      std::vector<std::shared_ptr<Connection>> idle;
+      for (const auto& [fd, conn] : connections_) {
+        if (!conn->runner_started ||
+            conn->runner_done.load(std::memory_order_acquire)) {
+          idle.push_back(conn);
+        }
+      }
+      for (const auto& conn : idle) {
+        // Give finished streams one last nonblocking flush before closing.
+        flush_output(conn);
+        close_connection(conn);
+      }
+      if (connections_.empty() && !listener_registered_) return;
     }
 
-    // Bounded admission: beyond max_requests in flight, reject loudly
-    // instead of queueing unboundedly.  The client sees a structured,
-    // retryable error, not a hang.
-    if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      send_line(fd, api::response_error_line(util::Status::resource_exhausted(
-                        "server at capacity (" +
-                        std::to_string(options_.max_requests) +
-                        " requests in flight); retry later")));
+    const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/100);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t counter = 0;
+        (void)!::read(wake_fd_, &counter, sizeof counter);
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        conn->client_gone.store(true, std::memory_order_release);
+        conn->cancel.request_cancel();
+        // Deregister entirely: EPOLLHUP is reported regardless of the
+        // interest mask, so a mere MOD would spin the loop until the
+        // runner (if any) finishes and the sweep reaps the connection.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        conn->events = 0;
+        continue;
+      }
+      if (mask & EPOLLIN) read_ready(conn);
+      if (mask & EPOLLOUT) flush_output(conn);
+      if ((mask & EPOLLRDHUP) && conn->state != ConnState::kReading) {
+        // Peer shut its write side after the request; it may still be
+        // reading our stream, so only stop watching for input.
+        update_interest(*conn, conn->events & ~(EPOLLIN | EPOLLRDHUP));
+      }
+    }
+
+    // Runners signal new output via the eventfd; push it out and close
+    // whatever both sides are done with.
+    sweep_connections();
+  }
+}
+
+void RouteServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or a transient error: back to epoll
+    if (draining()) {
       ::close(fd);
       continue;
     }
-
-    active_.fetch_add(1, std::memory_order_acq_rel);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    const std::lock_guard<std::mutex> lock(handlers_mutex_);
-    handlers_.push_back(Handler{
-        std::thread([this, fd, done] { handle_connection(fd, done); }), done});
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->events = EPOLLIN | EPOLLRDHUP;
+    epoll_event ev{};
+    ev.events = conn->events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
   }
 }
 
-void RouteServer::handle_connection(
-    int fd, const std::shared_ptr<std::atomic<bool>>& done) {
-  struct ConnectionGuard {
-    RouteServer* server;
-    int fd;
-    const std::shared_ptr<std::atomic<bool>>& done;
-    ~ConnectionGuard() {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-      server->active_.fetch_sub(1, std::memory_order_acq_rel);
-      done->store(true, std::memory_order_release);
-    }
-  } guard{this, fd, done};
-
-  // One request line per connection.
-  std::string line;
+void RouteServer::read_ready(const std::shared_ptr<Connection>& conn) {
   char chunk[4096];
-  bool complete = false;
-  while (!complete) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) return;  // client vanished before finishing the request
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n < 0) return;  // EAGAIN: request still arriving
+    if (n == 0) {
+      // EOF.  Before a request: the client vanished — drop the connection.
+      // After: the peer is done sending; treat a full close as gone.
+      if (conn->state == ConnState::kReading && conn->in.empty() &&
+          !conn->finish) {
+        close_connection(conn);
+      } else if (conn->state == ConnState::kReading) {
+        close_connection(conn);
+      } else {
+        update_interest(*conn, conn->events & ~(EPOLLIN | EPOLLRDHUP));
+      }
+      return;
+    }
+    if (conn->state != ConnState::kReading) continue;  // discard extra bytes
     for (ssize_t i = 0; i < n; ++i) {
       if (chunk[i] == '\n') {
-        complete = true;
+        std::string line = std::move(conn->in);
+        conn->in.clear();
+        handle_line(conn, std::move(line));
         break;
       }
-      line.push_back(chunk[i]);
+      conn->in.push_back(chunk[i]);
     }
-    if (line.size() > options_.max_request_bytes) {
-      send_line(fd, api::response_error_line(util::Status::invalid_input(
-                        "request exceeds " +
-                        std::to_string(options_.max_request_bytes) +
-                        " bytes")));
+    if (conn->state == ConnState::kReading &&
+        conn->in.size() > options_.max_request_bytes) {
+      enqueue_line(conn,
+                   api::response_error_line(util::Status::invalid_input(
+                       "request exceeds " +
+                       std::to_string(options_.max_request_bytes) + " bytes")),
+                   /*finish_after=*/true);
+      conn->state = ConnState::kFlushing;
       return;
     }
   }
+}
 
-  std::string parse_error;
-  const auto request = api::parse_request(line, &parse_error);
-  if (!request) {
-    send_line(fd,
-              api::response_error_line(util::Status::invalid_input(parse_error)));
+void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
+                              std::string line) {
+  if (api::looks_like_control_line(line)) {
+    conn->state = ConnState::kFlushing;
+    handle_control_line(conn, line);
     return;
   }
+
+  std::string parse_error;
+  auto request = api::parse_request(line, &parse_error);
+  if (!request) {
+    conn->state = ConnState::kFlushing;
+    enqueue_line(conn,
+                 api::response_error_line(
+                     util::Status::invalid_input(parse_error)),
+                 /*finish_after=*/true);
+    return;
+  }
+  if (draining()) {
+    conn->state = ConnState::kFlushing;
+    enqueue_line(conn,
+                 api::response_error_line(util::Status::resource_exhausted(
+                     "server is draining; retry elsewhere")),
+                 /*finish_after=*/true);
+    return;
+  }
+  // Bounded admission: beyond max_requests in flight, reject loudly
+  // instead of queueing unboundedly.  The client sees a structured,
+  // retryable error, not a hang.  Idle connections never reach this —
+  // only a complete request line claims a slot.
+  if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    conn->state = ConnState::kFlushing;
+    enqueue_line(conn,
+                 api::response_error_line(util::Status::resource_exhausted(
+                     "server at capacity (" +
+                     std::to_string(options_.max_requests) +
+                     " requests in flight); retry later")),
+                 /*finish_after=*/true);
+    return;
+  }
+
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  conn->state = ConnState::kRunning;
+  conn->runner_started = true;
   if (!options_.quiet) {
     std::fprintf(stderr, "[sadp_routed] request: %zu job(s), workers=%d\n",
                  request->jobs.size(), request->workers);
   }
-  if (options_.on_request_admitted) options_.on_request_admitted();
+  std::shared_ptr<Connection> shared = conn;
+  api::FlowRequest moved = std::move(*request);
+  conn->runner = std::thread(
+      [this, shared, request = std::move(moved)]() mutable {
+        run_request(shared, std::move(request));
+        shared->runner_done.store(true, std::memory_order_release);
+        wake();
+      });
+}
 
-  // Client disconnect maps onto the request's cancel token: the first
-  // failed row write cancels the batch's in-flight jobs cooperatively.
-  const util::CancelToken cancel = util::CancelToken::cancellable();
-  std::atomic<bool> client_gone{false};
-  std::size_t streamed = 0;
-  const std::size_t total = request->jobs.size();
-
-  api::DispatchOptions hooks;
-  hooks.cancel = cancel;
-  hooks.drain = drain_token_;
-  hooks.executor = pool_.get();
-  hooks.max_workers = pool_->size();
-  // on_job_done is serialized by the engine, so `streamed` needs no lock.
-  hooks.on_job_done = [&](const engine::JobOutcome& outcome, std::size_t,
-                          std::size_t) {
-    if (client_gone.load(std::memory_order_relaxed)) return;
-    if (!send_line(fd, api::response_row_line(outcome, ++streamed, total))) {
-      client_gone.store(true, std::memory_order_relaxed);
-      cancel.request_cancel();
-    }
-  };
-
-  const api::DispatchResult run = api::dispatch(*request, hooks);
-  if (!run.status.is_ok()) {
-    send_line(fd, api::response_error_line(run.status));
+void RouteServer::handle_control_line(const std::shared_ptr<Connection>& conn,
+                                      const std::string& line) {
+  std::string parse_error;
+  const auto control = api::parse_control_request(line, &parse_error);
+  if (!control) {
+    enqueue_line(conn,
+                 api::response_error_line(
+                     util::Status::invalid_input(parse_error)),
+                 /*finish_after=*/true);
     return;
   }
-  if (client_gone.load(std::memory_order_relaxed)) return;
-
-  // Journal-restored rows never pass through on_job_done; stream them after
-  // the executed ones so the client still receives every row exactly once.
-  for (const engine::JobOutcome& outcome : run.batch.outcomes) {
-    if (!outcome.from_journal) continue;
-    if (!send_line(fd, api::response_row_line(outcome, ++streamed, total))) {
+  switch (control->type) {
+    case api::ControlRequest::Type::kPing:
+      enqueue_line(conn, api::pong_line(uptime_.seconds()),
+                   /*finish_after=*/true);
+      return;
+    case api::ControlRequest::Type::kStats:
+      enqueue_line(conn, api::stats_reply_line(stats()),
+                   /*finish_after=*/true);
+      return;
+    case api::ControlRequest::Type::kDrain:
+      begin_drain();
+      enqueue_line(conn, api::draining_line(), /*finish_after=*/true);
+      return;
+    case api::ControlRequest::Type::kBeacon: {
+      record_beacon(*control);
+      // No reply; the sender closed (or will) without reading.
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->finish = true;
       return;
     }
   }
-  send_line(fd, api::response_summary_line(run.batch, run.workers,
-                                           run.wall_seconds));
-  if (!options_.quiet) {
-    std::fprintf(stderr,
-                 "[sadp_routed] batch done: ok=%zu degraded=%zu failed=%zu "
-                 "timeout=%zu cancelled=%zu resumed=%zu (%.2fs)\n",
-                 run.batch.ok, run.batch.degraded, run.batch.failed,
-                 run.batch.timed_out, run.batch.cancelled, run.batch.resumed,
-                 run.wall_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Request runner (one thread per admitted request, bounded by max_requests)
+
+void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
+                              api::FlowRequest request) {
+  struct SlotGuard {
+    RouteServer* server;
+    ~SlotGuard() {
+      server->active_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } slot{this};
+
+  if (options_.on_request_admitted) options_.on_request_admitted();
+
+  try {
+    const util::Status valid = api::validate(request);
+    if (!valid.is_ok()) {
+      enqueue_line(conn, api::response_error_line(valid), true);
+      return;
+    }
+
+    util::Timer wall;
+    const std::size_t total = request.jobs.size();
+    std::size_t streamed = 0;
+
+    // Journaled batches bypass the cache: the journal is the authority for
+    // --resume, and cache-served rows are never journaled, so mixing the
+    // two would leave resume holes.
+    const bool use_cache = cache_->enabled() && request.journal_path.empty() &&
+                           !request.resume;
+
+    std::vector<std::pair<std::size_t, CachedRow>> hits;  // job index -> row
+    std::map<std::string, std::string> miss_keys;  // label -> canonical key
+    api::FlowRequest misses = request;
+    if (use_cache) {
+      misses.jobs.clear();
+      for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+        const api::JobRequest& job = request.jobs[i];
+        const auto key = job_cache_key(job);
+        if (key.has_value()) {
+          if (auto row = cache_->lookup(*key)) {
+            hits.emplace_back(i, std::move(*row));
+            continue;
+          }
+          miss_keys[api::effective_label(job)] = *key;
+        }
+        misses.jobs.push_back(job);
+      }
+    }
+
+    if (!hits.empty()) {
+      // Materialize the full request once before replaying anything, so a
+      // request with an unknown benchmark still fails with a single error
+      // line instead of a half-stream.
+      std::vector<engine::FlowJob> scratch;
+      const util::Status materialized = api::to_flow_jobs(request, &scratch);
+      if (!materialized.is_ok()) {
+        enqueue_line(conn, api::response_error_line(materialized), true);
+        return;
+      }
+    }
+
+    std::size_t hit_ok = 0;
+    std::size_t hit_degraded = 0;
+    for (const auto& [index, row] : hits) {
+      const api::JobRequest& job = request.jobs[index];
+      (row.degraded ? hit_degraded : hit_ok)++;
+      enqueue_line(conn,
+                   api::response_row_line_raw(
+                       replay_journal_object(row, api::effective_label(job),
+                                             job.arm),
+                       ++streamed, total, "hit"),
+                   false);
+    }
+
+    api::ResponseSummary summary;
+    summary.jobs = total;
+    summary.ok = hit_ok;
+    summary.degraded = hit_degraded;
+    summary.cache_hits = hits.size();
+    summary.cache_misses = use_cache ? total - hits.size() : 0;
+
+    if (!misses.jobs.empty()) {
+      api::DispatchOptions hooks;
+      hooks.cancel = conn->cancel;
+      hooks.drain = drain_token_;
+      hooks.executor = pool_.get();
+      hooks.max_workers = pool_->size();
+      const char* miss_mark = use_cache ? "miss" : nullptr;
+      // on_job_done is serialized by the engine, so `streamed` needs no
+      // lock; the runner itself is blocked inside dispatch() meanwhile.
+      hooks.on_job_done = [&](const engine::JobOutcome& outcome, std::size_t,
+                              std::size_t) {
+        if (use_cache) {
+          const auto key = miss_keys.find(outcome.label);
+          if (key != miss_keys.end()) {
+            if (auto row = make_cached_row(outcome)) {
+              cache_->insert(key->second, std::move(*row));
+            }
+          }
+        }
+        if (conn->client_gone.load(std::memory_order_relaxed)) return;
+        enqueue_line(conn,
+                     api::response_row_line(outcome, ++streamed, total,
+                                            miss_mark),
+                     false);
+      };
+
+      const api::DispatchResult run = api::dispatch(misses, hooks);
+      if (!run.status.is_ok()) {
+        enqueue_line(conn, api::response_error_line(run.status), true);
+        return;
+      }
+      // Journal-restored rows never pass through on_job_done; stream them
+      // after the executed ones so the client still receives every row
+      // exactly once.
+      for (const engine::JobOutcome& outcome : run.batch.outcomes) {
+        if (!outcome.from_journal) continue;
+        if (conn->client_gone.load(std::memory_order_relaxed)) break;
+        enqueue_line(conn,
+                     api::response_row_line(outcome, ++streamed, total,
+                                            nullptr),
+                     false);
+      }
+      summary.ok += run.batch.ok;
+      summary.degraded += run.batch.degraded;
+      summary.failed = run.batch.failed;
+      summary.timed_out = run.batch.timed_out;
+      summary.cancelled = run.batch.cancelled;
+      summary.resumed = run.batch.resumed;
+      summary.workers = run.workers;
+    } else {
+      summary.workers = capped_workers(request.workers);
+    }
+    summary.wall_seconds = wall.seconds();
+    enqueue_line(conn, api::response_summary_line(summary), true);
+
+    if (!options_.quiet) {
+      std::fprintf(stderr,
+                   "[sadp_routed] batch done: ok=%zu degraded=%zu failed=%zu "
+                   "timeout=%zu cancelled=%zu resumed=%zu cache=%zu/%zu "
+                   "(%.2fs)\n",
+                   summary.ok, summary.degraded, summary.failed,
+                   summary.timed_out, summary.cancelled, summary.resumed,
+                   summary.cache_hits, summary.cache_misses,
+                   summary.wall_seconds);
+    }
+  } catch (const std::exception& e) {
+    enqueue_line(conn,
+                 api::response_error_line(util::Status::internal(
+                     std::string("request runner: ") + e.what())),
+                 true);
   }
 }
 
-void RouteServer::reap_handlers(bool join_all) {
-  const std::lock_guard<std::mutex> lock(handlers_mutex_);
-  for (auto it = handlers_.begin(); it != handlers_.end();) {
-    if (join_all || it->done->load(std::memory_order_acquire)) {
-      if (it->thread.joinable()) it->thread.join();
-      it = handlers_.erase(it);
-    } else {
-      ++it;
+int RouteServer::capped_workers(int requested) const noexcept {
+  int workers = requested;
+  const int pool = pool_ ? pool_->size() : 0;
+  if (pool > 0 && (workers == 0 || workers > pool)) workers = pool;
+  return engine::FlowEngine::resolve_workers(workers);
+}
+
+// ---------------------------------------------------------------------------
+// Output path
+
+void RouteServer::enqueue_line(const std::shared_ptr<Connection>& conn,
+                               const std::string& line, bool finish_after) {
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->client_gone.load(std::memory_order_relaxed)) {
+      conn->out += line;
+      conn->out += '\n';
+    }
+    if (finish_after) conn->finish = true;
+  }
+  wake();
+}
+
+void RouteServer::flush_output(const std::shared_ptr<Connection>& conn) {
+  bool want_write = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data() + conn->out_pos,
+                 conn->out.size() - conn->out_pos,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        conn->out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_write = true;
+        break;
+      }
+      // Client gone: cancel its batch and drop the rest of the stream.
+      conn->client_gone.store(true, std::memory_order_release);
+      conn->cancel.request_cancel();
+      conn->out.clear();
+      conn->out_pos = 0;
+      conn->finish = true;
+      break;
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+    }
+  }
+  const std::uint32_t base = conn->events & ~EPOLLOUT;
+  update_interest(*conn, want_write ? (base | EPOLLOUT) : base);
+}
+
+void RouteServer::update_interest(Connection& conn, std::uint32_t events) {
+  if (conn.events == events || conn.fd < 0) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.events = events;
+  }
+}
+
+void RouteServer::close_connection(const std::shared_ptr<Connection>& conn) {
+  if (conn->runner.joinable()) conn->runner.join();
+  if (conn->fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    connections_.erase(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void RouteServer::sweep_connections() {
+  std::vector<std::shared_ptr<Connection>> closable;
+  for (const auto& [fd, conn] : connections_) {
+    flush_output(conn);
+    const bool runner_pending =
+        conn->runner_started &&
+        !conn->runner_done.load(std::memory_order_acquire);
+    if (runner_pending) continue;
+    bool drained;
+    bool finish;
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      drained = conn->out_pos == conn->out.size();
+      finish = conn->finish;
+    }
+    if ((finish && drained) ||
+        conn->client_gone.load(std::memory_order_acquire)) {
+      closable.push_back(conn);
+    }
+  }
+  for (const auto& conn : closable) close_connection(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Stats and beacons
+
+api::StatsReply RouteServer::stats() const {
+  api::StatsReply reply;
+  reply.active = active();
+  reply.queue_depth = reply.active;
+  reply.rejected = rejected();
+  reply.cache_hits = cache_hits();
+  reply.cache_misses = cache_misses();
+  reply.pool_size = pool_ ? pool_->size() : 0;
+  reply.uptime_seconds = uptime_.seconds();
+  reply.draining = draining();
+  const double now = uptime_.seconds();
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  for (const auto& [addr, record] : peers_) {
+    api::PeerStatus peer;
+    peer.addr = addr;
+    peer.queue_depth = record.queue_depth;
+    peer.active = record.active;
+    peer.age_seconds = now - record.last_seen_uptime;
+    reply.peers.push_back(std::move(peer));
+  }
+  return reply;
+}
+
+void RouteServer::record_beacon(const api::ControlRequest& beacon) {
+  if (beacon.from.empty()) return;
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  PeerRecord& record = peers_[beacon.from];
+  record.queue_depth = beacon.queue_depth;
+  record.active = beacon.active;
+  record.last_seen_uptime = uptime_.seconds();
+}
+
+void RouteServer::beacon_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(beacon_cv_mutex_);
+      beacon_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.beacon_interval_ms),
+          [this] { return stopping_.load(std::memory_order_acquire); });
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    api::ControlRequest beacon;
+    beacon.type = api::ControlRequest::Type::kBeacon;
+    beacon.from = "127.0.0.1:" + std::to_string(port_);
+    beacon.queue_depth = static_cast<int>(active());
+    beacon.active = beacon.queue_depth;
+    const std::string line = api::serialize_control_request(beacon);
+    for (const std::string& peer : options_.beacon_peers) {
+      std::string host;
+      int port = 0;
+      if (split_host_port(peer, &host, &port)) {
+        send_oneshot_line(host, port, line);
+      }
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Shutdown
 
 void RouteServer::stop() {
   if (stopped_) return;
   stopped_ = true;
   begin_drain();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  reap_handlers(/*join_all=*/true);
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) wake();
+  beacon_cv_.notify_all();
+  if (beacon_thread_.joinable()) beacon_thread_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
   if (pool_) pool_->shutdown();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
 }
 

@@ -1,28 +1,55 @@
-// Long-lived routing service: a TCP daemon around api::dispatch.
+// Long-lived routing service: an epoll event-loop TCP daemon around
+// api::dispatch, with a content-addressed result cache and load/liveness
+// beacons for multi-daemon fleets.
 //
-// sadp_routed listens on a loopback TCP port and speaks the
-// newline-delimited JSON protocol of src/api/flow_api.hpp: one
-// sadp.flow_request.v1 line in, a stream of sadp.flow_response.v1 lines
-// out (one "row" per finished job in completion order, then one "batch"
-// summary — or a single "error" line).
+// sadp_routed listens on a loopback TCP port and speaks two newline-
+// delimited JSON dialects on the same socket:
+//   * one sadp.flow_request.v1 line in, a stream of sadp.flow_response.v1
+//     lines out (one "row" per finished job in completion order, then one
+//     "batch" summary — or a single "error" line);
+//   * tiny sadp.control.v1 lines ({"type":"ping"|"stats"|"drain"|"beacon"})
+//     answered on the event loop itself, so health probes work even when
+//     every admission slot is busy.
 //
-// Resource model: the server owns ONE WorkerPool for its whole lifetime;
-// every admitted request runs its FlowEngine drain loops on that shared
-// pool (engine::Executor), so N concurrent batches share a fixed set of
-// threads instead of multiplying them.  Admission is bounded: at most
-// `max_requests` requests are in flight, and a request beyond that is
-// rejected immediately with a structured `resource_exhausted` error line —
-// explicit overload, never an unbounded queue.
+// I/O model: ONE event-loop thread owns an epoll set over the listener,
+// a wake eventfd, and every connection.  Accept, request reads, and
+// response writes are nonblocking per-connection state machines — an idle
+// connection is one epoll registration plus a buffer, never a thread, so
+// thousands of idle clients cannot starve admission.  Only an ADMITTED
+// flow request materializes a thread (its "runner", which blocks in
+// api::dispatch on the shared WorkerPool); runners are bounded by
+// `max_requests`.  Connection states:
 //
-// Cancellation and shutdown:
-//   * client disconnect — a failed row write fires the request's cancel
-//     token, which stops that batch's in-flight jobs cooperatively;
-//   * per-job / batch deadlines — carried inside the request, enforced by
-//     the engine's CancelToken chains as in-process runs;
-//   * SIGTERM / stop() — fires the server-wide *drain* token: running jobs
-//     finish (and are journaled / streamed), unstarted jobs come back
-//     kCancelled, the listener closes, and the process exits cleanly.  A
-//     journaled batch interrupted this way completes under --resume.
+//   kReading    --request line complete-->  kRunning   (runner spawned)
+//        |                             \->  reply+kFlushing (control/error/
+//        |                                   rejection — no runner)
+//   kRunning    --summary enqueued----->    kFlushing
+//   kFlushing   --output drained------->    closed
+//
+// Rows are produced on engine threads, appended to the connection's
+// output buffer under its mutex, and written by the event loop (EPOLLOUT
+// is armed only while output is pending).  A write error or EPOLLRDHUP
+// fires the request's cancel token, so abandoned batches stop routing.
+//
+// Result cache: requests without a journal consult a server-wide
+// content-addressed ResultCache keyed by the canonical hash of each job
+// (see result_cache.hpp).  A hit replays the stored journal object
+// byte-identically (label/arm rewritten) with "cache":"hit" in the row
+// framing and never touches the pool; misses execute and are inserted.
+// Journaled batches bypass the cache entirely: the journal is the
+// authority for --resume, and cache-served rows are not journaled, so
+// mixing them would leave resume holes.
+//
+// Beacons: with `beacon_peers` configured, a sender thread periodically
+// pushes {"type":"beacon","from":...,"queue_depth":...} to each sibling
+// daemon; received beacons land in a peer table surfaced by
+// {"type":"stats"}.  This is the daemons' load/liveness gossip; the
+// dispatcher's probes are plain stats round trips over the same lines.
+//
+// Cancellation and shutdown match the PR 5 daemon: client disconnect
+// cancels that batch, per-job/batch deadlines ride inside the request,
+// and SIGTERM / begin_drain() lets running jobs finish (journaled batches
+// complete under --resume) while unstarted jobs come back kCancelled.
 #pragma once
 
 #include <atomic>
@@ -30,22 +57,26 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "api/control.hpp"
 #include "api/flow_api.hpp"
 #include "engine/flow_engine.hpp"
+#include "server/result_cache.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
+#include "util/timer.hpp"
 
 namespace sadp::server {
 
 /// Fixed pool of persistent worker threads implementing engine::Executor.
 /// run_parallel enqueues the engine's drain loops and blocks the calling
-/// (connection handler) thread until they finish; concurrent requests
+/// (request runner) thread until they finish; concurrent requests
 /// interleave their loops on the same threads, FIFO.
 class WorkerPool : public engine::Executor {
  public:
@@ -85,16 +116,22 @@ struct ServerOptions {
   /// Shared pool size; 0 = hardware concurrency.  Every request's engine
   /// worker count is capped to this.
   int pool_workers = 0;
-  /// Admission bound: requests in flight beyond this are rejected with a
-  /// resource_exhausted error line.
+  /// Admission bound: flow requests in flight beyond this are rejected
+  /// with a resource_exhausted error line.  Control lines are exempt.
   int max_requests = 4;
   /// Reject request lines longer than this (protocol hygiene).
   std::size_t max_request_bytes = 16u << 20;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 256;
+  /// Sibling daemons ("host:port") to gossip load/liveness beacons to.
+  std::vector<std::string> beacon_peers;
+  int beacon_interval_ms = 500;
   /// Suppress the per-request stderr log lines.
   bool quiet = false;
-  /// Test hook: invoked on the handler thread after a request is parsed and
-  /// admitted, before it is dispatched.  Blocking here holds the admission
-  /// slot, which is how the overload test makes rejection deterministic.
+  /// Test hook: invoked on the request's runner thread after the request
+  /// is parsed and admitted, before it is dispatched.  Blocking here holds
+  /// the admission slot, which is how the overload test makes rejection
+  /// deterministic.
   std::function<void()> on_request_admitted;
 };
 
@@ -106,51 +143,122 @@ class RouteServer {
   RouteServer(const RouteServer&) = delete;
   RouteServer& operator=(const RouteServer&) = delete;
 
-  /// Bind + listen on 127.0.0.1 and start the accept loop.
+  /// Bind + listen on 127.0.0.1 and start the event loop.
   [[nodiscard]] util::Status start();
 
   /// The bound port (after start()).
   [[nodiscard]] int port() const noexcept { return port_; }
 
   /// Begin graceful drain: stop accepting, let running jobs finish, skip
-  /// unstarted ones (kCancelled).  Async-signal-safe (atomic stores only) —
-  /// this is the SIGTERM handler's entry point.  Idempotent.
+  /// unstarted ones (kCancelled).  Async-signal-safe (atomic stores only;
+  /// the event loop notices within its poll timeout) — this is the SIGTERM
+  /// handler's entry point.  Idempotent.
   void begin_drain() noexcept;
 
   [[nodiscard]] bool draining() const noexcept {
     return draining_.load(std::memory_order_acquire);
   }
 
-  /// Drain, join the accept loop and every connection handler, shut the
-  /// pool down and close the socket.  Idempotent; called by the destructor.
+  /// Drain, run every in-flight request to completion, join the event loop
+  /// and the runners, shut the pool down and close the socket.
+  /// Idempotent; called by the destructor.
   void stop();
 
-  /// Requests rejected for overload so far.
+  /// Flow requests rejected for overload so far.
   [[nodiscard]] std::size_t rejected() const noexcept {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Admitted flow requests currently in flight.
+  [[nodiscard]] std::size_t active() const noexcept {
+    return static_cast<std::size_t>(active_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] std::size_t cache_hits() const noexcept {
+    return cache_ ? cache_->hits() : 0;
+  }
+  [[nodiscard]] std::size_t cache_misses() const noexcept {
+    return cache_ ? cache_->misses() : 0;
+  }
+
+  /// Snapshot for {"type":"stats"} replies and the --stats client mode.
+  [[nodiscard]] api::StatsReply stats() const;
+
  private:
-  struct Handler {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
+  enum class ConnState : std::uint8_t { kReading, kRunning, kFlushing };
+
+  /// One client connection.  The event loop owns fd/in/state; `out`,
+  /// `out_pos` and `finish` are shared with the runner under `mutex`;
+  /// the atomics are the cross-thread signals.
+  struct Connection {
+    int fd = -1;
+    ConnState state = ConnState::kReading;
+    std::uint32_t events = 0;  ///< epoll interest currently registered
+    std::string in;            ///< accumulating request line
+    std::mutex mutex;
+    std::string out;
+    std::size_t out_pos = 0;
+    bool finish = false;  ///< close once out is drained
+    std::atomic<bool> client_gone{false};
+    std::atomic<bool> runner_done{false};
+    bool runner_started = false;
+    std::thread runner;
+    util::CancelToken cancel = util::CancelToken::cancellable();
   };
 
-  void accept_loop();
-  void handle_connection(int fd, const std::shared_ptr<std::atomic<bool>>& done);
-  void reap_handlers(bool join_all);
+  void event_loop();
+  void accept_ready();
+  void read_ready(const std::shared_ptr<Connection>& conn);
+  void handle_line(const std::shared_ptr<Connection>& conn, std::string line);
+  void handle_control_line(const std::shared_ptr<Connection>& conn,
+                           const std::string& line);
+  void run_request(const std::shared_ptr<Connection>& conn,
+                   api::FlowRequest request);
+  /// Append `line` + '\n' to the connection's output (any thread).
+  void enqueue_line(const std::shared_ptr<Connection>& conn,
+                    const std::string& line, bool finish_after);
+  /// Nonblocking write of pending output; updates EPOLLOUT interest.
+  /// Event loop only.
+  void flush_output(const std::shared_ptr<Connection>& conn);
+  void update_interest(Connection& conn, std::uint32_t events);
+  void close_connection(const std::shared_ptr<Connection>& conn);
+  /// Close every connection whose stream finished (or died) and whose
+  /// runner, if any, has exited.
+  void sweep_connections();
+  void wake() noexcept;
+  void beacon_loop();
+  void record_beacon(const api::ControlRequest& beacon);
+  [[nodiscard]] int capped_workers(int requested) const noexcept;
 
   ServerOptions options_;
   std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<ResultCache> cache_;
+  util::Timer uptime_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
+  std::thread beacon_thread_;
   std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
   util::CancelToken drain_token_ = util::CancelToken::cancellable();
   std::atomic<int> active_{0};
   std::atomic<std::size_t> rejected_{0};
-  std::mutex handlers_mutex_;
-  std::list<Handler> handlers_;
+  std::map<int, std::shared_ptr<Connection>> connections_;  // event loop only
+  bool listener_registered_ = false;
+
+  struct PeerRecord {
+    int queue_depth = 0;
+    int active = 0;
+    double last_seen_uptime = 0.0;  ///< uptime_ timestamp of the last beacon
+  };
+  mutable std::mutex peers_mutex_;
+  std::map<std::string, PeerRecord> peers_;
+
+  std::mutex beacon_cv_mutex_;
+  std::condition_variable beacon_cv_;
+
   bool stopped_ = false;
 };
 

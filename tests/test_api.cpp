@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/control.hpp"
 #include "api/flow_api.hpp"
 #include "engine/flow_engine.hpp"
 #include "engine/journal.hpp"
@@ -296,6 +297,140 @@ TEST(FlowApi, StyleAndMethodNamesParseBothWays) {
     EXPECT_EQ(*parsed, m);
   }
   EXPECT_FALSE(api::parse_dvi_method("oracle").has_value());
+}
+
+TEST(FlowApi, RowCacheMemberIsOptionalAndForwardCompatible) {
+  const api::DispatchResult run = api::dispatch(tiny_request());
+  ASSERT_TRUE(run.status.is_ok());
+  const engine::JobOutcome& outcome = run.batch.outcomes[0];
+
+  // Without the member: parses, cache empty (pre-cache daemons).
+  const auto plain =
+      api::parse_response_line(api::response_row_line(outcome, 1, 1));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->cache.empty());
+
+  // With the member: round trips.
+  const std::string hit_line = api::response_row_line(outcome, 1, 1, "hit");
+  EXPECT_NE(hit_line.find("\"cache\":\"hit\""), std::string::npos);
+  const auto hit = api::parse_response_line(hit_line);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cache, "hit");
+  // The embedded journal object is unchanged by the framing member.
+  EXPECT_NE(hit_line.find(engine::journal_line(outcome)), std::string::npos);
+
+  // The raw framing path produces the exact same bytes as the typed one.
+  EXPECT_EQ(
+      api::response_row_line_raw(engine::journal_line(outcome), 1, 1, "hit"),
+      hit_line);
+
+  // Unknown framing members are ignored (newer daemons, older clients).
+  std::string extended = hit_line;
+  extended.insert(extended.find("\"outcome\""), "\"shard\":7,");
+  EXPECT_TRUE(api::parse_response_line(extended).has_value());
+}
+
+TEST(FlowApi, SummaryCacheCountersAreOptionalOnParse) {
+  api::ResponseSummary summary;
+  summary.jobs = 3;
+  summary.ok = 3;
+  summary.cache_hits = 2;
+  summary.cache_misses = 1;
+  summary.workers = 2;
+  summary.wall_seconds = 0.5;
+  const std::string line = api::response_summary_line(summary);
+  const auto event = api::parse_response_line(line);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->cache_hits, 2u);
+  EXPECT_EQ(event->cache_misses, 1u);
+
+  // A pre-cache summary (no counters on the wire) still parses, counters 0.
+  std::string old_line = line;
+  const std::size_t hits_at = old_line.find(",\"cache_hits\"");
+  ASSERT_NE(hits_at, std::string::npos);
+  const std::size_t workers_at = old_line.find(",\"workers\"");
+  ASSERT_NE(workers_at, std::string::npos);
+  old_line.erase(hits_at, workers_at - hits_at);
+  const auto old_event = api::parse_response_line(old_line);
+  ASSERT_TRUE(old_event.has_value());
+  EXPECT_EQ(old_event->kind, api::ResponseEvent::Kind::kBatch);
+  EXPECT_EQ(old_event->jobs, 3u);
+  EXPECT_EQ(old_event->cache_hits, 0u);
+  EXPECT_EQ(old_event->cache_misses, 0u);
+}
+
+TEST(ControlApi, RequestsRoundTripAndDemultiplex) {
+  for (const auto type :
+       {api::ControlRequest::Type::kPing, api::ControlRequest::Type::kStats,
+        api::ControlRequest::Type::kDrain,
+        api::ControlRequest::Type::kBeacon}) {
+    api::ControlRequest request;
+    request.type = type;
+    if (type == api::ControlRequest::Type::kBeacon) {
+      request.from = "127.0.0.1:7471";
+      request.queue_depth = 3;
+      request.active = 2;
+    }
+    const std::string line = api::serialize_control_request(request);
+    EXPECT_TRUE(api::looks_like_control_line(line)) << line;
+    std::string error;
+    const auto parsed = api::parse_control_request(line, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->type, type);
+    EXPECT_EQ(parsed->from, request.from);
+    EXPECT_EQ(parsed->queue_depth, request.queue_depth);
+    EXPECT_EQ(parsed->active, request.active);
+  }
+
+  // Flow requests must never demultiplex as control lines.
+  api::FlowRequest flow;
+  flow.jobs.emplace_back();
+  EXPECT_FALSE(api::looks_like_control_line(api::serialize_request(flow)));
+  EXPECT_FALSE(
+      api::parse_control_request(api::serialize_request(flow)).has_value());
+  EXPECT_FALSE(api::parse_control_request("{\"type\":\"warp\"}").has_value());
+}
+
+TEST(ControlApi, StatsReplyRoundTripsWithPeers) {
+  api::StatsReply stats;
+  stats.queue_depth = 2;
+  stats.active = 2;
+  stats.rejected = 5;
+  stats.cache_hits = 10;
+  stats.cache_misses = 4;
+  stats.pool_size = 8;
+  stats.uptime_seconds = 12.5;
+  stats.draining = true;
+  api::PeerStatus peer;
+  peer.addr = "127.0.0.1:7472";
+  peer.queue_depth = 1;
+  peer.active = 1;
+  peer.age_seconds = 0.25;
+  peer.alive = true;
+  stats.peers.push_back(peer);
+
+  const std::string line = api::stats_reply_line(stats);
+  std::string error;
+  const auto parsed = api::parse_stats_reply(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->queue_depth, 2u);
+  EXPECT_EQ(parsed->rejected, 5u);
+  EXPECT_EQ(parsed->cache_hits, 10u);
+  EXPECT_EQ(parsed->cache_misses, 4u);
+  EXPECT_EQ(parsed->pool_size, 8);
+  EXPECT_TRUE(parsed->draining);
+  ASSERT_EQ(parsed->peers.size(), 1u);
+  EXPECT_EQ(parsed->peers[0].addr, "127.0.0.1:7472");
+  EXPECT_EQ(parsed->peers[0].queue_depth, 1);
+  EXPECT_TRUE(parsed->peers[0].alive);
+
+  // Counter members are optional (absent = 0) for older daemons.
+  const auto minimal = api::parse_stats_reply(
+      "{\"schema\":\"sadp.control.v1\",\"type\":\"stats\"}");
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_EQ(minimal->queue_depth, 0u);
+  EXPECT_EQ(minimal->cache_hits, 0u);
+  EXPECT_FALSE(api::parse_stats_reply("{\"type\":\"pong\"}").has_value());
 }
 
 }  // namespace

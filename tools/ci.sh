@@ -2,8 +2,10 @@
 # Full local CI gate:
 #   1. Debug build with ASan+UBSan, full ctest
 #   2. ASan server smoke: sadp_routed + sadp_route_client round trip
-#   3. Release build, full ctest
-#   4. Release bench smoke run; any `status=failed` progress line fails
+#   3. ASan fleet smoke: dispatcher + 2 backends, cache hits, 0 failed rows
+#   4. Release build, full ctest
+#   5. Release bench smoke run; any `status=failed` progress line fails
+#   6. Service perf smoke: bench_service baselines into BENCH_service.json
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -48,6 +50,9 @@ fi
 kill -TERM "$server_pid"
 wait "$server_pid"   # set -e: a non-zero daemon exit fails the gate
 
+echo "== ASan fleet smoke (dispatcher + 2 backends) =="
+tools/service_smoke.sh build-asan --skip-bench
+
 echo "== Release =="
 run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 
@@ -77,5 +82,8 @@ fi
 
 echo "== router perf smoke (BENCH_router.json) =="
 tools/perf_smoke.sh build-ci
+
+echo "== service perf smoke (BENCH_service.json) =="
+tools/service_smoke.sh build-ci --skip-topology
 
 echo "CI gate passed."

@@ -80,6 +80,13 @@ int main(int argc, char** argv) {
                     "server-side crash-safe JSONL journal path", "FILE");
   parser.add_flag("--resume", &request.resume,
                   "skip jobs already recorded in the --journal file");
+  server::RetryOptions retry;
+  parser.add_int("--retries", &retry.retries,
+                 "retry a resource_exhausted rejection up to N times with "
+                 "jittered exponential backoff (default 0 = give up)",
+                 "N");
+  parser.add_int("--retry-max-ms", &retry.max_delay_ms,
+                 "backoff cap per retry in milliseconds", "MS");
   if (!parser.parse(argc, argv)) return 2;
 
   if (port <= 0) {
@@ -128,8 +135,8 @@ int main(int argc, char** argv) {
     request.jobs.push_back(std::move(job));
   }
 
-  const server::RemoteBatch batch = server::run_remote(
-      host, port, request,
+  const server::RemoteBatch batch = server::run_remote_retry(
+      host, port, request, retry,
       [](const engine::JobOutcome& outcome, std::size_t done,
          std::size_t total) {
         std::fprintf(stderr, "[%zu/%zu] %s: status=%s%s\n", done, total,
@@ -139,7 +146,8 @@ int main(int argc, char** argv) {
       });
 
   if (!batch.status.is_ok()) {
-    std::fprintf(stderr, "server error: %s\n",
+    std::fprintf(stderr, "server error%s: %s\n",
+                 batch.attempts > 1 ? " (after retries)" : "",
                  batch.status.to_string().c_str());
     return 1;
   }
@@ -166,8 +174,9 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "%zu jobs on %d server workers in %.2fs wall (%zu ok, %zu degraded, "
-      "%zu failed, %zu timeout, %zu cancelled, %zu resumed)\n",
+      "%zu failed, %zu timeout, %zu cancelled, %zu resumed, cache %zu/%zu)\n",
       batch.jobs, batch.workers, batch.wall_seconds, batch.ok, batch.degraded,
-      batch.failed, batch.timed_out, batch.cancelled, batch.resumed);
+      batch.failed, batch.timed_out, batch.cancelled, batch.resumed,
+      batch.cache_hits, batch.cache_hits + batch.cache_misses);
   return batch.all_ok() ? 0 : 1;
 }

@@ -1,0 +1,202 @@
+#!/usr/bin/env bash
+# Service fleet smoke: boot a dispatcher + two beacon-linked backends,
+# drive real batches through the front door, and assert the fleet
+# behaviors the tests can't see from inside one process:
+#
+#   * zero failed rows across repeated batches through the dispatcher;
+#   * nonzero cache hits once every backend has seen the batch (the
+#     dispatcher alternates backends by forwarded count, so run 3 lands
+#     on a warm cache wherever it goes);
+#   * control-plane stats through the dispatcher aggregate both backends.
+#
+# Then (unless --skip-bench) run bench_service and track the numbers in
+# BENCH_service.json with the same freeze-on-first-run baseline scheme
+# as BENCH_router.json.  The hit/miss p50 ratio is a hard gate: the
+# result cache must keep the hit path at least 10x faster than routing.
+#
+# Usage: tools/service_smoke.sh [build_dir] [--rebaseline] [--skip-bench]
+#                               [--skip-topology]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="build-ci"
+REBASELINE=0
+SKIP_BENCH=0
+SKIP_TOPOLOGY=0
+for arg in "$@"; do
+  case "$arg" in
+    --rebaseline) REBASELINE=1 ;;
+    --skip-bench) SKIP_BENCH=1 ;;
+    --skip-topology) SKIP_TOPOLOGY=1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+# Only configure when the tree is fresh: the caller may hand us a
+# sanitizer build dir whose cache we must not rewrite to Release.
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target sadp_routed sadp_route_dispatch sadp_route_client bench_service \
+  >/dev/null
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+scrape_port() {  # scrape_port <logfile> <banner-prefix>
+  local log="$1" prefix="$2" port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n "s/^${prefix} 127\.0\.0\.1:\([0-9]*\)$/\1/p" "$log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "service smoke: no '$prefix' banner in $log" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "$port"
+}
+
+if [ "$SKIP_TOPOLOGY" -eq 0 ]; then
+  echo "== service smoke: 2-backend topology through the dispatcher"
+  "./$BUILD/apps/sadp_routed" --port 0 --workers 2 >"$workdir/a.log" 2>&1 &
+  pids+=($!)
+  PORT_A="$(scrape_port "$workdir/a.log" "listening on")"
+
+  "./$BUILD/apps/sadp_routed" --port 0 --workers 2 \
+    --beacon-peers "127.0.0.1:$PORT_A" --beacon-interval-ms 100 \
+    >"$workdir/b.log" 2>&1 &
+  pids+=($!)
+  PORT_B="$(scrape_port "$workdir/b.log" "listening on")"
+
+  "./$BUILD/apps/sadp_route_dispatch" --port 0 \
+    --backends "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
+    --probe-interval-ms 100 >"$workdir/d.log" 2>&1 &
+  pids+=($!)
+  PORT_D="$(scrape_port "$workdir/d.log" "dispatching on")"
+
+  # Three identical batches: runs 1 and 2 warm each backend's cache in
+  # turn (the dispatcher alternates by forwarded count at equal queue
+  # depth), run 3 must land on a warm one.
+  for run in 1 2 3; do
+    "./$BUILD/tools/sadp_route_client" --port "$PORT_D" \
+      --benchmark ecc,efc --keep-going \
+      >"$workdir/run$run.out" 2>"$workdir/run$run.err"
+  done
+  for run in 1 2 3; do
+    if ! grep -q " 0 failed," "$workdir/run$run.out"; then
+      echo "service smoke: run $run reported failed rows" >&2
+      cat "$workdir/run$run.out" "$workdir/run$run.err" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q "cache 2/2" "$workdir/run3.out"; then
+    echo "service smoke: warm run was not served from cache" >&2
+    cat "$workdir/run3.out" >&2
+    exit 1
+  fi
+  echo "   3 batches, 0 failed rows, warm run fully cache-served"
+
+  "./$BUILD/apps/sadp_routed" --host 127.0.0.1 --port "$PORT_D" --stats \
+    >"$workdir/stats.out"
+  if ! grep -q "peer " "$workdir/stats.out"; then
+    echo "service smoke: dispatcher stats listed no backends" >&2
+    cat "$workdir/stats.out" >&2
+    exit 1
+  fi
+  echo "   dispatcher stats aggregate $(grep -c '^peer ' "$workdir/stats.out") backends"
+fi
+
+if [ "$SKIP_BENCH" -eq 0 ]; then
+  echo "== service smoke: bench_service baseline tracking"
+  bench_json="$workdir/bench_service.json"
+  "./$BUILD/bench/bench_service" --seconds 3 --pool 12 --hits 100 \
+    >"$bench_json"
+
+  REBASELINE="$REBASELINE" BENCH="$bench_json" python3 - <<'EOF'
+import json, os, sys
+
+out_path = "BENCH_service.json"
+
+with open(os.environ["BENCH"]) as f:
+    raw = json.load(f)
+
+current = {
+    "miss_p50_ms": raw["miss"]["p50_ms"],
+    "miss_p99_ms": raw["miss"]["p99_ms"],
+    "hit_p50_ms": raw["hit"]["p50_ms"],
+    "hit_p99_ms": raw["hit"]["p99_ms"],
+    "saturation_rps": round(raw["closed_loop"]["rps"], 1),
+    "closed_loop_p50_ms": raw["closed_loop"]["p50_ms"],
+    "closed_loop_p99_ms": raw["closed_loop"]["p99_ms"],
+    "cache_hit_rate": round(raw["closed_loop"]["cache_hit_rate"], 4),
+    "errored": raw["closed_loop"]["errored"],
+}
+
+hit_speedup = (current["miss_p50_ms"] / current["hit_p50_ms"]
+               if current["hit_p50_ms"] else 0.0)
+current["hit_vs_miss_p50"] = round(hit_speedup, 1)
+
+baseline = None
+if not int(os.environ["REBASELINE"]) and os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f).get("baseline")
+    except (json.JSONDecodeError, OSError):
+        baseline = None
+if baseline is None:
+    baseline = dict(current)
+else:
+    for key, value in current.items():
+        baseline.setdefault(key, value)
+
+ratio = {}
+# Latencies: baseline/current so >1.0 means we got faster.
+for key in ("miss_p50_ms", "hit_p50_ms", "closed_loop_p50_ms",
+            "closed_loop_p99_ms"):
+    if current[key]:
+        ratio[key] = round(baseline[key] / current[key], 3)
+# Throughput: current/baseline so >1.0 still means better.
+if baseline["saturation_rps"]:
+    ratio["saturation_rps"] = round(
+        current["saturation_rps"] / baseline["saturation_rps"], 3)
+
+doc = {
+    "schema": "sadp.bench_service.v1",
+    "baseline": baseline,
+    "current": current,
+    "ratio_vs_baseline": ratio,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(f"   miss p50 {current['miss_p50_ms']:.2f}ms  "
+      f"hit p50 {current['hit_p50_ms']:.3f}ms  "
+      f"({current['hit_vs_miss_p50']:.0f}x)")
+print(f"   closed loop {current['saturation_rps']:.0f} rps, "
+      f"p99 {current['closed_loop_p99_ms']:.2f}ms, "
+      f"hit rate {current['cache_hit_rate']:.2f}, "
+      f"{current['errored']} errors")
+
+if current["errored"]:
+    sys.exit("service smoke: closed-loop clients saw errors")
+if hit_speedup < 10.0:
+    sys.exit(f"service smoke: cache hit path only {hit_speedup:.1f}x faster "
+             "than miss path (need >= 10x)")
+EOF
+fi
+
+echo "service smoke passed"

@@ -16,9 +16,12 @@
 //
 //   sadp_route --dvi-only out.sol --dvi-method exact --ilp-limit 60
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,8 @@
 #include "netlist/io.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "viz/layout_writer.hpp"
@@ -65,8 +70,12 @@ struct CliOptions {
   bool degrade_dvi = false;     ///< ILP DVI timeout => heuristic fallback
   std::string journal_path;
   bool resume = false;
+  engine::JournalSync journal_sync = engine::JournalSync::kBatch;
   std::string trace_path;  ///< Chrome trace-event JSON output (empty = off)
 };
+
+// Fault site (util/failpoint.hpp): solution/report file writes.
+util::FailPoint g_fp_solution_write("solution.write");
 
 std::optional<CliOptions> parse_cli(int argc, char** argv) {
   CliOptions options;
@@ -104,6 +113,17 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
                     "FILE");
   parser.add_flag("--resume", &options.resume,
                   "skip jobs already recorded in the --journal file");
+  std::string journal_sync = "batch";
+  parser.add_string("--journal-sync", &journal_sync,
+                    "journal fsync policy: none, batch or always", "POLICY");
+  std::string failpoints_spec;
+  std::string failpoints_seed_text = "0";
+  parser.add_string("--failpoints", &failpoints_spec,
+                    "arm deterministic fault sites "
+                    "(e.g. journal.append=err@0.3;engine.job=delay(50ms))",
+                    "SPEC");
+  parser.add_string("--failpoints-seed", &failpoints_seed_text,
+                    "base seed for failpoint probability draws", "SEED");
   parser.add_string("--trace", &options.trace_path,
                     "write a Chrome trace-event JSON of the run "
                     "(chrome://tracing / Perfetto)",
@@ -153,6 +173,23 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
   if (options.resume && options.journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal FILE\n");
     return std::nullopt;
+  }
+  const auto sync = engine::parse_journal_sync(journal_sync);
+  if (!sync) {
+    std::fprintf(stderr, "unknown --journal-sync policy: %s\n",
+                 journal_sync.c_str());
+    return std::nullopt;
+  }
+  options.journal_sync = *sync;
+  if (!failpoints_spec.empty()) {
+    const util::Status armed =
+        util::FailPointRegistry::instance().configure(
+            failpoints_spec,
+            std::strtoull(failpoints_seed_text.c_str(), nullptr, 10));
+    if (!armed.is_ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n", armed.to_string().c_str());
+      return std::nullopt;
+    }
   }
   return options;
 }
@@ -241,7 +278,27 @@ api::FlowRequest flow_request(const CliOptions& options) {
   request.keep_going = options.keep_going;
   request.journal_path = options.journal_path;
   request.resume = options.resume;
+  request.journal_sync = options.journal_sync;
   return request;
+}
+
+/// Crash-safe file write (temp + rename) behind the solution.write fault
+/// site; failures never leave a half-written file at `path`.
+int write_file_atomically(const std::string& path, const std::string& content) {
+  util::Status written = util::Status::ok();
+  if (g_fp_solution_write.evaluate().kind == util::FailKind::kError) {
+    written = util::Status::internal(
+        "failpoint(solution.write): injected write failure");
+  } else {
+    written = util::atomic_write_file(path, content);
+  }
+  if (!written.is_ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 written.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 /// Post-process one finished run: print, report, validate, save, render.
@@ -276,16 +333,11 @@ int finish_single(const CliOptions& options, const netlist::PlacedNetlist& insta
     if (options.print_stats) {
       std::fputs(core::render_text_report(result, stats).c_str(), stdout);
     }
-    if (!options.json_report_path.empty()) {
-      std::ofstream out(options.json_report_path);
-      out << core::render_json_report(result, stats) << '\n';
-      out.flush();
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n",
-                     options.json_report_path.c_str());
-        return 1;
-      }
-      std::printf("wrote %s\n", options.json_report_path.c_str());
+    if (!options.json_report_path.empty() &&
+        write_file_atomically(options.json_report_path,
+                              core::render_json_report(result, stats) + "\n") !=
+            0) {
+      return 1;
     }
   }
 
@@ -304,12 +356,14 @@ int finish_single(const CliOptions& options, const netlist::PlacedNetlist& insta
   }
 
   if (!options.save_solution_path.empty()) {
-    std::ofstream out(options.save_solution_path);
+    std::ostringstream out;
     core::write_solution(out, core::capture_solution(instance.name,
                                                      router.routing_grid(),
                                                      options.style,
                                                      router.nets()));
-    std::printf("wrote %s\n", options.save_solution_path.c_str());
+    if (write_file_atomically(options.save_solution_path, out.str()) != 0) {
+      exit_code = 1;
+    }
   }
   if (!options.svg_path.empty()) {
     viz::LayoutWriterOptions render;
@@ -355,6 +409,15 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
   const engine::BatchResult& batch = run.batch;
   const double wall_seconds = run.wall_seconds;
   const int workers = run.workers;
+  if (batch.journal_skipped > 0) {
+    std::fprintf(stderr,
+                 "journal: skipped %zu torn/corrupt record(s) during resume\n",
+                 batch.journal_skipped);
+  }
+  if (!batch.journal_error.is_ok()) {
+    std::fprintf(stderr, "journal error: %s\n",
+                 batch.journal_error.to_string().c_str());
+  }
 
   util::TextTable table(
       {"CKT", "status", "WL", "#Vias", "CPU(s)", "#DV", "#UV", "routed"});
@@ -396,15 +459,12 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
       batch.outcomes.size(), workers, wall_seconds, batch.ok, batch.degraded,
       batch.failed, batch.timed_out, batch.cancelled, batch.resumed);
 
-  if (!options.json_report_path.empty()) {
-    std::ofstream out(options.json_report_path);
-    out << engine::metrics_json(batch.outcomes, workers, wall_seconds) << '\n';
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", options.json_report_path.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", options.json_report_path.c_str());
+  if (!options.json_report_path.empty() &&
+      write_file_atomically(
+          options.json_report_path,
+          engine::metrics_json(batch.outcomes, workers, wall_seconds) + "\n") !=
+          0) {
+    return 1;
   }
   return exit_code;
 }

@@ -16,12 +16,15 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "server/dispatch.hpp"
 #include "util/args.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -60,13 +63,35 @@ int main(int argc, char** argv) {
                  "stats-probe cadence", "MS");
   parser.add_int("--stale-after-ms", &options.stale_after_ms,
                  "probe age beyond which a backend is considered dead", "MS");
+  parser.add_int("--probe-timeout-ms", &options.probe_timeout_ms,
+                 "send/recv timeout on probe sockets (a wedged backend "
+                 "counts as stale)",
+                 "MS");
   parser.add_flag("--quiet", &quiet, "suppress per-forward log lines");
+  std::string failpoints_spec;
+  std::string failpoints_seed_text = "0";
+  parser.add_string("--failpoints", &failpoints_spec,
+                    "arm deterministic fault sites at startup "
+                    "(e.g. dispatch.relay=err@0.2)",
+                    "SPEC");
+  parser.add_string("--failpoints-seed", &failpoints_seed_text,
+                    "base seed for failpoint probability draws", "SEED");
   if (!parser.parse(argc, argv)) return 2;
   options.quiet = quiet;
   options.backends = split_csv(backends_csv);
   if (options.backends.empty()) {
     std::fprintf(stderr, "--backends is required\n");
     return 2;
+  }
+  if (!failpoints_spec.empty()) {
+    const sadp::util::Status armed =
+        sadp::util::FailPointRegistry::instance().configure(
+            failpoints_spec,
+            std::strtoull(failpoints_seed_text.c_str(), nullptr, 10));
+    if (!armed.is_ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n", armed.to_string().c_str());
+      return 2;
+    }
   }
 
   sadp::server::RouteDispatcher dispatcher(options);

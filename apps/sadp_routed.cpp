@@ -16,19 +16,29 @@
 //   sadp_routed --stats --port 7471   # print queue/cache/peer stats
 //   sadp_routed --ping  --port 7471   # liveness probe (exit 0 when up)
 //   sadp_routed --drain --port 7471   # ask it to drain gracefully
+//   sadp_routed --set-failpoints "journal.append=err@0.3" --port 7471
+//   sadp_routed --clear-failpoints --port 7471
+//
+// Fault injection (chaos testing): --failpoints arms deterministic fault
+// sites at startup, --set-failpoints/--clear-failpoints re-arm a running
+// daemon over the control plane.  See src/util/failpoint.hpp for the spec
+// grammar and DESIGN.md §13 for the failure model.
 //
 // Prints "listening on 127.0.0.1:<port>" once ready (scripts wait for that
 // line).  SIGTERM/SIGINT drain gracefully: running jobs finish and are
 // streamed/journaled, unstarted jobs come back cancelled, then the process
 // exits 0.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "server/route_client.hpp"
 #include "server/route_server.hpp"
 #include "util/args.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -75,6 +85,10 @@ int main(int argc, char** argv) {
   bool stats_mode = false;
   bool ping_mode = false;
   bool drain_mode = false;
+  bool clear_failpoints_mode = false;
+  std::string set_failpoints_spec;
+  std::string failpoints_spec;
+  std::string failpoints_seed_text = "0";
   std::string host = "127.0.0.1";
   std::string beacon_peers_csv;
   int cache_entries = 256;
@@ -102,8 +116,38 @@ int main(int argc, char** argv) {
                   "client mode: liveness probe (exit 0 when the daemon is up)");
   parser.add_flag("--drain", &drain_mode,
                   "client mode: ask a running daemon to drain gracefully");
+  parser.add_string("--failpoints", &failpoints_spec,
+                    "arm deterministic fault sites at startup "
+                    "(e.g. journal.append=err@0.3;net.write=short)",
+                    "SPEC");
+  parser.add_string("--failpoints-seed", &failpoints_seed_text,
+                    "base seed for failpoint probability draws", "SEED");
+  parser.add_string("--set-failpoints", &set_failpoints_spec,
+                    "client mode: arm failpoints in a running daemon", "SPEC");
+  parser.add_flag("--clear-failpoints", &clear_failpoints_mode,
+                  "client mode: disarm all failpoints in a running daemon");
   if (!parser.parse(argc, argv)) return 2;
   options.quiet = quiet;
+  const std::uint64_t failpoints_seed =
+      std::strtoull(failpoints_seed_text.c_str(), nullptr, 10);
+
+  if (!set_failpoints_spec.empty() || clear_failpoints_mode) {
+    if (options.port <= 0) {
+      std::fprintf(stderr, "client modes need --port of a running daemon\n");
+      return 2;
+    }
+    std::size_t armed = 0;
+    const sadp::util::Status set = sadp::server::configure_failpoints_remote(
+        host, options.port, clear_failpoints_mode ? "" : set_failpoints_spec,
+        failpoints_seed, &armed);
+    if (!set.is_ok()) {
+      std::fprintf(stderr, "failpoint config failed: %s\n",
+                   set.to_string().c_str());
+      return 1;
+    }
+    std::printf("failpoints armed=%zu\n", armed);
+    return 0;
+  }
 
   if (stats_mode || ping_mode || drain_mode) {
     if (options.port <= 0) {
@@ -142,6 +186,16 @@ int main(int argc, char** argv) {
   }
   options.cache_entries = static_cast<std::size_t>(cache_entries);
   options.beacon_peers = split_csv(beacon_peers_csv);
+
+  if (!failpoints_spec.empty()) {
+    const sadp::util::Status armed =
+        sadp::util::FailPointRegistry::instance().configure(failpoints_spec,
+                                                            failpoints_seed);
+    if (!armed.is_ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n", armed.to_string().c_str());
+      return 2;
+    }
+  }
 
   sadp::server::RouteServer server(options);
   const sadp::util::Status started = server.start();

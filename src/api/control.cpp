@@ -48,6 +48,7 @@ const char* control_type_name(ControlRequest::Type type) noexcept {
     case ControlRequest::Type::kStats: return "stats";
     case ControlRequest::Type::kDrain: return "drain";
     case ControlRequest::Type::kBeacon: return "beacon";
+    case ControlRequest::Type::kFailpoint: return "failpoint";
   }
   return "?";
 }
@@ -60,6 +61,10 @@ std::string serialize_control_request(const ControlRequest& request) {
     json.key("from").value(request.from);
     json.key("queue_depth").value(request.queue_depth);
     json.key("active").value(request.active);
+  }
+  if (request.type == ControlRequest::Type::kFailpoint) {
+    json.key("spec").value(request.spec);
+    json.key("seed").value(request.seed);
   }
   json.end_object();
   return json.str();
@@ -96,6 +101,8 @@ std::optional<ControlRequest> parse_control_request(std::string_view line,
     request.type = ControlRequest::Type::kDrain;
   } else if (type->string_value == "beacon") {
     request.type = ControlRequest::Type::kBeacon;
+  } else if (type->string_value == "failpoint") {
+    request.type = ControlRequest::Type::kFailpoint;
   } else {
     return fail("unknown control type '" + type->string_value + "'");
   }
@@ -103,6 +110,13 @@ std::optional<ControlRequest> parse_control_request(std::string_view line,
       !read_opt_int(*doc, "queue_depth", &request.queue_depth) ||
       !read_opt_int(*doc, "active", &request.active)) {
     return fail("malformed beacon payload");
+  }
+  if (!read_opt_string(*doc, "spec", &request.spec)) {
+    return fail("malformed failpoint payload");
+  }
+  if (const util::JsonValue* seed = doc->find("seed"); seed != nullptr) {
+    if (!seed->is_number()) return fail("malformed failpoint payload");
+    request.seed = static_cast<std::uint64_t>(seed->number_value);
   }
   return request;
 }
@@ -138,6 +152,16 @@ std::string draining_line() {
   json.begin_object();
   json.key("schema").value(kControlSchema);
   json.key("type").value("draining");
+  json.end_object();
+  return json.str();
+}
+
+std::string failpoints_line(std::size_t armed) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("failpoints");
+  json.key("armed").value(armed);
   json.end_object();
   return json.str();
 }

@@ -18,6 +18,12 @@
 //   → {"type":"beacon","from":"127.0.0.1:7447","queue_depth":2,"active":2}
 //     (no reply; the sender closes immediately)
 //
+//   → {"type":"failpoint","spec":"journal.append=err@0.5","seed":42}
+//   ← {"schema":"sadp.control.v1","type":"failpoints","armed":1}
+//     (empty spec clears every armed failpoint; see util/failpoint.hpp for
+//     the spec grammar — this is how chaos tests arm faults in
+//     already-running daemons)
+//
 // Beacons are the load/liveness gossip between sibling daemons — each
 // backend periodically tells its peers how deep its queue is, a miniature
 // of an OSPF hello.  The dispatcher's health probes are plain "stats"
@@ -29,6 +35,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -40,12 +47,16 @@ inline constexpr const char* kControlSchema = "sadp.control.v1";
 
 /// One inbound control line.
 struct ControlRequest {
-  enum class Type { kPing, kStats, kDrain, kBeacon };
+  enum class Type { kPing, kStats, kDrain, kBeacon, kFailpoint };
   Type type = Type::kPing;
   // Beacon payload: the sender's advertised address and load.
   std::string from;
   int queue_depth = 0;
   int active = 0;
+  // Failpoint payload: the spec list to apply (empty = clear all) and the
+  // deterministic schedule seed.
+  std::string spec;
+  std::uint64_t seed = 0;
 };
 
 [[nodiscard]] const char* control_type_name(ControlRequest::Type type) noexcept;
@@ -94,6 +105,8 @@ struct StatsReply {
 
 [[nodiscard]] std::string pong_line(double uptime_seconds);
 [[nodiscard]] std::string draining_line();
+/// Reply to a "failpoint" request: how many points are armed afterwards.
+[[nodiscard]] std::string failpoints_line(std::size_t armed);
 [[nodiscard]] std::string stats_reply_line(const StatsReply& stats);
 
 /// Parse a stats reply line.  Counter members are optional (absent = 0) so

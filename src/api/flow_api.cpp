@@ -184,6 +184,7 @@ std::string serialize_request(const FlowRequest& request) {
   json.key("keep_going").value(request.keep_going);
   json.key("journal").value(request.journal_path);
   json.key("resume").value(request.resume);
+  json.key("journal_sync").value(engine::journal_sync_name(request.journal_sync));
   json.key("jobs").begin_array();
   for (const JobRequest& job : request.jobs) {
     json.begin_object();
@@ -243,6 +244,17 @@ std::optional<FlowRequest> parse_request(std::string_view line,
       !read_string(*doc, "journal", &request.journal_path, &field_error) ||
       !read_bool(*doc, "resume", &request.resume, &field_error)) {
     return fail(field_error);
+  }
+  {
+    // Optional (older clients omit it); an unknown name is an error, not a
+    // silent durability downgrade.
+    std::string sync_name = engine::journal_sync_name(request.journal_sync);
+    if (!read_string(*doc, "journal_sync", &sync_name, &field_error)) {
+      return fail(field_error);
+    }
+    const auto sync = engine::parse_journal_sync(sync_name);
+    if (!sync) return fail("unknown journal_sync '" + sync_name + "'");
+    request.journal_sync = *sync;
   }
 
   const util::JsonValue* jobs = doc->find("jobs");
@@ -343,6 +355,7 @@ engine::EngineOptions engine_options(const FlowRequest& request) {
   options.fail_fast = !request.keep_going;
   options.journal_path = request.journal_path;
   options.resume = request.resume;
+  options.journal_sync = request.journal_sync;
   return options;
 }
 

@@ -79,6 +79,10 @@ struct FlowRequest {
   /// `resume`, rows already journaled are restored instead of re-executed.
   std::string journal_path;
   bool resume = false;
+  /// Journal fsync policy ("none"/"batch"/"always" on the wire; optional,
+  /// so older clients parse).  Batch-level: does not affect rows or cache
+  /// keys, only durability.
+  engine::JournalSync journal_sync = engine::JournalSync::kBatch;
   std::vector<JobRequest> jobs;
 };
 

@@ -6,6 +6,7 @@
 
 #include "core/dvi_heuristic.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 #include "via/coloring.hpp"
 #include "via/decomp_graph.hpp"
@@ -13,6 +14,11 @@
 namespace sadp::core {
 
 namespace {
+
+// Fault site (util/failpoint.hpp): 'cancel' behaves exactly like the
+// external token firing here — remaining components keep the heuristic
+// warm-start answer.
+sadp::util::FailPoint g_fp_solver_cancel("solver.cancel");
 
 /// Union-find over via indices.
 class UnionFind {
@@ -121,7 +127,8 @@ class ExactSolver {
     out.result.uncolorable = warm.result.uncolorable;
 
     for (const auto& comp : comps) {
-      if (params_.cancel.stop_requested()) {
+      if (params_.cancel.stop_requested() ||
+          g_fp_solver_cancel.evaluate().kind == util::FailKind::kCancel) {
         // Remaining components keep the heuristic warm-start answer.
         out.proven_optimal = false;
         commit(comp, component_warm_choice(comp, warm, out), out);
@@ -207,7 +214,9 @@ class ExactSolver {
       if (++nodes_ > params_.node_limit ||
           ++component_nodes > params_.component_node_limit ||
           clock_.seconds() > params_.time_limit_seconds ||
-          ((nodes_ & 0xFF) == 0 && params_.cancel.stop_requested())) {
+          ((nodes_ & 0xFF) == 0 &&
+           (params_.cancel.stop_requested() ||
+            g_fp_solver_cancel.evaluate().kind == util::FailKind::kCancel))) {
         aborted = true;
         return;
       }

@@ -10,6 +10,8 @@
 #include "engine/journal.hpp"
 #include "grid/colored_grid.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -17,6 +19,10 @@
 namespace sadp::engine {
 
 namespace {
+
+// Fault sites (util/failpoint.hpp).  Zero-cost unless armed.
+util::FailPoint g_fp_engine_job("engine.job");
+util::FailPoint g_fp_metrics_write("metrics.write");
 
 /// The journal/table key of a job before it has run.
 std::string effective_label(const FlowJob& job) {
@@ -51,6 +57,17 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
   job.config.options.cancel = token;
 
   try {
+    if (const util::FailDecision fail = g_fp_engine_job.evaluate(); fail) {
+      if (fail.kind == util::FailKind::kError) {
+        throw FlowError(util::StatusCode::kInternal,
+                        "failpoint(engine.job): injected job failure");
+      }
+      if (fail.kind == util::FailKind::kCancel) {
+        throw FlowError(util::StatusCode::kCancelled,
+                        "failpoint(engine.job): injected cancellation");
+      }
+    }
+
     util::Timer generate;
     netlist::PlacedNetlist local;
     const netlist::PlacedNetlist* instance = nullptr;
@@ -107,13 +124,20 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
   }
 
   if (outcome.status != JobStatus::kOk &&
-      outcome.status != JobStatus::kDegraded && token.stop_requested()) {
-    // A cooperative abort surfaces as a partial run or an exception; the
-    // token knows the real cause.
-    outcome.status = token.reason() == util::StopReason::kDeadline
-                         ? JobStatus::kTimeout
-                         : JobStatus::kCancelled;
-    if (outcome.error.is_ok()) outcome.error = token.status("flow");
+      outcome.status != JobStatus::kDegraded) {
+    if (token.stop_requested()) {
+      // A cooperative abort surfaces as a partial run or an exception; the
+      // token knows the real cause.
+      outcome.status = token.reason() == util::StopReason::kDeadline
+                           ? JobStatus::kTimeout
+                           : JobStatus::kCancelled;
+      if (outcome.error.is_ok()) outcome.error = token.status("flow");
+    } else if (outcome.error.code() == util::StatusCode::kCancelled) {
+      // A kCancelled error without the token firing (a flow that stopped
+      // on its own terms, or the engine.job cancel failpoint) is still a
+      // cancellation, not a failure.
+      outcome.status = JobStatus::kCancelled;
+    }
   }
   outcome.metrics.total_seconds = total.seconds();
   return outcome;
@@ -134,6 +158,14 @@ JobOutcome skipped_outcome(const FlowJob& job, const util::CancelToken& token) {
 }
 
 }  // namespace
+
+std::optional<JournalSync> parse_journal_sync(const std::string& name) noexcept {
+  for (const JournalSync s :
+       {JournalSync::kNone, JournalSync::kBatch, JournalSync::kAlways}) {
+    if (name == journal_sync_name(s)) return s;
+  }
+  return std::nullopt;
+}
 
 FlowEngine::FlowEngine(EngineOptions options) : options_(std::move(options)) {}
 
@@ -179,13 +211,46 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
     }
   }
 
+  // The journal is the crash-safety contract: if it cannot even be opened,
+  // running the batch would silently void resume, so fail up front (the
+  // same loud-failure policy as duplicate labels).
+  JournalWriter journal;
+  if (!options_.journal_path.empty()) {
+    const util::Status opened =
+        journal.open(options_.journal_path, options_.journal_sync);
+    if (!opened.is_ok()) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobOutcome& outcome = batch.outcomes[i];
+        outcome.label = effective_label(jobs[i]);
+        outcome.arm = jobs[i].arm;
+        outcome.style = jobs[i].config.options.style;
+        outcome.dvi_method = jobs[i].config.dvi_method;
+        outcome.result.benchmark = outcome.label;
+        outcome.status = JobStatus::kFailed;
+        outcome.error = opened;
+      }
+      batch.failed = jobs.size();
+      batch.journal_error = opened;
+      return batch;
+    }
+  }
+
   // Resume: restore journaled rows and schedule only the remainder.
   std::vector<std::size_t> todo;
   todo.reserve(jobs.size());
   {
     std::map<std::string, JobOutcome> journaled;
     if (options_.resume && !options_.journal_path.empty()) {
-      journaled = load_journal(options_.journal_path);
+      JournalLoadStats stats;
+      journaled = load_journal(options_.journal_path, &stats);
+      batch.journal_skipped = stats.skipped();
+      if (stats.skipped() > 0) {
+        SADP_LOG_WARN(
+            "journal %s: skipped %zu record(s) (%zu torn, %zu corrupt); "
+            "their jobs re-execute",
+            options_.journal_path.c_str(), stats.skipped(),
+            stats.skipped_torn, stats.skipped_corrupt);
+      }
     }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const auto hit = journaled.find(effective_label(jobs[i]));
@@ -236,9 +301,16 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
         // file order intact and the progress callback stays serialized.
         const std::lock_guard<std::mutex> lock(finish_mutex);
         if (journal_it) {
-          // Journal failures must not fail the batch; the run still has its
-          // in-memory outcomes.  Resume will simply re-execute the job.
-          (void)append_journal(options_.journal_path, outcome);
+          // A journal failure does not stop the run — the in-memory
+          // outcomes are intact and resume simply re-executes the job —
+          // but it is recorded and fails exit_code(), because silently
+          // losing crash safety is how torn journals became invisible.
+          const util::Status appended = journal.append(outcome);
+          if (!appended.is_ok()) {
+            SADP_LOG_ERROR("journal append failed: %s",
+                           appended.message().c_str());
+            if (batch.journal_error.is_ok()) batch.journal_error = appended;
+          }
         }
         batch.outcomes[i] = std::move(outcome);
         if (options_.on_job_done) {
@@ -271,6 +343,14 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
       });
     }
     for (auto& thread : pool) thread.join();
+  }
+
+  if (journal.is_open()) {
+    const util::Status finished = journal.finish();
+    if (!finished.is_ok()) {
+      SADP_LOG_ERROR("journal sync failed: %s", finished.message().c_str());
+      if (batch.journal_error.is_ok()) batch.journal_error = finished;
+    }
   }
 
   for (const JobOutcome& outcome : batch.outcomes) {
@@ -402,24 +482,25 @@ util::Status write_metrics_files(const std::string& directory,
                                  std::string* json_path) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
+  if (const util::FailDecision fail = g_fp_metrics_write.evaluate();
+      fail.kind == util::FailKind::kError) {
+    return util::Status::internal(
+        "failpoint(metrics.write): injected write error");
+  }
+  // Atomic (write-temp-then-rename): a crash mid-write leaves the previous
+  // metrics files intact instead of a truncated JSON document.
   const std::string path = directory + "/" + stem + ".json";
-  {
-    std::ofstream out(path);
-    if (!out) {
-      return util::Status::internal("cannot open " + path + " for writing");
-    }
-    out << metrics_json(outcomes, workers, wall_seconds) << '\n';
-    out.flush();
-    if (!out) return util::Status::internal("short write to " + path);
+  if (const util::Status wrote = util::atomic_write_file(
+          path, metrics_json(outcomes, workers, wall_seconds) + "\n");
+      !wrote.is_ok()) {
+    return wrote;
   }
   const std::string csv_path = directory + "/" + stem + ".csv";
-  std::ofstream csv(csv_path);
-  if (!csv) {
-    return util::Status::internal("cannot open " + csv_path + " for writing");
+  if (const util::Status wrote =
+          util::atomic_write_file(csv_path, metrics_csv(outcomes));
+      !wrote.is_ok()) {
+    return wrote;
   }
-  csv << metrics_csv(outcomes);
-  csv.flush();
-  if (!csv) return util::Status::internal("short write to " + csv_path);
   if (json_path != nullptr) *json_path = path;
   return util::Status::ok();
 }

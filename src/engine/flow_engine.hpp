@@ -126,6 +126,27 @@ enum class JobStatus : std::uint8_t {
 [[nodiscard]] std::optional<JobStatus> parse_job_status(
     const std::string& name) noexcept;
 
+/// When the journal is fsync'd to the device (writes always reach the OS
+/// per record; this controls durability across power loss / host crash).
+enum class JournalSync : std::uint8_t {
+  kNone = 0,  ///< never fsync; OS page cache decides (fastest)
+  kBatch,     ///< one fsync when the batch finishes (default)
+  kAlways,    ///< fsync after every record (most durable, slowest)
+};
+
+[[nodiscard]] constexpr const char* journal_sync_name(JournalSync s) noexcept {
+  switch (s) {
+    case JournalSync::kNone: return "none";
+    case JournalSync::kBatch: return "batch";
+    case JournalSync::kAlways: return "always";
+  }
+  return "?";
+}
+
+/// Parse a sync-policy name back; nullopt when unknown.
+[[nodiscard]] std::optional<JournalSync> parse_journal_sync(
+    const std::string& name) noexcept;
+
 /// What one job produced.
 struct JobOutcome {
   std::string label;
@@ -208,6 +229,9 @@ struct EngineOptions {
   /// Skip jobs that already have a journal record (matched by label) and
   /// return their recorded rows instead of re-executing them.
   bool resume = false;
+  /// Journal fsync policy (see JournalSync).  Irrelevant without
+  /// journal_path.
+  JournalSync journal_sync = JournalSync::kBatch;
 };
 
 /// What a whole batch produced: outcomes in job order plus aggregates.
@@ -219,13 +243,23 @@ struct BatchResult {
   std::size_t timed_out = 0;  ///< JobStatus::kTimeout
   std::size_t cancelled = 0;  ///< JobStatus::kCancelled
   std::size_t resumed = 0;    ///< rows restored from the journal
+  /// Journal records skipped on load because they were torn (unparsable)
+  /// or corrupt (CRC mismatch); their jobs re-executed.
+  std::size_t journal_skipped = 0;
+  /// First journal I/O failure of the run (open, append or sync).  The
+  /// batch still executes — rows are returned — but exit_code() reports
+  /// failure because the crash-safety contract was not honored.
+  util::Status journal_error;
 
   /// Every row usable (ok or degraded)?
   [[nodiscard]] bool all_ok() const noexcept {
     return failed == 0 && timed_out == 0 && cancelled == 0;
   }
-  /// Process exit status for batch drivers: 0 when all rows are usable.
-  [[nodiscard]] int exit_code() const noexcept { return all_ok() ? 0 : 1; }
+  /// Process exit status for batch drivers: 0 when all rows are usable and
+  /// the journal (if any) was written intact.
+  [[nodiscard]] int exit_code() const noexcept {
+    return all_ok() && journal_error.is_ok() ? 0 : 1;
+  }
 };
 
 class FlowEngine {

@@ -1,10 +1,23 @@
 #include "engine/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "grid/colored_grid.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
+
+namespace {
+// Fault sites (util/failpoint.hpp).  Zero-cost unless armed.
+sadp::util::FailPoint g_fp_journal_append("journal.append");
+sadp::util::FailPoint g_fp_journal_sync("journal.sync");
+}  // namespace
 
 namespace sadp::engine {
 
@@ -252,10 +265,87 @@ std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
   return outcome;
 }
 
+namespace {
+
+/// Format a CRC-32 as the 8 lowercase hex digits of the v2 suffix.
+std::string crc_hex(std::uint32_t crc) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return hex;
+}
+
+/// Parse the `#xxxxxxxx` suffix position: returns npos for bare-v1 lines.
+/// The object's last byte is '}', so the suffix separator is the last '#'
+/// after the final '}' — journal objects cannot contain an unescaped '#'
+/// after the closing brace.
+std::size_t checksum_split(std::string_view line) noexcept {
+  const std::size_t hash = line.rfind('#');
+  const std::size_t brace = line.rfind('}');
+  if (hash == std::string_view::npos) return std::string_view::npos;
+  if (brace != std::string_view::npos && hash < brace) {
+    return std::string_view::npos;  // '#' inside the object text: v1
+  }
+  return hash;
+}
+
+bool parse_crc_hex(std::string_view hex, std::uint32_t* out) noexcept {
+  if (hex.size() != 8) return false;
+  std::uint32_t value = 0;
+  for (const char ch : hex) {
+    value <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      value |= static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string journal_record_line(const JobOutcome& outcome) {
+  std::string object = journal_line(outcome);
+  object += '#';
+  object += crc_hex(util::crc32(object.substr(0, object.size() - 1)));
+  return object;
+}
+
 std::optional<JobOutcome> parse_journal_line(std::string_view line,
-                                             std::string* error) {
+                                             std::string* error,
+                                             bool* corrupt) {
+  if (corrupt != nullptr) *corrupt = false;
+
+  std::string_view object = line;
+  bool checksummed = false;
+  if (const std::size_t split = checksum_split(line);
+      split != std::string_view::npos) {
+    std::uint32_t stored = 0;
+    if (!parse_crc_hex(line.substr(split + 1), &stored)) {
+      if (error != nullptr) *error = "malformed journal checksum suffix";
+      return std::nullopt;
+    }
+    object = line.substr(0, split);
+    if (util::crc32(object) != stored) {
+      // The record parses but the bytes rotted (or a torn tail was later
+      // overwritten): classify as corrupt, not torn.
+      if (corrupt != nullptr) *corrupt = true;
+      if (error != nullptr) *error = "journal record checksum mismatch";
+      return std::nullopt;
+    }
+    checksummed = true;
+  }
+  (void)checksummed;
+
   std::string parse_error;
-  const auto doc = util::parse_json(line, &parse_error);
+  const auto doc = util::parse_json(object, &parse_error);
   if (!doc || !doc->is_object()) {
     if (error != nullptr) *error = "not a JSON object: " + parse_error;
     return std::nullopt;
@@ -267,35 +357,150 @@ std::optional<JobOutcome> parse_journal_line(std::string_view line,
   return outcome;
 }
 
-util::Status append_journal(const std::string& path, const JobOutcome& outcome) {
-  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+// ---------------------------------------------------------------------------
+// JournalWriter
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status JournalWriter::open(const std::string& path, JournalSync sync) {
+  close();
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(parent, ec);
   }
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
-    return util::Status::internal("cannot open journal " + path +
-                                  " for appending");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return util::Status::internal("cannot open journal '" + path +
+                                  "' for appending: " + std::strerror(errno));
   }
-  out << journal_line(outcome) << '\n';
-  out.flush();
-  if (!out) return util::Status::internal("short write to journal " + path);
+  path_ = path;
+  sync_ = sync;
   return util::Status::ok();
 }
 
-std::map<std::string, JobOutcome> load_journal(const std::string& path) {
-  std::map<std::string, JobOutcome> records;
-  std::ifstream in(path);
-  if (!in) return records;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto outcome = parse_journal_line(line);
-    // Malformed lines (e.g. the torn tail of a crashed run) are skipped;
-    // the matching job simply re-executes.
-    if (outcome) records[outcome->label] = std::move(*outcome);
+util::Status JournalWriter::write_all(std::string_view data) {
+  std::size_t injected_cap = data.size();
+  if (const util::FailDecision fail = g_fp_journal_append.evaluate(); fail) {
+    if (fail.kind == util::FailKind::kError) {
+      return util::Status::internal("failpoint(journal.append): injected "
+                                    "write error on '" +
+                                    path_ + "'");
+    }
+    if (fail.kind == util::FailKind::kShort) {
+      // Emulate a torn record: persist only half the bytes, then report
+      // the short write exactly as the real ::write path below would.
+      injected_cap = data.size() / 2;
+    }
   }
+
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::size_t want = std::min(data.size(), injected_cap) - written;
+    ssize_t wrote = want == 0
+                        ? 0
+                        : ::write(fd_, data.data() + written, want);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::internal(
+          "journal append to '" + path_ + "' failed after " +
+          std::to_string(written) + "/" + std::to_string(data.size()) +
+          " bytes: " + std::strerror(errno));
+    }
+    if (wrote == 0) {
+      return util::Status::internal(
+          "short write to journal '" + path_ + "' (" +
+          std::to_string(written) + "/" + std::to_string(data.size()) +
+          " bytes reached the file)");
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+  return util::Status::ok();
+}
+
+util::Status JournalWriter::sync_now() {
+  if (const util::FailDecision fail = g_fp_journal_sync.evaluate();
+      fail.kind == util::FailKind::kError) {
+    return util::Status::internal("failpoint(journal.sync): injected fsync "
+                                  "error on '" +
+                                  path_ + "'");
+  }
+  if (::fsync(fd_) != 0) {
+    return util::Status::internal("fsync of journal '" + path_ +
+                                  "' failed: " + std::strerror(errno));
+  }
+  return util::Status::ok();
+}
+
+util::Status JournalWriter::append(const JobOutcome& outcome) {
+  if (fd_ < 0) {
+    return util::Status::internal("journal writer is not open");
+  }
+  std::string record = journal_record_line(outcome);
+  record += '\n';
+  const util::Status wrote = write_all(record);
+  if (!wrote.is_ok()) {
+    // Best-effort re-frame: terminate whatever partial bytes made it out
+    // so the torn record cannot swallow the next one.  Load skips the torn
+    // line either way; this just bounds the damage to one record.
+    const ssize_t ignored [[maybe_unused]] = ::write(fd_, "\n", 1);
+    return wrote;
+  }
+  if (sync_ == JournalSync::kAlways) return sync_now();
+  return util::Status::ok();
+}
+
+util::Status JournalWriter::finish() {
+  if (fd_ < 0) return util::Status::ok();
+  if (sync_ == JournalSync::kBatch) return sync_now();
+  return util::Status::ok();
+}
+
+util::Status append_journal(const std::string& path, const JobOutcome& outcome) {
+  JournalWriter writer;
+  if (const util::Status opened = writer.open(path, JournalSync::kNone);
+      !opened.is_ok()) {
+    return opened;
+  }
+  return writer.append(outcome);
+}
+
+std::map<std::string, JobOutcome> load_journal(const std::string& path,
+                                               JournalLoadStats* stats) {
+  std::map<std::string, JobOutcome> records;
+  JournalLoadStats local;
+  std::ifstream in(path);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++local.lines;
+      bool corrupt = false;
+      auto outcome = parse_journal_line(line, nullptr, &corrupt);
+      // Malformed lines (e.g. the torn tail of a crashed run) are skipped;
+      // the matching job simply re-executes.
+      if (!outcome) {
+        if (corrupt) {
+          ++local.skipped_corrupt;
+        } else {
+          ++local.skipped_torn;
+        }
+        continue;
+      }
+      ++local.records;
+      if (checksum_split(line) == std::string_view::npos) ++local.legacy_v1;
+      records[outcome->label] = std::move(*outcome);
+    }
+  }
+  if (stats != nullptr) *stats = local;
   return records;
 }
 

@@ -6,11 +6,17 @@
 #include "ilp/components.hpp"
 #include "ilp/simplex.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace sadp::ilp {
 
 namespace {
+
+// Fault site (util/failpoint.hpp): 'cancel' behaves exactly like the
+// external token firing at this polling point — the solver falls back to
+// its incumbent/warm answer on the budget-exceeded path.
+util::FailPoint g_fp_solver_cancel("solver.cancel");
 
 constexpr double kEps = 1e-9;
 constexpr double kFeasEps = 1e-6;
@@ -157,7 +163,9 @@ class ComponentSolver {
     }
     // The external token involves a clock read when a deadline is armed, so
     // poll it every 256 nodes rather than per node.
-    if ((nodes_ & 0xFF) == 0 && params_.cancel.stop_requested()) {
+    if ((nodes_ & 0xFF) == 0 &&
+        (params_.cancel.stop_requested() ||
+         g_fp_solver_cancel.evaluate().kind == util::FailKind::kCancel)) {
       limits_hit_ = true;
       return true;
     }

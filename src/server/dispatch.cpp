@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,10 +12,15 @@
 #include <cstring>
 
 #include "api/flow_api.hpp"
+#include "util/failpoint.hpp"
 
 namespace sadp::server {
 
 namespace {
+
+// Fault sites (util/failpoint.hpp).  Zero-cost unless armed.
+util::FailPoint g_fp_dispatch_connect("dispatch.connect");
+util::FailPoint g_fp_dispatch_relay("dispatch.relay");
 
 bool split_host_port(const std::string& addr, std::string* host, int* port) {
   const std::size_t colon = addr.rfind(':');
@@ -28,9 +34,19 @@ bool split_host_port(const std::string& addr, std::string* host, int* port) {
   return *port > 0 && *port < 65536;
 }
 
-int connect_backend(const std::string& host, int port) {
+/// Connect to a backend.  timeout_ms > 0 arms SO_RCVTIMEO/SO_SNDTIMEO
+/// before connecting (on Linux SO_SNDTIMEO also bounds connect()), so a
+/// wedged peer turns into a timed-out syscall instead of an infinite block.
+int connect_backend(const std::string& host, int port, int timeout_ms = 0) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -153,7 +169,7 @@ void RouteDispatcher::probe_loop() {
         host = backends_[i].host;
         port = backends_[i].port;
       }
-      const int fd = connect_backend(host, port);
+      const int fd = connect_backend(host, port, options_.probe_timeout_ms);
       if (fd < 0) continue;
       api::ControlRequest probe;
       probe.type = api::ControlRequest::Type::kStats;
@@ -317,7 +333,8 @@ void RouteDispatcher::handle_control(int fd, const std::string& line) {
       const std::string drain_line = api::serialize_control_request(drain);
       const std::lock_guard<std::mutex> lock(backends_mutex_);
       for (const Backend& backend : backends_) {
-        const int bfd = connect_backend(backend.host, backend.port);
+        const int bfd = connect_backend(backend.host, backend.port,
+                                        options_.probe_timeout_ms);
         if (bfd < 0) continue;
         (void)send_line(bfd, drain_line);
         std::string ack;
@@ -329,6 +346,21 @@ void RouteDispatcher::handle_control(int fd, const std::string& line) {
     }
     case api::ControlRequest::Type::kBeacon:
       return;  // dispatchers do not gossip
+    case api::ControlRequest::Type::kFailpoint: {
+      // Applied to the dispatcher's own registry; chaos drivers arm each
+      // backend directly through its own control port.
+      util::FailPointRegistry& registry = util::FailPointRegistry::instance();
+      if (control->spec.empty()) {
+        registry.clear();
+      } else if (const util::Status applied =
+                     registry.configure(control->spec, control->seed);
+                 !applied.is_ok()) {
+        (void)send_line(fd, api::response_error_line(applied));
+        return;
+      }
+      (void)send_line(fd, api::failpoints_line(registry.armed_count()));
+      return;
+    }
   }
 }
 
@@ -341,7 +373,10 @@ bool RouteDispatcher::forward_to(std::size_t backend_index,
     host = backends_[backend_index].host;
     port = backends_[backend_index].port;
   }
-  const int backend_fd = connect_backend(host, port);
+  const bool inject_connect_failure =
+      g_fp_dispatch_connect.evaluate().kind == util::FailKind::kError;
+  const int backend_fd =
+      inject_connect_failure ? -1 : connect_backend(host, port);
   if (backend_fd < 0) {
     const std::lock_guard<std::mutex> lock(backends_mutex_);
     backends_[backend_index].last_good_probe = -1.0;  // mark dead immediately
@@ -359,6 +394,12 @@ bool RouteDispatcher::forward_to(std::size_t backend_index,
   char chunk[16384];
   std::size_t relayed = 0;
   for (;;) {
+    if (g_fp_dispatch_relay.evaluate().kind == util::FailKind::kError) {
+      // Injected relay abort: before the first byte this is a clean
+      // failover; after it, the client sees a truncated stream — exactly
+      // the documented SIGKILL-mid-stream behavior.
+      break;
+    }
     const ssize_t n = ::recv(backend_fd, chunk, sizeof chunk, 0);
     if (n <= 0) break;
     if (!send_all(client_fd, chunk, static_cast<std::size_t>(n))) {

@@ -48,6 +48,11 @@ struct DispatcherOptions {
   int probe_interval_ms = 200;
   /// A backend whose last successful probe is older than this is dead.
   int stale_after_ms = 1000;
+  /// Send/receive timeout on probe and drain fan-out sockets.  A wedged
+  /// (e.g. SIGSTOPped) backend then shows up as a timed-out probe — stale,
+  /// routed around — instead of stalling the probe loop forever.  Never
+  /// applied to the forward relay, where a slow batch is legitimate.
+  int probe_timeout_ms = 500;
   std::size_t max_request_bytes = 16u << 20;
   bool quiet = false;
 };

@@ -4,10 +4,18 @@
 
 #include "engine/journal.hpp"
 #include "grid/colored_grid.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace sadp::server {
+
+namespace {
+// Fault sites (util/failpoint.hpp): a cache that loses lookups or drops
+// inserts must only cost recomputation, never change a row.
+util::FailPoint g_fp_cache_lookup("cache.lookup");
+util::FailPoint g_fp_cache_insert("cache.insert");
+}  // namespace
 
 std::string canonical_job_json(const api::JobRequest& job) {
   // Members in sorted order, every default materialized.  Serializing
@@ -98,6 +106,11 @@ std::string replay_journal_object(const CachedRow& row,
 
 std::optional<CachedRow> ResultCache::lookup(const std::string& key) {
   if (capacity_ == 0) return std::nullopt;
+  if (g_fp_cache_lookup.evaluate().kind == util::FailKind::kError) {
+    // Injected miss: the job recomputes; the row must come out identical.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -111,6 +124,9 @@ std::optional<CachedRow> ResultCache::lookup(const std::string& key) {
 
 void ResultCache::insert(const std::string& key, CachedRow row) {
   if (capacity_ == 0) return;
+  if (g_fp_cache_insert.evaluate().kind == util::FailKind::kError) {
+    return;  // injected dropped insert: future lookups simply miss
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {

@@ -5,14 +5,20 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace sadp::server {
 
 namespace {
+
+// Fault site (util/failpoint.hpp): drop the client's receive stream
+// mid-batch, as if the server vanished.
+util::FailPoint g_fp_client_recv("client.recv");
 
 int connect_to(const std::string& host, int port, std::string* error) {
   addrinfo hints{};
@@ -113,6 +119,9 @@ RemoteBatch run_remote(
   };
 
   for (;;) {
+    if (g_fp_client_recv.evaluate().kind == util::FailKind::kError) {
+      break;  // injected dropped stream: same handling as a server crash
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
@@ -243,6 +252,33 @@ util::Status drain_remote(const std::string& host, int port) {
   if (!sent.is_ok()) return sent;
   if (line.find("\"type\":\"draining\"") == std::string::npos) {
     return util::Status::internal("unexpected drain reply: " + line);
+  }
+  return util::Status::ok();
+}
+
+util::Status configure_failpoints_remote(const std::string& host, int port,
+                                         const std::string& spec,
+                                         std::uint64_t seed,
+                                         std::size_t* armed) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kFailpoint;
+  request.spec = spec;
+  request.seed = seed;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  if (line.find("\"type\":\"failpoints\"") == std::string::npos) {
+    // The server replies with a structured error line on a malformed spec.
+    return util::Status::invalid_input("failpoint request rejected: " + line);
+  }
+  if (armed != nullptr) {
+    const std::size_t at = line.find("\"armed\":");
+    *armed = at == std::string::npos
+                 ? 0u
+                 : static_cast<std::size_t>(std::strtoull(
+                       line.c_str() + at + sizeof("\"armed\":") - 1, nullptr,
+                       10));
   }
   return util::Status::ok();
 }

@@ -101,4 +101,12 @@ struct RetryOptions {
 /// dispatcher) to begin graceful drain.
 [[nodiscard]] util::Status drain_remote(const std::string& host, int port);
 
+/// {"type":"failpoint","spec":...,"seed":...} → arm (or, with an empty
+/// spec, clear) deterministic failpoints in a running daemon/dispatcher.
+/// On success `armed` (when non-null) receives the number of armed points
+/// the server reported.  See util/failpoint.hpp for the spec grammar.
+[[nodiscard]] util::Status configure_failpoints_remote(
+    const std::string& host, int port, const std::string& spec,
+    std::uint64_t seed = 0, std::size_t* armed = nullptr);
+
 }  // namespace sadp::server

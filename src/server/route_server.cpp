@@ -8,13 +8,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+
+#include "util/failpoint.hpp"
 
 namespace sadp::server {
 
 namespace {
+
+// Fault sites (util/failpoint.hpp).  Zero-cost unless armed.
+util::FailPoint g_fp_net_accept("net.accept");
+util::FailPoint g_fp_net_read("net.read");
+util::FailPoint g_fp_net_write("net.write");
+util::FailPoint g_fp_executor_task("executor.task");
 
 util::Status errno_status(const std::string& what) {
   return util::Status::internal(what + ": " + std::strerror(errno));
@@ -83,6 +93,9 @@ void WorkerPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos seam: a delay here models a task stuck behind a descheduled
+    // worker (evaluate() already slept); results must be unaffected.
+    (void)g_fp_executor_task.evaluate();
     task();
   }
 }
@@ -275,6 +288,12 @@ void RouteServer::accept_ready() {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) return;  // EAGAIN or a transient error: back to epoll
+    if (g_fp_net_accept.evaluate().kind == util::FailKind::kError) {
+      // Injected accept failure: the client sees a reset, exactly as if
+      // the kernel had run out of descriptors.
+      ::close(fd);
+      continue;
+    }
     if (draining()) {
       ::close(fd);
       continue;
@@ -294,6 +313,13 @@ void RouteServer::accept_ready() {
 }
 
 void RouteServer::read_ready(const std::shared_ptr<Connection>& conn) {
+  if (g_fp_net_read.evaluate().kind == util::FailKind::kError) {
+    // Injected read failure: same path as a peer that vanished mid-request.
+    conn->client_gone.store(true, std::memory_order_release);
+    conn->cancel.request_cancel();
+    close_connection(conn);
+    return;
+  }
   char chunk[4096];
   for (;;) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, MSG_DONTWAIT);
@@ -424,6 +450,25 @@ void RouteServer::handle_control_line(const std::shared_ptr<Connection>& conn,
       conn->finish = true;
       return;
     }
+    case api::ControlRequest::Type::kFailpoint: {
+      util::FailPointRegistry& registry = util::FailPointRegistry::instance();
+      if (control->spec.empty()) {
+        registry.clear();
+      } else if (const util::Status applied =
+                     registry.configure(control->spec, control->seed);
+                 !applied.is_ok()) {
+        enqueue_line(conn, api::response_error_line(applied),
+                     /*finish_after=*/true);
+        return;
+      }
+      if (!options_.quiet) {
+        std::fprintf(stderr, "[sadp_routed] failpoints: spec='%s' armed=%zu\n",
+                     control->spec.c_str(), registry.armed_count());
+      }
+      enqueue_line(conn, api::failpoints_line(registry.armed_count()),
+                   /*finish_after=*/true);
+      return;
+    }
   }
 }
 
@@ -540,6 +585,10 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
         enqueue_line(conn, api::response_error_line(run.status), true);
         return;
       }
+      if (!run.batch.journal_error.is_ok() && !options_.quiet) {
+        std::fprintf(stderr, "[sadp_routed] journal error: %s\n",
+                     run.batch.journal_error.to_string().c_str());
+      }
       // Journal-restored rows never pass through on_job_done; stream them
       // after the executed ones so the client still receives every row
       // exactly once.
@@ -607,13 +656,35 @@ void RouteServer::enqueue_line(const std::shared_ptr<Connection>& conn,
 
 void RouteServer::flush_output(const std::shared_ptr<Connection>& conn) {
   bool want_write = false;
+  bool inject_gone = false;
+  std::size_t write_cap = SIZE_MAX;  // bytes per send; 1 under 'short'
+  if (const util::FailDecision fail = g_fp_net_write.evaluate(); fail) {
+    if (fail.kind == util::FailKind::kError) inject_gone = true;
+    if (fail.kind == util::FailKind::kShort) write_cap = 1;
+  }
   {
     const std::lock_guard<std::mutex> lock(conn->mutex);
     while (conn->out_pos < conn->out.size()) {
+      if (inject_gone) {
+        // Injected send failure: identical handling to a real EPIPE below.
+        conn->client_gone.store(true, std::memory_order_release);
+        conn->cancel.request_cancel();
+        conn->out.clear();
+        conn->out_pos = 0;
+        conn->finish = true;
+        break;
+      }
       const ssize_t n =
           ::send(conn->fd, conn->out.data() + conn->out_pos,
-                 conn->out.size() - conn->out_pos,
+                 std::min(conn->out.size() - conn->out_pos, write_cap),
                  MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (write_cap != SIZE_MAX && n > 0) {
+        // Short write injected: deliver this one byte, then yield to epoll
+        // exactly as a full socket buffer would.
+        conn->out_pos += static_cast<std::size_t>(n);
+        want_write = conn->out_pos < conn->out.size();
+        break;
+      }
       if (n > 0) {
         conn->out_pos += static_cast<std::size_t>(n);
         continue;

@@ -1,0 +1,34 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace sadp::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = kCrc32Table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sadp::util

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for journal record
+// checksums.  Table-driven, byte-at-a-time: the journal appends one record
+// per finished flow job, so throughput is irrelevant next to correctness
+// and zero dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sadp::util {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, reflected, final xor), matching
+/// zlib's crc32(0, ...).
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace sadp::util

@@ -1,0 +1,281 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace sadp::util {
+
+const char* fail_kind_name(FailKind kind) noexcept {
+  switch (kind) {
+    case FailKind::kNone: return "none";
+    case FailKind::kError: return "err";
+    case FailKind::kShort: return "short";
+    case FailKind::kCancel: return "cancel";
+    case FailKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FailPoint
+
+FailPoint::FailPoint(const char* name) noexcept : name_(name) {
+  FailPointRegistry::instance().attach(this);
+}
+
+FailPoint::~FailPoint() { FailPointRegistry::instance().detach(this); }
+
+FailDecision FailPoint::evaluate_slow() noexcept {
+  int sleep_ms = 0;
+  FailDecision decision;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return {};
+    ++evaluations_;
+    if (config_.probability < 1.0 && !rng_.chance(config_.probability)) {
+      return {};
+    }
+    ++fires_;
+    if (config_.remaining > 0 && --config_.remaining == 0) {
+      armed_.store(false, std::memory_order_relaxed);  // budget exhausted
+    }
+    decision.kind = config_.kind;
+    decision.delay_ms = config_.delay_ms;
+    if (decision.kind == FailKind::kDelay) sleep_ms = config_.delay_ms;
+  }
+  // Sleep outside the lock so a delay-armed point cannot stall re-arming
+  // or concurrent evaluations of the same site.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return decision;
+}
+
+void FailPoint::arm(const Config& config, std::uint64_t rng_seed) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  rng_ = Xoshiro256StarStar(rng_seed);
+  evaluations_ = 0;
+  fires_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FailPoint::disarm() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+namespace {
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool parse_positive_int(std::string_view text, long long* out) noexcept {
+  if (text.empty()) return false;
+  long long value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + (ch - '0');
+    if (value > 1'000'000'000) return false;
+  }
+  *out = value;
+  return *out > 0;
+}
+
+/// "err@0.3*5" / "delay(50ms)" / "off" -> Config (+ disarm flag).
+Status parse_action(std::string_view action, FailPoint::Config* config,
+                    bool* disarm) {
+  action = trim(action);
+  *disarm = false;
+  if (action == "off") {
+    *disarm = true;
+    return Status::ok();
+  }
+
+  // Strip the optional *COUNT and @PROB suffixes (in that order: the
+  // canonical form is base[@prob][*count], and neither character occurs
+  // inside the base grammar's parentheses).
+  if (const std::size_t star = action.rfind('*');
+      star != std::string_view::npos) {
+    long long count = 0;
+    if (!parse_positive_int(trim(action.substr(star + 1)), &count)) {
+      return Status::invalid_input("failpoint count must be a positive "
+                                   "integer in '" +
+                                   std::string(action) + "'");
+    }
+    config->remaining = count;
+    action = trim(action.substr(0, star));
+  }
+  if (const std::size_t at = action.rfind('@'); at != std::string_view::npos) {
+    const std::string prob_text(trim(action.substr(at + 1)));
+    char* end = nullptr;
+    const double p = std::strtod(prob_text.c_str(), &end);
+    if (prob_text.empty() || end == nullptr || *end != '\0' || !(p > 0.0) ||
+        p > 1.0) {
+      return Status::invalid_input(
+          "failpoint probability must be in (0, 1] in '" +
+          std::string(action) + "'");
+    }
+    config->probability = p;
+    action = trim(action.substr(0, at));
+  }
+
+  if (action == "err") {
+    config->kind = FailKind::kError;
+  } else if (action == "short") {
+    config->kind = FailKind::kShort;
+  } else if (action == "cancel") {
+    config->kind = FailKind::kCancel;
+  } else if (action.size() > 7 && action.substr(0, 6) == "delay(" &&
+             action.back() == ')') {
+    std::string_view inner = trim(action.substr(6, action.size() - 7));
+    if (inner.size() > 2 && inner.substr(inner.size() - 2) == "ms") {
+      inner = trim(inner.substr(0, inner.size() - 2));
+    }
+    long long ms = 0;
+    if (!parse_positive_int(inner, &ms) || ms > 600'000) {
+      return Status::invalid_input("failpoint delay must be 1..600000 ms in '" +
+                                   std::string(action) + "'");
+    }
+    config->kind = FailKind::kDelay;
+    config->delay_ms = static_cast<int>(ms);
+  } else {
+    return Status::invalid_input(
+        "unknown failpoint action '" + std::string(action) +
+        "' (want off, err[@p][*n], short[@p][*n], cancel[@p][*n] or "
+        "delay(Nms)[@p][*n])");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FailPointRegistry
+
+FailPointRegistry& FailPointRegistry::instance() {
+  // Leaked on purpose: FailPoint instances at namespace scope detach during
+  // static destruction, so the registry must outlive every one of them.
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+void FailPointRegistry::attach(FailPoint* point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.push_back(point);
+  // A spec may have been configured before this point was constructed
+  // (e.g. --failpoints parsed before a lazily-created subsystem): apply it.
+  for (const auto& [name, pending] : pending_) {
+    if (name != point->name()) continue;
+    if (pending.disarm) {
+      point->disarm();
+    } else {
+      std::uint64_t state = pending.seed ^ fnv1a(name);
+      point->arm(pending.config, splitmix64(state));
+    }
+  }
+}
+
+void FailPointRegistry::detach(FailPoint* point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.erase(std::remove(points_.begin(), points_.end(), point),
+                points_.end());
+}
+
+Status FailPointRegistry::configure(const std::string& spec_list,
+                                    std::uint64_t seed) {
+  std::string_view rest = spec_list;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view entry = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::invalid_input("failpoint entry '" + std::string(entry) +
+                                   "' is not name=action");
+    }
+    const std::string name(trim(entry.substr(0, eq)));
+    Pending pending;
+    pending.seed = seed;
+    pending.action = std::string(trim(entry.substr(eq + 1)));
+    const Status parsed =
+        parse_action(entry.substr(eq + 1), &pending.config, &pending.disarm);
+    if (!parsed.is_ok()) return parsed;
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (FailPoint* point : points_) {
+      if (name != point->name()) continue;
+      if (pending.disarm) {
+        point->disarm();
+      } else {
+        std::uint64_t state = seed ^ fnv1a(name);
+        point->arm(pending.config, splitmix64(state));
+      }
+    }
+    // Remember the spec for points constructed later (latest entry wins).
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&](const auto& kv) {
+                                    return kv.first == name;
+                                  }),
+                   pending_.end());
+    pending_.emplace_back(name, std::move(pending));
+  }
+  return Status::ok();
+}
+
+void FailPointRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (FailPoint* point : points_) point->disarm();
+  pending_.clear();
+}
+
+std::size_t FailPointRegistry::armed_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const FailPoint* point : points_) {
+    if (point->armed_.load(std::memory_order_relaxed)) ++count;
+  }
+  return count;
+}
+
+std::vector<FailPointInfo> FailPointRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FailPointInfo> rows;
+  rows.reserve(points_.size());
+  for (FailPoint* point : points_) {
+    FailPointInfo info;
+    info.name = point->name();
+    info.armed = point->armed_.load(std::memory_order_relaxed);
+    for (const auto& [name, pending] : pending_) {
+      if (name == info.name && !pending.disarm) info.action = pending.action;
+    }
+    {
+      const std::lock_guard<std::mutex> point_lock(point->mutex_);
+      info.evaluations = point->evaluations_;
+      info.fires = point->fires_;
+    }
+    rows.push_back(std::move(info));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FailPointInfo& a, const FailPointInfo& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+}  // namespace sadp::util

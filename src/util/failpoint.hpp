@@ -1,0 +1,159 @@
+// Deterministic named-failpoint injection.
+//
+// A failpoint is a compiled-in fault site with a stable dotted name
+// ("journal.append", "net.write", ...).  Disabled — the production state —
+// it costs exactly one relaxed atomic load per evaluation; no locks, no
+// allocation, no side effects, so shipping the sites changes nothing about
+// rows, counters or timing-insensitive behavior (enforced by test).
+//
+// Arming happens through the process-wide registry from a spec string:
+//
+//   FailPointRegistry::instance().configure(
+//       "journal.append=err@0.3;net.write=short;engine.job=delay(50ms)",
+//       /*seed=*/42);
+//
+// Spec grammar, per ';'-separated entry:
+//
+//   name=off                    disarm this point
+//   name=err[@P][*N]            inject an I/O-style error
+//   name=short[@P][*N]          inject a short/partial write
+//   name=cancel[@P][*N]         behave as if a cancel token fired
+//   name=delay(Dms)[@P][*N]     sleep D milliseconds, then continue
+//
+// @P (0 < P <= 1, default 1) fires probabilistically; *N (default
+// unlimited) caps how many times the point fires.  Probabilistic schedules
+// draw from a per-point xoshiro256** stream seeded by
+// splitmix64(seed ^ fnv1a(name)), so a (spec, seed) pair replays the exact
+// same fire/skip sequence at every site regardless of arming order —
+// chaos runs are reproducible.
+//
+// Sites evaluate and branch on the decision kind; kDelay has already slept
+// inside evaluate(), so delay-only sites need no handling at all:
+//
+//   if (const util::FailDecision fail = g_fp_journal_append.evaluate();
+//       fail.kind == util::FailKind::kError) {
+//     return util::Status::internal("failpoint(journal.append): injected");
+//   }
+//
+// The `sadp.control.v1` "failpoint" verb (api/control.hpp) applies the same
+// spec strings to already-running daemons.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sadp::util {
+
+enum class FailKind : std::uint8_t {
+  kNone = 0,  ///< not armed / did not fire
+  kError,     ///< inject an I/O-style failure
+  kShort,     ///< inject a short (partial) write
+  kCancel,    ///< behave as if a cancel token fired
+  kDelay,     ///< sleep; evaluate() already slept when this is returned
+};
+
+[[nodiscard]] const char* fail_kind_name(FailKind kind) noexcept;
+
+/// What one evaluation of an armed point decided.
+struct FailDecision {
+  FailKind kind = FailKind::kNone;
+  int delay_ms = 0;
+  explicit operator bool() const noexcept { return kind != FailKind::kNone; }
+};
+
+/// One compiled-in fault site.  Instances self-register with the process
+/// registry; declare them at namespace scope in the .cpp that hosts the
+/// site so the disabled path stays a single relaxed load.
+class FailPoint {
+ public:
+  explicit FailPoint(const char* name) noexcept;
+  ~FailPoint();
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  /// Hot path.  Disabled: one relaxed atomic load, returns kNone.
+  [[nodiscard]] FailDecision evaluate() noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) return {};
+    return evaluate_slow();
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+  /// An armed point's behavior (public only so the registry's spec parser
+  /// can build one; sites never touch it).
+  struct Config {
+    FailKind kind = FailKind::kNone;
+    double probability = 1.0;
+    int delay_ms = 0;
+    long long remaining = -1;  ///< fires left; -1 = unlimited
+  };
+
+ private:
+  friend class FailPointRegistry;
+
+  [[nodiscard]] FailDecision evaluate_slow() noexcept;
+  void arm(const Config& config, std::uint64_t rng_seed) noexcept;
+  void disarm() noexcept;
+
+  const char* name_;
+  std::atomic<bool> armed_{false};
+  std::mutex mutex_;  ///< guards everything below
+  Config config_;
+  Xoshiro256StarStar rng_{0};
+  std::uint64_t evaluations_ = 0;  ///< while armed
+  std::uint64_t fires_ = 0;
+};
+
+/// Registry snapshot row (stats / debugging).
+struct FailPointInfo {
+  std::string name;
+  bool armed = false;
+  std::string action;          ///< canonical armed action, e.g. "err@0.3"
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Process-wide registry of every linked FailPoint.  Specs naming a point
+/// that is not (yet) constructed are kept pending and applied when it
+/// registers, so configuration order never matters.
+class FailPointRegistry {
+ public:
+  [[nodiscard]] static FailPointRegistry& instance();
+
+  /// Apply a ';'-separated spec list (grammar above).  kInvalidInput on a
+  /// malformed entry; entries before the bad one stay applied.  An empty
+  /// spec is a no-op success.
+  [[nodiscard]] Status configure(const std::string& spec_list,
+                                 std::uint64_t seed);
+
+  /// Disarm every point and forget pending specs.
+  void clear();
+
+  [[nodiscard]] std::size_t armed_count() const;
+  [[nodiscard]] std::vector<FailPointInfo> snapshot() const;
+
+ private:
+  friend class FailPoint;
+  FailPointRegistry() = default;
+  void attach(FailPoint* point);
+  void detach(FailPoint* point);
+
+  struct Pending {
+    FailPoint::Config config;
+    std::string action;
+    std::uint64_t seed = 0;
+    bool disarm = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<FailPoint*> points_;
+  std::vector<std::pair<std::string, Pending>> pending_;
+};
+
+}  // namespace sadp::util

@@ -1,0 +1,18 @@
+// Filesystem helpers shared by everything that persists flow outputs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace sadp::util {
+
+/// Write `content` to `path` atomically: write to `<path>.tmp.<pid>` in the
+/// same directory, fsync it, then rename() over the destination.  Readers
+/// never observe a half-written file — after a crash, `path` holds either
+/// the complete old content or the complete new content.
+[[nodiscard]] Status atomic_write_file(const std::string& path,
+                                       std::string_view content);
+
+}  // namespace sadp::util

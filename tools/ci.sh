@@ -3,9 +3,12 @@
 #   1. Debug build with ASan+UBSan, full ctest
 #   2. ASan server smoke: sadp_routed + sadp_route_client round trip
 #   3. ASan fleet smoke: dispatcher + 2 backends, cache hits, 0 failed rows
-#   4. Release build, full ctest
-#   5. Release bench smoke run; any `status=failed` progress line fails
-#   6. Service perf smoke: bench_service baselines into BENCH_service.json
+#   4. ASan chaos smoke: 11 seeded failpoint/SIGKILL schedules, rows
+#      must survive bit-identical through --resume and the fleet
+#   5. UBSan fleet smoke: same topology under -DSADP_SANITIZE=undefined
+#   6. Release build, full ctest
+#   7. Release bench smoke run; any `status=failed` progress line fails
+#   8. Service perf smoke: bench_service baselines into BENCH_service.json
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -52,6 +55,12 @@ wait "$server_pid"   # set -e: a non-zero daemon exit fails the gate
 
 echo "== ASan fleet smoke (dispatcher + 2 backends) =="
 tools/service_smoke.sh build-asan --skip-bench
+
+echo "== ASan chaos smoke (seeded failpoints + SIGKILL) =="
+tools/chaos_smoke.sh build-asan
+
+echo "== UBSan fleet smoke (dispatcher + 2 backends) =="
+tools/service_smoke.sh --ubsan --skip-bench
 
 echo "== Release =="
 run_suite build-ci -DCMAKE_BUILD_TYPE=Release

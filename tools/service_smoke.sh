@@ -15,27 +15,42 @@
 # result cache must keep the hit path at least 10x faster than routing.
 #
 # Usage: tools/service_smoke.sh [build_dir] [--rebaseline] [--skip-bench]
-#                               [--skip-topology]
+#                               [--skip-topology] [--ubsan]
+#
+# --ubsan runs the smoke in a dedicated UBSan tree (build-ubsan unless a
+# build_dir is given): the fleet's bit-twiddling paths (CRC32, journal
+# framing, wire parsing) get exercised under -fsanitize=undefined with
+# real sockets, which the unit tests can't fully reach.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD="build-ci"
+BUILD=""
 REBASELINE=0
 SKIP_BENCH=0
 SKIP_TOPOLOGY=0
+UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --rebaseline) REBASELINE=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
     --skip-topology) SKIP_TOPOLOGY=1 ;;
+    --ubsan) UBSAN=1 ;;
     *) BUILD="$arg" ;;
   esac
 done
+if [ -z "$BUILD" ]; then
+  [ "$UBSAN" -eq 1 ] && BUILD="build-ubsan" || BUILD="build-ci"
+fi
 
 # Only configure when the tree is fresh: the caller may hand us a
 # sanitizer build dir whose cache we must not rewrite to Release.
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
-  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  if [ "$UBSAN" -eq 1 ]; then
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DSADP_SANITIZE=undefined >/dev/null
+  else
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  fi
 fi
 cmake --build "$BUILD" -j "$(nproc)" \
   --target sadp_routed sadp_route_dispatch sadp_route_client bench_service \

@@ -64,6 +64,7 @@ struct CliOptions {
   core::DviMethod method = core::DviMethod::kHeuristic;
   double ilp_limit = 60.0;
   int jobs = 0;
+  int partitions = 0;  ///< per-job partition-parallel regions (0 = serial)
   double deadline = 0.0;        ///< per-job wall deadline (0 = none)
   double batch_deadline = 0.0;  ///< whole-batch wall deadline (0 = none)
   bool keep_going = false;      ///< batch: report every row, no fail-fast
@@ -99,6 +100,8 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
                     "DVI solver time limit in seconds", "S");
   parser.add_int("--jobs", &options.jobs,
                  "worker threads for batch runs (0 = all cores)", "N");
+  parser.add_int("--partitions", &options.partitions,
+                 "partition-parallel regions per job (0/1 = serial)", "K");
   parser.add_double("--deadline", &options.deadline,
                     "per-job wall-clock deadline in seconds (0 = none)", "S");
   parser.add_double("--batch-deadline", &options.batch_deadline,
@@ -268,6 +271,7 @@ api::JobRequest job_request(const CliOptions& options) {
   job.ilp_limit_seconds = options.ilp_limit;
   job.degrade_dvi = options.degrade_dvi;
   job.deadline_seconds = options.deadline;
+  job.partitions = options.partitions;
   return job;
 }
 

@@ -27,7 +27,8 @@ struct BenchArgs {
   bool full = false;
   std::string only_ckt;
   double ilp_limit = 15.0;
-  int jobs = 0;  ///< engine workers; 0 = hardware_concurrency
+  int jobs = 0;        ///< engine workers; 0 = hardware_concurrency
+  int partitions = 0;  ///< partition-parallel regions per job (0/1 = serial)
   bool quiet = false;
   std::string trace_path;  ///< Chrome trace-event JSON output (empty = off)
 };
@@ -41,6 +42,8 @@ inline void register_common_flags(util::ArgParser& parser, BenchArgs& args) {
                     "per-instance ILP time limit in seconds", "S");
   parser.add_int("--jobs", &args.jobs,
                  "worker threads for the batch engine (0 = all cores)", "N");
+  parser.add_int("--partitions", &args.partitions,
+                 "partition-parallel regions per job (0/1 = serial)", "K");
   parser.add_flag("--quiet", &args.quiet, "suppress per-job progress lines");
   parser.add_string("--trace", &args.trace_path,
                     "write a Chrome trace-event JSON of the batch "
@@ -116,6 +119,7 @@ inline core::FlowConfig flow_config_from_args(const BenchArgs& args,
   config.options.consider_tpl = consider_tpl;
   config.dvi_method = dvi_method;
   config.ilp_time_limit_seconds = args.ilp_limit;
+  if (args.partitions > 0) config.options.partitions = args.partitions;
   return config;
 }
 

@@ -80,6 +80,9 @@ void write_spec(util::JsonWriter& json, const netlist::BenchSpec& spec) {
   // Seeds are user-chosen small integers (0 = derive from the name); the
   // JSON double round-trip is exact below 2^53.
   json.key("seed").value(static_cast<long long>(spec.seed));
+  // Optional member (read_spec defaults it to 1), so unscaled specs keep
+  // their pre-scale wire bytes.
+  if (spec.scale != 1.0) json.key("scale").value(spec.scale);
   json.end_object();
 }
 
@@ -101,7 +104,8 @@ bool read_spec(const util::JsonValue& doc, netlist::BenchSpec* spec,
       !read_int(doc, "min_pin_spacing", &spec->min_pin_spacing, error) ||
       !read_bool(doc, "row_structured", &spec->row_structured, error) ||
       !read_int(doc, "row_pitch", &spec->row_pitch, error) ||
-      !read_number(doc, "seed", &seed, error)) {
+      !read_number(doc, "seed", &seed, error) ||
+      !read_number(doc, "scale", &spec->scale, error)) {
     return false;
   }
   spec->global_net_fraction = fraction;
@@ -165,6 +169,9 @@ util::Status validate(const FlowRequest& request) {
     if (job.deadline_seconds < 0.0) {
       return util::Status::invalid_input(where + ": deadline must be >= 0");
     }
+    if (job.partitions < 0) {
+      return util::Status::invalid_input(where + ": partitions must be >= 0");
+    }
     // Rows and the resume journal are keyed by label; a duplicate would
     // alias them (same check the engine enforces for journaled batches).
     if (!labels.insert(effective_label(job)).second) {
@@ -208,6 +215,9 @@ std::string serialize_request(const FlowRequest& request) {
     json.key("ilp_limit").value(job.ilp_limit_seconds);
     json.key("degrade_dvi").value(job.degrade_dvi);
     json.key("deadline").value(job.deadline_seconds);
+    // Optional member (0 = engine default), so pre-partition rows and
+    // daemons keep byte-identical requests.
+    if (job.partitions > 0) json.key("partitions").value(job.partitions);
     json.end_object();
   }
   json.end_array();
@@ -281,7 +291,8 @@ std::optional<FlowRequest> parse_request(std::string_view line,
         !read_number(entry, "ilp_limit", &job.ilp_limit_seconds,
                      &field_error) ||
         !read_bool(entry, "degrade_dvi", &job.degrade_dvi, &field_error) ||
-        !read_number(entry, "deadline", &job.deadline_seconds, &field_error)) {
+        !read_number(entry, "deadline", &job.deadline_seconds, &field_error) ||
+        !read_int(entry, "partitions", &job.partitions, &field_error)) {
       return fail(where + field_error);
     }
     if (const util::JsonValue* spec = entry.find("spec")) {
@@ -342,6 +353,7 @@ util::Status to_flow_jobs(const FlowRequest& request,
     job.config.dvi_method = source.dvi_method;
     job.config.ilp_time_limit_seconds = source.ilp_limit_seconds;
     job.config.degrade_dvi_on_timeout = source.degrade_dvi;
+    if (source.partitions > 0) job.config.options.partitions = source.partitions;
     job.deadline_seconds = source.deadline_seconds;
     jobs->push_back(std::move(job));
   }

@@ -68,6 +68,10 @@ struct JobRequest {
   double ilp_limit_seconds = 60.0;
   bool degrade_dvi = false;       ///< ILP DVI timeout => heuristic fallback
   double deadline_seconds = 0.0;  ///< per-job wall deadline (0 = none)
+  /// Partition-parallel routing regions (FlowOptions::partitions).  0 keeps
+  /// the engine default (1 = serial); the member is omitted from the wire
+  /// format when 0, so pre-partition requests and daemons interoperate.
+  int partitions = 0;
 };
 
 /// A whole batch: jobs plus the engine-level execution policy.

@@ -105,6 +105,29 @@ void CostMaps::add_net_costs(const RoutedNet& net) {
   records_.emplace(net.id(), std::move(record));
 }
 
+void CostMaps::merge_history_from(const CostMaps& other, grid::Point offset) {
+  const int metal_layers =
+      static_cast<int>(other.hist_metal_.size() / other.num_points_);
+  for (int layer = 1; layer <= metal_layers; ++layer) {
+    for (int y = 0; y < other.height_; ++y) {
+      for (int x = 0; x < other.width_; ++x) {
+        const double h = other.hist_metal_[other.metal_slot(layer, {x, y})];
+        if (h == 0.0) continue;
+        bump_metal_history(layer, {x + offset.x, y + offset.y}, h);
+      }
+    }
+  }
+  for (int layer = 1; layer <= other.num_via_layers_; ++layer) {
+    for (int y = 0; y < other.height_; ++y) {
+      for (int x = 0; x < other.width_; ++x) {
+        const double h = other.hist_via_[other.via_slot(layer, {x, y})];
+        if (h == 0.0) continue;
+        bump_via_history(layer, {x + offset.x, y + offset.y}, h);
+      }
+    }
+  }
+}
+
 void CostMaps::remove_net_costs(grid::NetId net) {
   const auto it = records_.find(net);
   if (it == records_.end()) return;

@@ -44,6 +44,13 @@ class CostMaps {
   /// Exact inverse of add_net_costs for the same net.
   void remove_net_costs(grid::NetId net);
 
+  /// Fold the negotiation-history arrays of a region-world cost map into
+  /// this one, translating every slot by `offset` (partition merge: the
+  /// history a region accumulated keeps steering the reconcile pass).
+  /// Only history moves — penalty costs are per-net records and are rebuilt
+  /// through add_net_costs when the merged nets are applied.
+  void merge_history_from(const CostMaps& other, grid::Point offset);
+
   [[nodiscard]] bool has_costs_for(grid::NetId net) const {
     return records_.contains(net);
   }

@@ -80,6 +80,17 @@ class MazeRouter {
     return pops_hist_;
   }
 
+  /// Fold another router's cumulative counters and pop distribution into
+  /// this one (partition merge: region-world searches count toward the same
+  /// job totals a serial run would report).
+  void absorb_stats(const MazeRouter& other) noexcept {
+    stats_.pops += other.stats_.pops;
+    stats_.relaxations += other.stats_.relaxations;
+    stats_.searches += other.stats_.searches;
+    stats_.heap_reused += other.stats_.heap_reused;
+    pops_hist_.merge(other.pops_hist_);
+  }
+
  private:
   struct OpenEntry {
     double f;  ///< g + admissible heuristic

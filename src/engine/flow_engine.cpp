@@ -112,6 +112,11 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
     outcome.metrics.maze_pops_p50 = routing.maze_pops_p50;
     outcome.metrics.maze_pops_p95 = routing.maze_pops_p95;
     outcome.metrics.maze_pops_max = routing.maze_pops_max;
+    outcome.metrics.partitions = routing.partitions;
+    outcome.metrics.partition_regions = routing.partition_regions;
+    outcome.metrics.boundary_nets = routing.boundary_nets;
+    outcome.metrics.partition_seconds = routing.partition_seconds;
+    outcome.metrics.reconcile_seconds = routing.reconcile_seconds;
   } catch (const FlowError& e) {
     outcome.status = JobStatus::kFailed;
     outcome.error = e.status();
@@ -400,6 +405,14 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("maze_pops_p50").value(outcome.metrics.maze_pops_p50);
   json.key("maze_pops_p95").value(outcome.metrics.maze_pops_p95);
   json.key("maze_pops_max").value(outcome.metrics.maze_pops_max);
+  // Partition members only for partitioned jobs: serial rows keep their
+  // exact pre-partition bytes (the baseline-freeze contract of the perf
+  // smoke files).
+  if (outcome.metrics.partitions > 1) {
+    json.key("partitions").value(outcome.metrics.partitions);
+    json.key("partition_regions").value(outcome.metrics.partition_regions);
+    json.key("boundary_nets").value(outcome.metrics.boundary_nets);
+  }
   json.key("total_seconds").value(outcome.metrics.total_seconds);
   json.key("stages").begin_object();
   json.key("generate").value(outcome.metrics.generate_seconds);
@@ -409,6 +422,10 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("tpl_rr").value(outcome.metrics.tpl_rr_seconds);
   json.key("coloring").value(outcome.metrics.coloring_seconds);
   json.key("dvi").value(outcome.metrics.dvi_seconds);
+  if (outcome.metrics.partitions > 1) {
+    json.key("partition").value(outcome.metrics.partition_seconds);
+    json.key("reconcile").value(outcome.metrics.reconcile_seconds);
+  }
   json.end_object();
   json.end_object();
 }
@@ -438,7 +455,9 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
       "maze_relaxations,maze_searches,heap_reuse,fvp_cache_hits,"
       "maze_pops_p50,maze_pops_p95,maze_pops_max,total_seconds,"
       "route_seconds,initial_routing_seconds,congestion_rr_seconds,"
-      "tpl_rr_seconds,coloring_seconds,dvi_seconds\n";
+      "tpl_rr_seconds,coloring_seconds,dvi_seconds,"
+      "partitions,partition_regions,boundary_nets,partition_seconds,"
+      "reconcile_seconds\n";
   char buffer[512];
   for (const auto& outcome : outcomes) {
     const core::ExperimentResult& r = outcome.result;
@@ -455,7 +474,7 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
     std::snprintf(buffer, sizeof buffer,
                   "%d,%lld,%d,%d,%d,%d,%zu,%zu,%llu,%llu,%llu,%llu,%llu,"
                   "%llu,%llu,%llu,"
-                  "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                  "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%.6f,%.6f\n",
                   r.routing.routed_all ? 1 : 0, r.routing.wirelength,
                   r.routing.via_count, r.single_vias, r.dvi.dead_vias,
                   r.dvi.uncolorable, m.rr_iterations, m.queue_peak,
@@ -469,7 +488,8 @@ std::string metrics_csv(const std::vector<JobOutcome>& outcomes) {
                   static_cast<unsigned long long>(m.maze_pops_max),
                   m.total_seconds, m.route_seconds, m.initial_routing_seconds,
                   m.congestion_rr_seconds, m.tpl_rr_seconds, m.coloring_seconds,
-                  m.dvi_seconds);
+                  m.dvi_seconds, m.partitions, m.partition_regions,
+                  m.boundary_nets, m.partition_seconds, m.reconcile_seconds);
     out += buffer;
   }
   return out;

@@ -42,6 +42,7 @@
 #include "core/flow.hpp"
 #include "netlist/bench_gen.hpp"
 #include "util/cancel.hpp"
+#include "util/executor.hpp"
 #include "util/status.hpp"
 
 namespace sadp::engine {
@@ -71,6 +72,14 @@ struct StageMetrics {
   std::uint64_t maze_pops_p50 = 0;
   std::uint64_t maze_pops_p95 = 0;
   std::uint64_t maze_pops_max = 0;
+
+  // Partition-parallel routing (RoutingReport; serialized only when the
+  // job requested partitions > 1, so serial rows keep their exact bytes).
+  int partitions = 1;         ///< requested region count (1 = serial)
+  int partition_regions = 0;  ///< effective regions (0 = ran serially)
+  int boundary_nets = 0;      ///< nets routed by the reconcile pass
+  double partition_seconds = 0.0;
+  double reconcile_seconds = 0.0;
 };
 
 /// One unit of work: route + post-routing DVI on one instance.
@@ -178,18 +187,10 @@ struct JobOutcome {
 /// that every concurrent batch shares the same fixed set of worker threads
 /// instead of each run() spawning its own.
 ///
-/// Contract: run_parallel must invoke work(0) .. work(tasks - 1), each
-/// exactly once (possibly concurrently, in any order, on any thread), and
-/// return only after every call has finished.  The work closures are
-/// independent drain loops over one shared job queue, so they never block
-/// on each other — executing them sequentially on a single thread is a
-/// valid implementation.
-class Executor {
- public:
-  virtual ~Executor() = default;
-  virtual void run_parallel(int tasks,
-                            const std::function<void(int)>& work) = 0;
-};
+/// The interface lives in util/executor.hpp so the core router (which the
+/// engine links, not the other way around) can run partition workers on
+/// the same abstraction; this alias keeps the engine-facing name stable.
+using Executor = util::Executor;
 
 struct EngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().  The

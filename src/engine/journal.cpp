@@ -131,6 +131,15 @@ void write_outcome_object(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("maze_pops_p50").value(r.routing.maze_pops_p50);
   json.key("maze_pops_p95").value(r.routing.maze_pops_p95);
   json.key("maze_pops_max").value(r.routing.maze_pops_max);
+  // Partition members only for partitioned jobs, keeping serial rows (and
+  // their cache replays) byte-identical to pre-partition journals.
+  if (r.routing.partitions > 1) {
+    json.key("partitions").value(r.routing.partitions);
+    json.key("partition_regions").value(r.routing.partition_regions);
+    json.key("boundary_nets").value(r.routing.boundary_nets);
+    json.key("partition_seconds").value(r.routing.partition_seconds);
+    json.key("reconcile_seconds").value(r.routing.reconcile_seconds);
+  }
   json.key("remaining_congestion").value(r.routing.remaining_congestion);
   json.key("remaining_fvps").value(r.routing.remaining_fvps);
   json.key("uncolorable_vias").value(r.routing.uncolorable_vias);
@@ -219,6 +228,17 @@ std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
       static_cast<std::uint64_t>(get_number_or_zero(doc, "maze_pops_p95"));
   r.routing.maze_pops_max =
       static_cast<std::uint64_t>(get_number_or_zero(doc, "maze_pops_max"));
+  // Optional (absent = serial row, possibly from a pre-partition journal).
+  {
+    const double partitions = get_number_or_zero(doc, "partitions");
+    r.routing.partitions = partitions > 0 ? static_cast<int>(partitions) : 1;
+    r.routing.partition_regions =
+        static_cast<int>(get_number_or_zero(doc, "partition_regions"));
+    r.routing.boundary_nets =
+        static_cast<int>(get_number_or_zero(doc, "boundary_nets"));
+    r.routing.partition_seconds = get_number_or_zero(doc, "partition_seconds");
+    r.routing.reconcile_seconds = get_number_or_zero(doc, "reconcile_seconds");
+  }
   r.routing.remaining_congestion =
       static_cast<std::size_t>(get_number(doc, "remaining_congestion", bad));
   r.routing.remaining_fvps =
@@ -258,6 +278,11 @@ std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
   outcome.metrics.maze_pops_p50 = r.routing.maze_pops_p50;
   outcome.metrics.maze_pops_p95 = r.routing.maze_pops_p95;
   outcome.metrics.maze_pops_max = r.routing.maze_pops_max;
+  outcome.metrics.partitions = r.routing.partitions;
+  outcome.metrics.partition_regions = r.routing.partition_regions;
+  outcome.metrics.boundary_nets = r.routing.boundary_nets;
+  outcome.metrics.partition_seconds = r.routing.partition_seconds;
+  outcome.metrics.reconcile_seconds = r.routing.reconcile_seconds;
 
   if (bad) {
     return fail("malformed journal record for label '" + outcome.label + "'");

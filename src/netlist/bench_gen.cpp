@@ -1,6 +1,7 @@
 #include "netlist/bench_gen.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/rng.hpp"
 
@@ -66,6 +67,28 @@ std::vector<BenchStats> scaled_benchmarks() {
 }
 
 std::optional<BenchSpec> spec_for(const std::string& name, bool scaled) {
+  // Partition family: "<base>_10x" / "<base>_10x_ramp" resolve the base
+  // benchmark and scale it by 10 in area; the ramp variant also raises the
+  // global-net fraction and cluster radius so congestion — and with it the
+  // cross-cut reconcile work — ramps up.
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return name.size() > n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_10x") || ends_with("_10x_ramp")) {
+    const bool ramp = ends_with("_10x_ramp");
+    const std::string base = name.substr(0, name.size() - (ramp ? 9 : 4));
+    auto spec = spec_for(base, scaled);
+    if (!spec.has_value()) return std::nullopt;
+    spec->name = name;
+    spec->scale = 10.0;
+    if (ramp) {
+      spec->global_net_fraction = 0.10;
+      spec->local_radius = 14;
+    }
+    return spec;
+  }
+
   const auto rows = scaled ? scaled_benchmarks() : paper_benchmarks();
   const std::string wanted = scaled && name.size() >= 2 &&
                                      name.compare(name.size() - 2, 2, "_s") == 0
@@ -83,7 +106,23 @@ std::optional<BenchSpec> spec_for(const std::string& name, bool scaled) {
   return std::nullopt;
 }
 
+BenchSpec resolve_scale(BenchSpec spec) {
+  if (spec.scale == 1.0) return spec;
+  const double linear = std::sqrt(spec.scale);
+  spec.width = static_cast<int>(std::lround(spec.width * linear));
+  spec.height = static_cast<int>(std::lround(spec.height * linear));
+  spec.num_nets = static_cast<int>(std::lround(spec.num_nets * spec.scale));
+  spec.scale = 1.0;
+  return spec;
+}
+
 util::Status validate_spec(const BenchSpec& spec) {
+  if (!(spec.scale > 0.0)) {
+    return util::Status::invalid_input("benchmark spec '" + spec.name +
+                                       "' needs scale > 0, got " +
+                                       std::to_string(spec.scale));
+  }
+  if (spec.scale != 1.0) return validate_spec(resolve_scale(spec));
   if (spec.width < 16 || spec.height < 16) {
     return util::Status::invalid_input(
         "benchmark spec '" + spec.name + "' needs a grid of at least 16x16, got " +
@@ -118,10 +157,11 @@ util::Status validate_spec(const BenchSpec& spec) {
   return util::Status::ok();
 }
 
-PlacedNetlist generate(const BenchSpec& spec) {
-  if (const util::Status valid = validate_spec(spec); !valid.is_ok()) {
+PlacedNetlist generate(const BenchSpec& raw_spec) {
+  if (const util::Status valid = validate_spec(raw_spec); !valid.is_ok()) {
     throw FlowError(valid.code(), valid.message());
   }
+  const BenchSpec spec = resolve_scale(raw_spec);
   const std::uint64_t seed =
       spec.seed != 0 ? spec.seed : util::fnv1a(spec.name) ^ 0xA5A5A5A5DEADBEEFull;
   util::Xoshiro256StarStar rng(seed);

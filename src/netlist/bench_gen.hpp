@@ -43,6 +43,10 @@ struct BenchSpec {
   bool row_structured = false;
   int row_pitch = 6;
   std::uint64_t seed = 0;  ///< 0 = derive from name.
+  /// Area-scale multiplier, resolved at generation time: net count scales
+  /// by `scale`, linear dimensions by sqrt(scale), so pin density is
+  /// preserved.  1.0 = no scaling.  See resolve_scale().
+  double scale = 1.0;
 };
 
 /// Statistics row of the paper's Table I.
@@ -62,8 +66,18 @@ struct BenchStats {
 [[nodiscard]] std::vector<BenchStats> scaled_benchmarks();
 
 /// Spec for a named paper benchmark, either full scale or scaled.
+///
+/// Also resolves the partition-benchmark family (DESIGN.md section 14):
+/// "<base>_10x" is the base benchmark with scale = 10 (10x the nets on 10x
+/// the area), and "<base>_10x_ramp" additionally raises global_net_fraction
+/// and local_radius — a congestion ramp that stresses the reconcile pass.
 [[nodiscard]] std::optional<BenchSpec> spec_for(const std::string& name,
                                                 bool scaled);
+
+/// Fold BenchSpec::scale into the explicit fields (num_nets *= scale,
+/// width/height *= sqrt(scale)) and reset scale to 1.  Identity when scale
+/// is already 1.
+[[nodiscard]] BenchSpec resolve_scale(BenchSpec spec);
 
 /// Check a spec before generation: grid at least 16x16, a positive net
 /// count, and enough area for the requested pins at min_pin_spacing.

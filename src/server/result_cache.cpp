@@ -30,6 +30,7 @@ std::string canonical_job_json(const api::JobRequest& job) {
   json.key("dvi_method").value(core::dvi_method_name(job.dvi_method));
   json.key("ilp_limit").value(job.ilp_limit_seconds);
   json.key("netlist_path").value(job.netlist_path);
+  json.key("partitions").value(job.partitions);
   json.key("scaled").value(job.scaled);
   if (job.spec.has_value()) {
     const netlist::BenchSpec& spec = *job.spec;
@@ -43,6 +44,7 @@ std::string canonical_job_json(const api::JobRequest& job) {
     json.key("num_nets").value(spec.num_nets);
     json.key("row_pitch").value(spec.row_pitch);
     json.key("row_structured").value(spec.row_structured);
+    json.key("scale").value(spec.scale);
     json.key("seed").value(static_cast<long long>(spec.seed));
     json.key("width").value(spec.width);
     json.end_object();

@@ -1,0 +1,69 @@
+// Thread-pool interface shared by the batch engine and the partitioned
+// router.
+//
+// An Executor supplies the threads a parallel phase runs on.  Long-lived
+// services (the sadp_routed daemon) implement it over one persistent pool
+// so concurrent batches share a fixed set of worker threads; everything
+// else uses run_tasks(), which spawns plain std::threads when no executor
+// is given.
+//
+// Contract: run_parallel must invoke work(0) .. work(tasks - 1), each
+// exactly once (possibly concurrently, in any order, on any thread), and
+// return only after every call has finished.  Work closures must not
+// depend on each other (no cross-task blocking), so executing them
+// sequentially on a single thread is a valid implementation.
+//
+// Re-entrancy warning: a fixed-size pool must never be handed work that
+// itself calls run_parallel on the same pool — the inner call would wait
+// for threads the outer call occupies.  This is why the FlowEngine does
+// NOT forward its executor into FlowOptions::executor for partitioned
+// routing: a job running on the pool would deadlock waiting for region
+// slots.  Region routing on a daemon therefore spawns its own transient
+// threads (run_tasks with a null executor).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sadp::util {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void run_parallel(int tasks,
+                            const std::function<void(int)>& work) = 0;
+};
+
+/// Run `work(0..tasks-1)` on `executor`, or — when it is null — on freshly
+/// spawned std::threads, at most hardware_concurrency at a time (tasks are
+/// handed out in waves; time-slicing more big-footprint workers than cores
+/// only thrashes caches).  Returns after every task finished.  Exceptions
+/// must be captured inside `work`; a throwing task terminates (same
+/// contract as the engine's drain loops).
+inline void run_tasks(Executor* executor, int tasks,
+                      const std::function<void(int)>& work) {
+  if (tasks <= 0) return;
+  if (executor != nullptr) {
+    executor->run_parallel(tasks, work);
+    return;
+  }
+  const int width = std::min(
+      tasks, std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  if (width == 1) {
+    for (int t = 0; t < tasks; ++t) work(t);
+    return;
+  }
+  for (int base = 0; base < tasks; base += width) {
+    const int wave = std::min(width, tasks - base);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(wave));
+    for (int t = base; t < base + wave; ++t) {
+      threads.emplace_back([&work, t] { work(t); });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+}
+
+}  // namespace sadp::util

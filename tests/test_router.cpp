@@ -142,5 +142,36 @@ TEST(Router, ReportsCountsConsistently) {
   EXPECT_EQ(report.via_count, vias);
 }
 
+TEST(Router, FvpCacheHitsAreReportedWhenTplQueriesTheCache) {
+  // The generator keeps pins at Chebyshev >= 3, so benchmark runs start the
+  // TPL loop with zero FVPs and never query the cache (their report rows
+  // legitimately show fvp_cache_hits = 0).  Hand-place four pin vias in a
+  // 2x2 block instead: a K4 inside one 3x3 window is a genuine FVP
+  // (test_fvp.cpp), present before TPL R&R starts, so the loop must consult
+  // the cache when it validates the violation.
+  netlist::PlacedNetlist instance;
+  instance.name = "fvp_hits";
+  instance.width = 32;
+  instance.height = 32;
+  netlist::Net a;
+  a.id = 0;
+  a.name = "a";
+  a.pins = {{{10, 10}}, {{11, 11}}};
+  netlist::Net b;
+  b.id = 1;
+  b.name = "b";
+  b.pins = {{{10, 11}}, {{11, 10}}};
+  instance.nets = {a, b};
+
+  FlowOptions options;
+  options.consider_tpl = true;
+  SadpRouter router(instance, options);
+  const RoutingReport report = router.run();
+  EXPECT_TRUE(report.routed_all);
+  EXPECT_GT(report.fvp_cache_hits, 0u);
+  // Pin vias are immovable, so the FVP itself is unfixable and stays.
+  EXPECT_GE(report.remaining_fvps, 1u);
+}
+
 }  // namespace
 }  // namespace sadp::core

@@ -8,7 +8,14 @@
 #   5. UBSan fleet smoke: same topology under -DSADP_SANITIZE=undefined
 #   6. Release build, full ctest
 #   7. Release bench smoke run; any `status=failed` progress line fails
-#   8. Service perf smoke: bench_service baselines into BENCH_service.json
+#   8. Router + partition perf smokes: BENCH_router.json and
+#      BENCH_partition.json (the latter gates partitions=4 >= 1.6x serial
+#      on ecc_10x_ramp)
+#   9. Service perf smoke: bench_service baselines into BENCH_service.json
+#
+# Step 6.5 runs the PartitionParallel test suite under TSan: region workers
+# route on genuinely concurrent threads there, so a cross-region write is a
+# reported race, not a lucky pass.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -68,6 +75,10 @@ run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 echo "== TSan trace smoke (--trace under 2 workers) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DSADP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target sadp_route sadp_flow_report
+
+echo "== TSan partition tests (concurrent region workers) =="
+cmake --build build-tsan -j "$JOBS" --target sadp_tests
+ctest --test-dir build-tsan --output-on-failure -R 'PartitionParallel'
 trace_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$server_log" "$client_log" "$trace_json"' EXIT
 ./build-tsan/apps/sadp_route --benchmark ecc,efc --jobs 2 --trace "$trace_json"
@@ -89,7 +100,7 @@ if grep -q "status=failed" "$smoke_log"; then
   exit 1
 fi
 
-echo "== router perf smoke (BENCH_router.json) =="
+echo "== router + partition perf smoke (BENCH_router.json, BENCH_partition.json) =="
 tools/perf_smoke.sh build-ci
 
 echo "== service perf smoke (BENCH_service.json) =="

@@ -12,15 +12,24 @@
 # BENCH_router.json.  Pops ratios should stay exactly 1.0: search effort is
 # deterministic, so any change there is a behavior change, not noise.
 #
-# Usage: tools/perf_smoke.sh [build_dir] [--rebaseline]
+# A second section exercises partition-parallel routing (DESIGN.md section
+# 14) on the 10x-scaled benchmark family and writes BENCH_partition.json:
+# route_seconds medians (of 3 runs -- single-run timing noise on a loaded
+# machine is ~±5%) at --partitions 1/2/4 with --jobs 1, plus a hard gate:
+# partitions=4 must be >= 1.6x faster than partitions=1 on ecc_10x_ramp.
+# Skip it with --no-partition when only the kernel numbers are wanted.
+#
+# Usage: tools/perf_smoke.sh [build_dir] [--rebaseline] [--no-partition]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="build-ci"
 REBASELINE=0
+PARTITION=1
 for arg in "$@"; do
   case "$arg" in
     --rebaseline) REBASELINE=1 ;;
+    --no-partition) PARTITION=0 ;;
     *) BUILD="$arg" ;;
   esac
 done
@@ -108,4 +117,86 @@ for name, s in sorted(speedup["micro"].items()):
     print(f"  micro   {name:<24} {s:>8.3f}x")
 for label, s in sorted(speedup["route_seconds"].items()):
     print(f"  route   {label:<24} {s:>8.3f}x")
+EOF
+
+[ "$PARTITION" -eq 1 ] || exit 0
+
+echo "== partition smoke (BENCH_partition.json) =="
+part_dir="$(mktemp -d)"
+trap 'rm -f "$micro_json" "$flow_json"; rm -rf "$part_dir"' EXIT
+
+# Three repetitions per config, configs interleaved within each repetition
+# so slow-machine drift hits every config equally.
+for rep in 1 2 3; do
+  for p in 1 2 4; do
+    "./$BUILD/apps/sadp_route" --benchmark ecc_10x,ecc_10x_ramp --jobs 1 \
+      --partitions "$p" \
+      --json-report "$part_dir/p${p}_r${rep}.json" >/dev/null
+  done
+done
+
+REBASELINE="$REBASELINE" PART_DIR="$part_dir" python3 - <<'EOF'
+import glob, json, os, statistics, sys
+
+out_path = "BENCH_partition.json"
+GATE_LABEL, GATE_CONFIG, GATE_MIN = "ecc_10x_ramp", "p4", 1.6
+
+times = {}    # label -> config -> [route_seconds]
+quality = {}  # label -> config -> deterministic result row
+for path in sorted(glob.glob(os.path.join(os.environ["PART_DIR"], "*.json"))):
+    config = os.path.basename(path).split("_")[0]  # "p1" / "p2" / "p4"
+    with open(path) as f:
+        doc = json.load(f)
+    for row in doc["results"]:
+        label = row["label"]
+        times.setdefault(label, {}).setdefault(config, []).append(
+            row["stages"]["route"])
+        # Fixed-K results are deterministic, so the quality row is identical
+        # across repetitions; keep it once as a cross-run fingerprint.
+        quality.setdefault(label, {})[config] = {
+            "wirelength": row["wirelength"],
+            "via_count": row["via_count"],
+            "partition_regions": row.get("partition_regions", 0),
+            "boundary_nets": row.get("boundary_nets", 0),
+        }
+
+current = {"route_seconds": {}, "quality": quality, "speedup_vs_serial": {}}
+for label, configs in sorted(times.items()):
+    meds = {c: round(statistics.median(v), 3) for c, v in configs.items()}
+    current["route_seconds"][label] = meds
+    current["speedup_vs_serial"][label] = {
+        c: round(meds["p1"] / meds[c], 3) for c in meds if meds[c] > 0}
+
+baseline = None
+if not int(os.environ["REBASELINE"]) and os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f).get("baseline")
+    except (json.JSONDecodeError, OSError):
+        baseline = None
+if baseline is None:
+    baseline = current
+
+doc = {
+    "schema": "sadp.bench_partition.v1",
+    "baseline": baseline,
+    "current": current,
+    "gate": {"label": GATE_LABEL, "config": GATE_CONFIG,
+             "min_speedup_vs_serial": GATE_MIN},
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+for label, sp in sorted(current["speedup_vs_serial"].items()):
+    meds = current["route_seconds"][label]
+    for c in sorted(sp):
+        print(f"  {label:<16} {c}  {meds[c]:>7.3f}s  {sp[c]:>6.3f}x")
+
+got = current["speedup_vs_serial"].get(GATE_LABEL, {}).get(GATE_CONFIG, 0.0)
+if got < GATE_MIN:
+    print(f"partition gate FAILED: {GATE_LABEL} {GATE_CONFIG} speedup "
+          f"{got:.3f}x < {GATE_MIN}x", file=sys.stderr)
+    sys.exit(1)
+print(f"partition gate ok: {GATE_LABEL} {GATE_CONFIG} {got:.3f}x >= {GATE_MIN}x")
 EOF

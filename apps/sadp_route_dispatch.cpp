@@ -11,6 +11,15 @@
 // src/server/dispatch.hpp for the commit rule).  "stats" against the
 // dispatcher aggregates the fleet and lists each backend as a peer row.
 //
+// Client modes (against a RUNNING dispatcher or daemon, then exit):
+//
+//   sadp_route_dispatch --metrics --port 7470   # Prometheus exposition
+//
+// Telemetry: --metrics-port is unnecessary — metrics ride the control
+// plane ({"type":"metrics"} on the service port).  --trace FILE records
+// the dispatcher's relay spans and writes a sadp.flow_trace.v1 file on
+// exit, mergeable with the daemons' traces via sadp_trace_merge.
+//
 // Prints "dispatching on 127.0.0.1:<port>" once ready.  SIGTERM/SIGINT
 // exit after in-flight forwards complete.
 #include <atomic>
@@ -22,7 +31,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "server/dispatch.hpp"
+#include "server/route_client.hpp"
 #include "util/args.hpp"
 #include "util/failpoint.hpp"
 
@@ -52,6 +63,9 @@ int main(int argc, char** argv) {
   sadp::server::DispatcherOptions options;
   std::string backends_csv;
   bool quiet = false;
+  bool metrics_mode = false;
+  std::string host = "127.0.0.1";
+  std::string trace_path;
   sadp::util::ArgParser parser(
       "load-balancing front for a fleet of sadp_routed backends");
   parser.add_int("--port", &options.port,
@@ -68,6 +82,13 @@ int main(int argc, char** argv) {
                  "counts as stale)",
                  "MS");
   parser.add_flag("--quiet", &quiet, "suppress per-forward log lines");
+  parser.add_flag("--metrics", &metrics_mode,
+                  "client mode: print a running dispatcher's Prometheus "
+                  "exposition and exit");
+  parser.add_string("--host", &host, "client modes: server host", "HOST");
+  parser.add_string("--trace", &trace_path,
+                    "record relay spans and write a sadp.flow_trace.v1 "
+                    "file on exit", "FILE");
   std::string failpoints_spec;
   std::string failpoints_seed_text = "0";
   parser.add_string("--failpoints", &failpoints_spec,
@@ -78,6 +99,23 @@ int main(int argc, char** argv) {
                     "base seed for failpoint probability draws", "SEED");
   if (!parser.parse(argc, argv)) return 2;
   options.quiet = quiet;
+
+  if (metrics_mode) {
+    if (options.port <= 0) {
+      std::fprintf(stderr, "--metrics needs --port of a running dispatcher\n");
+      return 2;
+    }
+    std::string exposition;
+    const sadp::util::Status got =
+        sadp::server::query_metrics(host, options.port, &exposition);
+    if (!got.is_ok()) {
+      std::fprintf(stderr, "metrics failed: %s\n", got.to_string().c_str());
+      return 1;
+    }
+    std::fputs(exposition.c_str(), stdout);
+    return 0;
+  }
+
   options.backends = split_csv(backends_csv);
   if (options.backends.empty()) {
     std::fprintf(stderr, "--backends is required\n");
@@ -92,6 +130,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --failpoints: %s\n", armed.to_string().c_str());
       return 2;
     }
+  }
+
+  sadp::obs::TraceSession trace;
+  if (!trace_path.empty()) {
+    trace.install();
+    trace.set_process_name("sadp_route_dispatch");
   }
 
   sadp::server::RouteDispatcher dispatcher(options);
@@ -114,6 +158,17 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::fprintf(stderr, "[sadp_route_dispatch] stopping\n");
-  dispatcher.stop();
+  dispatcher.stop();  // waits for every handler thread, so buffers quiesce
+  if (!trace_path.empty()) {
+    trace.uninstall();
+    const sadp::util::Status wrote = trace.write_json(trace_path);
+    if (!wrote.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   wrote.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[sadp_route_dispatch] wrote trace %s (%zu events)\n",
+                 trace_path.c_str(), trace.event_count());
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 // Client modes (talk to a RUNNING daemon or dispatcher, then exit):
 //
 //   sadp_routed --stats --port 7471   # print queue/cache/peer stats
+//   sadp_routed --metrics --port 7471 # print Prometheus text exposition
 //   sadp_routed --ping  --port 7471   # liveness probe (exit 0 when up)
 //   sadp_routed --drain --port 7471   # ask it to drain gracefully
 //   sadp_routed --set-failpoints "journal.append=err@0.3" --port 7471
@@ -35,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "server/route_client.hpp"
 #include "server/route_server.hpp"
 #include "util/args.hpp"
@@ -65,10 +67,12 @@ int print_stats(const std::string& host, int port) {
   }
   std::printf(
       "queue_depth=%zu active=%zu rejected=%zu cache_hits=%zu "
-      "cache_misses=%zu pool=%d uptime=%.1fs draining=%s\n",
+      "cache_misses=%zu pool=%d uptime=%.1fs draining=%s "
+      "latency_p50_ms=%.3f latency_p99_ms=%.3f\n",
       stats.queue_depth, stats.active, stats.rejected, stats.cache_hits,
       stats.cache_misses, stats.pool_size, stats.uptime_seconds,
-      stats.draining ? "yes" : "no");
+      stats.draining ? "yes" : "no", stats.latency_p50_ms,
+      stats.latency_p99_ms);
   for (const auto& peer : stats.peers) {
     std::printf("peer %s: queue_depth=%d active=%d age=%.2fs alive=%s\n",
                 peer.addr.c_str(), peer.queue_depth, peer.active,
@@ -83,8 +87,10 @@ int main(int argc, char** argv) {
   sadp::server::ServerOptions options;
   bool quiet = false;
   bool stats_mode = false;
+  bool metrics_mode = false;
   bool ping_mode = false;
   bool drain_mode = false;
+  std::string trace_path;
   bool clear_failpoints_mode = false;
   std::string set_failpoints_spec;
   std::string failpoints_spec;
@@ -112,6 +118,12 @@ int main(int argc, char** argv) {
   parser.add_string("--host", &host, "client modes: server host", "HOST");
   parser.add_flag("--stats", &stats_mode,
                   "client mode: print a running daemon's stats and exit");
+  parser.add_flag("--metrics", &metrics_mode,
+                  "client mode: print a running daemon's Prometheus "
+                  "exposition and exit");
+  parser.add_string("--trace", &trace_path,
+                    "record this daemon's obs spans and write a "
+                    "sadp.flow_trace.v1 file on exit", "FILE");
   parser.add_flag("--ping", &ping_mode,
                   "client mode: liveness probe (exit 0 when the daemon is up)");
   parser.add_flag("--drain", &drain_mode,
@@ -149,12 +161,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (stats_mode || ping_mode || drain_mode) {
+  if (stats_mode || metrics_mode || ping_mode || drain_mode) {
     if (options.port <= 0) {
       std::fprintf(stderr, "client modes need --port of a running daemon\n");
       return 2;
     }
     if (stats_mode) return print_stats(host, options.port);
+    if (metrics_mode) {
+      std::string exposition;
+      const sadp::util::Status got =
+          sadp::server::query_metrics(host, options.port, &exposition);
+      if (!got.is_ok()) {
+        std::fprintf(stderr, "metrics failed: %s\n", got.to_string().c_str());
+        return 1;
+      }
+      std::fputs(exposition.c_str(), stdout);
+      return 0;
+    }
     if (ping_mode) {
       double uptime = 0.0;
       const sadp::util::Status up =
@@ -197,11 +220,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Tracing is per-process: every request served while the session is
+  // installed contributes admission/run/engine spans, written as one
+  // sadp.flow_trace.v1 file on drain for sadp_trace_merge.
+  sadp::obs::TraceSession trace;
+  if (!trace_path.empty()) trace.install();
+
   sadp::server::RouteServer server(options);
   const sadp::util::Status started = server.start();
   if (!started.is_ok()) {
     std::fprintf(stderr, "cannot start: %s\n", started.to_string().c_str());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    trace.set_process_name("sadp_routed :" + std::to_string(server.port()));
   }
   sadp::server::install_sigterm_drain(&server);
 
@@ -214,5 +246,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[sadp_routed] draining: finishing in-flight jobs\n");
   server.stop();
   sadp::server::install_sigterm_drain(nullptr);
+  if (!trace_path.empty()) {
+    trace.uninstall();  // server threads are joined; buffers are quiescent
+    const sadp::util::Status wrote = trace.write_json(trace_path);
+    if (!wrote.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   wrote.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[sadp_routed] wrote trace %s (%zu events)\n",
+                 trace_path.c_str(), trace.event_count());
+  }
   return 0;
 }

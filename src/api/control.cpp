@@ -49,6 +49,7 @@ const char* control_type_name(ControlRequest::Type type) noexcept {
     case ControlRequest::Type::kDrain: return "drain";
     case ControlRequest::Type::kBeacon: return "beacon";
     case ControlRequest::Type::kFailpoint: return "failpoint";
+    case ControlRequest::Type::kMetrics: return "metrics";
   }
   return "?";
 }
@@ -103,6 +104,8 @@ std::optional<ControlRequest> parse_control_request(std::string_view line,
     request.type = ControlRequest::Type::kBeacon;
   } else if (type->string_value == "failpoint") {
     request.type = ControlRequest::Type::kFailpoint;
+  } else if (type->string_value == "metrics") {
+    request.type = ControlRequest::Type::kMetrics;
   } else {
     return fail("unknown control type '" + type->string_value + "'");
   }
@@ -176,6 +179,8 @@ std::string stats_reply_line(const StatsReply& stats) {
   json.key("rejected").value(stats.rejected);
   json.key("cache_hits").value(stats.cache_hits);
   json.key("cache_misses").value(stats.cache_misses);
+  json.key("latency_p50_ms").value(stats.latency_p50_ms);
+  json.key("latency_p99_ms").value(stats.latency_p99_ms);
   json.key("pool_size").value(stats.pool_size);
   json.key("uptime_seconds").value(stats.uptime_seconds);
   json.key("draining").value(stats.draining);
@@ -192,6 +197,46 @@ std::string stats_reply_line(const StatsReply& stats) {
   json.end_array();
   json.end_object();
   return json.str();
+}
+
+std::string metrics_reply_line(const std::string& exposition) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("metrics");
+  json.key("content_type").value("text/plain; version=0.0.4");
+  json.key("body").value(exposition);
+  json.end_object();
+  return json.str();
+}
+
+std::optional<std::string> parse_metrics_reply(std::string_view line,
+                                               std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<std::string> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("metrics reply is not a JSON object: " + parse_error);
+  }
+  const util::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != kControlSchema) {
+    return fail(std::string("metrics reply schema mismatch (want ") +
+                kControlSchema + ")");
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->string_value != "metrics") {
+    return fail("not a metrics reply");
+  }
+  const util::JsonValue* body = doc->find("body");
+  if (body == nullptr || !body->is_string()) {
+    return fail("metrics reply without a string 'body'");
+  }
+  return body->string_value;
 }
 
 std::optional<StatsReply> parse_stats_reply(std::string_view line,
@@ -222,6 +267,8 @@ std::optional<StatsReply> parse_stats_reply(std::string_view line,
   stats.rejected = read_count(*doc, "rejected");
   stats.cache_hits = read_count(*doc, "cache_hits");
   stats.cache_misses = read_count(*doc, "cache_misses");
+  stats.latency_p50_ms = read_double(*doc, "latency_p50_ms");
+  stats.latency_p99_ms = read_double(*doc, "latency_p99_ms");
   stats.pool_size = static_cast<int>(read_count(*doc, "pool_size"));
   stats.uptime_seconds = read_double(*doc, "uptime_seconds");
   stats.draining = read_flag(*doc, "draining");

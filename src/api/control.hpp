@@ -24,6 +24,13 @@
 //     the spec grammar — this is how chaos tests arm faults in
 //     already-running daemons)
 //
+//   → {"type":"metrics"}
+//   ← {"schema":"sadp.control.v1","type":"metrics","body":"# HELP ..."}
+//     (the body is the process's Prometheus text exposition — see
+//     obs/metrics.hpp — JSON-escaped into a single line; `sadp_routed
+//     --metrics` / `sadp_route_dispatch --metrics` unescape and print it,
+//     which is what a scrape sidecar or the smoke tests consume)
+//
 // Beacons are the load/liveness gossip between sibling daemons — each
 // backend periodically tells its peers how deep its queue is, a miniature
 // of an OSPF hello.  The dispatcher's health probes are plain "stats"
@@ -47,7 +54,7 @@ inline constexpr const char* kControlSchema = "sadp.control.v1";
 
 /// One inbound control line.
 struct ControlRequest {
-  enum class Type { kPing, kStats, kDrain, kBeacon, kFailpoint };
+  enum class Type { kPing, kStats, kDrain, kBeacon, kFailpoint, kMetrics };
   Type type = Type::kPing;
   // Beacon payload: the sender's advertised address and load.
   std::string from;
@@ -97,6 +104,12 @@ struct StatsReply {
   std::size_t rejected = 0;     ///< admission rejections since startup
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  // Request-latency quantiles from the server's run histogram (dispatcher:
+  // relay latency across all backends).  0 until the first finished
+  // request; absent on the wire from pre-telemetry daemons (parsed as 0,
+  // same forward-compat rule as the cache counters).
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
   int pool_size = 0;            ///< worker threads (0 for the dispatcher)
   double uptime_seconds = 0.0;
   bool draining = false;
@@ -108,6 +121,14 @@ struct StatsReply {
 /// Reply to a "failpoint" request: how many points are armed afterwards.
 [[nodiscard]] std::string failpoints_line(std::size_t armed);
 [[nodiscard]] std::string stats_reply_line(const StatsReply& stats);
+
+/// Reply to a "metrics" request: the Prometheus text exposition carried as
+/// a JSON-escaped single-line body.
+[[nodiscard]] std::string metrics_reply_line(const std::string& exposition);
+
+/// Parse a metrics reply line back into the exposition text.
+[[nodiscard]] std::optional<std::string> parse_metrics_reply(
+    std::string_view line, std::string* error = nullptr);
 
 /// Parse a stats reply line.  Counter members are optional (absent = 0) so
 /// newer clients keep parsing older daemons; a wrong schema or type is an

@@ -1,5 +1,9 @@
 #include "api/flow_api.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <set>
 
@@ -133,6 +137,29 @@ std::optional<core::DviMethod> parse_dvi_method(const std::string& name) {
   return std::nullopt;
 }
 
+std::string mint_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x = static_cast<std::uint64_t>(util::unix_now_us());
+  x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+  x += counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL;
+  // splitmix64 finalizer: uniform 64-bit ids from the structured seed.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(x));
+  return buf;
+}
+
+void ensure_trace_context(FlowRequest* request) {
+  if (!request->trace_id.empty()) return;
+  request->trace_id = mint_trace_id();
+  request->sent_unix_us = util::unix_now_us();
+  for (JobRequest& job : request->jobs) job.span_id = mint_trace_id();
+}
+
 std::string effective_label(const JobRequest& job) {
   if (!job.label.empty()) return job.label;
   if (!job.benchmark.empty()) return job.benchmark;
@@ -192,11 +219,19 @@ std::string serialize_request(const FlowRequest& request) {
   json.key("journal").value(request.journal_path);
   json.key("resume").value(request.resume);
   json.key("journal_sync").value(engine::journal_sync_name(request.journal_sync));
+  // Trace context is optional on the wire: untraced requests serialize to
+  // their exact pre-telemetry bytes (absent = old behavior).
+  if (!request.trace_id.empty()) json.key("trace_id").value(request.trace_id);
+  if (request.sent_unix_us != 0) {
+    json.key("sent_unix_us")
+        .value(static_cast<long long>(request.sent_unix_us));
+  }
   json.key("jobs").begin_array();
   for (const JobRequest& job : request.jobs) {
     json.begin_object();
     if (!job.label.empty()) json.key("label").value(job.label);
     if (!job.arm.empty()) json.key("arm").value(job.arm);
+    if (!job.span_id.empty()) json.key("span_id").value(job.span_id);
     if (!job.benchmark.empty()) {
       json.key("benchmark").value(job.benchmark);
       json.key("scaled").value(job.scaled);
@@ -266,6 +301,14 @@ std::optional<FlowRequest> parse_request(std::string_view line,
     if (!sync) return fail("unknown journal_sync '" + sync_name + "'");
     request.journal_sync = *sync;
   }
+  {
+    double sent = 0.0;
+    if (!read_string(*doc, "trace_id", &request.trace_id, &field_error) ||
+        !read_number(*doc, "sent_unix_us", &sent, &field_error)) {
+      return fail(field_error);
+    }
+    request.sent_unix_us = static_cast<std::int64_t>(sent);
+  }
 
   const util::JsonValue* jobs = doc->find("jobs");
   if (jobs == nullptr || !jobs->is_array()) {
@@ -281,6 +324,7 @@ std::optional<FlowRequest> parse_request(std::string_view line,
     std::string method_name = core::dvi_method_name(job.dvi_method);
     if (!read_string(entry, "label", &job.label, &field_error) ||
         !read_string(entry, "arm", &job.arm, &field_error) ||
+        !read_string(entry, "span_id", &job.span_id, &field_error) ||
         !read_string(entry, "benchmark", &job.benchmark, &field_error) ||
         !read_bool(entry, "scaled", &job.scaled, &field_error) ||
         !read_string(entry, "netlist_path", &job.netlist_path, &field_error) ||
@@ -323,6 +367,8 @@ util::Status to_flow_jobs(const FlowRequest& request,
     engine::FlowJob job;
     job.label = source.label;
     job.arm = source.arm;
+    job.trace_id = request.trace_id;
+    job.span_id = source.span_id;
     if (!source.benchmark.empty()) {
       const auto spec = netlist::spec_for(source.benchmark, source.scaled);
       if (!spec) {
@@ -373,10 +419,21 @@ engine::EngineOptions engine_options(const FlowRequest& request) {
 
 std::string response_row_line_raw(std::string_view outcome_json,
                                   std::size_t done, std::size_t total,
-                                  const char* cache) {
+                                  const char* cache,
+                                  const std::string& trace_id,
+                                  const std::string& span_id) {
   std::string line = std::string("{\"schema\":\"") + kResponseSchema +
                      "\",\"type\":\"row\",\"done\":" + std::to_string(done) +
                      ",\"total\":" + std::to_string(total);
+  // Trace context lives in the framing only; the outcome bytes below are
+  // spliced verbatim, so a traced row's journal payload is byte-identical
+  // to an untraced one's.
+  if (!trace_id.empty()) {
+    line += ",\"trace_id\":\"" + util::JsonWriter::escape(trace_id) + '"';
+  }
+  if (!span_id.empty()) {
+    line += ",\"span_id\":\"" + util::JsonWriter::escape(span_id) + '"';
+  }
   if (cache != nullptr) {
     line += ",\"cache\":\"";
     line += cache;
@@ -390,12 +447,13 @@ std::string response_row_line_raw(std::string_view outcome_json,
 
 std::string response_row_line(const engine::JobOutcome& outcome,
                               std::size_t done, std::size_t total,
-                              const char* cache) {
+                              const char* cache, const std::string& trace_id,
+                              const std::string& span_id) {
   // The outcome payload is the journal record verbatim; splicing the
   // pre-serialized object keeps the two schemas byte-identical by
   // construction.
   return response_row_line_raw(engine::journal_line(outcome), done, total,
-                               cache);
+                               cache, trace_id, span_id);
 }
 
 std::string response_summary_line(const ResponseSummary& summary) {
@@ -414,6 +472,11 @@ std::string response_summary_line(const ResponseSummary& summary) {
   json.key("cache_misses").value(summary.cache_misses);
   json.key("workers").value(summary.workers);
   json.key("wall_seconds").value(summary.wall_seconds);
+  if (!summary.trace_id.empty()) {
+    json.key("trace_id").value(summary.trace_id);
+    json.key("recv_unix_us").value(static_cast<long long>(summary.recv_unix_us));
+    json.key("sent_unix_us").value(static_cast<long long>(summary.sent_unix_us));
+  }
   json.end_object();
   return json.str();
 }
@@ -479,7 +542,9 @@ std::optional<ResponseEvent> parse_response_line(std::string_view line,
     event.done = static_cast<std::size_t>(done);
     event.total = static_cast<std::size_t>(total);
     // Optional: absent on rows from pre-cache daemons and non-cache paths.
-    if (!read_string(*doc, "cache", &event.cache, &field_error)) {
+    if (!read_string(*doc, "cache", &event.cache, &field_error) ||
+        !read_string(*doc, "trace_id", &event.trace_id, &field_error) ||
+        !read_string(*doc, "span_id", &event.span_id, &field_error)) {
       return fail(field_error);
     }
     const util::JsonValue* outcome = doc->find("outcome");
@@ -514,6 +579,16 @@ std::optional<ResponseEvent> parse_response_line(std::string_view line,
                      &field_error)) {
       return fail(field_error);
     }
+    // Trace context is optional like the cache counters: untraced and
+    // pre-telemetry summaries parse with empty/zero context.
+    double recv_us = 0, sent_us = 0;
+    if (!read_string(*doc, "trace_id", &event.trace_id, &field_error) ||
+        !read_number(*doc, "recv_unix_us", &recv_us, &field_error) ||
+        !read_number(*doc, "sent_unix_us", &sent_us, &field_error)) {
+      return fail(field_error);
+    }
+    event.recv_unix_us = static_cast<std::int64_t>(recv_us);
+    event.sent_unix_us = static_cast<std::int64_t>(sent_us);
     event.jobs = static_cast<std::size_t>(jobs);
     event.ok = static_cast<std::size_t>(ok);
     event.degraded = static_cast<std::size_t>(degraded);

@@ -57,6 +57,11 @@ inline constexpr const char* kResponseSchema = "sadp.flow_response.v1";
 struct JobRequest {
   std::string label;  ///< row/journal key; defaults to the instance name
   std::string arm;    ///< display-only grouping tag
+  /// Trace context: this job's span id within the request's trace (see
+  /// FlowRequest::trace_id).  Minted by the dispatcher (or the client when
+  /// talking to a daemon directly); omitted from the wire when empty, so
+  /// untraced requests keep their pre-telemetry bytes.
+  std::string span_id;
   std::string benchmark;
   bool scaled = true;
   std::optional<netlist::BenchSpec> spec;
@@ -87,12 +92,34 @@ struct FlowRequest {
   /// so older clients parse).  Batch-level: does not affect rows or cache
   /// keys, only durability.
   engine::JournalSync journal_sync = engine::JournalSync::kBatch;
+  /// Trace context, propagated across processes so sadp_trace_merge can
+  /// stitch one request's spans together: a fleet-unique id for this
+  /// request (dispatcher relay span, daemon admission/run spans and engine
+  /// job spans all carry it as an arg) and the sender's CLOCK_REALTIME
+  /// send instant.  Both optional on the wire (absent = untraced = exact
+  /// old behavior); the outcome rows a traced request produces are still
+  /// byte-identical to untraced ones — trace context lives only in the
+  /// row *framing* and the batch summary, never inside the journal object.
+  std::string trace_id;
+  std::int64_t sent_unix_us = 0;
   std::vector<JobRequest> jobs;
 };
 
 /// The label a job's row will carry: JobRequest::label when set, otherwise
 /// the instance source (benchmark / spec name / netlist path).
 [[nodiscard]] std::string effective_label(const JobRequest& job);
+
+/// Mint a fleet-unique trace/span id: 16 lowercase hex characters, hashed
+/// (splitmix64) from the realtime clock, the pid and a process-local
+/// counter.  The dispatcher mints one trace_id per relayed request plus a
+/// span_id per job; a client talking to a daemon directly does the same.
+[[nodiscard]] std::string mint_trace_id();
+
+/// Fill in trace context on a request that has none: a fresh trace_id, a
+/// span_id per job, and the sender's send timestamp.  A request that
+/// already carries a trace_id is left untouched (the upstream hop owns the
+/// trace), so the dispatcher can call this unconditionally.
+void ensure_trace_context(FlowRequest* request);
 
 /// Structural validation, shared by every entry point: at least one job,
 /// exactly one instance source per job, non-negative limits, resume only
@@ -127,14 +154,20 @@ struct FlowRequest {
 // order), one final "batch" summary line, or a single "error" line.
 
 /// {"schema":"sadp.flow_response.v1","type":"row","done":D,"total":T,
-///  ["cache":"hit"|"miss",] "outcome":{<sadp.flow_journal.v1 object>}}
+///  ["trace_id":...,"span_id":...,]["cache":"hit"|"miss",]
+///  "outcome":{<sadp.flow_journal.v1 object>}}
 /// `cache` (nullptr = omit the member) records whether the serving daemon
 /// answered from its result cache; rows from paths that never consult the
 /// cache (CLI dispatch, journaled batches, journal-restored rows) omit it.
+/// `trace_id`/`span_id` echo the request's trace context (empty = omit):
+/// they live in the row framing, never inside the outcome object, so the
+/// journal payload stays byte-identical with or without tracing.
 [[nodiscard]] std::string response_row_line(const engine::JobOutcome& outcome,
                                             std::size_t done,
                                             std::size_t total,
-                                            const char* cache = nullptr);
+                                            const char* cache = nullptr,
+                                            const std::string& trace_id = {},
+                                            const std::string& span_id = {});
 
 /// A cache hit replays the stored journal-object bytes verbatim;
 /// `response_row_line_raw` wraps such a pre-serialized object in the row
@@ -143,7 +176,9 @@ struct FlowRequest {
 [[nodiscard]] std::string response_row_line_raw(std::string_view outcome_json,
                                                 std::size_t done,
                                                 std::size_t total,
-                                                const char* cache);
+                                                const char* cache,
+                                                const std::string& trace_id = {},
+                                                const std::string& span_id = {});
 
 /// Counts of the final "batch" summary line.  `jobs` can exceed
 /// `ok+degraded+...` contributions of one engine run because cache-served
@@ -160,11 +195,20 @@ struct ResponseSummary {
   std::size_t cache_misses = 0;
   int workers = 0;
   double wall_seconds = 0.0;
+  /// Trace context, echoed from the request when present.  The hop
+  /// timestamps are the daemon's CLOCK_REALTIME receive/reply instants
+  /// (microseconds), which is what lets sadp_trace_merge bound the network
+  /// leg between the dispatcher's relay span and the daemon's work.  All
+  /// three omitted from the wire when the request carried no trace_id.
+  std::string trace_id;
+  std::int64_t recv_unix_us = 0;
+  std::int64_t sent_unix_us = 0;
 };
 
 /// {"schema":...,"type":"batch","jobs":N,"ok":...,"degraded":...,
 ///  "failed":...,"timed_out":...,"cancelled":...,"resumed":...,
-///  "cache_hits":...,"cache_misses":...,"workers":W,"wall_seconds":S}
+///  "cache_hits":...,"cache_misses":...,"workers":W,"wall_seconds":S
+///  [,"trace_id":...,"recv_unix_us":...,"sent_unix_us":...]}
 [[nodiscard]] std::string response_summary_line(const ResponseSummary& summary);
 
 /// Convenience overload for callers with a plain engine batch (no cache).
@@ -186,6 +230,12 @@ struct ResponseEvent {
   /// empty when the row carried no cache member (older daemons, CLI rows,
   /// journaled batches).
   std::string cache;
+  /// Trace context (rows: trace_id + span_id; batch: trace_id + hop
+  /// timestamps).  Empty/0 when the stream is untraced.
+  std::string trace_id;
+  std::string span_id;
+  std::int64_t recv_unix_us = 0;
+  std::int64_t sent_unix_us = 0;
   // kBatch: the summary counts of the whole batch.  The cache counters are
   // optional on the wire (absent = 0) so pre-cache summaries still parse.
   std::size_t jobs = 0;

@@ -496,6 +496,7 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
   report.boundary_nets = static_cast<int>(plan.boundary.size());
 
   util::Timer phase;
+  util::Timer sub_phase;
 
   // Boundary nets first, serially, on the master grid while it holds only
   // pin stubs: a boundary net routed into an empty grid costs what it would
@@ -536,6 +537,7 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
       route_net(id);
     }
   }
+  report.boundary_seconds = sub_phase.seconds();
   // Build the region sub-worlds serially: each is a complete netlist over
   // the region window, pins translated by -offset.  Window origins are
   // aligned to the turn-rule period (partition.hpp), so every periodic
@@ -547,6 +549,7 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
     std::vector<RoutedNet> obstacles;     ///< boundary geometry, clipped
     std::unique_ptr<SadpRouter> router;
     std::size_t rr_iterations = 0;
+    double seconds = 0.0;  ///< this region's wall clock (imbalance metric)
     std::exception_ptr error;
   };
   std::vector<RegionWork> works(num_regions);
@@ -642,6 +645,7 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
       options_.executor, static_cast<int>(num_regions), [&](int r) {
         RegionWork& work = works[static_cast<std::size_t>(r)];
         if (work.sub.nets.empty()) return;
+        util::Timer region_timer;
         try {
           obs::Span span("partition.region", r);
           work.router =
@@ -668,14 +672,25 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
         } catch (...) {
           work.error = std::current_exception();
         }
+        work.seconds = region_timer.seconds();
       });
   for (auto& work : works) {
     if (work.error) std::rethrow_exception(work.error);
+  }
+  {
+    double total = 0.0;
+    for (const RegionWork& work : works) {
+      report.region_seconds_max = std::max(report.region_seconds_max,
+                                           work.seconds);
+      total += work.seconds;
+    }
+    report.region_seconds_mean = total / static_cast<double>(num_regions);
   }
 
   // Serial merge in region order: translate each region net back into grid
   // coordinates, apply it, and rebuild its cost record; then fold the
   // region's negotiation history and perf counters into the master state.
+  sub_phase.reset();
   {
     obs::Span span("partition.merge");
     for (std::size_t r = 0; r < num_regions; ++r) {
@@ -713,6 +728,7 @@ bool SadpRouter::run_partitioned_body(RoutingReport& report) {
       work.router.reset();  // free the region world before reconcile
     }
   }
+  report.merge_seconds = sub_phase.seconds();
   report.partition_seconds = phase.seconds();
   report.initial_routing_seconds = report.partition_seconds;
 

@@ -78,6 +78,16 @@ struct RoutingReport {
   int boundary_nets = 0;            ///< nets routed by the reconcile pass
   double partition_seconds = 0.0;   ///< concurrent region phase (incl. merge)
   double reconcile_seconds = 0.0;   ///< serial boundary + halo-conflict pass
+
+  /// Finer partitioned-run breakdown (all 0 on serial runs).
+  /// partition_seconds = boundary + concurrent regions + merge;
+  /// region_seconds_max / region_seconds_mean is the load-imbalance ratio —
+  /// the concurrent phase ends with the slowest region, so a ratio far
+  /// above 1 means the cut left one region carrying the work.
+  double boundary_seconds = 0.0;     ///< serial spanning-net pre-pass
+  double merge_seconds = 0.0;        ///< serial fold of region worlds
+  double region_seconds_max = 0.0;   ///< slowest region's wall clock
+  double region_seconds_mean = 0.0;  ///< mean region wall clock
 };
 
 class SadpRouter {

@@ -9,6 +9,7 @@
 
 #include "engine/journal.hpp"
 #include "grid/colored_grid.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 #include "util/fs.hpp"
@@ -45,8 +46,12 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
   // Every log line of this job carries its label, and the trace gets one
   // enclosing span per job (dynamic name — allocates only when tracing on).
   const util::ScopedLogTag log_tag(outcome.label);
-  const obs::Span job_span(
+  obs::Span job_span(
       obs::tracing_enabled() ? "job:" + outcome.label : std::string());
+  // Stamp propagated trace context on the job span; sadp_trace_merge joins
+  // this process's spans to the dispatcher's relay span through these args.
+  if (!job.trace_id.empty()) job_span.set_str("trace_id", job.trace_id);
+  if (!job.span_id.empty()) job_span.set_str("span_id", job.span_id);
 
   // Per-job deadline composes with the batch token; with no deadline the
   // job still inherits batch cancellation.
@@ -117,6 +122,10 @@ JobOutcome execute_job(FlowJob job, const util::CancelToken& batch_token) {
     outcome.metrics.boundary_nets = routing.boundary_nets;
     outcome.metrics.partition_seconds = routing.partition_seconds;
     outcome.metrics.reconcile_seconds = routing.reconcile_seconds;
+    outcome.metrics.boundary_seconds = routing.boundary_seconds;
+    outcome.metrics.merge_seconds = routing.merge_seconds;
+    outcome.metrics.region_seconds_max = routing.region_seconds_max;
+    outcome.metrics.region_seconds_mean = routing.region_seconds_mean;
   } catch (const FlowError& e) {
     outcome.status = JobStatus::kFailed;
     outcome.error = e.status();
@@ -358,15 +367,50 @@ BatchResult FlowEngine::run(std::vector<FlowJob> jobs) const {
     }
   }
 
+  // Engine-wide telemetry (obs/metrics.hpp), aggregated once per batch so
+  // the hot path never touches an atomic.  Journal-restored jobs still
+  // count toward jobs_total (they are rows the caller received) but add no
+  // work counters — their routing ran in an earlier process.
+  struct EngineMetrics {
+    obs::Counter& ok;
+    obs::Counter& degraded;
+    obs::Counter& failed;
+    obs::Counter& timed_out;
+    obs::Counter& cancelled;
+    obs::Counter& maze_pops;
+    obs::Counter& rr_iterations;
+  };
+  static EngineMetrics metrics{
+      obs::metrics().counter("sadp_engine_jobs_total",
+                             "Finished flow jobs by final status.",
+                             "status=\"ok\""),
+      obs::metrics().counter("sadp_engine_jobs_total", "",
+                             "status=\"degraded\""),
+      obs::metrics().counter("sadp_engine_jobs_total", "", "status=\"failed\""),
+      obs::metrics().counter("sadp_engine_jobs_total", "",
+                             "status=\"timeout\""),
+      obs::metrics().counter("sadp_engine_jobs_total", "",
+                             "status=\"cancelled\""),
+      obs::metrics().counter("sadp_engine_maze_pops_total",
+                             "Maze-router heap pops across all jobs."),
+      obs::metrics().counter("sadp_engine_rr_iterations_total",
+                             "Rip-up-and-reroute iterations across all jobs."),
+  };
   for (const JobOutcome& outcome : batch.outcomes) {
     switch (outcome.status) {
-      case JobStatus::kOk: ++batch.ok; break;
-      case JobStatus::kDegraded: ++batch.degraded; break;
-      case JobStatus::kFailed: ++batch.failed; break;
-      case JobStatus::kTimeout: ++batch.timed_out; break;
-      case JobStatus::kCancelled: ++batch.cancelled; break;
+      case JobStatus::kOk: ++batch.ok; metrics.ok.inc(); break;
+      case JobStatus::kDegraded: ++batch.degraded; metrics.degraded.inc(); break;
+      case JobStatus::kFailed: ++batch.failed; metrics.failed.inc(); break;
+      case JobStatus::kTimeout: ++batch.timed_out; metrics.timed_out.inc(); break;
+      case JobStatus::kCancelled: ++batch.cancelled; metrics.cancelled.inc(); break;
     }
-    if (outcome.from_journal) ++batch.resumed;
+    if (outcome.from_journal) {
+      ++batch.resumed;
+    } else {
+      metrics.maze_pops.inc(outcome.metrics.maze_pops);
+      metrics.rr_iterations.inc(
+          static_cast<std::uint64_t>(outcome.metrics.rr_iterations));
+    }
   }
   return batch;
 }
@@ -412,6 +456,8 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
     json.key("partitions").value(outcome.metrics.partitions);
     json.key("partition_regions").value(outcome.metrics.partition_regions);
     json.key("boundary_nets").value(outcome.metrics.boundary_nets);
+    json.key("region_seconds_max").value(outcome.metrics.region_seconds_max);
+    json.key("region_seconds_mean").value(outcome.metrics.region_seconds_mean);
   }
   json.key("total_seconds").value(outcome.metrics.total_seconds);
   json.key("stages").begin_object();
@@ -424,6 +470,8 @@ void emit_outcome(util::JsonWriter& json, const JobOutcome& outcome) {
   json.key("dvi").value(outcome.metrics.dvi_seconds);
   if (outcome.metrics.partitions > 1) {
     json.key("partition").value(outcome.metrics.partition_seconds);
+    json.key("boundary").value(outcome.metrics.boundary_seconds);
+    json.key("merge").value(outcome.metrics.merge_seconds);
     json.key("reconcile").value(outcome.metrics.reconcile_seconds);
   }
   json.end_object();

@@ -80,6 +80,13 @@ struct StageMetrics {
   int boundary_nets = 0;      ///< nets routed by the reconcile pass
   double partition_seconds = 0.0;
   double reconcile_seconds = 0.0;
+  // Finer partitioned breakdown (RoutingReport): serial boundary pre-pass,
+  // serial merge, and the per-region wall-clock imbalance (max vs mean of
+  // the concurrent region phase).
+  double boundary_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double region_seconds_max = 0.0;
+  double region_seconds_mean = 0.0;
 };
 
 /// One unit of work: route + post-routing DVI on one instance.
@@ -90,6 +97,13 @@ struct FlowJob {
   std::string label;
   /// Caller-defined grouping tag (experiment arm, parameter variant, ...).
   std::string arm;
+  /// Propagated trace context (api::FlowRequest trace_id / JobRequest
+  /// span_id).  When tracing is on, the engine stamps both as string args
+  /// on the job's span so sadp_trace_merge can correlate this process's
+  /// spans with the dispatcher's relay span.  Never enters the outcome or
+  /// the journal; empty = untraced.
+  std::string trace_id;
+  std::string span_id;
   /// The instance: either a pre-placed netlist, or a spec generated inside
   /// the worker (deterministically — the generator PRNG is seeded from the
   /// spec, so results do not depend on scheduling).

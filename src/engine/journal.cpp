@@ -139,6 +139,10 @@ void write_outcome_object(util::JsonWriter& json, const JobOutcome& outcome) {
     json.key("boundary_nets").value(r.routing.boundary_nets);
     json.key("partition_seconds").value(r.routing.partition_seconds);
     json.key("reconcile_seconds").value(r.routing.reconcile_seconds);
+    json.key("boundary_seconds").value(r.routing.boundary_seconds);
+    json.key("merge_seconds").value(r.routing.merge_seconds);
+    json.key("region_seconds_max").value(r.routing.region_seconds_max);
+    json.key("region_seconds_mean").value(r.routing.region_seconds_mean);
   }
   json.key("remaining_congestion").value(r.routing.remaining_congestion);
   json.key("remaining_fvps").value(r.routing.remaining_fvps);
@@ -238,6 +242,13 @@ std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
         static_cast<int>(get_number_or_zero(doc, "boundary_nets"));
     r.routing.partition_seconds = get_number_or_zero(doc, "partition_seconds");
     r.routing.reconcile_seconds = get_number_or_zero(doc, "reconcile_seconds");
+    // Absent on PR 8 journals (pre-breakdown) — restored as 0.
+    r.routing.boundary_seconds = get_number_or_zero(doc, "boundary_seconds");
+    r.routing.merge_seconds = get_number_or_zero(doc, "merge_seconds");
+    r.routing.region_seconds_max =
+        get_number_or_zero(doc, "region_seconds_max");
+    r.routing.region_seconds_mean =
+        get_number_or_zero(doc, "region_seconds_mean");
   }
   r.routing.remaining_congestion =
       static_cast<std::size_t>(get_number(doc, "remaining_congestion", bad));
@@ -283,6 +294,10 @@ std::optional<JobOutcome> parse_outcome_object(const util::JsonValue& doc,
   outcome.metrics.boundary_nets = r.routing.boundary_nets;
   outcome.metrics.partition_seconds = r.routing.partition_seconds;
   outcome.metrics.reconcile_seconds = r.routing.reconcile_seconds;
+  outcome.metrics.boundary_seconds = r.routing.boundary_seconds;
+  outcome.metrics.merge_seconds = r.routing.merge_seconds;
+  outcome.metrics.region_seconds_max = r.routing.region_seconds_max;
+  outcome.metrics.region_seconds_mean = r.routing.region_seconds_mean;
 
   if (bad) {
     return fail("malformed journal record for label '" + outcome.label + "'");

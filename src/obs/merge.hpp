@@ -1,0 +1,53 @@
+// Fleet trace merging: combine N per-process sadp.flow_trace.v1 files into
+// one Chrome trace-event document (schema sadp.fleet_trace.v1) that shows a
+// request's whole journey — dispatcher relay span, daemon admission/run
+// spans, engine job span, partition.region spans — on one timeline.
+//
+// Clock model.  Every process records event timestamps on its own telemetry
+// clock (microseconds since its own start, util/timer.hpp) and stamps the
+// file with `clock_unix_us`, the CLOCK_REALTIME instant of ts == 0.  The
+// merger picks the earliest anchor as the fleet epoch and shifts each
+// file's timestamps by (anchor_i - min anchor), so spans recorded by
+// different processes land where they actually happened relative to each
+// other (alignment error = realtime clock skew between hosts, ~0 for the
+// single-machine fleet the smoke tests run).  Each input becomes its own
+// pid (input order, starting at 1); the per-file process_name metadata
+// event is preserved, so Perfetto labels the swimlanes.  Cross-process
+// correlation stays queryable because daemons stamp the propagated
+// trace_id/span_id as span args.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sadp::obs {
+
+inline constexpr const char* kFleetTraceSchema = "sadp.fleet_trace.v1";
+
+/// One input file, already read into memory.  `path` only feeds error
+/// messages and the fallback process label.
+struct MergeInput {
+  std::string path;
+  std::string text;
+};
+
+struct MergeStats {
+  std::size_t processes = 0;
+  std::size_t events = 0;
+  std::int64_t epoch_unix_us = 0;  ///< the fleet epoch (earliest anchor)
+};
+
+/// Merge the inputs into one Chrome trace JSON document in `*out_json`.
+/// Inputs missing `clock_unix_us` (pre-fleet traces) are kept unshifted on
+/// the fleet epoch.  Fails on unparseable JSON or a missing traceEvents
+/// array; an unexpected schema string is tolerated (the format is
+/// structural).
+[[nodiscard]] util::Status merge_traces(const std::vector<MergeInput>& inputs,
+                                        std::string* out_json,
+                                        MergeStats* stats = nullptr);
+
+}  // namespace sadp::obs

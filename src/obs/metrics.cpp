@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "util/timer.hpp"
+
+namespace sadp::obs {
+
+namespace {
+
+enum class Type { kCounter, kGauge, kHistogram };
+
+const char* type_name(Type type) {
+  switch (type) {
+    case Type::kCounter: return "counter";
+    case Type::kGauge: return "gauge";
+    case Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+struct Family {
+  Type type = Type::kCounter;
+  std::string help;
+  // Keyed by the pre-rendered label list; std::map so the exposition is
+  // deterministic.  unique_ptr keeps references stable across rehash-free
+  // node insertion anyway, but also lets the three metric kinds share one
+  // Family struct without a variant.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+};
+
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const Family& family) {
+  out += "# HELP " + name + ' ' + escape_help(family.help) + '\n';
+  out += "# TYPE " + name + ' ';
+  out += type_name(family.type);
+  out += '\n';
+}
+
+/// `name` + `{labels}` (labels may gain an extra pair, e.g. le="...").
+std::string series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + '{' + labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const std::string& labels,
+                      const LatencyHistogram& histogram) {
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  // Cumulative buckets at the used log2 bin upper edges, microsecond
+  // samples exposed in seconds.  Bins past the highest non-empty one fold
+  // into +Inf, which keeps an idle histogram to a single bucket line.
+  std::size_t highest = 0;
+  for (std::size_t bin = 0; bin < util::Histogram::kNumBins; ++bin) {
+    if (snap.hist.bin_count(bin) > 0) highest = bin;
+  }
+  std::uint64_t cumulative = 0;
+  if (snap.hist.count() > 0) {
+    for (std::size_t bin = 0; bin <= highest; ++bin) {
+      cumulative += snap.hist.bin_count(bin);
+      const double edge_seconds =
+          static_cast<double>(util::Histogram::bin_upper(bin)) / 1e6;
+      out += series(name + "_bucket", labels,
+                    "le=\"" + fmt_double(edge_seconds) + "\"");
+      out += ' ' + std::to_string(cumulative) + '\n';
+    }
+  }
+  out += series(name + "_bucket", labels, "le=\"+Inf\"");
+  out += ' ' + std::to_string(snap.hist.count()) + '\n';
+  out += series(name + "_sum", labels);
+  out += ' ' + fmt_double(static_cast<double>(snap.sum_us) / 1e6) + '\n';
+  out += series(name + "_count", labels);
+  out += ' ' + std::to_string(snap.hist.count()) + '\n';
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  std::mutex mutex;
+  std::map<std::string, Family> families;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto [it, inserted] = state.families.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kCounter;
+    it->second.help = help;
+  }
+  auto& slot = it->second.counters[labels];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto [it, inserted] = state.families.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kGauge;
+    it->second.help = help;
+  }
+  auto& slot = it->second.gauges[labels];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             const std::string& help,
+                                             const std::string& labels) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto [it, inserted] = state.families.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kHistogram;
+    it->second.help = help;
+  }
+  auto& slot = it->second.histograms[labels];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::render() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::string out;
+  out +=
+      "# HELP sadp_process_uptime_seconds Seconds since process start on the "
+      "telemetry clock.\n"
+      "# TYPE sadp_process_uptime_seconds gauge\n"
+      "sadp_process_uptime_seconds " +
+      fmt_double(static_cast<double>(util::process_uptime_us()) / 1e6) + '\n';
+  for (const auto& [name, family] : state.families) {
+    append_header(out, name, family);
+    switch (family.type) {
+      case Type::kCounter:
+        for (const auto& [labels, metric] : family.counters) {
+          out += series(name, labels);
+          out += ' ' + std::to_string(metric->value()) + '\n';
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, metric] : family.gauges) {
+          out += series(name, labels);
+          out += ' ' + std::to_string(metric->value()) + '\n';
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, metric] : family.histograms) {
+          append_histogram(out, name, labels, *metric);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sadp::obs

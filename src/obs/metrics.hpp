@@ -1,0 +1,132 @@
+// Process-global metrics: counters, gauges and log2-bucket latency
+// histograms, rendered as Prometheus text exposition format.
+//
+// Same discipline as trace.hpp: instrumentation is compiled in permanently
+// and stays cheap when nobody is scraping.  A Counter::inc or Gauge::set is
+// one relaxed atomic RMW; a LatencyHistogram::observe_us takes a mutex but
+// only runs at request granularity (admission, run, flush — never inside
+// the router's inner loops).  Recording only reads flow state, so routed
+// rows, journal records and perf counters are bit-identical whether or not
+// the process is scraped (tests/test_obs.cpp holds the line).
+//
+// Registration returns references that stay valid for the life of the
+// process; call sites register once (static local or member) and then only
+// touch the atomic.  Metric families follow Prometheus naming: counters end
+// in `_total`, histograms name their unit (`..._seconds`), labels are
+// pre-rendered `key="value"` lists.  Histogram buckets reuse
+// util::Histogram's log2 bins: samples are microseconds, bucket edges are
+// exposed in seconds, so the exposition is the same deterministic
+// distribution StageMetrics already reports for maze pops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace sadp::obs {
+
+/// Monotonically increasing counter.  One relaxed fetch_add per inc.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depth, open connections).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency distribution over util::Histogram's log2 bins.  Samples are
+/// microseconds; the exposition renders bucket edges in seconds.  Guarded
+/// by a mutex — record at request granularity only.
+class LatencyHistogram {
+ public:
+  void observe_us(std::uint64_t us) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_.add(us);
+    sum_us_ += us;
+  }
+
+  struct Snapshot {
+    util::Histogram hist;
+    std::uint64_t sum_us = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {hist_, sum_us_};
+  }
+
+  /// Deterministic approximate quantile in milliseconds (see
+  /// util::Histogram::percentile); 0 when empty.
+  [[nodiscard]] double percentile_ms(double q) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<double>(hist_.percentile(q)) / 1e3;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  util::Histogram hist_;
+  std::uint64_t sum_us_ = 0;
+};
+
+/// The process-wide registry.  Thread-safe; returned references are stable
+/// until process exit (metrics are never unregistered).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Register (or look up) one metric of a family.  `name` is the full
+  /// Prometheus family name; `help` is taken from the first registration;
+  /// `labels` is a pre-rendered label list without braces, e.g.
+  /// `backend="127.0.0.1:7070"` or `status="ok"` — empty for none.
+  /// Registering the same (name, labels) twice returns the same object.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  LatencyHistogram& histogram(const std::string& name, const std::string& help,
+                              const std::string& labels = "");
+
+  /// Prometheus text exposition of every registered metric, families in
+  /// name order, label sets in lexicographic order, plus a built-in
+  /// `sadp_process_uptime_seconds` gauge on the process telemetry clock.
+  [[nodiscard]] std::string render() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+[[nodiscard]] inline MetricsRegistry& metrics() {
+  return MetricsRegistry::instance();
+}
+
+}  // namespace sadp::obs

@@ -1,9 +1,9 @@
 #include "obs/trace.hpp"
 
-#include <chrono>
 #include <fstream>
 
 #include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace sadp::obs {
 
@@ -11,11 +11,7 @@ namespace detail {
 
 std::atomic<bool> g_enabled{false};
 
-std::int64_t now_us() noexcept {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t now_us() noexcept { return util::process_uptime_us(); }
 
 namespace {
 
@@ -38,7 +34,6 @@ TraceSession::~TraceSession() { uninstall(); }
 
 void TraceSession::install() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  start_us_ = detail::now_us();
   installed_ = true;
   detail::g_session.store(this, std::memory_order_release);
   detail::g_generation.fetch_add(1, std::memory_order_release);
@@ -87,12 +82,22 @@ std::size_t TraceSession::event_count() const {
   return total;
 }
 
+void TraceSession::set_process_name(std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  process_name_ = std::move(name);
+}
+
 std::string TraceSession::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   util::JsonWriter json;
   json.begin_object();
   json.key("schema").value(kTraceSchema);
   json.key("displayTimeUnit").value("ms");
+  // The realtime instant of ts == 0 (process start).  sadp_trace_merge uses
+  // it to shift per-process files onto one fleet timeline.
+  json.key("clock_unix_us")
+      .value(static_cast<long long>(util::process_unix_anchor_us()));
+  json.key("process").value(process_name_);
   json.key("traceEvents").begin_array();
 
   json.begin_object();
@@ -100,7 +105,7 @@ std::string TraceSession::to_json() const {
   json.key("ph").value("M");
   json.key("pid").value(1);
   json.key("args").begin_object();
-  json.key("name").value("sadp_flow");
+  json.key("name").value(process_name_);
   json.end_object();
   json.end_object();
 
@@ -125,18 +130,21 @@ std::string TraceSession::to_json() const {
       json.key("ph").value(std::string(1, event.phase));
       json.key("pid").value(1);
       json.key("tid").value(buffer->tid());
-      json.key("ts").value(static_cast<long long>(event.ts_us - start_us_));
+      json.key("ts").value(static_cast<long long>(event.ts_us));
       if (event.phase == 'X') {
         json.key("dur").value(static_cast<long long>(event.dur_us));
       }
       if (event.phase == 'I') json.key("s").value("t");
-      if (event.id >= 0 || event.num_values > 0) {
+      if (event.id >= 0 || event.num_values > 0 || event.num_strs > 0) {
         json.key("args").begin_object();
         if (event.id >= 0) {
           json.key("id").value(static_cast<long long>(event.id));
         }
         for (std::uint8_t i = 0; i < event.num_values; ++i) {
           json.key(event.values[i].key).value(event.values[i].value);
+        }
+        for (std::uint8_t i = 0; i < event.num_strs; ++i) {
+          json.key(event.strs[i].key).value(event.strs[i].value);
         }
         json.end_object();
       }
@@ -176,6 +184,11 @@ void Span::begin_interned(const std::string& name, std::int64_t id) {
   start_us_ = detail::now_us();
 }
 
+void Span::set_str(const char* key, const std::string& value) {
+  if (buffer_ == nullptr || num_strs_ == strs_.size()) return;
+  strs_[num_strs_++] = {key, buffer_->intern(value)};
+}
+
 void Span::record_end() noexcept {
   detail::TraceEvent event;
   event.name = name_;
@@ -183,6 +196,8 @@ void Span::record_end() noexcept {
   event.dur_us = detail::now_us() - start_us_;
   event.id = id_;
   event.phase = 'X';
+  event.num_strs = num_strs_;
+  event.strs = strs_;
   buffer_->append(event);
 }
 
@@ -210,6 +225,23 @@ void instant(const char* name, std::int64_t id) {
   event.ts_us = detail::now_us();
   event.id = id;
   event.phase = 'I';
+  buffer->append(event);
+}
+
+void complete(const std::string& name, std::int64_t ts_us, std::int64_t dur_us,
+              std::initializer_list<StrArg> strs) {
+  if (!tracing_enabled()) return;
+  detail::ThreadBuffer* buffer = TraceSession::thread_buffer();
+  if (buffer == nullptr) return;
+  detail::TraceEvent event;
+  event.name = buffer->intern(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.phase = 'X';
+  for (const StrArg& arg : strs) {
+    if (event.num_strs == event.strs.size()) break;
+    event.strs[event.num_strs++] = {arg.key, buffer->intern(arg.value)};
+  }
   buffer->append(event);
 }
 

@@ -52,16 +52,22 @@ extern std::atomic<bool> g_enabled;
 /// strings interned in the owning thread's buffer.
 struct TraceEvent {
   const char* name = nullptr;
-  std::int64_t ts_us = 0;   ///< steady-clock microseconds (absolute)
+  std::int64_t ts_us = 0;   ///< process telemetry clock microseconds
   std::int64_t dur_us = 0;  ///< complete events only
   std::int64_t id = -1;     ///< optional integer payload; emitted as args.id
   char phase = 'X';         ///< 'X' complete, 'C' counter, 'I' instant
   std::uint8_t num_values = 0;
+  std::uint8_t num_strs = 0;
   struct KV {
     const char* key;
     double value;
   };
+  struct StrKV {
+    const char* key;
+    const char* value;  ///< interned in the owning thread's buffer
+  };
   std::array<KV, 6> values{};
+  std::array<StrKV, 2> strs{};
 };
 
 /// Per-thread event storage.  Appended only by the owning thread; drained
@@ -111,7 +117,11 @@ class TraceSession {
   TraceSession& operator=(const TraceSession&) = delete;
 
   /// Make this the process-wide recording session (replacing any other) and
-  /// enable the span sites.  Timestamps are reported relative to this call.
+  /// enable the span sites.  Timestamps are reported on the process
+  /// telemetry clock (microseconds since process start, util/timer.hpp),
+  /// the same epoch log-line prefixes use, so log lines, spans, and the
+  /// traces of sibling fleet processes line up after sadp_trace_merge
+  /// shifts each file by its `clock_unix_us` anchor.
   void install();
 
   /// Stop recording into this session.  Already-buffered events remain
@@ -119,6 +129,12 @@ class TraceSession {
   void uninstall();
 
   [[nodiscard]] bool installed() const noexcept { return installed_; }
+
+  /// Name this process in the trace view (the process_name metadata event
+  /// and the top-level `process` member).  Defaults to "sadp_flow"; fleet
+  /// daemons set "sadp_routed :port" and the dispatcher "sadp_route_dispatch"
+  /// so merged timelines label their swimlanes.
+  void set_process_name(std::string name);
 
   /// Merge all thread buffers into one Chrome trace-event JSON document.
   /// Only call after the traced threads are joined or quiescent.
@@ -139,7 +155,7 @@ class TraceSession {
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
-  std::int64_t start_us_ = 0;
+  std::string process_name_ = "sadp_flow";
   bool installed_ = false;
 };
 
@@ -167,6 +183,12 @@ class Span {
   /// Attach/replace the integer payload (args.id) before the span closes.
   void set_id(std::int64_t id) noexcept { id_ = id; }
 
+  /// Attach a string arg (e.g. a propagated trace_id) before the span
+  /// closes.  The key must outlive the session (a string literal); the
+  /// value is copied into the thread buffer.  At most two per span; extra
+  /// calls are dropped.
+  void set_str(const char* key, const std::string& value);
+
   /// Close the span now instead of at scope exit (idempotent; the
   /// destructor then does nothing).
   void end() noexcept {
@@ -184,6 +206,8 @@ class Span {
   const char* name_ = nullptr;
   std::int64_t start_us_ = 0;
   std::int64_t id_ = -1;
+  std::uint8_t num_strs_ = 0;
+  std::array<detail::TraceEvent::StrKV, 2> strs_{};
 };
 
 struct CounterValue {
@@ -198,6 +222,22 @@ void counter(const char* track, std::initializer_list<CounterValue> values);
 
 /// Record an instant event (a vertical marker in the trace view).
 void instant(const char* name, std::int64_t id = -1);
+
+/// A string argument for complete(); the value is copied into the thread
+/// buffer when the event is recorded.
+struct StrArg {
+  const char* key;
+  std::string value;
+};
+
+/// Record a complete ('X') event with explicit timestamps, for spans whose
+/// begin and end are observed on different threads (e.g. the server's
+/// admission wait: the epoll thread stamps the start, the runner thread
+/// records the event).  Timestamps are microseconds on the process
+/// telemetry clock (util::process_uptime_us()).  Callers should guard with
+/// tracing_enabled() so arguments are not built when tracing is off.
+void complete(const std::string& name, std::int64_t ts_us, std::int64_t dur_us,
+              std::initializer_list<StrArg> strs = {});
 
 /// Name the calling thread in the trace view (e.g. "worker 3").
 void name_this_thread(const std::string& name);

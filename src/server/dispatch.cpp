@@ -12,6 +12,8 @@
 #include <cstring>
 
 #include "api/flow_api.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace sadp::server {
@@ -21,6 +23,26 @@ namespace {
 // Fault sites (util/failpoint.hpp).  Zero-cost unless armed.
 util::FailPoint g_fp_dispatch_connect("dispatch.connect");
 util::FailPoint g_fp_dispatch_relay("dispatch.relay");
+
+/// Process-global dispatcher metrics (obs/metrics.hpp); the per-backend
+/// relay histograms are registered in start() because their label is the
+/// backend address.
+struct DispatchMetrics {
+  obs::Counter& failovers;
+  obs::Counter& stale_probes;
+};
+
+DispatchMetrics& dispatch_metrics() {
+  static DispatchMetrics m{
+      obs::metrics().counter(
+          "sadp_dispatch_failovers_total",
+          "Requests retried on another backend after a dead first pick."),
+      obs::metrics().counter(
+          "sadp_dispatch_stale_probes_total",
+          "Backend probes that failed (connect, send, or bad stats reply)."),
+  };
+  return m;
+}
 
 bool split_host_port(const std::string& addr, std::string* host, int* port) {
   const std::size_t colon = addr.rfind(':');
@@ -107,6 +129,10 @@ util::Status RouteDispatcher::start() {
     if (!split_host_port(addr, &backend.host, &backend.port)) {
       return util::Status::invalid_input("bad backend address: " + addr);
     }
+    backend.relay_latency = &obs::metrics().histogram(
+        "sadp_dispatch_relay_seconds",
+        "Committed request relay latency per backend (connect to last byte).",
+        "backend=\"" + addr + "\"");
     backends_.push_back(std::move(backend));
   }
   uptime_.reset();
@@ -170,19 +196,29 @@ void RouteDispatcher::probe_loop() {
         port = backends_[i].port;
       }
       const int fd = connect_backend(host, port, options_.probe_timeout_ms);
-      if (fd < 0) continue;
+      if (fd < 0) {
+        dispatch_metrics().stale_probes.inc();
+        continue;
+      }
       api::ControlRequest probe;
       probe.type = api::ControlRequest::Type::kStats;
       std::string reply;
       bool good = send_line(fd, api::serialize_control_request(probe)) &&
                   read_line(fd, 1u << 20, &reply);
       ::close(fd);
-      if (!good) continue;
+      if (!good) {
+        dispatch_metrics().stale_probes.inc();
+        continue;
+      }
       const auto stats = api::parse_stats_reply(reply);
-      if (!stats) continue;
+      if (!stats) {
+        dispatch_metrics().stale_probes.inc();
+        continue;
+      }
       const std::lock_guard<std::mutex> lock(backends_mutex_);
       backends_[i].last_good_probe = uptime_.seconds();
       backends_[i].queue_depth = static_cast<int>(stats->queue_depth);
+      backends_[i].draining = stats->draining;
     }
     std::unique_lock<std::mutex> lock(probe_cv_mutex_);
     probe_cv_.wait_for(lock,
@@ -204,8 +240,17 @@ std::vector<std::size_t> RouteDispatcher::pick_order() const {
   const std::lock_guard<std::mutex> lock(backends_mutex_);
   std::vector<std::size_t> alive;
   std::vector<std::size_t> unknown;
+  std::vector<std::size_t> draining;
   for (std::size_t i = 0; i < backends_.size(); ++i) {
-    (backend_alive(backends_[i]) ? alive : unknown).push_back(i);
+    if (!backend_alive(backends_[i])) {
+      unknown.push_back(i);
+    } else if (backends_[i].draining) {
+      // Still answering probes, but rejecting flow requests: last resort
+      // only (a forward there comes back as a structured draining error).
+      draining.push_back(i);
+    } else {
+      alive.push_back(i);
+    }
   }
   std::stable_sort(alive.begin(), alive.end(),
                    [this](std::size_t a, std::size_t b) {
@@ -216,6 +261,7 @@ std::vector<std::size_t> RouteDispatcher::pick_order() const {
                      return backends_[a].forwarded < backends_[b].forwarded;
                    });
   alive.insert(alive.end(), unknown.begin(), unknown.end());
+  alive.insert(alive.end(), draining.begin(), draining.end());
   return alive;
 }
 
@@ -240,6 +286,16 @@ api::StatsReply RouteDispatcher::fleet_stats() const {
   api::StatsReply reply;
   reply.uptime_seconds = uptime_.seconds();
   const std::lock_guard<std::mutex> lock(backends_mutex_);
+  // Fleet relay latency: merge the per-backend histograms (log2 bins merge
+  // exactly) and report the combined quantiles.
+  util::Histogram relay;
+  for (const Backend& backend : backends_) {
+    if (backend.relay_latency != nullptr) {
+      relay.merge(backend.relay_latency->snapshot().hist);
+    }
+  }
+  reply.latency_p50_ms = static_cast<double>(relay.percentile(0.5)) / 1e3;
+  reply.latency_p99_ms = static_cast<double>(relay.percentile(0.99)) / 1e3;
   for (const Backend& backend : backends_) {
     api::PeerStatus peer;
     peer.addr = backend.addr;
@@ -294,18 +350,32 @@ void RouteDispatcher::handle_client(int fd) {
     return;
   }
 
+  // The dispatcher is the trace root for the fleet: mint a trace_id (plus
+  // per-job span_ids and the send timestamp) on requests that carry none,
+  // and forward the re-serialized line.  A request that already has a
+  // trace_id keeps it (the client owns the trace), and an unparseable line
+  // is forwarded verbatim — the backend produces the real error, exactly
+  // as before trace propagation existed.
+  std::string trace_id;
+  if (auto request = api::parse_request(line)) {
+    api::ensure_trace_context(&*request);
+    trace_id = request->trace_id;
+    line = api::serialize_request(*request);
+  }
+
   const std::vector<std::size_t> order = pick_order();
   bool committed = false;
   std::size_t tried = 0;
   for (const std::size_t index : order) {
     ++tried;
-    if (forward_to(index, line, fd)) {
+    if (forward_to(index, line, fd, trace_id)) {
       committed = true;
       break;
     }
   }
   if (committed && tried > 1) {
     failovers_.fetch_add(1, std::memory_order_relaxed);
+    dispatch_metrics().failovers.inc();
   }
   if (!committed) {
     (void)send_line(fd, api::response_error_line(util::Status::resource_exhausted(
@@ -326,6 +396,9 @@ void RouteDispatcher::handle_control(int fd, const std::string& line) {
       return;
     case api::ControlRequest::Type::kStats:
       (void)send_line(fd, api::stats_reply_line(fleet_stats()));
+      return;
+    case api::ControlRequest::Type::kMetrics:
+      (void)send_line(fd, api::metrics_reply_line(obs::metrics().render()));
       return;
     case api::ControlRequest::Type::kDrain: {
       api::ControlRequest drain;
@@ -365,14 +438,20 @@ void RouteDispatcher::handle_control(int fd, const std::string& line) {
 }
 
 bool RouteDispatcher::forward_to(std::size_t backend_index,
-                                 const std::string& line, int client_fd) {
+                                 const std::string& line, int client_fd,
+                                 const std::string& trace_id) {
   std::string host;
   int port = 0;
+  std::string addr;
+  obs::LatencyHistogram* relay_latency = nullptr;
   {
     const std::lock_guard<std::mutex> lock(backends_mutex_);
     host = backends_[backend_index].host;
     port = backends_[backend_index].port;
+    addr = backends_[backend_index].addr;
+    relay_latency = backends_[backend_index].relay_latency;
   }
+  const std::int64_t relay_start_us = util::process_uptime_us();
   const bool inject_connect_failure =
       g_fp_dispatch_connect.evaluate().kind == util::FailKind::kError;
   const int backend_fd =
@@ -418,6 +497,21 @@ bool RouteDispatcher::forward_to(std::size_t backend_index,
   {
     const std::lock_guard<std::mutex> lock(backends_mutex_);
     backends_[backend_index].forwarded += 1;
+  }
+  const std::int64_t relay_end_us = util::process_uptime_us();
+  if (relay_latency != nullptr) {
+    relay_latency->observe_us(
+        static_cast<std::uint64_t>(relay_end_us - relay_start_us));
+  }
+  if (obs::tracing_enabled()) {
+    if (trace_id.empty()) {
+      obs::complete("dispatch.relay", relay_start_us,
+                    relay_end_us - relay_start_us, {{"backend", addr}});
+    } else {
+      obs::complete("dispatch.relay", relay_start_us,
+                    relay_end_us - relay_start_us,
+                    {{"backend", addr}, {"trace_id", trace_id}});
+    }
   }
   if (!options_.quiet) {
     std::fprintf(stderr, "[sadp_route_dispatch] %s served %zu byte(s)\n",

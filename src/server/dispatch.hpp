@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "api/control.hpp"
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 #include "util/timer.hpp"
 
@@ -91,7 +92,15 @@ class RouteDispatcher {
     int port = 0;
     double last_good_probe = -1.0;  ///< uptime seconds; <0 = never answered
     int queue_depth = 0;
+    /// The backend advertised draining=true on its last probe.  It still
+    /// answers control verbs (scrapes, stats) but rejects new flow
+    /// requests, so selection tries it only after every other option.
+    bool draining = false;
     std::size_t forwarded = 0;
+    /// Relay latency for this backend
+    /// (sadp_dispatch_relay_seconds{backend="addr"}); registered in
+    /// start(), stable for the life of the process.
+    obs::LatencyHistogram* relay_latency = nullptr;
   };
 
   void probe_loop();
@@ -100,11 +109,12 @@ class RouteDispatcher {
   void handle_control(int fd, const std::string& line);
   /// Forward one request line; returns true once >=1 byte reached the
   /// client (committed), false when the backend produced nothing.
+  /// `trace_id` (empty = untraced) only annotates the relay span.
   bool forward_to(std::size_t backend_index, const std::string& line,
-                  int client_fd);
+                  int client_fd, const std::string& trace_id);
   [[nodiscard]] bool backend_alive(const Backend& backend) const;
   /// Try order: live backends by ascending advertised depth, then
-  /// never-probed/stale ones in configuration order.
+  /// never-probed/stale ones in configuration order, then draining ones.
   [[nodiscard]] std::vector<std::size_t> pick_order() const;
   [[nodiscard]] api::StatsReply fleet_stats() const;
 

@@ -221,6 +221,21 @@ util::Status query_stats(const std::string& host, int port,
   return util::Status::ok();
 }
 
+util::Status query_metrics(const std::string& host, int port,
+                           std::string* exposition) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kMetrics;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  std::string error;
+  const auto body = api::parse_metrics_reply(line, &error);
+  if (!body) return util::Status::internal("bad metrics reply: " + error);
+  *exposition = *body;
+  return util::Status::ok();
+}
+
 util::Status ping_remote(const std::string& host, int port,
                          double* uptime_seconds) {
   api::ControlRequest request;

@@ -93,6 +93,12 @@ struct RetryOptions {
 [[nodiscard]] util::Status query_stats(const std::string& host, int port,
                                        api::StatsReply* reply);
 
+/// {"type":"metrics"} → the server's Prometheus text exposition (the
+/// decoded `body` of the metrics reply).  Works against a daemon or a
+/// dispatcher; both answer on the control plane even while saturated.
+[[nodiscard]] util::Status query_metrics(const std::string& host, int port,
+                                         std::string* exposition);
+
 /// {"type":"ping"} → server uptime (liveness probe).
 [[nodiscard]] util::Status ping_remote(const std::string& host, int port,
                                        double* uptime_seconds = nullptr);

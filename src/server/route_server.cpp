@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace sadp::server {
@@ -25,6 +27,50 @@ util::FailPoint g_fp_net_accept("net.accept");
 util::FailPoint g_fp_net_read("net.read");
 util::FailPoint g_fp_net_write("net.write");
 util::FailPoint g_fp_executor_task("executor.task");
+
+/// Process-global server metric families (obs/metrics.hpp), registered on
+/// first use.  A second RouteServer in the same process (tests) shares
+/// them — matching Prometheus semantics, where the scrape unit is the
+/// process.  Request latency histograms are recorded once per request,
+/// never inside the engine's loops.
+struct ServerMetrics {
+  obs::Counter& requests;
+  obs::Counter& rejected;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& queue_depth;
+  obs::Gauge& connections;
+  obs::LatencyHistogram& admission_wait;
+  obs::LatencyHistogram& run;
+  obs::LatencyHistogram& flush;
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m{
+      obs::metrics().counter("sadp_server_requests_total",
+                             "Flow requests admitted to a runner."),
+      obs::metrics().counter("sadp_server_rejected_total",
+                             "Flow requests rejected for overload."),
+      obs::metrics().counter("sadp_server_cache_requests_total",
+                             "Result-cache lookups by outcome.",
+                             "result=\"hit\""),
+      obs::metrics().counter("sadp_server_cache_requests_total",
+                             "Result-cache lookups by outcome.",
+                             "result=\"miss\""),
+      obs::metrics().gauge("sadp_server_queue_depth",
+                           "Admitted flow requests in flight."),
+      obs::metrics().gauge("sadp_server_connections",
+                           "Open client connections."),
+      obs::metrics().histogram("sadp_server_request_admission_wait_seconds",
+                               "Request-line completion to runner start."),
+      obs::metrics().histogram("sadp_server_request_run_seconds",
+                               "Runner start to batch summary."),
+      obs::metrics().histogram("sadp_server_request_flush_seconds",
+                               "Batch summary enqueued to connection close "
+                               "(row-stream drain)."),
+  };
+  return m;
+}
 
 util::Status errno_status(const std::string& what) {
   return util::Status::internal(what + ": " + std::strerror(errno));
@@ -219,8 +265,11 @@ void RouteServer::wake() noexcept {
 void RouteServer::event_loop() {
   epoll_event events[64];
   for (;;) {
-    // Drain: stop accepting, but keep serving in-flight connections.
-    if (draining() && listener_registered_) {
+    // Drain: flow admission stops (handle_line answers a structured
+    // "draining" rejection) but the listener stays open, so the control
+    // plane — stats, metrics scrapes, ping — keeps working against a
+    // draining daemon.  The listener closes only once stop() is underway.
+    if (stopping_.load(std::memory_order_acquire) && listener_registered_) {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -294,10 +343,6 @@ void RouteServer::accept_ready() {
       ::close(fd);
       continue;
     }
-    if (draining()) {
-      ::close(fd);
-      continue;
-    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->events = EPOLLIN | EPOLLRDHUP;
@@ -309,6 +354,7 @@ void RouteServer::accept_ready() {
       continue;
     }
     connections_.emplace(fd, std::move(conn));
+    server_metrics().connections.add(1);
   }
 }
 
@@ -362,6 +408,7 @@ void RouteServer::read_ready(const std::shared_ptr<Connection>& conn) {
 
 void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
                               std::string line) {
+  conn->line_complete_us = util::process_uptime_us();
   if (api::looks_like_control_line(line)) {
     conn->state = ConnState::kFlushing;
     handle_control_line(conn, line);
@@ -392,6 +439,7 @@ void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
   // only a complete request line claims a slot.
   if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    server_metrics().rejected.inc();
     conn->state = ConnState::kFlushing;
     enqueue_line(conn,
                  api::response_error_line(util::Status::resource_exhausted(
@@ -403,6 +451,8 @@ void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
   }
 
   active_.fetch_add(1, std::memory_order_acq_rel);
+  server_metrics().requests.inc();
+  server_metrics().queue_depth.add(1);
   conn->state = ConnState::kRunning;
   conn->runner_started = true;
   if (!options_.quiet) {
@@ -437,6 +487,13 @@ void RouteServer::handle_control_line(const std::shared_ptr<Connection>& conn,
       return;
     case api::ControlRequest::Type::kStats:
       enqueue_line(conn, api::stats_reply_line(stats()),
+                   /*finish_after=*/true);
+      return;
+    case api::ControlRequest::Type::kMetrics:
+      // Rendering takes the registry mutex briefly; like every control
+      // verb it runs on the event loop and works while the server is
+      // saturated or draining.
+      enqueue_line(conn, api::metrics_reply_line(obs::metrics().render()),
                    /*finish_after=*/true);
       return;
     case api::ControlRequest::Type::kDrain:
@@ -481,8 +538,26 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
     RouteServer* server;
     ~SlotGuard() {
       server->active_.fetch_sub(1, std::memory_order_acq_rel);
+      server_metrics().queue_depth.add(-1);
     }
   } slot{this};
+
+  ServerMetrics& metrics = server_metrics();
+  const std::int64_t admitted_us = util::process_uptime_us();
+  metrics.admission_wait.observe_us(
+      static_cast<std::uint64_t>(admitted_us - conn->line_complete_us));
+  if (obs::tracing_enabled()) {
+    // Cross-thread span: begun by the event loop's line-complete stamp,
+    // recorded here on the runner.
+    if (request.trace_id.empty()) {
+      obs::complete("server.admission", conn->line_complete_us,
+                    admitted_us - conn->line_complete_us);
+    } else {
+      obs::complete("server.admission", conn->line_complete_us,
+                    admitted_us - conn->line_complete_us,
+                    {{"trace_id", request.trace_id}});
+    }
+  }
 
   if (options_.on_request_admitted) options_.on_request_admitted();
 
@@ -520,7 +595,24 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
         }
         misses.jobs.push_back(job);
       }
+      metrics.cache_hits.inc(hits.size());
+      metrics.cache_misses.inc(total - hits.size());
     }
+
+    // Echoing the request's trace context onto each row needs the span id
+    // by label (on_job_done only sees the outcome).  Empty map when the
+    // request is untraced, so every lookup misses and rows stay untraced.
+    std::map<std::string, const std::string*> span_by_label;
+    if (!request.trace_id.empty()) {
+      for (const api::JobRequest& job : request.jobs) {
+        span_by_label[api::effective_label(job)] = &job.span_id;
+      }
+    }
+    const auto span_for = [&](const std::string& label) -> const std::string& {
+      static const std::string kEmpty;
+      const auto it = span_by_label.find(label);
+      return it == span_by_label.end() ? kEmpty : *it->second;
+    };
 
     if (!hits.empty()) {
       // Materialize the full request once before replaying anything, so a
@@ -543,7 +635,8 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
                    api::response_row_line_raw(
                        replay_journal_object(row, api::effective_label(job),
                                              job.arm),
-                       ++streamed, total, "hit"),
+                       ++streamed, total, "hit", request.trace_id,
+                       job.span_id),
                    false);
     }
 
@@ -576,7 +669,8 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
         if (conn->client_gone.load(std::memory_order_relaxed)) return;
         enqueue_line(conn,
                      api::response_row_line(outcome, ++streamed, total,
-                                            miss_mark),
+                                            miss_mark, request.trace_id,
+                                            span_for(outcome.label)),
                      false);
       };
 
@@ -597,7 +691,8 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
         if (conn->client_gone.load(std::memory_order_relaxed)) break;
         enqueue_line(conn,
                      api::response_row_line(outcome, ++streamed, total,
-                                            nullptr),
+                                            nullptr, request.trace_id,
+                                            span_for(outcome.label)),
                      false);
       }
       summary.ok += run.batch.ok;
@@ -611,6 +706,26 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
       summary.workers = capped_workers(request.workers);
     }
     summary.wall_seconds = wall.seconds();
+    if (!request.trace_id.empty()) {
+      summary.trace_id = request.trace_id;
+      // The hop's receive instant: realtime at the moment the event loop
+      // completed the request line, reconstructed from the shared process
+      // clock anchor so it agrees with the admission span's start.
+      summary.recv_unix_us =
+          util::process_unix_anchor_us() + conn->line_complete_us;
+      summary.sent_unix_us = util::unix_now_us();
+    }
+    const std::int64_t done_us = util::process_uptime_us();
+    metrics.run.observe_us(static_cast<std::uint64_t>(done_us - admitted_us));
+    if (obs::tracing_enabled()) {
+      if (request.trace_id.empty()) {
+        obs::complete("server.run", admitted_us, done_us - admitted_us);
+      } else {
+        obs::complete("server.run", admitted_us, done_us - admitted_us,
+                      {{"trace_id", request.trace_id}});
+      }
+    }
+    conn->summary_enqueued_us = done_us;
     enqueue_line(conn, api::response_summary_line(summary), true);
 
     if (!options_.quiet) {
@@ -728,6 +843,13 @@ void RouteServer::close_connection(const std::shared_ptr<Connection>& conn) {
     ::close(conn->fd);
     connections_.erase(conn->fd);
     conn->fd = -1;
+    server_metrics().connections.add(-1);
+    // Flush latency: summary enqueued (runner, ordered by the join/acquire
+    // above) -> stream fully drained and the socket closed.
+    if (conn->summary_enqueued_us > 0) {
+      server_metrics().flush.observe_us(static_cast<std::uint64_t>(
+          util::process_uptime_us() - conn->summary_enqueued_us));
+    }
   }
 }
 
@@ -767,6 +889,8 @@ api::StatsReply RouteServer::stats() const {
   reply.pool_size = pool_ ? pool_->size() : 0;
   reply.uptime_seconds = uptime_.seconds();
   reply.draining = draining();
+  reply.latency_p50_ms = server_metrics().run.percentile_ms(0.5);
+  reply.latency_p99_ms = server_metrics().run.percentile_ms(0.99);
   const double now = uptime_.seconds();
   const std::lock_guard<std::mutex> lock(peers_mutex_);
   for (const auto& [addr, record] : peers_) {

@@ -195,6 +195,13 @@ class RouteServer {
     ConnState state = ConnState::kReading;
     std::uint32_t events = 0;  ///< epoll interest currently registered
     std::string in;            ///< accumulating request line
+    /// Telemetry timestamps (process telemetry clock, µs).  line_complete
+    /// is stamped by the event loop when the request line finishes and read
+    /// by the runner (ordered by the thread spawn); summary_enqueued is
+    /// stamped by the runner and read by the event loop after it observes
+    /// runner_done (acquire) or joins the runner.
+    std::int64_t line_complete_us = 0;
+    std::int64_t summary_enqueued_us = 0;
     std::mutex mutex;
     std::string out;
     std::size_t out_pos = 0;

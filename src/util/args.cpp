@@ -28,6 +28,10 @@ void ArgParser::add_double(const std::string& name, double* target,
   options_.push_back(Option{name, Kind::kDouble, target, help, metavar});
 }
 
+void ArgParser::allow_positional(const std::string& metavar) {
+  positional_metavar_ = metavar;
+}
+
 const ArgParser::Option* ArgParser::find(const std::string& name) const {
   for (const auto& option : options_) {
     if (option.name == name) return &option;
@@ -50,7 +54,16 @@ bool ArgParser::parse(int argc, char** argv) {
       std::exit(0);
     }
     const Option* option = find(arg);
-    if (option == nullptr) return fail(argv0, "unknown argument: " + arg);
+    if (option == nullptr) {
+      // A non-flag word is positional where allowed; a dash-prefixed
+      // unknown is always an error (catches typos like --ouut).
+      if (!positional_metavar_.empty() &&
+          (arg.empty() || arg[0] != '-')) {
+        positional_.push_back(arg);
+        continue;
+      }
+      return fail(argv0, "unknown argument: " + arg);
+    }
     if (option->kind == Kind::kFlag) {
       *static_cast<bool*>(option->target) = true;
       continue;
@@ -93,6 +106,7 @@ std::string ArgParser::usage(const std::string& argv0) const {
     if (option.kind != Kind::kFlag) out += " " + option.metavar;
     out += "]";
   }
+  if (!positional_metavar_.empty()) out += " " + positional_metavar_;
   out += "\n";
   if (!description_.empty()) out += "  " + description_ + "\n";
   for (const auto& option : options_) {

@@ -35,6 +35,16 @@ class ArgParser {
   void add_double(const std::string& name, double* target,
                   const std::string& help, const std::string& metavar = "X");
 
+  /// Opt in to positional (non-flag) arguments; without this call they stay
+  /// hard errors, so existing binaries keep rejecting stray words.
+  /// `metavar` names them in the usage line (e.g. "TRACE...").
+  void allow_positional(const std::string& metavar);
+
+  /// The positional arguments collected by parse(), in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
   /// Parse argv.  On any error (unknown flag, missing/malformed value)
   /// prints the error and the usage text to stderr and returns false.
   /// `--help` / `-h` print the usage text to stdout and exit(0).
@@ -59,6 +69,8 @@ class ArgParser {
 
   std::string description_;
   std::vector<Option> options_;
+  std::string positional_metavar_;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace sadp::util

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/timer.hpp"
+
 namespace sadp::util {
 
 namespace {
@@ -42,13 +44,19 @@ void vlog(LogLevel level, const char* tag, const char* fmt, ...) {
   // Assemble the whole line first so a single fwrite emits it: stdio only
   // guarantees atomicity per call, and per-fragment fprintf interleaved
   // across the engine's workers.
+  // The timestamp is the process telemetry clock (util/timer.hpp): seconds
+  // since process start on the same epoch trace-event `ts` values use, so a
+  // log line and the span it was printed inside carry comparable times.
   char prefix[160];
+  const double uptime =
+      static_cast<double>(process_uptime_us()) / 1e6;
   const std::string& thread_tag = tag_slot();
   int prefix_len =
       thread_tag.empty()
-          ? std::snprintf(prefix, sizeof prefix, "[%s] ", tag)
-          : std::snprintf(prefix, sizeof prefix, "[%s] (%s) ", tag,
-                          thread_tag.c_str());
+          ? std::snprintf(prefix, sizeof prefix, "[%12.6f] [%s] ", uptime, tag)
+          : std::snprintf(prefix, sizeof prefix, "[%12.6f] [%s] (%s) ", uptime,
+                          tag, thread_tag.c_str());
+
   if (prefix_len < 0) prefix_len = 0;
   if (prefix_len >= static_cast<int>(sizeof prefix)) {
     prefix_len = static_cast<int>(sizeof prefix) - 1;

@@ -2,10 +2,12 @@
 // stderr and is filtered by a process-wide level.  The flow engine runs
 // jobs on a thread pool, so every message is formatted into a buffer first
 // and written with a single fwrite — concurrent --jobs N workers produce
-// interleaving-free whole lines — and each line carries the calling
-// thread's tag (set per job by the engine) so output can be attributed:
+// interleaving-free whole lines — and each line carries a timestamp in
+// seconds since process start (the telemetry clock from util/timer.hpp,
+// the same epoch trace spans use) plus the calling thread's tag (set per
+// job by the engine) so output can be attributed:
 //
-//   [info] (ecc_s/tpl) retrying 3 unrouted nets
+//   [    2.417305] [info] (ecc_s/tpl) retrying 3 unrouted nets
 #pragma once
 
 #include <cstdio>

@@ -1,4 +1,38 @@
 #include "util/timer.hpp"
 
-// Header-only; this translation unit exists so the library has a home for
-// the symbol when debug builds disable inlining.
+namespace sadp::util {
+
+namespace {
+
+/// Both clocks read back to back, once per process.  The steady reading is
+/// the epoch every telemetry timestamp subtracts; the realtime reading is
+/// the unix anchor shipped in trace files.
+struct ProcessClock {
+  std::chrono::steady_clock::time_point steady_start;
+  std::int64_t unix_start_us;
+
+  ProcessClock() noexcept
+      : steady_start(std::chrono::steady_clock::now()),
+        unix_start_us(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()) {}
+};
+
+const ProcessClock& process_clock() noexcept {
+  static const ProcessClock clock;
+  return clock;
+}
+
+}  // namespace
+
+std::int64_t process_uptime_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_clock().steady_start)
+      .count();
+}
+
+std::int64_t process_unix_anchor_us() noexcept {
+  return process_clock().unix_start_us;
+}
+
+}  // namespace sadp::util

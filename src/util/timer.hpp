@@ -2,9 +2,37 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <ctime>
 
 namespace sadp::util {
+
+/// The process-wide telemetry clock: a steady-clock epoch captured once at
+/// process start, paired with the CLOCK_REALTIME microseconds read at the
+/// same instant.  Every observability timestamp in the process — log-line
+/// prefixes, trace-event `ts` values, metrics uptime — is expressed as
+/// microseconds since this single epoch, so log lines and trace spans line
+/// up without conversion.  The unix anchor travels inside trace files
+/// (sadp.flow_trace.v1 `clock_unix_us`), which is how sadp_trace_merge
+/// aligns timelines recorded by different processes.
+///
+/// The pair is captured by the first caller (thread-safe magic static);
+/// link the process clock early in main() only if sub-microsecond anchor
+/// skew between threads ever matters — in practice the first log line or
+/// span does it.
+
+/// Microseconds elapsed on the steady clock since the process epoch.
+[[nodiscard]] std::int64_t process_uptime_us() noexcept;
+
+/// CLOCK_REALTIME microseconds at the process epoch (uptime zero).  Adding
+/// process_uptime_us() to it converts a telemetry timestamp to unix time.
+[[nodiscard]] std::int64_t process_unix_anchor_us() noexcept;
+
+/// Current unix time in microseconds, derived from the anchor + uptime so
+/// it is immune to wall-clock steps after startup.
+[[nodiscard]] inline std::int64_t unix_now_us() noexcept {
+  return process_unix_anchor_us() + process_uptime_us();
+}
 
 /// A simple wall-clock stopwatch.  Started on construction; elapsed time is
 /// queried without stopping, matching how the paper reports per-phase CPU.

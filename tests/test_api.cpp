@@ -359,6 +359,126 @@ TEST(FlowApi, SummaryCacheCountersAreOptionalOnParse) {
   EXPECT_EQ(old_event->cache_misses, 0u);
 }
 
+TEST(FlowApi, TraceContextIsOptionalAndRoundTrips) {
+  // Untraced requests serialize to their exact pre-telemetry bytes: no
+  // trace members on the wire at all.
+  api::FlowRequest request = tiny_request();
+  const std::string untraced = api::serialize_request(request);
+  EXPECT_EQ(untraced.find("trace_id"), std::string::npos);
+  EXPECT_EQ(untraced.find("span_id"), std::string::npos);
+  EXPECT_EQ(untraced.find("sent_unix_us"), std::string::npos);
+
+  api::ensure_trace_context(&request);
+  EXPECT_EQ(request.trace_id.size(), 16u);
+  EXPECT_EQ(request.trace_id.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  ASSERT_EQ(request.jobs.size(), 1u);
+  EXPECT_EQ(request.jobs[0].span_id.size(), 16u);
+  EXPECT_NE(request.jobs[0].span_id, request.trace_id);
+  EXPECT_GT(request.sent_unix_us, 0);
+  EXPECT_NE(api::mint_trace_id(), api::mint_trace_id());
+
+  // Re-ensuring is a no-op: the upstream hop owns the trace, so the
+  // dispatcher can call this unconditionally on relayed requests.
+  const std::string minted = request.trace_id;
+  const std::string span = request.jobs[0].span_id;
+  api::ensure_trace_context(&request);
+  EXPECT_EQ(request.trace_id, minted);
+  EXPECT_EQ(request.jobs[0].span_id, span);
+
+  std::string error;
+  const auto parsed =
+      api::parse_request(api::serialize_request(request), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->trace_id, minted);
+  EXPECT_EQ(parsed->sent_unix_us, request.sent_unix_us);
+  ASSERT_EQ(parsed->jobs.size(), 1u);
+  EXPECT_EQ(parsed->jobs[0].span_id, span);
+
+  // The context rides through to the engine jobs the daemon runs.
+  std::vector<engine::FlowJob> jobs;
+  ASSERT_TRUE(api::to_flow_jobs(*parsed, &jobs).is_ok());
+  EXPECT_EQ(jobs[0].trace_id, minted);
+  EXPECT_EQ(jobs[0].span_id, span);
+}
+
+TEST(FlowApi, TracedRowFramingKeepsTheJournalObjectByteIdentical) {
+  const api::DispatchResult run = api::dispatch(tiny_request());
+  ASSERT_TRUE(run.status.is_ok());
+  const engine::JobOutcome& outcome = run.batch.outcomes[0];
+
+  const std::string plain = api::response_row_line(outcome, 1, 1);
+  const std::string traced = api::response_row_line(
+      outcome, 1, 1, nullptr, "0123456789abcdef", "fedcba9876543210");
+  EXPECT_NE(traced.find("\"trace_id\":\"0123456789abcdef\""),
+            std::string::npos);
+  EXPECT_NE(traced.find("\"span_id\":\"fedcba9876543210\""),
+            std::string::npos);
+  // Trace context lives in the framing only; the embedded journal object
+  // is the same bytes either way.
+  EXPECT_NE(plain.find(engine::journal_line(outcome)), std::string::npos);
+  EXPECT_NE(traced.find(engine::journal_line(outcome)), std::string::npos);
+
+  const auto event = api::parse_response_line(traced);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->trace_id, "0123456789abcdef");
+  EXPECT_EQ(event->span_id, "fedcba9876543210");
+  EXPECT_EQ(result_fingerprint(event->outcome.result),
+            result_fingerprint(outcome.result));
+
+  // An untraced row (older daemon) parses with empty context.
+  const auto old_event = api::parse_response_line(plain);
+  ASSERT_TRUE(old_event.has_value());
+  EXPECT_TRUE(old_event->trace_id.empty());
+  EXPECT_TRUE(old_event->span_id.empty());
+}
+
+TEST(FlowApi, SummaryTraceContextRoundTripsAndIsOptional) {
+  api::ResponseSummary summary;
+  summary.jobs = 1;
+  summary.ok = 1;
+  summary.workers = 2;
+  summary.wall_seconds = 0.5;
+  const std::string untraced_line = api::response_summary_line(summary);
+  EXPECT_EQ(untraced_line.find("trace_id"), std::string::npos);
+  const auto untraced = api::parse_response_line(untraced_line);
+  ASSERT_TRUE(untraced.has_value());
+  EXPECT_TRUE(untraced->trace_id.empty());
+  EXPECT_EQ(untraced->recv_unix_us, 0);
+  EXPECT_EQ(untraced->sent_unix_us, 0);
+
+  summary.trace_id = "0123456789abcdef";
+  summary.recv_unix_us = 1'700'000'000'000'000;
+  summary.sent_unix_us = 1'700'000'000'250'000;
+  const auto traced =
+      api::parse_response_line(api::response_summary_line(summary));
+  ASSERT_TRUE(traced.has_value());
+  EXPECT_EQ(traced->kind, api::ResponseEvent::Kind::kBatch);
+  EXPECT_EQ(traced->trace_id, "0123456789abcdef");
+  EXPECT_EQ(traced->recv_unix_us, 1'700'000'000'000'000);
+  EXPECT_EQ(traced->sent_unix_us, 1'700'000'000'250'000);
+}
+
+TEST(ControlApi, MetricsReplyRoundTripsAndRejectsTruncation) {
+  const std::string body =
+      "# HELP sadp_x A metric.\n# TYPE sadp_x counter\nsadp_x 1\n";
+  const std::string line = api::metrics_reply_line(body);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // newlines escaped
+  std::string error;
+  const auto parsed = api::parse_metrics_reply(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, body);
+
+  // A scrape cut off mid-write must surface as an error, not as a
+  // silently shortened exposition.
+  EXPECT_FALSE(api::parse_metrics_reply(line.substr(0, line.size() / 2),
+                                        &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(api::parse_metrics_reply("{\"type\":\"pong\"}").has_value());
+  EXPECT_FALSE(api::parse_metrics_reply("", &error).has_value());
+}
+
 TEST(ControlApi, RequestsRoundTripAndDemultiplex) {
   for (const auto type :
        {api::ControlRequest::Type::kPing, api::ControlRequest::Type::kStats,
@@ -401,6 +521,8 @@ TEST(ControlApi, StatsReplyRoundTripsWithPeers) {
   stats.pool_size = 8;
   stats.uptime_seconds = 12.5;
   stats.draining = true;
+  stats.latency_p50_ms = 120.5;
+  stats.latency_p99_ms = 910.25;
   api::PeerStatus peer;
   peer.addr = "127.0.0.1:7472";
   peer.queue_depth = 1;
@@ -419,6 +541,8 @@ TEST(ControlApi, StatsReplyRoundTripsWithPeers) {
   EXPECT_EQ(parsed->cache_misses, 4u);
   EXPECT_EQ(parsed->pool_size, 8);
   EXPECT_TRUE(parsed->draining);
+  EXPECT_DOUBLE_EQ(parsed->latency_p50_ms, 120.5);
+  EXPECT_DOUBLE_EQ(parsed->latency_p99_ms, 910.25);
   ASSERT_EQ(parsed->peers.size(), 1u);
   EXPECT_EQ(parsed->peers[0].addr, "127.0.0.1:7472");
   EXPECT_EQ(parsed->peers[0].queue_depth, 1);
@@ -430,6 +554,8 @@ TEST(ControlApi, StatsReplyRoundTripsWithPeers) {
   ASSERT_TRUE(minimal.has_value());
   EXPECT_EQ(minimal->queue_depth, 0u);
   EXPECT_EQ(minimal->cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(minimal->latency_p50_ms, 0.0);  // pre-telemetry daemons
+  EXPECT_DOUBLE_EQ(minimal->latency_p99_ms, 0.0);
   EXPECT_FALSE(api::parse_stats_reply("{\"type\":\"pong\"}").has_value());
 }
 

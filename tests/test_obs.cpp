@@ -1,6 +1,8 @@
 // obs::TraceSession / obs::Span: balance under exceptions, JSON validity,
 // per-thread timestamp ordering, and the no-perturbation guarantee (flow
 // rows bit-identical with tracing on, off, and across worker counts).
+// Also obs::MetricsRegistry (Prometheus exposition) and obs::merge_traces
+// (fleet timeline alignment).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -10,6 +12,8 @@
 #include <vector>
 
 #include "engine/flow_engine.hpp"
+#include "obs/merge.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 
@@ -280,6 +284,177 @@ TEST(Trace, FlowRowsBitIdenticalWithTracingOnOffAndParallel) {
   EXPECT_TRUE(saw_route_net);
   EXPECT_TRUE(saw_rr_counter);
   EXPECT_TRUE(saw_dvi);
+}
+
+TEST(Trace, TraceContextLeavesRowsBitIdentical) {
+  // The trace_id/span_id a dispatcher stamps onto jobs must never reach the
+  // outcome (it lives in row framing only), so routing results are
+  // bit-identical with context absent vs present — traced or not, a job
+  // routes the same nets the same way.
+  const auto plain =
+      engine::FlowEngine(engine::EngineOptions{}).run(trace_job_list()).outcomes;
+
+  std::vector<engine::FlowJob> traced_jobs = trace_job_list();
+  for (std::size_t i = 0; i < traced_jobs.size(); ++i) {
+    traced_jobs[i].trace_id = "0123456789abcdef";
+    traced_jobs[i].span_id = "feed000000000" + std::to_string(i);
+  }
+  obs::TraceSession session;
+  session.install();
+  const auto traced = engine::FlowEngine(engine::EngineOptions{})
+                          .run(std::move(traced_jobs))
+                          .outcomes;
+  session.uninstall();
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(row_fingerprint(plain[i]), row_fingerprint(traced[i]));
+  }
+
+  // The context surfaced as string args on the job spans.
+  const std::string json = session.to_json();
+  EXPECT_NE(json.find("\"trace_id\":\"0123456789abcdef\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":\"feed0000000000\""), std::string::npos);
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(Metrics, ExpositionIsValidPrometheusText) {
+  obs::Counter& hits = obs::metrics().counter(
+      "sadp_test_requests_total", "Test counter.", "result=\"hit\"");
+  obs::Counter& misses = obs::metrics().counter(
+      "sadp_test_requests_total", "Test counter.", "result=\"miss\"");
+  obs::Gauge& depth =
+      obs::metrics().gauge("sadp_test_depth", "Test gauge.");
+  obs::LatencyHistogram& lat = obs::metrics().histogram(
+      "sadp_test_latency_seconds", "Test histogram.");
+
+  hits.inc(3);
+  misses.inc();
+  depth.set(7);
+  lat.observe_us(1000);    // 1 ms -> bucket upper edge 1023 us
+  lat.observe_us(250000);  // 250 ms
+
+  // Re-registration returns the same object.
+  EXPECT_EQ(&hits, &obs::metrics().counter("sadp_test_requests_total", "",
+                                           "result=\"hit\""));
+
+  const std::string text = obs::metrics().render();
+  EXPECT_NE(text.find("# HELP sadp_test_requests_total Test counter.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sadp_test_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sadp_test_requests_total{result=\"hit\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sadp_test_requests_total{result=\"miss\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sadp_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("sadp_test_depth 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sadp_test_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sadp_test_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sadp_test_latency_seconds_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sadp_test_latency_seconds_sum 0.251"),
+            std::string::npos);
+  // The built-in process uptime gauge leads the exposition.
+  EXPECT_EQ(text.rfind("# HELP sadp_process_uptime_seconds", 0), 0u);
+
+  // Cumulative buckets: each le count is non-decreasing and ends at _count.
+  std::size_t pos = 0;
+  long long last = -1;
+  int buckets = 0;
+  while ((pos = text.find("sadp_test_latency_seconds_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const std::size_t brace = text.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    const long long count = std::stoll(text.substr(brace + 2));
+    EXPECT_GE(count, last);
+    last = count;
+    ++buckets;
+    pos = brace;
+  }
+  EXPECT_GE(buckets, 2);
+  EXPECT_EQ(last, 2);
+
+  // Deterministic percentile from the log2 bins.
+  EXPECT_GT(lat.percentile_ms(0.5), 0.0);
+  EXPECT_LE(lat.percentile_ms(0.5), lat.percentile_ms(0.99));
+}
+
+// --- Fleet trace merge ------------------------------------------------------
+
+/// A minimal sadp.flow_trace.v1 document with one span, as a string.
+std::string tiny_trace(const char* process, long long anchor_us,
+                       long long ts_us, const char* trace_id) {
+  std::string out = "{\"schema\":\"sadp.flow_trace.v1\",";
+  out += "\"clock_unix_us\":" + std::to_string(anchor_us) + ",";
+  out += "\"process\":\"" + std::string(process) + "\",";
+  out += "\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"" + std::string(process) + "\"}},";
+  out += "{\"name\":\"work\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":" +
+         std::to_string(ts_us) + ",\"dur\":5,\"args\":{\"trace_id\":\"" +
+         std::string(trace_id) + "\"}}]}";
+  return out;
+}
+
+TEST(Merge, AlignsProcessesOnOneFleetTimeline) {
+  // p2 started 100 us after p1 (later realtime anchor), so its events shift
+  // +100 onto the fleet timeline whose epoch is the earliest anchor.
+  const std::vector<obs::MergeInput> inputs = {
+      {"d1.json", tiny_trace("daemon :7471", 1'000'000, 10, "cafe")},
+      {"d2.json", tiny_trace("daemon :7472", 1'000'100, 10, "cafe")},
+  };
+  std::string merged;
+  obs::MergeStats stats;
+  const util::Status status = obs::merge_traces(inputs, &merged, &stats);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(stats.processes, 2u);
+  EXPECT_EQ(stats.epoch_unix_us, 1'000'000);
+
+  std::string error;
+  const auto doc = util::parse_json(merged, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(string_member(*doc, "schema"), obs::kFleetTraceSchema);
+  EXPECT_EQ(number_member(*doc, "clock_unix_us"), 1'000'000.0);
+
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<int, double> span_ts;       // pid -> shifted span ts
+  std::map<int, std::string> process;  // pid -> synthesized process_name
+  for (const util::JsonValue& event : events->array) {
+    const int pid = static_cast<int>(number_member(event, "pid"));
+    const std::string name = string_member(event, "name");
+    if (name == "process_name") {
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      // Exactly one per pid: the input's own metadata event is dropped.
+      EXPECT_EQ(process.count(pid), 0u);
+      process[pid] = string_member(*args, "name");
+    }
+    if (name == "work") {
+      span_ts[pid] = number_member(event, "ts");
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(string_member(*args, "trace_id"), "cafe");  // args survive
+    }
+  }
+  EXPECT_EQ(process[1], "daemon :7471");
+  EXPECT_EQ(process[2], "daemon :7472");
+  EXPECT_EQ(span_ts[1], 10.0);   // epoch process: unshifted
+  EXPECT_EQ(span_ts[2], 110.0);  // +100 us anchor delta
+}
+
+TEST(Merge, RejectsNonTraceInput) {
+  std::string merged;
+  const util::Status bad = obs::merge_traces(
+      {{"x.json", "{\"schema\":\"other\"}"}}, &merged);
+  EXPECT_FALSE(bad.is_ok());
+  const util::Status garbage =
+      obs::merge_traces({{"y.json", "not json"}}, &merged);
+  EXPECT_FALSE(garbage.is_ok());
 }
 
 }  // namespace

@@ -15,7 +15,10 @@
 #
 # Step 6.5 runs the PartitionParallel test suite under TSan: region workers
 # route on genuinely concurrent threads there, so a cross-region write is a
-# reported race, not a lucky pass.
+# reported race, not a lucky pass.  The telemetry bit-identity tests run in
+# the same tree: rows must stay byte-identical with tracing/metrics on or
+# off, and the fleet smokes (steps 3/5) scrape every process's metrics and
+# merge the per-process traces into one fleet timeline.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -79,6 +82,13 @@ cmake --build build-tsan -j "$JOBS" --target sadp_route sadp_flow_report
 echo "== TSan partition tests (concurrent region workers) =="
 cmake --build build-tsan -j "$JOBS" --target sadp_tests
 ctest --test-dir build-tsan --output-on-failure -R 'PartitionParallel'
+
+echo "== TSan telemetry bit-identity (rows unchanged by tracing/trace context) =="
+# Flow rows must be bit-identical with tracing on, off, across worker
+# counts, and with trace context absent vs present — checked here under
+# TSan so the instrumentation's atomics are also race-clean.
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'FlowRowsBitIdenticalWithTracingOnOffAndParallel|TraceContextLeavesRowsBitIdentical|MetricsScrapeWorksWarmAndWhileDraining'
 trace_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$server_log" "$client_log" "$trace_json"' EXIT
 ./build-tsan/apps/sadp_route --benchmark ecc,efc --jobs 2 --trace "$trace_json"

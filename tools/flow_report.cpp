@@ -327,6 +327,44 @@ int print_metrics(const std::string& path) {
     table.cell(static_cast<long long>(number_or(row, "maze_pops_max", 0)));
   }
   table.print();
+
+  // Partition-parallel breakdown for jobs that ran sharded (the members are
+  // only present when partitions > 1; serial rows are skipped).  imbalance
+  // is region max/mean wall — the concurrent phase ends with the slowest
+  // region, so a ratio well above 1 flags a lopsided cut.
+  std::vector<const util::JsonValue*> sharded;
+  for (const util::JsonValue& row : results->array) {
+    if (row.is_object() && number_or(row, "partitions", 0) > 1) {
+      sharded.push_back(&row);
+    }
+  }
+  if (!sharded.empty()) {
+    std::printf("\n== partitioned jobs (%zu of %zu) ==\n", sharded.size(),
+                results->array.size());
+    util::TextTable ptable({"label", "regions", "bnets", "boundary(s)",
+                            "partition(s)", "merge(s)", "reconcile(s)",
+                            "imbalance"});
+    for (const util::JsonValue* row : sharded) {
+      const util::JsonValue* stages = row->find("stages");
+      const double mean = number_or(*row, "region_seconds_mean", 0.0);
+      const double peak = number_or(*row, "region_seconds_max", 0.0);
+      ptable.begin_row();
+      ptable.cell(string_or(*row, "label"));
+      ptable.cell(static_cast<long long>(
+          number_or(*row, "partition_regions", 0)));
+      ptable.cell(static_cast<long long>(number_or(*row, "boundary_nets", 0)));
+      ptable.cell(stages != nullptr ? number_or(*stages, "boundary", 0.0)
+                                    : 0.0, 3);
+      ptable.cell(stages != nullptr ? number_or(*stages, "partition", 0.0)
+                                    : 0.0, 3);
+      ptable.cell(stages != nullptr ? number_or(*stages, "merge", 0.0) : 0.0,
+                  3);
+      ptable.cell(stages != nullptr ? number_or(*stages, "reconcile", 0.0)
+                                    : 0.0, 3);
+      ptable.cell(mean > 0.0 ? peak / mean : 0.0, 2);
+    }
+    ptable.print();
+  }
   return 0;
 }
 

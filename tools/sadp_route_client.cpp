@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
                  "N");
   parser.add_int("--retry-max-ms", &retry.max_delay_ms,
                  "backoff cap per retry in milliseconds", "MS");
+  bool trace_context = false;
+  parser.add_flag("--trace-context", &trace_context,
+                  "mint a trace_id + per-job span_ids on the request (for "
+                  "daemons reached directly; the dispatcher mints its own)");
   if (!parser.parse(argc, argv)) return 2;
 
   if (port <= 0) {
@@ -133,6 +137,11 @@ int main(int argc, char** argv) {
     job.degrade_dvi = degrade_dvi;
     job.deadline_seconds = deadline;
     request.jobs.push_back(std::move(job));
+  }
+
+  if (trace_context) {
+    api::ensure_trace_context(&request);
+    std::fprintf(stderr, "trace_id=%s\n", request.trace_id.c_str());
   }
 
   const server::RemoteBatch batch = server::run_remote_retry(

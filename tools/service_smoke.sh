@@ -7,7 +7,13 @@
 #   * nonzero cache hits once every backend has seen the batch (the
 #     dispatcher alternates backends by forwarded count, so run 3 lands
 #     on a warm cache wherever it goes);
-#   * control-plane stats through the dispatcher aggregate both backends.
+#   * control-plane stats through the dispatcher aggregate both backends;
+#   * every process answers a {"type":"metrics"} scrape with Prometheus
+#     text exposition (expected families asserted per role);
+#   * with --trace on every process, graceful shutdown writes per-process
+#     trace files that sadp_trace_merge combines into one fleet timeline
+#     where a single trace_id links dispatcher relay spans to backend
+#     admission/run spans.
 #
 # Then (unless --skip-bench) run bench_service and track the numbers in
 # BENCH_service.json with the same freeze-on-first-run baseline scheme
@@ -54,6 +60,7 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD" -j "$(nproc)" \
   --target sadp_routed sadp_route_dispatch sadp_route_client bench_service \
+  sadp_trace_merge \
   >/dev/null
 
 workdir="$(mktemp -d)"
@@ -86,19 +93,23 @@ scrape_port() {  # scrape_port <logfile> <banner-prefix>
 
 if [ "$SKIP_TOPOLOGY" -eq 0 ]; then
   echo "== service smoke: 2-backend topology through the dispatcher"
-  "./$BUILD/apps/sadp_routed" --port 0 --workers 2 >"$workdir/a.log" 2>&1 &
+  # Every process records a trace: the merged fleet timeline is asserted
+  # after shutdown (trace files are written on graceful exit).
+  "./$BUILD/apps/sadp_routed" --port 0 --workers 2 \
+    --trace "$workdir/trace_a.json" >"$workdir/a.log" 2>&1 &
   pids+=($!)
   PORT_A="$(scrape_port "$workdir/a.log" "listening on")"
 
   "./$BUILD/apps/sadp_routed" --port 0 --workers 2 \
     --beacon-peers "127.0.0.1:$PORT_A" --beacon-interval-ms 100 \
-    >"$workdir/b.log" 2>&1 &
+    --trace "$workdir/trace_b.json" >"$workdir/b.log" 2>&1 &
   pids+=($!)
   PORT_B="$(scrape_port "$workdir/b.log" "listening on")"
 
   "./$BUILD/apps/sadp_route_dispatch" --port 0 \
     --backends "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
-    --probe-interval-ms 100 >"$workdir/d.log" 2>&1 &
+    --probe-interval-ms 100 \
+    --trace "$workdir/trace_d.json" >"$workdir/d.log" 2>&1 &
   pids+=($!)
   PORT_D="$(scrape_port "$workdir/d.log" "dispatching on")"
 
@@ -132,6 +143,72 @@ if [ "$SKIP_TOPOLOGY" -eq 0 ]; then
     exit 1
   fi
   echo "   dispatcher stats aggregate $(grep -c '^peer ' "$workdir/stats.out") backends"
+
+  echo "== service smoke: metrics scrape on every process"
+  "./$BUILD/apps/sadp_routed" --host 127.0.0.1 --port "$PORT_A" --metrics \
+    >"$workdir/metrics_a.txt"
+  "./$BUILD/apps/sadp_routed" --host 127.0.0.1 --port "$PORT_B" --metrics \
+    >"$workdir/metrics_b.txt"
+  "./$BUILD/apps/sadp_route_dispatch" --metrics --port "$PORT_D" \
+    >"$workdir/metrics_d.txt"
+  for d in a b; do
+    for family in \
+      "# TYPE sadp_process_uptime_seconds gauge" \
+      "# TYPE sadp_server_requests_total counter" \
+      "# TYPE sadp_server_request_run_seconds histogram" \
+      "# TYPE sadp_engine_jobs_total counter"; do
+      if ! grep -qF "$family" "$workdir/metrics_$d.txt"; then
+        echo "service smoke: daemon $d exposition misses '$family'" >&2
+        cat "$workdir/metrics_$d.txt" >&2
+        exit 1
+      fi
+    done
+  done
+  if ! grep -q 'sadp_dispatch_relay_seconds_bucket{backend=' \
+      "$workdir/metrics_d.txt"; then
+    echo "service smoke: dispatcher exposition misses the relay histogram" >&2
+    cat "$workdir/metrics_d.txt" >&2
+    exit 1
+  fi
+  echo "   all 3 processes serve Prometheus exposition over the control plane"
+
+  # Graceful shutdown writes the per-process trace files; merge them into
+  # one fleet timeline and check cross-process trace propagation.
+  echo "== service smoke: fleet trace merge"
+  for pid in "${pids[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+  pids=()
+  "./$BUILD/tools/sadp_trace_merge" --out "$workdir/fleet_trace.json" \
+    "$workdir/trace_d.json" "$workdir/trace_a.json" "$workdir/trace_b.json" \
+    2>"$workdir/merge.err"
+  FLEET="$workdir/fleet_trace.json" python3 - <<'EOF'
+import collections, json, os, sys
+
+with open(os.environ["FLEET"]) as f:
+    doc = json.load(f)
+if doc.get("schema") != "sadp.fleet_trace.v1":
+    sys.exit(f"service smoke: unexpected merged schema {doc.get('schema')}")
+
+pids_by_trace = collections.defaultdict(set)   # trace_id -> pids seen
+names_by_trace = collections.defaultdict(set)  # trace_id -> span names
+for event in doc["traceEvents"]:
+    trace_id = (event.get("args") or {}).get("trace_id")
+    if trace_id:
+        pids_by_trace[trace_id].add(event["pid"])
+        names_by_trace[trace_id].add(event["name"])
+
+fleet_wide = [t for t, pids in pids_by_trace.items() if len(pids) >= 2]
+if not fleet_wide:
+    sys.exit("service smoke: no trace_id spans more than one process")
+crossed = [t for t in fleet_wide
+           if "dispatch.relay" in names_by_trace[t]
+           and "server.run" in names_by_trace[t]]
+if not crossed:
+    sys.exit("service smoke: no trace links a relay span to a server run")
+print(f"   {len(pids_by_trace)} traces merged; "
+      f"{len(fleet_wide)} span the fleet "
+      f"(relay -> admission -> run on one timeline)")
+EOF
 fi
 
 if [ "$SKIP_BENCH" -eq 0 ]; then

@@ -15,6 +15,12 @@
 // Or run DVI standalone on a previously saved solution:
 //
 //   sadp_route --dvi-only out.sol --dvi-method exact --ilp-limit 60
+//
+// Incremental ECO re-route (warm-start from a saved base solution, rip up
+// only the nets the change list dirties — DESIGN.md section 16):
+//
+//   sadp_route --benchmark ecc_s --delta --base-solution base.sol
+//              --move-pin "3,1,10,12" --add-blockage "4,4,9,9" --validate
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "api/flow_api.hpp"
+#include "api/flow_delta.hpp"
 #include "core/dvi_exact.hpp"
 #include "core/dvi_heuristic.hpp"
 #include "core/dvi_ilp.hpp"
@@ -73,6 +80,14 @@ struct CliOptions {
   bool resume = false;
   engine::JournalSync journal_sync = engine::JournalSync::kBatch;
   std::string trace_path;  ///< Chrome trace-event JSON output (empty = off)
+  // Incremental ECO mode (--delta): warm-start from a saved base solution.
+  bool delta = false;
+  std::string base_solution_path;  ///< --base-solution FILE
+  bool wire = false;  ///< print the raw response wire lines (smoke tests)
+  std::string move_pins;    ///< "net,pin,x,y" specs, ';'-separated
+  std::string remove_nets;  ///< base net ids, ';'-separated
+  std::string add_nets;     ///< "name:x,y,x,y,..." specs, ';'-separated
+  std::string blockages;    ///< "x0,y0,x1,y1" rects, ';'-separated
 };
 
 // Fault site (util/failpoint.hpp): solution/report file writes.
@@ -94,6 +109,25 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
                     "NAMES");
   parser.add_string("--dvi-only", &options.dvi_only_path,
                     "run DVI on a saved solution", "FILE");
+  parser.add_flag("--delta", &options.delta,
+                  "incremental ECO re-route: warm-start the --netlist/"
+                  "--benchmark job from --base-solution and rip up only the "
+                  "nets the change list dirties");
+  parser.add_string("--base-solution", &options.base_solution_path,
+                    "saved base routing the ECO patches (--delta)", "FILE");
+  parser.add_string("--move-pin", &options.move_pins,
+                    "ECO edit(s): net,pin,x,y (';'-separated)", "SPEC");
+  parser.add_string("--remove-net", &options.remove_nets,
+                    "ECO edit(s): base net id(s) to remove (';'-separated)",
+                    "N");
+  parser.add_string("--add-net", &options.add_nets,
+                    "ECO edit(s): name:x,y,x,y,... (';'-separated)", "SPEC");
+  parser.add_string("--add-blockage", &options.blockages,
+                    "ECO edit(s): x0,y0,x1,y1 cell rect (';'-separated)",
+                    "RECT");
+  parser.add_flag("--wire", &options.wire,
+                  "ECO mode: print the raw response wire lines (row, delta, "
+                  "batch) instead of the human summary");
   parser.add_string("--style", &style, "SIM, SID, SAQP-SIM or SIM-TRIM", "STYLE");
   parser.add_string("--dvi-method", &method, "heuristic, exact or ilp", "M");
   parser.add_double("--ilp-limit", &options.ilp_limit,
@@ -177,6 +211,21 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal FILE\n");
     return std::nullopt;
   }
+  if (options.delta) {
+    if (options.base_solution_path.empty()) {
+      std::fprintf(stderr, "--delta requires --base-solution FILE\n");
+      return std::nullopt;
+    }
+    if (!options.dvi_only_path.empty()) {
+      std::fprintf(stderr, "--delta needs --netlist or --benchmark\n");
+      return std::nullopt;
+    }
+  } else if (!options.base_solution_path.empty() || options.wire ||
+             !options.move_pins.empty() || !options.remove_nets.empty() ||
+             !options.add_nets.empty() || !options.blockages.empty()) {
+    std::fprintf(stderr, "ECO flags need --delta\n");
+    return std::nullopt;
+  }
   const auto sync = engine::parse_journal_sync(journal_sync);
   if (!sync) {
     std::fprintf(stderr, "unknown --journal-sync policy: %s\n",
@@ -214,7 +263,11 @@ int run_dvi_only(const CliOptions& options) {
                             solution->num_metal_layers);
   via::ViaDb vias(solution->width, solution->height,
                   solution->num_metal_layers - 1);
-  core::apply_solution(*solution, routing, vias);
+  if (const util::Status applied = core::apply_solution(*solution, routing, vias);
+      !applied.is_ok()) {
+    std::fprintf(stderr, "bad solution: %s\n", applied.to_string().c_str());
+    return 1;
+  }
   const grid::TurnRules rules = grid::TurnRules::for_style(solution->style);
   const core::DviProblem problem =
       core::build_dvi_problem(solution->nets, routing, rules);
@@ -380,6 +433,108 @@ int finish_single(const CliOptions& options, const netlist::PlacedNetlist& insta
   return exit_code;
 }
 
+/// Incremental ECO mode (--delta): build a FlowDeltaRequest from the single
+/// job source plus the change-spec flags, dispatch it in-process, and either
+/// dump the raw wire lines (--wire, for byte-comparison against a daemon's
+/// stream in the smoke tests) or post-process like any single run.
+int run_delta(const CliOptions& options) {
+  api::FlowDeltaRequest eco;
+  eco.base = job_request(options);
+  eco.base_solution_path = options.base_solution_path;
+
+  // Materialize the base instance here: the banner needs it, and --validate
+  // checks the re-route against the *edited* netlist derived from it.
+  netlist::PlacedNetlist base_instance;
+  if (!options.benchmark.empty()) {
+    const std::vector<std::string> names = split_names(options.benchmark);
+    if (names.size() != 1 || options.benchmark == "all") {
+      std::fprintf(stderr, "--delta needs a single --benchmark name\n");
+      return 2;
+    }
+    const auto spec = netlist::spec_for(names[0], !options.full_scale);
+    if (!spec) {
+      std::fprintf(stderr, "unknown benchmark %s\n", names[0].c_str());
+      return 1;
+    }
+    base_instance = netlist::generate(*spec);
+    eco.base.benchmark = names[0];
+    eco.base.scaled = !options.full_scale;
+  } else {
+    std::ifstream in(options.netlist_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options.netlist_path.c_str());
+      return 1;
+    }
+    std::string error;
+    const auto parsed = netlist::read_netlist(in, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", error.c_str());
+      return 1;
+    }
+    base_instance = *parsed;
+    eco.base.netlist_path = options.netlist_path;
+  }
+  eco.base.label = base_instance.name;
+
+  if (const util::Status parsed = api::parse_change_specs(
+          options.move_pins, options.remove_nets, options.add_nets,
+          options.blockages, &eco.changes);
+      !parsed.is_ok()) {
+    std::fprintf(stderr, "%s\n", parsed.to_string().c_str());
+    return 2;
+  }
+  if (!options.wire) {
+    std::printf("eco %s: %zu change(s), base %s...\n",
+                base_instance.name.c_str(), eco.changes.size(),
+                options.base_solution_path.c_str());
+  }
+
+  api::DeltaDispatchOptions hooks;
+  hooks.keep_router = true;
+  const api::DeltaDispatchResult run = api::dispatch_delta(eco, hooks);
+  if (!run.status.is_ok()) {
+    std::fprintf(stderr, "%s\n", run.status.message().c_str());
+    return 1;
+  }
+
+  if (options.wire) {
+    // The exact stream a daemon would send (modulo framing-only members the
+    // smoke test normalizes: cache markers, timings, trace context).
+    api::ResponseSummary summary;
+    summary.jobs = 1;
+    summary.workers = 1;
+    summary.wall_seconds = run.wall_seconds;
+    switch (run.outcome.status) {
+      case engine::JobStatus::kOk: summary.ok = 1; break;
+      case engine::JobStatus::kDegraded: summary.degraded = 1; break;
+      case engine::JobStatus::kFailed: summary.failed = 1; break;
+      case engine::JobStatus::kTimeout: summary.timed_out = 1; break;
+      case engine::JobStatus::kCancelled: summary.cancelled = 1; break;
+    }
+    std::printf("%s\n%s\n%s\n",
+                api::response_row_line(run.outcome, 1, 1).c_str(),
+                api::response_delta_line(run.summary).c_str(),
+                api::response_summary_line(summary).c_str());
+    return run.outcome.ok() ? 0 : 1;
+  }
+
+  std::printf("eco: ripped %d/%d net(s), %d untouched, base %s, load %.2fs\n",
+              run.summary.nets_ripped, run.summary.nets_total,
+              run.summary.nets_untouched, run.summary.base_fingerprint.c_str(),
+              run.summary.load_seconds);
+
+  // --validate and the solution/SVG writers need the edited netlist; the
+  // change list already applied cleanly inside dispatch_delta.
+  core::EcoEditOutcome edit;
+  if (const util::Status edited =
+          core::apply_eco_changes(base_instance, eco.changes, &edit);
+      !edited.is_ok()) {
+    std::fprintf(stderr, "%s\n", edited.to_string().c_str());
+    return 1;
+  }
+  return finish_single(options, edit.edited, run.outcome);
+}
+
 /// Batch mode: several benchmarks through the engine, summary table + metrics.
 int run_batch(const CliOptions& options, const std::vector<std::string>& names) {
   api::FlowRequest request = flow_request(options);
@@ -475,6 +630,7 @@ int run_batch(const CliOptions& options, const std::vector<std::string>& names) 
 
 int dispatch(CliOptions* options) {
   if (!options->dvi_only_path.empty()) return run_dvi_only(*options);
+  if (options->delta) return run_delta(*options);
 
   // Batch mode: several generated benchmarks through the engine.
   if (!options->benchmark.empty()) {

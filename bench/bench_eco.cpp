@@ -1,0 +1,177 @@
+// bench_eco — incremental ECO re-route latency vs a full re-route.
+//
+// The workload the delta verb exists for: route a benchmark once, capture
+// the solution, then serve a stream of single-pin-move edits.  The full
+// path re-routes the edited netlist from scratch (core::run_flow); the ECO
+// path warm-starts from the base solution and rips up only the dirty nets
+// (core::run_eco_flow).  Emits one JSON object on stdout; tools/ci.sh
+// tracks the numbers in BENCH_eco.json and gates the p50 speedup (>= 5x).
+//
+//   bench_eco [--ckt NAME] [--full] [--full-runs N] [--eco-runs N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/eco.hpp"
+#include "core/flow.hpp"
+#include "core/solution_io.hpp"
+#include "netlist/bench_gen.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace sadp;
+
+double p50_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// The i-th edit of the workload: move one pin of a rotating net to a
+/// nearby cell no pin occupies.  Deterministic, so runs are comparable.
+core::EcoChange pick_move(const netlist::PlacedNetlist& base, int iter,
+                          const std::set<std::pair<int, int>>& pin_cells) {
+  const int num_nets = base.num_nets();
+  const auto& net = base.nets[static_cast<std::size_t>((iter * 7 + 3) % num_nets)];
+  const int pin = iter % net.num_pins();
+  const grid::Point at = net.pins[static_cast<std::size_t>(pin)].at;
+  core::EcoChange change;
+  change.kind = core::EcoChange::Kind::kMovePin;
+  change.net = net.id;
+  change.pin = pin;
+  change.to = at;
+  for (int radius = 1; radius < 8; ++radius) {
+    const grid::Point candidates[] = {{at.x + radius, at.y},
+                                      {at.x - radius, at.y},
+                                      {at.x, at.y + radius},
+                                      {at.x, at.y - radius}};
+    for (const grid::Point p : candidates) {
+      if (p.x < 0 || p.y < 0 || p.x >= base.width || p.y >= base.height) {
+        continue;
+      }
+      if (pin_cells.count({p.x, p.y}) != 0) continue;
+      change.to = p;
+      return change;
+    }
+  }
+  return change;  // saturated placement: a no-op move, still a valid edit
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ckt = "ecc_10x";  // the BENCH_eco.json gate workload
+  bool full_scale = false;
+  int full_runs = 3;
+  int eco_runs = 10;
+  util::ArgParser parser("incremental ECO re-route vs full re-route latency");
+  parser.add_string("--ckt", &ckt, "benchmark circuit", "NAME");
+  parser.add_flag("--full", &full_scale,
+                  "paper-scale benchmark (default: scaled)");
+  parser.add_int("--full-runs", &full_runs, "full re-routes to time", "N");
+  parser.add_int("--eco-runs", &eco_runs, "ECO re-routes to time", "N");
+  if (!parser.parse(argc, argv)) return 2;
+
+  const auto spec = netlist::spec_for(ckt, !full_scale);
+  if (!spec) {
+    std::fprintf(stderr, "unknown benchmark %s\n", ckt.c_str());
+    return 2;
+  }
+  const netlist::PlacedNetlist base = netlist::generate(*spec);
+
+  core::FlowConfig config;
+  config.options.style = grid::SadpStyle::kSim;
+  config.dvi_method = core::DviMethod::kHeuristic;
+
+  // Base route: the solution every ECO run patches.
+  core::FlowRun base_run = core::run_flow(base, config);
+  if (!base_run.status.is_ok() || !base_run.result.routing.routed_all) {
+    std::fprintf(stderr, "base route failed: %s\n",
+                 base_run.status.to_string().c_str());
+    return 1;
+  }
+  const core::RoutedSolution solution = core::capture_solution(
+      base.name, base_run.router->routing_grid(), grid::SadpStyle::kSim,
+      base_run.router->nets());
+
+  std::set<std::pair<int, int>> pin_cells;
+  for (const auto& net : base.nets) {
+    for (const auto& pin : net.pins) pin_cells.insert({pin.at.x, pin.at.y});
+  }
+
+  // ECO path: warm-start + rip-up-dirty for each edit against the base.
+  std::vector<double> eco_ms;
+  std::vector<double> ripped;
+  for (int i = 0; i < eco_runs; ++i) {
+    const std::vector<core::EcoChange> changes = {pick_move(base, i, pin_cells)};
+    util::Timer timer;
+    core::EcoRun eco;
+    const util::Status run =
+        core::run_eco_flow(base, solution, changes, config, &eco);
+    const double ms = timer.seconds() * 1000.0;
+    if (!run.is_ok() || !eco.flow.status.is_ok() ||
+        !eco.flow.result.routing.routed_all) {
+      std::fprintf(stderr, "eco run %d failed: %s\n", i,
+                   run.is_ok() ? eco.flow.status.to_string().c_str()
+                               : run.to_string().c_str());
+      return 1;
+    }
+    eco_ms.push_back(ms);
+    ripped.push_back(static_cast<double>(eco.summary.nets_ripped));
+    std::fprintf(stderr, "eco %d/%d: %.2fms, ripped %d/%d\n", i + 1, eco_runs,
+                 ms, eco.summary.nets_ripped, eco.summary.nets_total);
+  }
+
+  // Full path: re-route the same edited netlists from scratch.
+  std::vector<double> full_ms;
+  for (int i = 0; i < full_runs; ++i) {
+    const std::vector<core::EcoChange> changes = {pick_move(base, i, pin_cells)};
+    core::EcoEditOutcome edit;
+    if (const util::Status applied =
+            core::apply_eco_changes(base, changes, &edit);
+        !applied.is_ok()) {
+      std::fprintf(stderr, "edit %d rejected: %s\n", i,
+                   applied.to_string().c_str());
+      return 1;
+    }
+    util::Timer timer;
+    const core::FlowRun run = core::run_flow(edit.edited, config);
+    const double ms = timer.seconds() * 1000.0;
+    if (!run.status.is_ok() || !run.result.routing.routed_all) {
+      std::fprintf(stderr, "full run %d failed: %s\n", i,
+                   run.status.to_string().c_str());
+      return 1;
+    }
+    full_ms.push_back(ms);
+    std::fprintf(stderr, "full %d/%d: %.2fms\n", i + 1, full_runs, ms);
+  }
+
+  const double full_p50 = p50_of(full_ms);
+  const double eco_p50 = p50_of(eco_ms);
+  const double speedup = eco_p50 > 0.0 ? full_p50 / eco_p50 : 0.0;
+  std::printf(
+      "{\"schema\":\"sadp.bench_eco.v1\",\"ckt\":\"%s\",\"nets\":%d,"
+      "\"full\":{\"runs\":%zu,\"p50_ms\":%.3f,\"mean_ms\":%.3f},"
+      "\"eco\":{\"runs\":%zu,\"p50_ms\":%.3f,\"mean_ms\":%.3f,"
+      "\"ripped_p50\":%.0f},"
+      "\"speedup_p50\":%.2f}\n",
+      base.name.c_str(), base.num_nets(), full_ms.size(), full_p50,
+      mean_of(full_ms), eco_ms.size(), eco_p50, mean_of(eco_ms),
+      p50_of(ripped), speedup);
+  std::fprintf(stderr, "full p50 %.2fms, eco p50 %.2fms: %.1fx\n", full_p50,
+               eco_p50, speedup);
+  return 0;
+}

@@ -50,6 +50,7 @@ const char* control_type_name(ControlRequest::Type type) noexcept {
     case ControlRequest::Type::kBeacon: return "beacon";
     case ControlRequest::Type::kFailpoint: return "failpoint";
     case ControlRequest::Type::kMetrics: return "metrics";
+    case ControlRequest::Type::kSchemas: return "schemas";
   }
   return "?";
 }
@@ -106,6 +107,8 @@ std::optional<ControlRequest> parse_control_request(std::string_view line,
     request.type = ControlRequest::Type::kFailpoint;
   } else if (type->string_value == "metrics") {
     request.type = ControlRequest::Type::kMetrics;
+  } else if (type->string_value == "schemas") {
+    request.type = ControlRequest::Type::kSchemas;
   } else {
     return fail("unknown control type '" + type->string_value + "'");
   }
@@ -237,6 +240,51 @@ std::optional<std::string> parse_metrics_reply(std::string_view line,
     return fail("metrics reply without a string 'body'");
   }
   return body->string_value;
+}
+
+std::string schemas_reply_line(const SchemasReply& schemas) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kControlSchema);
+  json.key("type").value("schemas");
+  json.key("request").value(schemas.request);
+  json.key("response").value(schemas.response);
+  json.key("control").value(schemas.control);
+  if (!schemas.delta.empty()) json.key("delta").value(schemas.delta);
+  json.end_object();
+  return json.str();
+}
+
+std::optional<SchemasReply> parse_schemas_reply(std::string_view line,
+                                                std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<SchemasReply> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("schemas reply is not a JSON object: " + parse_error);
+  }
+  const util::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != kControlSchema) {
+    return fail(std::string("schemas reply schema mismatch (want ") +
+                kControlSchema + ")");
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->string_value != "schemas") {
+    return fail("not a schemas reply");
+  }
+  SchemasReply schemas;
+  if (!read_opt_string(*doc, "request", &schemas.request) ||
+      !read_opt_string(*doc, "response", &schemas.response) ||
+      !read_opt_string(*doc, "control", &schemas.control) ||
+      !read_opt_string(*doc, "delta", &schemas.delta)) {
+    return fail("malformed schemas reply");
+  }
+  return schemas;
 }
 
 std::optional<StatsReply> parse_stats_reply(std::string_view line,

@@ -24,6 +24,13 @@
 //     the spec grammar — this is how chaos tests arm faults in
 //     already-running daemons)
 //
+//   → {"type":"schemas"}
+//   ← {"schema":"sadp.control.v1","type":"schemas",
+//      "request":"sadp.flow_request.v1","response":"sadp.flow_response.v1",
+//      "control":"sadp.control.v1","delta":"sadp.flow_delta.v1"}
+//     (feature probe: a client checks `delta` before sending an ECO request
+//     instead of guessing what the daemon speaks)
+//
 //   → {"type":"metrics"}
 //   ← {"schema":"sadp.control.v1","type":"metrics","body":"# HELP ..."}
 //     (the body is the process's Prometheus text exposition — see
@@ -54,7 +61,15 @@ inline constexpr const char* kControlSchema = "sadp.control.v1";
 
 /// One inbound control line.
 struct ControlRequest {
-  enum class Type { kPing, kStats, kDrain, kBeacon, kFailpoint, kMetrics };
+  enum class Type {
+    kPing,
+    kStats,
+    kDrain,
+    kBeacon,
+    kFailpoint,
+    kMetrics,
+    kSchemas,  ///< feature probe: which request/response schemas are spoken
+  };
   Type type = Type::kPing;
   // Beacon payload: the sender's advertised address and load.
   std::string from;
@@ -134,6 +149,29 @@ struct StatsReply {
 /// newer clients keep parsing older daemons; a wrong schema or type is an
 /// error.
 [[nodiscard]] std::optional<StatsReply> parse_stats_reply(
+    std::string_view line, std::string* error = nullptr);
+
+/// The "schemas" reply payload: the wire schemas this process speaks, so a
+/// client can feature-probe (e.g. for sadp.flow_delta.v1 support) instead
+/// of guessing from version numbers.
+struct SchemasReply {
+  std::string request;   ///< sadp.flow_request.v1
+  std::string response;  ///< sadp.flow_response.v1
+  std::string control;   ///< sadp.control.v1
+  /// Empty when the daemon predates ECO support.
+  std::string delta;     ///< sadp.flow_delta.v1
+};
+
+/// Reply to a "schemas" request:
+///   {"schema":"sadp.control.v1","type":"schemas","request":...,
+///    "response":...,"control":...[,"delta":...]}
+/// (`delta` omitted when empty, mirroring how optional members keep older
+/// daemons' replies byte-stable).
+[[nodiscard]] std::string schemas_reply_line(const SchemasReply& schemas);
+
+/// Parse a schemas reply.  `delta` is optional (absent = daemon without ECO
+/// support); a wrong schema or type is an error.
+[[nodiscard]] std::optional<SchemasReply> parse_schemas_reply(
     std::string_view line, std::string* error = nullptr);
 
 }  // namespace sadp::api

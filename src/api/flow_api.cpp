@@ -117,6 +117,63 @@ bool read_spec(const util::JsonValue& doc, netlist::BenchSpec* spec,
   return true;
 }
 
+// --- JobRequest field table --------------------------------------------------
+//
+// One table drives serialization (emit order, omit-when-default), parsing
+// ("absent = default, mistyped = error") and per-field validation, so the
+// three can never drift apart.  Fields needing cross-member logic — the
+// benchmark+scaled pair, the spec object, style/dvi_method token
+// resolution — get their own kinds instead of a second hand-written list.
+struct JobField {
+  enum class Kind {
+    kString,     ///< std::string member; omitted when empty if omit_default
+    kBool,       ///< bool member, always emitted
+    kNumber,     ///< double member, always emitted; validated >= 0
+    kIntLimit,   ///< int member, omitted when <= 0; validated >= 0
+    kBenchmark,  ///< benchmark + scaled pair, omitted when benchmark empty
+    kSpec,       ///< the optional BenchSpec object
+    kStyle,      ///< SadpStyle token
+    kDviMethod,  ///< DviMethod token
+  };
+  const char* key;
+  Kind kind;
+  bool omit_default = false;
+  std::string JobRequest::* str = nullptr;
+  bool JobRequest::* flag = nullptr;
+  double JobRequest::* num = nullptr;
+  int JobRequest::* count = nullptr;
+};
+
+// Table order IS the wire order: existing requests must stay byte-identical.
+constexpr JobField kJobFields[] = {
+    {.key = "label", .kind = JobField::Kind::kString, .omit_default = true,
+     .str = &JobRequest::label},
+    {.key = "arm", .kind = JobField::Kind::kString, .omit_default = true,
+     .str = &JobRequest::arm},
+    {.key = "span_id", .kind = JobField::Kind::kString, .omit_default = true,
+     .str = &JobRequest::span_id},
+    {.key = "benchmark", .kind = JobField::Kind::kBenchmark},
+    {.key = "spec", .kind = JobField::Kind::kSpec},
+    {.key = "netlist_path", .kind = JobField::Kind::kString,
+     .omit_default = true, .str = &JobRequest::netlist_path},
+    {.key = "style", .kind = JobField::Kind::kStyle},
+    {.key = "consider_dvi", .kind = JobField::Kind::kBool,
+     .flag = &JobRequest::consider_dvi},
+    {.key = "consider_tpl", .kind = JobField::Kind::kBool,
+     .flag = &JobRequest::consider_tpl},
+    {.key = "dvi_method", .kind = JobField::Kind::kDviMethod},
+    {.key = "ilp_limit", .kind = JobField::Kind::kNumber,
+     .num = &JobRequest::ilp_limit_seconds},
+    {.key = "degrade_dvi", .kind = JobField::Kind::kBool,
+     .flag = &JobRequest::degrade_dvi},
+    {.key = "deadline", .kind = JobField::Kind::kNumber,
+     .num = &JobRequest::deadline_seconds},
+    // Omitted when <= 0 (engine default), so pre-partition rows and daemons
+    // keep byte-identical requests.
+    {.key = "partitions", .kind = JobField::Kind::kIntLimit,
+     .count = &JobRequest::partitions},
+};
+
 }  // namespace
 
 std::optional<grid::SadpStyle> parse_style(const std::string& name) {
@@ -167,6 +224,143 @@ std::string effective_label(const JobRequest& job) {
   return job.netlist_path;
 }
 
+void write_job_request(util::JsonWriter& json, const JobRequest& job) {
+  json.begin_object();
+  for (const JobField& field : kJobFields) {
+    switch (field.kind) {
+      case JobField::Kind::kString: {
+        const std::string& value = job.*(field.str);
+        if (!(field.omit_default && value.empty())) {
+          json.key(field.key).value(value);
+        }
+        break;
+      }
+      case JobField::Kind::kBool:
+        json.key(field.key).value(job.*(field.flag));
+        break;
+      case JobField::Kind::kNumber:
+        json.key(field.key).value(job.*(field.num));
+        break;
+      case JobField::Kind::kIntLimit:
+        if (job.*(field.count) > 0) json.key(field.key).value(job.*(field.count));
+        break;
+      case JobField::Kind::kBenchmark:
+        if (!job.benchmark.empty()) {
+          json.key("benchmark").value(job.benchmark);
+          json.key("scaled").value(job.scaled);
+        }
+        break;
+      case JobField::Kind::kSpec:
+        if (job.spec.has_value()) {
+          json.key("spec");
+          write_spec(json, *job.spec);
+        }
+        break;
+      case JobField::Kind::kStyle:
+        json.key(field.key).value(grid::style_name(job.style));
+        break;
+      case JobField::Kind::kDviMethod:
+        json.key(field.key).value(core::dvi_method_name(job.dvi_method));
+        break;
+    }
+  }
+  json.end_object();
+}
+
+bool read_job_request(const util::JsonValue& doc, JobRequest* job,
+                      std::string* error) {
+  if (!doc.is_object()) {
+    *error = "not a JSON object";
+    return false;
+  }
+  std::string style_name = grid::style_name(job->style);
+  std::string method_name = core::dvi_method_name(job->dvi_method);
+  for (const JobField& field : kJobFields) {
+    switch (field.kind) {
+      case JobField::Kind::kString:
+        if (!read_string(doc, field.key, &(job->*(field.str)), error)) {
+          return false;
+        }
+        break;
+      case JobField::Kind::kBool:
+        if (!read_bool(doc, field.key, &(job->*(field.flag)), error)) {
+          return false;
+        }
+        break;
+      case JobField::Kind::kNumber:
+        if (!read_number(doc, field.key, &(job->*(field.num)), error)) {
+          return false;
+        }
+        break;
+      case JobField::Kind::kIntLimit:
+        if (!read_int(doc, field.key, &(job->*(field.count)), error)) {
+          return false;
+        }
+        break;
+      case JobField::Kind::kBenchmark:
+        if (!read_string(doc, "benchmark", &job->benchmark, error) ||
+            !read_bool(doc, "scaled", &job->scaled, error)) {
+          return false;
+        }
+        break;
+      case JobField::Kind::kSpec:
+        if (const util::JsonValue* spec = doc.find("spec")) {
+          netlist::BenchSpec parsed;
+          if (!read_spec(*spec, &parsed, error)) return false;
+          job->spec = parsed;
+        }
+        break;
+      case JobField::Kind::kStyle:
+        if (!read_string(doc, field.key, &style_name, error)) return false;
+        break;
+      case JobField::Kind::kDviMethod:
+        if (!read_string(doc, field.key, &method_name, error)) return false;
+        break;
+    }
+  }
+  const auto style = parse_style(style_name);
+  if (!style) {
+    *error = "unknown style '" + style_name + "'";
+    return false;
+  }
+  job->style = *style;
+  const auto method = parse_dvi_method(method_name);
+  if (!method) {
+    *error = "unknown dvi_method '" + method_name + "'";
+    return false;
+  }
+  job->dvi_method = *method;
+  return true;
+}
+
+util::Status validate_job(const JobRequest& job, const std::string& where) {
+  const int sources = (!job.benchmark.empty()) + job.spec.has_value() +
+                      (!job.netlist_path.empty());
+  if (sources != 1) {
+    return util::Status::invalid_input(
+        where + ": exactly one of benchmark, spec, netlist_path required");
+  }
+  for (const JobField& field : kJobFields) {
+    switch (field.kind) {
+      case JobField::Kind::kNumber:
+        if (job.*(field.num) < 0.0) {
+          return util::Status::invalid_input(where + ": " + field.key +
+                                             " must be >= 0");
+        }
+        break;
+      case JobField::Kind::kIntLimit:
+        if (job.*(field.count) < 0) {
+          return util::Status::invalid_input(where + ": " + field.key +
+                                             " must be >= 0");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return util::Status::ok();
+}
+
 util::Status validate(const FlowRequest& request) {
   if (request.jobs.empty()) {
     return util::Status::invalid_input("request has no jobs");
@@ -184,20 +378,8 @@ util::Status validate(const FlowRequest& request) {
   for (std::size_t i = 0; i < request.jobs.size(); ++i) {
     const JobRequest& job = request.jobs[i];
     const std::string where = "job " + std::to_string(i);
-    const int sources = (!job.benchmark.empty()) + job.spec.has_value() +
-                        (!job.netlist_path.empty());
-    if (sources != 1) {
-      return util::Status::invalid_input(
-          where + ": exactly one of benchmark, spec, netlist_path required");
-    }
-    if (job.ilp_limit_seconds < 0.0) {
-      return util::Status::invalid_input(where + ": ilp_limit must be >= 0");
-    }
-    if (job.deadline_seconds < 0.0) {
-      return util::Status::invalid_input(where + ": deadline must be >= 0");
-    }
-    if (job.partitions < 0) {
-      return util::Status::invalid_input(where + ": partitions must be >= 0");
+    if (util::Status status = validate_job(job, where); !status.is_ok()) {
+      return status;
     }
     // Rows and the resume journal are keyed by label; a duplicate would
     // alias them (same check the engine enforces for journaled batches).
@@ -227,34 +409,7 @@ std::string serialize_request(const FlowRequest& request) {
         .value(static_cast<long long>(request.sent_unix_us));
   }
   json.key("jobs").begin_array();
-  for (const JobRequest& job : request.jobs) {
-    json.begin_object();
-    if (!job.label.empty()) json.key("label").value(job.label);
-    if (!job.arm.empty()) json.key("arm").value(job.arm);
-    if (!job.span_id.empty()) json.key("span_id").value(job.span_id);
-    if (!job.benchmark.empty()) {
-      json.key("benchmark").value(job.benchmark);
-      json.key("scaled").value(job.scaled);
-    }
-    if (job.spec.has_value()) {
-      json.key("spec");
-      write_spec(json, *job.spec);
-    }
-    if (!job.netlist_path.empty()) {
-      json.key("netlist_path").value(job.netlist_path);
-    }
-    json.key("style").value(grid::style_name(job.style));
-    json.key("consider_dvi").value(job.consider_dvi);
-    json.key("consider_tpl").value(job.consider_tpl);
-    json.key("dvi_method").value(core::dvi_method_name(job.dvi_method));
-    json.key("ilp_limit").value(job.ilp_limit_seconds);
-    json.key("degrade_dvi").value(job.degrade_dvi);
-    json.key("deadline").value(job.deadline_seconds);
-    // Optional member (0 = engine default), so pre-partition rows and
-    // daemons keep byte-identical requests.
-    if (job.partitions > 0) json.key("partitions").value(job.partitions);
-    json.end_object();
-  }
+  for (const JobRequest& job : request.jobs) write_job_request(json, job);
   json.end_array();
   json.end_object();
   return json.str();
@@ -318,42 +473,10 @@ std::optional<FlowRequest> parse_request(std::string_view line,
   for (std::size_t i = 0; i < jobs->array.size(); ++i) {
     const util::JsonValue& entry = jobs->array[i];
     const std::string where = "job " + std::to_string(i) + ": ";
-    if (!entry.is_object()) return fail(where + "not a JSON object");
     JobRequest job;
-    std::string style_name = grid::style_name(job.style);
-    std::string method_name = core::dvi_method_name(job.dvi_method);
-    if (!read_string(entry, "label", &job.label, &field_error) ||
-        !read_string(entry, "arm", &job.arm, &field_error) ||
-        !read_string(entry, "span_id", &job.span_id, &field_error) ||
-        !read_string(entry, "benchmark", &job.benchmark, &field_error) ||
-        !read_bool(entry, "scaled", &job.scaled, &field_error) ||
-        !read_string(entry, "netlist_path", &job.netlist_path, &field_error) ||
-        !read_string(entry, "style", &style_name, &field_error) ||
-        !read_bool(entry, "consider_dvi", &job.consider_dvi, &field_error) ||
-        !read_bool(entry, "consider_tpl", &job.consider_tpl, &field_error) ||
-        !read_string(entry, "dvi_method", &method_name, &field_error) ||
-        !read_number(entry, "ilp_limit", &job.ilp_limit_seconds,
-                     &field_error) ||
-        !read_bool(entry, "degrade_dvi", &job.degrade_dvi, &field_error) ||
-        !read_number(entry, "deadline", &job.deadline_seconds, &field_error) ||
-        !read_int(entry, "partitions", &job.partitions, &field_error)) {
+    if (!read_job_request(entry, &job, &field_error)) {
       return fail(where + field_error);
     }
-    if (const util::JsonValue* spec = entry.find("spec")) {
-      netlist::BenchSpec parsed;
-      if (!read_spec(*spec, &parsed, &field_error)) {
-        return fail(where + field_error);
-      }
-      job.spec = parsed;
-    }
-    const auto style = parse_style(style_name);
-    if (!style) return fail(where + "unknown style '" + style_name + "'");
-    job.style = *style;
-    const auto method = parse_dvi_method(method_name);
-    if (!method) {
-      return fail(where + "unknown dvi_method '" + method_name + "'");
-    }
-    job.dvi_method = *method;
     request.jobs.push_back(std::move(job));
   }
   return request;
@@ -596,6 +719,30 @@ std::optional<ResponseEvent> parse_response_line(std::string_view line,
     event.timed_out = static_cast<std::size_t>(timed_out);
     event.cancelled = static_cast<std::size_t>(cancelled);
     event.resumed = static_cast<std::size_t>(resumed);
+    return event;
+  }
+  if (type->string_value == "delta") {
+    event.kind = ResponseEvent::Kind::kDelta;
+    if (!read_int(*doc, "nets_ripped", &event.nets_ripped, &field_error) ||
+        !read_int(*doc, "nets_untouched", &event.nets_untouched,
+                  &field_error) ||
+        !read_int(*doc, "nets_total", &event.nets_total, &field_error) ||
+        !read_int(*doc, "changes", &event.changes, &field_error) ||
+        !read_number(*doc, "load_seconds", &event.load_seconds, &field_error) ||
+        !read_string(*doc, "base_fingerprint", &event.base_fingerprint,
+                     &field_error) ||
+        !read_string(*doc, "trace_id", &event.trace_id, &field_error)) {
+      return fail(field_error);
+    }
+    if (const util::JsonValue* ids = doc->find("ripped_ids")) {
+      if (!ids->is_array()) return fail("field 'ripped_ids' must be an array");
+      for (const util::JsonValue& id : ids->array) {
+        if (!id.is_number()) {
+          return fail("field 'ripped_ids' must hold numbers");
+        }
+        event.ripped_ids.push_back(static_cast<int>(id.number_value));
+      }
+    }
     return event;
   }
   if (type->string_value == "error") {

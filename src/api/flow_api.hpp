@@ -35,6 +35,7 @@
 #include "engine/flow_engine.hpp"
 #include "netlist/bench_gen.hpp"
 #include "util/cancel.hpp"
+#include "util/json.hpp"
 #include "util/status.hpp"
 
 namespace sadp::api {
@@ -120,6 +121,23 @@ struct FlowRequest {
 /// already carries a trace_id is left untouched (the upstream hop owns the
 /// trace), so the dispatcher can call this unconditionally.
 void ensure_trace_context(FlowRequest* request);
+
+/// Serialize one job object (the element of a request's `jobs` array),
+/// driven by the shared JobRequest field table.  sadp.flow_delta.v1 reuses
+/// this for its `base` job, so both schemas carry byte-identical job
+/// objects.
+void write_job_request(util::JsonWriter& json, const JobRequest& job);
+
+/// Parse one job object with "absent = default, mistyped = error"
+/// semantics; false + `error` on a malformed field or unknown style /
+/// dvi_method token.
+[[nodiscard]] bool read_job_request(const util::JsonValue& doc,
+                                    JobRequest* job, std::string* error);
+
+/// Per-job structural validation (exactly one instance source, non-negative
+/// limits); `where` prefixes the error message ("job 3").
+[[nodiscard]] util::Status validate_job(const JobRequest& job,
+                                        const std::string& where);
 
 /// Structural validation, shared by every entry point: at least one job,
 /// exactly one instance source per job, non-negative limits, resume only
@@ -218,9 +236,11 @@ struct ResponseSummary {
 /// {"schema":...,"type":"error","code":"resource_exhausted","message":...}
 [[nodiscard]] std::string response_error_line(const util::Status& error);
 
-/// One parsed response line, discriminated by `kind`.
+/// One parsed response line, discriminated by `kind`.  kDelta is the extra
+/// summary line an ECO (sadp.flow_delta.v1) request streams between its row
+/// and its batch line — see api/flow_delta.hpp for the builder.
 struct ResponseEvent {
-  enum class Kind { kRow, kBatch, kError };
+  enum class Kind { kRow, kBatch, kError, kDelta };
   Kind kind = Kind::kError;
   // kRow: the job's outcome (full journal payload) plus stream progress.
   engine::JobOutcome outcome;
@@ -249,6 +269,14 @@ struct ResponseEvent {
   std::size_t cache_misses = 0;
   int workers = 0;
   double wall_seconds = 0.0;
+  // kDelta: the ECO summary (see core::EcoSummary for the semantics).
+  int nets_ripped = 0;
+  int nets_untouched = 0;
+  int nets_total = 0;
+  int changes = 0;
+  std::vector<int> ripped_ids;
+  double load_seconds = 0.0;
+  std::string base_fingerprint;
   // kError: the structured server-side error.
   util::Status error;
 };

@@ -26,6 +26,12 @@ DviStageOutput run_post_routing_dvi(const SadpRouter& router,
                                     const FlowConfig& config) {
   const DviProblem problem =
       build_dvi_problem(router.nets(), router.routing_grid(), router.turn_rules());
+  return run_post_routing_dvi(router, config, problem);
+}
+
+DviStageOutput run_post_routing_dvi(const SadpRouter& router,
+                                    const FlowConfig& config,
+                                    const DviProblem& problem) {
   DviStageOutput out;
   switch (config.dvi_method) {
     case DviMethod::kHeuristic: {

@@ -81,4 +81,11 @@ struct FlowRun {
 [[nodiscard]] DviStageOutput run_post_routing_dvi(const SadpRouter& router,
                                                   const FlowConfig& config);
 
+/// Post-routing DVI over a caller-built problem — the incremental path: an
+/// ECO re-route builds the problem from only the re-routed subset of nets so
+/// the solve cost scales with the delta, not the design (DESIGN.md §16).
+[[nodiscard]] DviStageOutput run_post_routing_dvi(const SadpRouter& router,
+                                                  const FlowConfig& config,
+                                                  const DviProblem& problem);
+
 }  // namespace sadp::core

@@ -771,6 +771,92 @@ RoutingReport SadpRouter::run() {
   if (options_.partitions > 1) partitioned = run_partitioned_body(report);
   if (!partitioned) run_serial_body(report);
 
+  finish_run(report, timer);
+  return report;
+}
+
+void SadpRouter::adopt_base_net(grid::NetId id, const RoutedNet& base_net) {
+  RoutedNet& net = nets_[static_cast<std::size_t>(id)];
+  net.remove_from(*grid_, *vias_);  // pin stubs only at this point
+  RoutedNet rebuilt(id);
+  for (const auto& [key, arms] : base_net.metal()) {
+    rebuilt.add_metal(key_layer(key), key_point(key), arms);
+  }
+  for (const auto& via : base_net.vias()) {
+    rebuilt.add_via(via.via_layer, via.at, via.is_pin_via);
+  }
+  rebuilt.set_routed(base_net.routed());
+  net = std::move(rebuilt);
+  net.apply_to(*grid_, *vias_);
+  costs_->add_net_costs(net);
+  if (!net.routed() &&
+      std::find(unrouted_.begin(), unrouted_.end(), id) == unrouted_.end()) {
+    unrouted_.push_back(id);
+  }
+}
+
+RoutingReport SadpRouter::run_eco(const std::vector<grid::NetId>& dirty) {
+  util::Timer timer;
+  RoutingReport report;
+  report.partitions = 1;
+
+  // The base solution already carries a fully negotiated placement, so the
+  // dirty subset reroutes at the reconcile-level escalated present factor:
+  // restarting the schedule would let the fresh nets trample the adopted
+  // state that history costs are there to defend.
+  const double growth = options_.negotiation.present_factor_growth;
+  const double escalated = options_.negotiation.present_factor_initial *
+                           growth * growth * growth * growth;
+
+  util::Timer phase;
+  {
+    obs::Span span("eco.ripup");
+    span.set_str("dirty_nets", std::to_string(dirty.size()));
+    // Short nets first, as in initial_routing: least flexibility routes
+    // first while the warm state still has the most slack.
+    std::vector<grid::NetId> order = dirty;
+    auto net_span = [&](grid::NetId id) {
+      const auto& pins = netlist_.nets[static_cast<std::size_t>(id)].pins;
+      int lo_x = pins[0].at.x, hi_x = lo_x, lo_y = pins[0].at.y, hi_y = lo_y;
+      for (const auto& pin : pins) {
+        lo_x = std::min(lo_x, pin.at.x);
+        hi_x = std::max(hi_x, pin.at.x);
+        lo_y = std::min(lo_y, pin.at.y);
+        hi_y = std::max(hi_y, pin.at.y);
+      }
+      return (hi_x - lo_x) + (hi_y - lo_y);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](grid::NetId a, grid::NetId b) {
+                       return net_span(a) < net_span(b);
+                     });
+    maze_->set_fvp_blocking(false);
+    maze_->set_present_factor(escalated);
+    for (grid::NetId id : order) {
+      if (options_.cancel.stop_requested()) break;
+      rip_net(id);
+      route_net(id);
+    }
+  }
+  report.initial_routing_seconds = phase.seconds();
+
+  {
+    obs::Span span("eco.reroute");
+    util::Timer loop_timer;
+    report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/false, escalated);
+    report.congestion_rr_seconds = loop_timer.seconds();
+    if (options_.consider_tpl) {
+      loop_timer.reset();
+      report.rr_iterations += ripup_reroute_loop(/*consider_fvps=*/true, escalated);
+      report.tpl_rr_seconds = loop_timer.seconds();
+    }
+  }
+
+  finish_run(report, timer);
+  return report;
+}
+
+void SadpRouter::finish_run(RoutingReport& report, util::Timer& timer) {
   // Retry any nets that failed during the noisy phases.
   if (!options_.cancel.stop_requested()) {
     obs::Span span("retry_unrouted");
@@ -812,7 +898,6 @@ RoutingReport SadpRouter::run() {
     report.via_count += net.via_count();
   }
   report.route_seconds = timer.seconds();
-  return report;
 }
 
 }  // namespace sadp::core

@@ -27,6 +27,7 @@
 #include "grid/routing_grid.hpp"
 #include "grid/turns.hpp"
 #include "netlist/netlist.hpp"
+#include "util/timer.hpp"
 #include "via/via_db.hpp"
 
 namespace sadp::core {
@@ -98,6 +99,31 @@ class SadpRouter {
   /// post-routing DVI is a separate stage, see dvi_heuristic/dvi_ilp).
   RoutingReport run();
 
+  // --- Incremental ECO re-route (DESIGN.md section 16) ---------------------
+  // Warm-start protocol, used instead of run(): for every net whose base
+  // geometry survives the edit call adopt_base_net (occupancy, history and
+  // FVP state seed warm); leave the dirty nets on their fresh pin stubs; add
+  // blockages with add_obstacle; then run_eco(dirty) rips and reroutes only
+  // the dirty subset and finishes with the normal negotiation/coloring tail.
+
+  /// Replace net `id`'s fresh pin stubs with `base_net`'s routed geometry
+  /// (ids may differ — the geometry is rebuilt under `id`) and seed the
+  /// databases and cost records with it.  Only valid before any run.
+  void adopt_base_net(grid::NetId id, const RoutedNet& base_net);
+
+  /// Apply foreign routed geometry as immovable occupancy (ECO blockages,
+  /// partition boundary nets).  Obstacle net ids lie past nets_.size() so
+  /// rip-up never selects them; the maze prices their cells as
+  /// occupied-by-another-net.
+  void add_obstacle(const RoutedNet& net);
+
+  /// Warm-state flow: rip + reroute exactly the `dirty` nets against the
+  /// adopted base state (negotiation resumes at the reconcile-level
+  /// escalated present factor instead of restarting the schedule), then run
+  /// the standard tail — retry, TPL coloring fix, report assembly.  Nets
+  /// outside `dirty` are touched only if negotiation itself rips them.
+  RoutingReport run_eco(const std::vector<grid::NetId>& dirty);
+
   // --- Accessors for the DVI stages and for validation ---------------------
   [[nodiscard]] const grid::RoutingGrid& routing_grid() const noexcept {
     return *grid_;
@@ -151,11 +177,9 @@ class SadpRouter {
   /// when some connection could not be routed (net left unrouted).
   bool route_net(grid::NetId id);
 
-  /// Apply foreign routed geometry (a boundary net clipped to this region's
-  /// window) as immovable occupancy.  Obstacle net ids lie past nets_.size()
-  /// so rip-up never selects them; the maze simply prices their cells as
-  /// occupied-by-another-net.
-  void add_obstacle(const RoutedNet& net);
+  /// Shared tail of run() and run_eco(): retry unrouted nets, the TPL
+  /// coloring fix loop, and report assembly (timer = whole-run clock).
+  void finish_run(RoutingReport& report, util::Timer& timer);
 
   /// Corners where the net's materialized geometry contains a forbidden
   /// turn (possible only through path self-crossing; see route_net).

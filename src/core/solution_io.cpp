@@ -137,9 +137,51 @@ std::optional<RoutedSolution> parse_solution(const std::string& text,
   return read_solution(in, error);
 }
 
-void apply_solution(const RoutedSolution& solution, grid::RoutingGrid& grid,
-                    via::ViaDb& vias) {
+util::Status apply_solution(const RoutedSolution& solution,
+                            grid::RoutingGrid& grid, via::ViaDb& vias) {
+  if (solution.width != grid.width() || solution.height != grid.height()) {
+    return util::Status::invalid_input(
+        "solution '" + solution.name + "' is " +
+        std::to_string(solution.width) + "x" + std::to_string(solution.height) +
+        " but the grid is " + std::to_string(grid.width()) + "x" +
+        std::to_string(grid.height()));
+  }
+  if (solution.num_metal_layers != grid.num_metal_layers()) {
+    return util::Status::invalid_input(
+        "solution '" + solution.name + "' has " +
+        std::to_string(solution.num_metal_layers) +
+        " metal layers but the grid has " +
+        std::to_string(grid.num_metal_layers()));
+  }
+  // Validate every coordinate before touching the databases: read_solution
+  // checks layer ranges but cannot check x/y (the header may legitimately
+  // describe a different grid than this one), and a partial apply would
+  // leave the caller's grid corrupted.
+  for (const auto& net : solution.nets) {
+    for (const auto& [key, arms] : net.metal()) {
+      const grid::Point p = key_point(key);
+      if (!grid.in_bounds(p)) {
+        return util::Status::invalid_input(
+            "solution '" + solution.name + "' net " + std::to_string(net.id()) +
+            ": metal point (" + std::to_string(p.x) + "," +
+            std::to_string(p.y) + ") is outside the " +
+            std::to_string(grid.width()) + "x" + std::to_string(grid.height()) +
+            " grid");
+      }
+    }
+    for (const auto& via : net.vias()) {
+      if (!grid.in_bounds(via.at) || via.via_layer < 1 ||
+          via.via_layer > grid.num_via_layers()) {
+        return util::Status::invalid_input(
+            "solution '" + solution.name + "' net " + std::to_string(net.id()) +
+            ": via (" + std::to_string(via.at.x) + "," +
+            std::to_string(via.at.y) + ") layer " +
+            std::to_string(via.via_layer) + " is outside the grid");
+      }
+    }
+  }
   for (const auto& net : solution.nets) net.apply_to(grid, vias);
+  return util::Status::ok();
 }
 
 }  // namespace sadp::core

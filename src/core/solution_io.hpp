@@ -19,6 +19,7 @@
 
 #include "core/routed_net.hpp"
 #include "grid/colored_grid.hpp"
+#include "util/status.hpp"
 
 namespace sadp::core {
 
@@ -47,9 +48,13 @@ void write_solution(std::ostream& out, const RoutedSolution& solution);
 [[nodiscard]] std::optional<RoutedSolution> parse_solution(
     const std::string& text, std::string* error = nullptr);
 
-/// Rebuild the shared databases from a solution (grid and via DB must match
-/// the solution's dimensions).
-void apply_solution(const RoutedSolution& solution, grid::RoutingGrid& grid,
-                    via::ViaDb& vias);
+/// Rebuild the shared databases from a solution.  The solution's dimensions
+/// and layer count must agree with the grid, and every metal point and via
+/// must lie in bounds — a mismatch returns kInvalidInput (with the databases
+/// untouched) instead of tripping the grid's internal asserts, because
+/// solutions are external input (files, wire requests).
+[[nodiscard]] util::Status apply_solution(const RoutedSolution& solution,
+                                          grid::RoutingGrid& grid,
+                                          via::ViaDb& vias);
 
 }  // namespace sadp::core

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "api/flow_api.hpp"
+#include "api/flow_delta.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/failpoint.hpp"
@@ -357,7 +358,15 @@ void RouteDispatcher::handle_client(int fd) {
   // is forwarded verbatim — the backend produces the real error, exactly
   // as before trace propagation existed.
   std::string trace_id;
-  if (auto request = api::parse_request(line)) {
+  if (api::looks_like_delta_line(line)) {
+    // ECO requests relay exactly like flow requests: same backend order,
+    // failover and trace framing; only the trace-minting step differs.
+    if (auto delta = api::parse_delta_request(line)) {
+      api::ensure_delta_trace_context(&*delta);
+      trace_id = delta->trace_id;
+      line = api::serialize_delta_request(*delta);
+    }
+  } else if (auto request = api::parse_request(line)) {
     api::ensure_trace_context(&*request);
     trace_id = request->trace_id;
     line = api::serialize_request(*request);
@@ -432,6 +441,17 @@ void RouteDispatcher::handle_control(int fd, const std::string& line) {
         return;
       }
       (void)send_line(fd, api::failpoints_line(registry.armed_count()));
+      return;
+    }
+    case api::ControlRequest::Type::kSchemas: {
+      // The dispatcher relays both flow verbs, so it advertises the full
+      // set regardless of what any one backend speaks.
+      api::SchemasReply schemas;
+      schemas.request = api::kRequestSchema;
+      schemas.response = api::kResponseSchema;
+      schemas.control = api::kControlSchema;
+      schemas.delta = api::kDeltaRequestSchema;
+      (void)send_line(fd, api::schemas_reply_line(schemas));
       return;
     }
   }

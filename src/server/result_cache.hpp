@@ -67,6 +67,10 @@ namespace sadp::server {
 struct CachedRow {
   std::string suffix;      ///< journal-object bytes from "status" onward
   bool degraded = false;   ///< kDegraded (vs kOk) — for summary counts
+  /// ECO entries only: the delta-line payload (bytes from "nets_ripped"
+  /// onward, see api::delta_payload_suffix), replayed as the "delta" line
+  /// that follows the row.  Empty for flow rows.
+  std::string delta_json;
 };
 
 /// Build the journal-object prefix for a label/arm pair; a stored suffix

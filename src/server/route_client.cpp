@@ -60,8 +60,12 @@ bool send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-RemoteBatch run_remote(
-    const std::string& host, int port, const api::FlowRequest& request,
+namespace {
+
+/// Shared body of run_remote / run_remote_delta: send one pre-serialized
+/// request line, consume the response stream until the server closes.
+RemoteBatch run_stream(
+    const std::string& host, int port, const std::string& request_line,
     const std::function<void(const engine::JobOutcome&, std::size_t done,
                              std::size_t total)>& on_row) {
   RemoteBatch batch;
@@ -72,7 +76,7 @@ RemoteBatch run_remote(
     return batch;
   }
 
-  if (!send_all(fd, api::serialize_request(request) + "\n")) {
+  if (!send_all(fd, request_line + "\n")) {
     batch.status = util::Status::internal("send failed: " +
                                           std::string(std::strerror(errno)));
     ::close(fd);
@@ -112,6 +116,14 @@ RemoteBatch run_remote(
         batch.wall_seconds = event->wall_seconds;
         batch.summary_received = true;
         break;
+      case api::ResponseEvent::Kind::kDelta:
+        batch.delta_received = true;
+        batch.nets_ripped = event->nets_ripped;
+        batch.nets_untouched = event->nets_untouched;
+        batch.nets_total = event->nets_total;
+        batch.ripped_ids = std::move(event->ripped_ids);
+        batch.base_fingerprint = std::move(event->base_fingerprint);
+        break;
       case api::ResponseEvent::Kind::kError:
         batch.status = event->error;
         break;
@@ -141,6 +153,22 @@ RemoteBatch run_remote(
         "connection closed before the batch summary (server died?)");
   }
   return batch;
+}
+
+}  // namespace
+
+RemoteBatch run_remote(
+    const std::string& host, int port, const api::FlowRequest& request,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row) {
+  return run_stream(host, port, api::serialize_request(request), on_row);
+}
+
+RemoteBatch run_remote_delta(
+    const std::string& host, int port, const api::FlowDeltaRequest& request,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row) {
+  return run_stream(host, port, api::serialize_delta_request(request), on_row);
 }
 
 RemoteBatch run_remote_retry(
@@ -218,6 +246,21 @@ util::Status query_stats(const std::string& host, int port,
   const auto stats = api::parse_stats_reply(line, &error);
   if (!stats) return util::Status::internal("bad stats reply: " + error);
   *reply = *stats;
+  return util::Status::ok();
+}
+
+util::Status query_schemas(const std::string& host, int port,
+                           api::SchemasReply* reply) {
+  api::ControlRequest request;
+  request.type = api::ControlRequest::Type::kSchemas;
+  std::string line;
+  const util::Status sent = control_round_trip(
+      host, port, api::serialize_control_request(request), &line);
+  if (!sent.is_ok()) return sent;
+  std::string error;
+  const auto schemas = api::parse_schemas_reply(line, &error);
+  if (!schemas) return util::Status::internal("bad schemas reply: " + error);
+  *reply = *schemas;
   return util::Status::ok();
 }
 

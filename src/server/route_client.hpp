@@ -10,6 +10,7 @@
 
 #include "api/control.hpp"
 #include "api/flow_api.hpp"
+#include "api/flow_delta.hpp"
 #include "engine/flow_engine.hpp"
 #include "util/status.hpp"
 
@@ -41,6 +42,14 @@ struct RemoteBatch {
   bool summary_received = false;
   /// How many send attempts run_remote_retry used (1 = first try worked).
   int attempts = 1;
+  // The "delta" summary line of an ECO (sadp.flow_delta.v1) stream;
+  // delta_received stays false on plain flow batches.
+  bool delta_received = false;
+  int nets_ripped = 0;
+  int nets_untouched = 0;
+  int nets_total = 0;
+  std::vector<int> ripped_ids;
+  std::string base_fingerprint;
 
   /// Usable end-to-end: transport ok, summary seen, every row ok/degraded.
   [[nodiscard]] bool all_ok() const noexcept {
@@ -80,6 +89,14 @@ struct RetryOptions {
     const std::function<void(const engine::JobOutcome&, std::size_t done,
                              std::size_t total)>& on_row = {});
 
+/// Run one ECO (sadp.flow_delta.v1) request against a daemon or dispatcher.
+/// Same stream contract as run_remote plus the "delta" summary line, which
+/// lands in the batch's delta fields (delta_received, nets_ripped, ...).
+[[nodiscard]] RemoteBatch run_remote_delta(
+    const std::string& host, int port, const api::FlowDeltaRequest& request,
+    const std::function<void(const engine::JobOutcome&, std::size_t done,
+                             std::size_t total)>& on_row = {});
+
 // ---------------------------------------------------------------------------
 // Control-plane round trips (sadp.control.v1): one line out, one line back.
 
@@ -98,6 +115,12 @@ struct RetryOptions {
 /// dispatcher; both answer on the control plane even while saturated.
 [[nodiscard]] util::Status query_metrics(const std::string& host, int port,
                                          std::string* exposition);
+
+/// {"type":"schemas"} → the wire schemas the server speaks.  A client uses
+/// this to feature-probe delta (ECO) support: reply.delta is empty when the
+/// daemon predates sadp.flow_delta.v1.
+[[nodiscard]] util::Status query_schemas(const std::string& host, int port,
+                                         api::SchemasReply* reply);
 
 /// {"type":"ping"} → server uptime (liveness probe).
 [[nodiscard]] util::Status ping_remote(const std::string& host, int port,

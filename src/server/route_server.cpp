@@ -415,7 +415,65 @@ void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Admission shared by both flow verbs: drain rejection, then the bounded
+  // in-flight slot.  Returns false (with the rejection line enqueued) when
+  // the request must not start a runner.
+  const auto admit = [&]() -> bool {
+    if (draining()) {
+      conn->state = ConnState::kFlushing;
+      enqueue_line(conn,
+                   api::response_error_line(util::Status::resource_exhausted(
+                       "server is draining; retry elsewhere")),
+                   /*finish_after=*/true);
+      return false;
+    }
+    if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      server_metrics().rejected.inc();
+      conn->state = ConnState::kFlushing;
+      enqueue_line(conn,
+                   api::response_error_line(util::Status::resource_exhausted(
+                       "server at capacity (" +
+                       std::to_string(options_.max_requests) +
+                       " requests in flight); retry later")),
+                   /*finish_after=*/true);
+      return false;
+    }
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    server_metrics().requests.inc();
+    server_metrics().queue_depth.add(1);
+    conn->state = ConnState::kRunning;
+    conn->runner_started = true;
+    return true;
+  };
+
   std::string parse_error;
+  if (api::looks_like_delta_line(line)) {
+    auto delta = api::parse_delta_request(line, &parse_error);
+    if (!delta) {
+      conn->state = ConnState::kFlushing;
+      enqueue_line(conn,
+                   api::response_error_line(
+                       util::Status::invalid_input(parse_error)),
+                   /*finish_after=*/true);
+      return;
+    }
+    if (!admit()) return;
+    if (!options_.quiet) {
+      std::fprintf(stderr, "[sadp_routed] delta request: %zu change(s)\n",
+                   delta->changes.size());
+    }
+    std::shared_ptr<Connection> shared = conn;
+    api::FlowDeltaRequest moved = std::move(*delta);
+    conn->runner = std::thread(
+        [this, shared, request = std::move(moved)]() mutable {
+          run_delta_request(shared, std::move(request));
+          shared->runner_done.store(true, std::memory_order_release);
+          wake();
+        });
+    return;
+  }
+
   auto request = api::parse_request(line, &parse_error);
   if (!request) {
     conn->state = ConnState::kFlushing;
@@ -425,36 +483,7 @@ void RouteServer::handle_line(const std::shared_ptr<Connection>& conn,
                  /*finish_after=*/true);
     return;
   }
-  if (draining()) {
-    conn->state = ConnState::kFlushing;
-    enqueue_line(conn,
-                 api::response_error_line(util::Status::resource_exhausted(
-                     "server is draining; retry elsewhere")),
-                 /*finish_after=*/true);
-    return;
-  }
-  // Bounded admission: beyond max_requests in flight, reject loudly
-  // instead of queueing unboundedly.  The client sees a structured,
-  // retryable error, not a hang.  Idle connections never reach this —
-  // only a complete request line claims a slot.
-  if (active_.load(std::memory_order_acquire) >= options_.max_requests) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    server_metrics().rejected.inc();
-    conn->state = ConnState::kFlushing;
-    enqueue_line(conn,
-                 api::response_error_line(util::Status::resource_exhausted(
-                     "server at capacity (" +
-                     std::to_string(options_.max_requests) +
-                     " requests in flight); retry later")),
-                 /*finish_after=*/true);
-    return;
-  }
-
-  active_.fetch_add(1, std::memory_order_acq_rel);
-  server_metrics().requests.inc();
-  server_metrics().queue_depth.add(1);
-  conn->state = ConnState::kRunning;
-  conn->runner_started = true;
+  if (!admit()) return;
   if (!options_.quiet) {
     std::fprintf(stderr, "[sadp_routed] request: %zu job(s), workers=%d\n",
                  request->jobs.size(), request->workers);
@@ -523,6 +552,16 @@ void RouteServer::handle_control_line(const std::shared_ptr<Connection>& conn,
                      control->spec.c_str(), registry.armed_count());
       }
       enqueue_line(conn, api::failpoints_line(registry.armed_count()),
+                   /*finish_after=*/true);
+      return;
+    }
+    case api::ControlRequest::Type::kSchemas: {
+      api::SchemasReply schemas;
+      schemas.request = api::kRequestSchema;
+      schemas.response = api::kResponseSchema;
+      schemas.control = api::kControlSchema;
+      schemas.delta = api::kDeltaRequestSchema;
+      enqueue_line(conn, api::schemas_reply_line(schemas),
                    /*finish_after=*/true);
       return;
     }
@@ -742,6 +781,158 @@ void RouteServer::run_request(const std::shared_ptr<Connection>& conn,
     enqueue_line(conn,
                  api::response_error_line(util::Status::internal(
                      std::string("request runner: ") + e.what())),
+                 true);
+  }
+}
+
+void RouteServer::run_delta_request(const std::shared_ptr<Connection>& conn,
+                                    api::FlowDeltaRequest request) {
+  struct SlotGuard {
+    RouteServer* server;
+    ~SlotGuard() {
+      server->active_.fetch_sub(1, std::memory_order_acq_rel);
+      server_metrics().queue_depth.add(-1);
+    }
+  } slot{this};
+
+  ServerMetrics& metrics = server_metrics();
+  const std::int64_t admitted_us = util::process_uptime_us();
+  metrics.admission_wait.observe_us(
+      static_cast<std::uint64_t>(admitted_us - conn->line_complete_us));
+  if (obs::tracing_enabled()) {
+    if (request.trace_id.empty()) {
+      obs::complete("server.admission", conn->line_complete_us,
+                    admitted_us - conn->line_complete_us);
+    } else {
+      obs::complete("server.admission", conn->line_complete_us,
+                    admitted_us - conn->line_complete_us,
+                    {{"trace_id", request.trace_id}});
+    }
+  }
+
+  if (options_.on_request_admitted) options_.on_request_admitted();
+
+  try {
+    const util::Status valid = api::validate_delta(request);
+    if (!valid.is_ok()) {
+      enqueue_line(conn, api::response_error_line(valid), true);
+      return;
+    }
+
+    util::Timer wall;
+    const std::string label = api::effective_label(request.base);
+
+    // The cache key needs the base text (it is content-addressed in the
+    // solution bytes), so resolve it up front; a miss re-parses inside
+    // dispatch_delta, which is cheap next to the route itself.
+    std::string base_text;
+    if (const util::Status loaded =
+            api::load_base_solution(request, &base_text);
+        !loaded.is_ok()) {
+      enqueue_line(conn, api::response_error_line(loaded), true);
+      return;
+    }
+    const bool use_cache = cache_->enabled();
+    const std::optional<std::string> key =
+        use_cache ? api::delta_cache_key(request, base_text) : std::nullopt;
+
+    api::ResponseSummary summary;
+    summary.jobs = 1;
+    summary.workers = 1;  // ECO re-routes run serially on the runner thread
+    const auto finish_stream = [&] {
+      summary.wall_seconds = wall.seconds();
+      if (!request.trace_id.empty()) {
+        summary.trace_id = request.trace_id;
+        summary.recv_unix_us =
+            util::process_unix_anchor_us() + conn->line_complete_us;
+        summary.sent_unix_us = util::unix_now_us();
+      }
+      const std::int64_t done_us = util::process_uptime_us();
+      metrics.run.observe_us(
+          static_cast<std::uint64_t>(done_us - admitted_us));
+      if (obs::tracing_enabled()) {
+        if (request.trace_id.empty()) {
+          obs::complete("server.run", admitted_us, done_us - admitted_us);
+        } else {
+          obs::complete("server.run", admitted_us, done_us - admitted_us,
+                        {{"trace_id", request.trace_id}});
+        }
+      }
+      conn->summary_enqueued_us = done_us;
+      enqueue_line(conn, api::response_summary_line(summary), true);
+    };
+
+    if (key.has_value()) {
+      if (auto row = cache_->lookup(*key)) {
+        metrics.cache_hits.inc();
+        (row->degraded ? summary.degraded : summary.ok)++;
+        summary.cache_hits = 1;
+        enqueue_line(conn,
+                     api::response_row_line_raw(
+                         replay_journal_object(*row, label, request.base.arm),
+                         1, 1, "hit", request.trace_id, request.base.span_id),
+                     false);
+        enqueue_line(
+            conn,
+            api::response_delta_line_raw(row->delta_json, request.trace_id),
+            false);
+        finish_stream();
+        return;
+      }
+    }
+    if (use_cache) {
+      metrics.cache_misses.inc();
+      summary.cache_misses = 1;
+    }
+
+    api::DeltaDispatchOptions hooks;
+    hooks.cancel = conn->cancel;
+    const api::DeltaDispatchResult run = api::dispatch_delta(request, hooks);
+    if (!run.status.is_ok()) {
+      enqueue_line(conn, api::response_error_line(run.status), true);
+      return;
+    }
+
+    if (key.has_value() &&
+        (run.outcome.status == engine::JobStatus::kOk ||
+         run.outcome.status == engine::JobStatus::kDegraded)) {
+      if (auto row = make_cached_row(run.outcome)) {
+        row->delta_json = api::delta_payload_suffix(run.summary);
+        cache_->insert(*key, std::move(*row));
+      }
+    }
+
+    switch (run.outcome.status) {
+      case engine::JobStatus::kOk: summary.ok = 1; break;
+      case engine::JobStatus::kDegraded: summary.degraded = 1; break;
+      case engine::JobStatus::kFailed: summary.failed = 1; break;
+      case engine::JobStatus::kTimeout: summary.timed_out = 1; break;
+      case engine::JobStatus::kCancelled: summary.cancelled = 1; break;
+    }
+    if (!conn->client_gone.load(std::memory_order_relaxed)) {
+      enqueue_line(conn,
+                   api::response_row_line(run.outcome, 1, 1,
+                                          use_cache ? "miss" : nullptr,
+                                          request.trace_id,
+                                          request.base.span_id),
+                   false);
+      enqueue_line(conn,
+                   api::response_delta_line(run.summary, request.trace_id),
+                   false);
+    }
+    finish_stream();
+
+    if (!options_.quiet) {
+      std::fprintf(stderr,
+                   "[sadp_routed] delta done: ripped=%d untouched=%d "
+                   "changes=%d (%.2fs)\n",
+                   run.summary.nets_ripped, run.summary.nets_untouched,
+                   run.summary.changes, run.wall_seconds);
+    }
+  } catch (const std::exception& e) {
+    enqueue_line(conn,
+                 api::response_error_line(util::Status::internal(
+                     std::string("delta runner: ") + e.what())),
                  true);
   }
 }

@@ -2,11 +2,15 @@
 // api::dispatch, with a content-addressed result cache and load/liveness
 // beacons for multi-daemon fleets.
 //
-// sadp_routed listens on a loopback TCP port and speaks two newline-
+// sadp_routed listens on a loopback TCP port and speaks three newline-
 // delimited JSON dialects on the same socket:
 //   * one sadp.flow_request.v1 line in, a stream of sadp.flow_response.v1
 //     lines out (one "row" per finished job in completion order, then one
 //     "batch" summary — or a single "error" line);
+//   * one sadp.flow_delta.v1 line in (incremental ECO re-route: base
+//     solution + change list, see api/flow_delta.hpp), one "row" + one
+//     "delta" summary + one "batch" line out, through the same admission
+//     gate and result cache as flow requests;
 //   * tiny sadp.control.v1 lines ({"type":"ping"|"stats"|"drain"|"beacon"})
 //     answered on the event loop itself, so health probes work even when
 //     every admission slot is busy.
@@ -66,6 +70,7 @@
 
 #include "api/control.hpp"
 #include "api/flow_api.hpp"
+#include "api/flow_delta.hpp"
 #include "engine/flow_engine.hpp"
 #include "server/result_cache.hpp"
 #include "util/cancel.hpp"
@@ -221,6 +226,11 @@ class RouteServer {
                            const std::string& line);
   void run_request(const std::shared_ptr<Connection>& conn,
                    api::FlowRequest request);
+  /// Runner body of an admitted sadp.flow_delta.v1 request: cache lookup
+  /// by delta_cache_key, dispatch_delta on a miss, and a row + "delta" +
+  /// "batch" line stream either way.
+  void run_delta_request(const std::shared_ptr<Connection>& conn,
+                         api::FlowDeltaRequest request);
   /// Append `line` + '\n' to the connection's output (any thread).
   void enqueue_line(const std::shared_ptr<Connection>& conn,
                     const std::string& line, bool finish_after);

@@ -2,9 +2,12 @@
 // post-routing DVI standalone on a reloaded solution.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/dvi_heuristic.hpp"
 #include "core/flow.hpp"
 #include "core/solution_io.hpp"
+#include "core/validate.hpp"
 #include "netlist/bench_gen.hpp"
 
 namespace sadp::core {
@@ -69,7 +72,7 @@ TEST(SolutionIo, DviOnReloadedSolutionMatches) {
                            solution.num_metal_layers);
     via::ViaDb vias(solution.width, solution.height,
                     solution.num_metal_layers - 1);
-    apply_solution(solution, grid, vias);
+    EXPECT_TRUE(apply_solution(solution, grid, vias).is_ok());
     const grid::TurnRules rules = grid::TurnRules::for_style(solution.style);
     const DviProblem problem = build_dvi_problem(solution.nets, grid, rules);
     return run_dvi_heuristic(problem, vias, DviParams{}).result.dead_vias;
@@ -91,6 +94,121 @@ TEST(SolutionIo, RejectsMalformedInput) {
   EXPECT_FALSE(parse_solution("solution s 8 8 3 SIM\nnet 0\nv 3 1 1 0\n", &error)
                    .has_value())
       << "via layer must be < num_metal_layers";
+}
+
+TEST(SolutionIo, ApplyRejectsMismatchedGrid) {
+  const RoutedSolution solution = routed_fixture();
+
+  {
+    // Wrong dimensions.
+    grid::RoutingGrid grid(solution.width / 2, solution.height,
+                           solution.num_metal_layers);
+    via::ViaDb vias(solution.width / 2, solution.height,
+                    solution.num_metal_layers - 1);
+    const util::Status status = apply_solution(solution, grid, vias);
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidInput);
+  }
+  {
+    // Wrong layer count.
+    grid::RoutingGrid grid(solution.width, solution.height,
+                           solution.num_metal_layers + 2);
+    via::ViaDb vias(solution.width, solution.height,
+                    solution.num_metal_layers + 1);
+    const util::Status status = apply_solution(solution, grid, vias);
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidInput);
+  }
+  {
+    // Header claims a smaller grid than the geometry uses: the parse
+    // succeeds (read_solution cannot know the target grid) but the apply
+    // must reject the out-of-bounds points instead of tripping asserts.
+    RoutedSolution lying = solution;
+    lying.width = 4;
+    lying.height = 4;
+    grid::RoutingGrid grid(4, 4, lying.num_metal_layers);
+    via::ViaDb vias(4, 4, lying.num_metal_layers - 1);
+    const util::Status status = apply_solution(lying, grid, vias);
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidInput);
+  }
+}
+
+TEST(SolutionIo, SeededFuzzRoundTrip) {
+  // generate -> route -> capture -> text -> parse -> apply -> validate for a
+  // spread of seeds; every stage must agree with the previous one.
+  for (std::uint32_t seed : {3u, 11u, 29u}) {
+    netlist::BenchSpec spec;
+    spec.name = "fuzz" + std::to_string(seed);
+    spec.width = 40;
+    spec.height = 40;
+    spec.num_nets = 24;
+    spec.seed = seed;
+    const netlist::PlacedNetlist instance = netlist::generate(spec);
+    FlowOptions options;
+    options.consider_tpl = true;
+    SadpRouter router(instance, options);
+    ASSERT_TRUE(router.run().routed_all) << "seed " << seed;
+
+    const RoutedSolution captured = capture_solution(
+        instance.name, router.routing_grid(), options.style, router.nets());
+    const std::string text = solution_to_text(captured);
+    std::string error;
+    const auto parsed = parse_solution(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(solution_to_text(*parsed), text);
+
+    grid::RoutingGrid grid(parsed->width, parsed->height,
+                           parsed->num_metal_layers);
+    via::ViaDb vias(parsed->width, parsed->height,
+                    parsed->num_metal_layers - 1);
+    ASSERT_TRUE(apply_solution(*parsed, grid, vias).is_ok());
+    EXPECT_TRUE(check_no_congestion(grid).empty()) << "seed " << seed;
+    EXPECT_TRUE(check_connectivity(parsed->nets, instance).empty())
+        << "seed " << seed;
+    EXPECT_TRUE(check_no_fvps(vias).empty()) << "seed " << seed;
+  }
+}
+
+TEST(SolutionIo, FuzzTruncatedAndGarbageTextNeverCrashes) {
+  const RoutedSolution fixture = routed_fixture();
+  const std::string text = solution_to_text(fixture);
+
+  // Truncations at a spread of byte offsets: each must either parse (when
+  // the cut lands on a line boundary) or return an error — never crash.
+  for (std::size_t cut = 0; cut < text.size(); cut += 37) {
+    std::string error;
+    const auto parsed = parse_solution(text.substr(0, cut), &error);
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+
+  // Deterministic garbage mutations: flip a byte at seeded positions.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 64; ++round) {
+    std::string mutated = text;
+    const std::size_t at = next() % mutated.size();
+    mutated[at] = static_cast<char>(next() % 256);
+    std::string error;
+    const auto parsed = parse_solution(mutated, &error);
+    if (parsed.has_value()) {
+      // Still well-formed (e.g. a digit changed): the apply must still
+      // either succeed or report, not assert.
+      grid::RoutingGrid grid(parsed->width > 0 ? parsed->width : 1,
+                             parsed->height > 0 ? parsed->height : 1,
+                             parsed->num_metal_layers > 0
+                                 ? parsed->num_metal_layers
+                                 : 1);
+      via::ViaDb vias(grid.width(), grid.height(), grid.num_via_layers());
+      (void)apply_solution(*parsed, grid, vias);
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
 }
 
 TEST(SolutionIo, StyleTokensRoundTrip) {

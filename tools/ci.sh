@@ -12,6 +12,8 @@
 #      BENCH_partition.json (the latter gates partitions=4 >= 1.6x serial
 #      on ecc_10x_ramp)
 #   9. Service perf smoke: bench_service baselines into BENCH_service.json
+#  10. ECO perf smoke: bench_eco baselines into BENCH_eco.json and gates
+#      the incremental path >= 5x faster than a full re-route (p50)
 #
 # Step 6.5 runs the PartitionParallel test suite under TSan: region workers
 # route on genuinely concurrent threads there, so a cross-region write is a
@@ -115,5 +117,66 @@ tools/perf_smoke.sh build-ci
 
 echo "== service perf smoke (BENCH_service.json) =="
 tools/service_smoke.sh build-ci --skip-topology
+
+echo "== eco perf smoke (BENCH_eco.json) =="
+cmake --build build-ci -j "$JOBS" --target bench_eco >/dev/null
+eco_json="$(mktemp --suffix=.json)"
+trap 'rm -f "$server_log" "$client_log" "$trace_json" "$smoke_log" "$eco_json"' EXIT
+./build-ci/bench/bench_eco >"$eco_json"
+BENCH="$eco_json" python3 - <<'EOF'
+import json, os, sys
+
+out_path = "BENCH_eco.json"
+
+with open(os.environ["BENCH"]) as f:
+    raw = json.load(f)
+
+current = {
+    "ckt": raw["ckt"],
+    "nets": raw["nets"],
+    "full_p50_ms": raw["full"]["p50_ms"],
+    "eco_p50_ms": raw["eco"]["p50_ms"],
+    "ripped_p50": raw["eco"]["ripped_p50"],
+    "speedup_p50": raw["speedup_p50"],
+}
+
+baseline = None
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f).get("baseline")
+    except (json.JSONDecodeError, OSError):
+        baseline = None
+if baseline is None:
+    baseline = dict(current)
+else:
+    for key, value in current.items():
+        baseline.setdefault(key, value)
+
+ratio = {}
+# Latencies: baseline/current so >1.0 means we got faster.
+for key in ("full_p50_ms", "eco_p50_ms"):
+    if current[key]:
+        ratio[key] = round(baseline[key] / current[key], 3)
+
+doc = {
+    "schema": "sadp.bench_eco.v1",
+    "baseline": baseline,
+    "current": current,
+    "ratio_vs_baseline": ratio,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(f"   full p50 {current['full_p50_ms']:.1f}ms  "
+      f"eco p50 {current['eco_p50_ms']:.1f}ms  "
+      f"({current['speedup_p50']:.1f}x, ripped p50 "
+      f"{current['ripped_p50']:.0f}/{current['nets']})")
+
+if current["speedup_p50"] < 5.0:
+    sys.exit(f"eco smoke: incremental path only {current['speedup_p50']:.1f}x "
+             "faster than a full re-route (need >= 5x)")
+EOF
 
 echo "CI gate passed."

@@ -3,12 +3,22 @@
 //   sadp_route_client --port 7471 --benchmark ecc,risc --keep-going
 //   sadp_route_client --port 7471 --benchmark all --journal runs.jsonl
 //   sadp_route_client --port 7471 --benchmark all --journal runs.jsonl --resume
+//   sadp_route_client --port 7471 --schemas
+//   sadp_route_client --port 7471 --benchmark ecc --delta
+//       --base-solution base.sol --move-pin "3,1,10,12"
+//       --add-blockage "4,4,9,9"
 //
 // The request mirrors sadp_route's batch flags (the two front ends build
 // the same api::FlowRequest); rows stream back as they finish and the
-// summary table matches sadp_route's.  Exit codes: 0 all rows usable,
-// 1 otherwise (including server-side errors), 2 bad flags.
+// summary table matches sadp_route's.  --delta switches to the incremental
+// ECO verb (sadp.flow_delta.v1): one base job plus a change list against a
+// saved base solution; the server re-routes only the dirty nets and the
+// extra "delta" summary line is printed after the table.  Exit codes: 0
+// all rows usable, 1 otherwise (including server-side errors), 2 bad flags.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,18 +31,22 @@ namespace {
 
 using namespace sadp;
 
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> names;
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> tokens;
   std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
+  while (start <= text.size()) {
+    const std::size_t at = text.find(sep, start);
     const std::string token =
-        csv.substr(start, comma == std::string::npos ? comma : comma - start);
-    if (!token.empty()) names.push_back(token);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+        text.substr(start, at == std::string::npos ? at : at - start);
+    if (!token.empty()) tokens.push_back(token);
+    if (at == std::string::npos) break;
+    start = at + 1;
   }
-  return names;
+  return tokens;
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  return split_on(csv, ',');
 }
 
 }  // namespace
@@ -91,14 +105,63 @@ int main(int argc, char** argv) {
   parser.add_flag("--trace-context", &trace_context,
                   "mint a trace_id + per-job span_ids on the request (for "
                   "daemons reached directly; the dispatcher mints its own)");
+  bool schemas_probe = false;
+  parser.add_flag("--schemas", &schemas_probe,
+                  "print the wire schemas the server speaks and exit");
+  bool delta = false;
+  std::string base_solution_file;
+  bool send_path = false;
+  std::string move_pins;
+  std::string remove_nets;
+  std::string add_nets;
+  std::string blockages;
+  parser.add_flag("--delta", &delta,
+                  "send an incremental ECO request (sadp.flow_delta.v1) "
+                  "instead of a full flow batch; needs --base-solution and "
+                  "exactly one --benchmark name");
+  parser.add_string("--base-solution", &base_solution_file,
+                    "saved base routing (core/solution_io text) the ECO "
+                    "patches", "FILE");
+  parser.add_flag("--send-path", &send_path,
+                  "send the --base-solution path for the server to read "
+                  "instead of inlining the file's text");
+  parser.add_string("--move-pin", &move_pins,
+                    "ECO edit(s): net,pin,x,y (';'-separated)", "SPEC");
+  parser.add_string("--remove-net", &remove_nets,
+                    "ECO edit(s): base net id(s) to remove (';'-separated)",
+                    "N");
+  parser.add_string("--add-net", &add_nets,
+                    "ECO edit(s): name:x,y,x,y,... (';'-separated)", "SPEC");
+  parser.add_string("--add-blockage", &blockages,
+                    "ECO edit(s): x0,y0,x1,y1 cell rect (';'-separated)",
+                    "RECT");
   if (!parser.parse(argc, argv)) return 2;
 
   if (port <= 0) {
     std::fprintf(stderr, "--port is required\n");
     return 2;
   }
+  if (schemas_probe) {
+    api::SchemasReply schemas;
+    if (const util::Status probed = server::query_schemas(host, port, &schemas);
+        !probed.is_ok()) {
+      std::fprintf(stderr, "schemas probe failed: %s\n",
+                   probed.to_string().c_str());
+      return 1;
+    }
+    std::printf("request:  %s\nresponse: %s\ncontrol:  %s\ndelta:    %s\n",
+                schemas.request.c_str(), schemas.response.c_str(),
+                schemas.control.c_str(),
+                schemas.delta.empty() ? "(unsupported)"
+                                      : schemas.delta.c_str());
+    return 0;
+  }
   if (benchmark.empty()) {
     std::fprintf(stderr, "--benchmark is required\n");
+    return 2;
+  }
+  if (delta && base_solution_file.empty()) {
+    std::fprintf(stderr, "--delta requires --base-solution FILE\n");
     return 2;
   }
   if (request.resume && request.journal_path.empty()) {
@@ -137,6 +200,72 @@ int main(int argc, char** argv) {
     job.degrade_dvi = degrade_dvi;
     job.deadline_seconds = deadline;
     request.jobs.push_back(std::move(job));
+  }
+
+  if (delta) {
+    if (request.jobs.size() != 1) {
+      std::fprintf(stderr, "--delta needs exactly one --benchmark name\n");
+      return 2;
+    }
+    api::FlowDeltaRequest eco;
+    eco.base = request.jobs.front();
+    if (send_path) {
+      eco.base_solution_path = base_solution_file;
+    } else {
+      std::ifstream in(base_solution_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", base_solution_file.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      eco.base_solution = text.str();
+    }
+    if (const util::Status parsed = api::parse_change_specs(
+            move_pins, remove_nets, add_nets, blockages, &eco.changes);
+        !parsed.is_ok()) {
+      std::fprintf(stderr, "%s\n", parsed.to_string().c_str());
+      return 2;
+    }
+    if (trace_context) {
+      api::ensure_delta_trace_context(&eco);
+      std::fprintf(stderr, "trace_id=%s\n", eco.trace_id.c_str());
+    }
+    const server::RemoteBatch batch = server::run_remote_delta(
+        host, port, eco,
+        [](const engine::JobOutcome& outcome, std::size_t done,
+           std::size_t total) {
+          std::fprintf(stderr, "[%zu/%zu] %s: status=%s\n", done, total,
+                       outcome.label.c_str(),
+                       engine::job_status_name(outcome.status));
+        });
+    if (!batch.status.is_ok()) {
+      std::fprintf(stderr, "server error: %s\n",
+                   batch.status.to_string().c_str());
+      return 1;
+    }
+    for (const auto& outcome : batch.rows) {
+      const core::ExperimentResult& r = outcome.result;
+      std::printf("%s: status=%s WL=%lld vias=%d DV=%d UV=%d\n",
+                  outcome.label.c_str(),
+                  engine::job_status_name(outcome.status),
+                  static_cast<long long>(r.routing.wirelength),
+                  r.routing.via_count, r.dvi.dead_vias, r.dvi.uncolorable);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "job %s %s: %s\n", outcome.label.c_str(),
+                     engine::job_status_name(outcome.status),
+                     outcome.error.to_string().c_str());
+      }
+    }
+    if (batch.delta_received) {
+      std::printf(
+          "delta: %d/%d net(s) ripped, %d untouched, base=%s, cache %zu/%zu, "
+          "%.2fs wall\n",
+          batch.nets_ripped, batch.nets_total, batch.nets_untouched,
+          batch.base_fingerprint.c_str(), batch.cache_hits,
+          batch.cache_hits + batch.cache_misses, batch.wall_seconds);
+    }
+    return batch.all_ok() ? 0 : 1;
   }
 
   if (trace_context) {

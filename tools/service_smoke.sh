@@ -10,6 +10,9 @@
 #   * control-plane stats through the dispatcher aggregate both backends;
 #   * every process answers a {"type":"metrics"} scrape with Prometheus
 #     text exposition (expected families asserted per role);
+#   * a sadp.flow_delta.v1 ECO request through the dispatcher returns the
+#     same payload (modulo framing/timings) as the in-process CLI, and a
+#     repeat of the same delta is served from the result cache;
 #   * with --trace on every process, graceful shutdown writes per-process
 #     trace files that sadp_trace_merge combines into one fleet timeline
 #     where a single trace_id links dispatcher relay spans to backend
@@ -60,7 +63,7 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD" -j "$(nproc)" \
   --target sadp_routed sadp_route_dispatch sadp_route_client bench_service \
-  sadp_trace_merge \
+  sadp_trace_merge sadp_route \
   >/dev/null
 
 workdir="$(mktemp -d)"
@@ -171,6 +174,83 @@ if [ "$SKIP_TOPOLOGY" -eq 0 ]; then
     exit 1
   fi
   echo "   all 3 processes serve Prometheus exposition over the control plane"
+
+  # ECO delta round trip: the same sadp.flow_delta.v1 request served two
+  # ways -- the in-process CLI (--delta --wire dumps the raw wire lines)
+  # and the fleet through the dispatcher -- must agree byte for byte once
+  # transport framing and timings are stripped.  Three fleet runs: 1 and 2
+  # warm each backend's cache in turn, run 3 must be cache-served.
+  echo "== service smoke: ECO delta round trip through the dispatcher"
+  "./$BUILD/apps/sadp_route" --benchmark ecc_s \
+    --save-solution "$workdir/base.sol" >/dev/null
+  "./$BUILD/apps/sadp_route" --benchmark ecc_s --delta \
+    --base-solution "$workdir/base.sol" --move-pin "3,1,10,12" --wire \
+    >"$workdir/eco_inproc.txt"
+  for run in 1 2 3; do
+    BASE="$workdir/base.sol" PORT="$PORT_D" \
+      OUT="$workdir/eco_fleet$run.txt" python3 - <<'EOF'
+import json, os, socket
+
+with open(os.environ["BASE"]) as f:
+    base_text = f.read()
+request = {
+    "schema": "sadp.flow_delta.v1",
+    "base": {"label": "ecc_s", "benchmark": "ecc_s", "scaled": True},
+    "base_solution": base_text,
+    "changes": [{"op": "move_pin", "net": 3, "pin": 1, "to": [10, 12]}],
+}
+with socket.create_connection(("127.0.0.1", int(os.environ["PORT"]))) as sock:
+    sock.sendall((json.dumps(request) + "\n").encode())
+    data = b""
+    while chunk := sock.recv(65536):
+        data += chunk
+with open(os.environ["OUT"], "wb") as f:
+    f.write(data)
+EOF
+  done
+  for run in 1 2 3; do
+    INPROC="$workdir/eco_inproc.txt" FLEET="$workdir/eco_fleet$run.txt" \
+      RUN="$run" python3 - <<'EOF'
+import json, os, sys
+
+# Transport framing the dispatcher/daemon add around the payload, plus
+# anything timing-shaped; everything else must replay byte-identically.
+DROP = {"trace_id", "span_id", "cache", "sent_unix_us", "recv_unix_us",
+        "cache_hits", "cache_misses"}
+
+def scrub(value):
+    if isinstance(value, dict):
+        return {k: scrub(v) for k, v in sorted(value.items())
+                if k not in DROP and not k.endswith("_seconds")}
+    if isinstance(value, list):
+        return [scrub(v) for v in value]
+    return value
+
+def normalize(path):
+    with open(path) as f:
+        return [json.dumps(scrub(json.loads(line)), sort_keys=True)
+                for line in f if line.strip()]
+
+inproc = normalize(os.environ["INPROC"])
+fleet = normalize(os.environ["FLEET"])
+run = os.environ["RUN"]
+if len(inproc) != len(fleet):
+    sys.exit(f"service smoke: ECO run {run} stream has {len(fleet)} lines, "
+             f"in-process has {len(inproc)}")
+for i, (a, b) in enumerate(zip(inproc, fleet)):
+    if a != b:
+        sys.exit(f"service smoke: ECO run {run} line {i} differs\n"
+                 f"  in-process: {a}\n  fleet:      {b}")
+EOF
+  done
+  if ! grep -q '"cache":"hit"' "$workdir/eco_fleet3.txt"; then
+    echo "service smoke: warm ECO delta was not served from cache" >&2
+    cat "$workdir/eco_fleet3.txt" >&2
+    exit 1
+  fi
+  ripped="$(sed -n 's/.*"nets_ripped":\([0-9]*\).*/\1/p' \
+    "$workdir/eco_inproc.txt")"
+  echo "   fleet delta matches in-process (ripped $ripped), warm run cache-served"
 
   # Graceful shutdown writes the per-process trace files; merge them into
   # one fleet timeline and check cross-process trace propagation.
